@@ -1,0 +1,131 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the two ablations described in DESIGN.md.
+
+   Usage:
+     main.exe                 print every experiment (scale 1)
+     main.exe fig8 fig12      print selected experiments
+     main.exe --scale 2 all   larger workload inputs
+     main.exe bechamel        Bechamel micro-timings, one Test.make per
+                              experiment (times the regeneration code)
+
+   Speedups follow the paper: base = 1-issue processor with unlimited
+   registers and conventional scalar optimisation. *)
+
+let ids =
+  [
+    "table1";
+    "fig7";
+    "fig8-int";
+    "fig8-fp";
+    "fig9-int";
+    "fig9-fp";
+    "fig10";
+    "fig11";
+    "fig12";
+    "fig13";
+    "ablation-models";
+    "ablation-combine";
+    "ablation-unroll";
+  ]
+
+let print_experiment ctx id =
+  match Rc_harness.Experiments.by_id ctx id with
+  | Some t -> Rc_harness.Experiments.print_table Fmt.stdout t
+  | None -> Fmt.epr "unknown experiment %s@." id
+
+(* --- Bechamel: one Test.make per table/figure ------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* Each test times the regeneration of one experiment's core
+     compile+simulate cell on a fresh context: the full 12-benchmark
+     sweeps are macro-scale, so per-cell timing keeps Bechamel's
+     iterations meaningful. *)
+  let cell ~rc ~issue ?(load = 2) ?(connect = 0) ?(extra_stage = false)
+      ?(mem_channels = 2) ?(model = Rc_core.Model.default) ?(combine = true)
+      bench_name =
+    let b = Rc_workloads.Registry.find bench_name in
+    let lat = Rc_isa.Latency.v ~load ~connect () in
+    fun () ->
+      let ctx = Rc_harness.Experiments.create ~scale:1 () in
+      ignore
+        (Rc_harness.Experiments.run ctx b
+           (Rc_harness.Experiments.reg_opts b ~label:16 ~rc ~issue
+              ~mem_channels ~lat ~model ~combine ~extra_stage ()))
+  in
+  [
+    Test.make ~name:"table1" (Staged.stage (fun () ->
+        ignore (Rc_harness.Experiments.table1 ())));
+    Test.make ~name:"fig7-cell" (Staged.stage (fun () ->
+        let ctx = Rc_harness.Experiments.create ~scale:1 () in
+        let b = Rc_workloads.Registry.find "cmp" in
+        ignore
+          (Rc_harness.Experiments.run ctx b
+             (Rc_harness.Experiments.unlimited_opts ~issue:4 ()))));
+    Test.make ~name:"fig8-cell" (Staged.stage (cell ~rc:true ~issue:4 "eqn"));
+    Test.make ~name:"fig9-cell" (Staged.stage (cell ~rc:false ~issue:4 "eqn"));
+    Test.make ~name:"fig10-cell"
+      (Staged.stage (cell ~rc:true ~issue:8 ~mem_channels:4 "lex"));
+    Test.make ~name:"fig11-cell" (Staged.stage (cell ~rc:true ~issue:4 ~load:4 "lex"));
+    Test.make ~name:"fig12-cell"
+      (Staged.stage (cell ~rc:true ~issue:4 ~connect:1 ~extra_stage:true "grep"));
+    Test.make ~name:"fig13-cell"
+      (Staged.stage (cell ~rc:true ~issue:4 ~mem_channels:4 "grep"));
+    Test.make ~name:"ablation-models-cell"
+      (Staged.stage (cell ~rc:true ~issue:4 ~model:Rc_core.Model.No_reset "cmp"));
+    Test.make ~name:"ablation-combine-cell"
+      (Staged.stage (cell ~rc:true ~issue:4 ~combine:false "cmp"));
+    Test.make ~name:"ablation-unroll-cell"
+      (Staged.stage (fun () ->
+           let ctx = Rc_harness.Experiments.create ~scale:1 () in
+           let b = Rc_workloads.Registry.find "lex" in
+           ignore
+             (Rc_harness.Experiments.run ctx b
+                (Rc_harness.Experiments.reg_opts b ~label:32 ~rc:true
+                   ~opt:(Rc_opt.Pass.Ilp 8) ()))));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.8) ()
+  in
+  let tests =
+    Test.make_grouped ~name:"experiments" ~fmt:"%s %s" (bechamel_tests ())
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.== Bechamel micro-timings (ns per regeneration cell) ==@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Fmt.pr "%-36s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "%-36s (no estimate)@." name)
+    results
+
+(* --- entry -------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1 in
+  let rec parse acc = function
+    | "--scale" :: n :: rest ->
+        scale := int_of_string n;
+        parse acc rest
+    | x :: rest -> parse (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let selected = parse [] args in
+  match selected with
+  | [ "bechamel" ] -> run_bechamel ()
+  | [] | [ "all" ] ->
+      let ctx = Rc_harness.Experiments.create ~scale:!scale () in
+      List.iter (print_experiment ctx) ids
+  | sel ->
+      let ctx = Rc_harness.Experiments.create ~scale:!scale () in
+      List.iter (print_experiment ctx) sel

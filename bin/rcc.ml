@@ -1,0 +1,200 @@
+(* rcc — compile-and-simulate driver for the Register Connection
+   reproduction.
+
+   Subcommands:
+     list                        the twelve benchmark kernels
+     run <bench> [options]       compile one kernel and simulate it
+     compare <bench> [options]   without-RC vs with-RC vs unlimited
+     dump <bench> [options]      print the generated machine code
+*)
+
+open Cmdliner
+
+(* --- shared options ------------------------------------------------------ *)
+
+let bench_arg =
+  let doc = "Benchmark kernel name (see $(b,rcc list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let issue =
+  let doc = "Issue rate (instructions per cycle): 1, 2, 4 or 8." in
+  Arg.(value & opt int 4 & info [ "issue" ] ~docv:"N" ~doc)
+
+let core_int =
+  let doc = "Core integer registers visible to the instruction set." in
+  Arg.(value & opt int 16 & info [ "core-int" ] ~docv:"N" ~doc)
+
+let core_float =
+  let doc = "Core floating-point registers (simulator registers)." in
+  Arg.(value & opt int 16 & info [ "core-float" ] ~docv:"N" ~doc)
+
+let rc =
+  let doc = "Enable Register Connection support (256-register file)." in
+  Arg.(value & flag & info [ "rc" ] ~doc)
+
+let load_lat =
+  let doc = "Memory load latency in cycles (2 or 4)." in
+  Arg.(value & opt int 2 & info [ "load" ] ~docv:"CYCLES" ~doc)
+
+let connect_lat =
+  let doc = "Connect instruction latency (0 or 1)." in
+  Arg.(value & opt int 0 & info [ "connect" ] ~docv:"CYCLES" ~doc)
+
+let mem_channels =
+  let doc = "Memory channels per cycle (default: 2, or 4 at 8-issue)." in
+  Arg.(value & opt (some int) None & info [ "mem-channels" ] ~docv:"N" ~doc)
+
+let extra_stage =
+  let doc = "Model an extra decode stage for mapping-table access." in
+  Arg.(value & flag & info [ "extra-stage" ] ~doc)
+
+let model =
+  let doc =
+    "Automatic reset model: 1 (no-reset), 2 (write-reset), 3 \
+     (write-reset-read-update, the paper's choice) or 4 (read-write-reset)."
+  in
+  let parse s =
+    match Rc_core.Model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg ("unknown model " ^ s))
+  in
+  let print ppf m = Rc_core.Model.pp ppf m in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Rc_core.Model.default
+    & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let scale =
+  let doc = "Workload input scale factor." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
+let no_unroll =
+  let doc = "Disable the ILP loop unrolling (classical optimisation only)." in
+  Arg.(value & flag & info [ "no-unroll" ] ~doc)
+
+let options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
+    ~extra_stage ~model ~no_unroll =
+  Rc_harness.Pipeline.options
+    ~opt:(if no_unroll then Rc_opt.Pass.Classical else Rc_opt.Pass.Ilp 4)
+    ~rc ~core_int ~core_float ~model ~issue ?mem_channels
+    ~lat:(Rc_isa.Latency.v ~load ~connect ())
+    ~extra_stage ()
+
+(* --- subcommands ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Rc_workloads.Wutil.bench) ->
+        Fmt.pr "%-12s %-6s %s@." b.Rc_workloads.Wutil.name
+          (match b.Rc_workloads.Wutil.kind with
+          | Rc_workloads.Wutil.Int_bench -> "int"
+          | Rc_workloads.Wutil.Float_bench -> "float")
+          b.Rc_workloads.Wutil.description)
+      (Rc_workloads.Registry.all ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
+    Term.(const run $ const ())
+
+let compile_one bench opts scale =
+  let b = Rc_workloads.Registry.find bench in
+  let prog = b.Rc_workloads.Wutil.build scale in
+  Rc_harness.Pipeline.compile opts prog
+
+let print_result (c : Rc_harness.Pipeline.compiled) (r : Rc_machine.Machine.result) =
+  let bk = c.Rc_harness.Pipeline.breakdown in
+  Fmt.pr "cycles        %d@." r.Rc_machine.Machine.cycles;
+  Fmt.pr "instructions  %d (ipc %.2f)@." r.Rc_machine.Machine.issued
+    (float_of_int r.Rc_machine.Machine.issued
+    /. float_of_int (max 1 r.Rc_machine.Machine.cycles));
+  Fmt.pr "connects      %d dynamic, %d static@." r.Rc_machine.Machine.connects
+    bk.Rc_isa.Mcode.connects;
+  Fmt.pr "memory ops    %d@." r.Rc_machine.Machine.mem_ops;
+  Fmt.pr "branches      %d (%d mispredicted)@." r.Rc_machine.Machine.branches
+    r.Rc_machine.Machine.mispredicts;
+  Fmt.pr "stalls        %d data, %d map, %d channel@."
+    r.Rc_machine.Machine.data_stalls r.Rc_machine.Machine.map_stalls
+    r.Rc_machine.Machine.channel_stalls;
+  Fmt.pr
+    "code size     %d insns (%d normal, %d spill, %d save, %d xsave, %d connect)@."
+    (bk.Rc_isa.Mcode.normal + bk.Rc_isa.Mcode.spill + bk.Rc_isa.Mcode.save
+   + bk.Rc_isa.Mcode.xsave + bk.Rc_isa.Mcode.connects)
+    bk.Rc_isa.Mcode.normal bk.Rc_isa.Mcode.spill bk.Rc_isa.Mcode.save
+    bk.Rc_isa.Mcode.xsave bk.Rc_isa.Mcode.connects;
+  Fmt.pr "spilled vregs %d@." c.Rc_harness.Pipeline.spills;
+  Fmt.pr "checksum      %Ld (verified against the reference interpreter)@."
+    r.Rc_machine.Machine.checksum
+
+let run_cmd =
+  let run bench issue core_int core_float rc load connect mem_channels
+      extra_stage model scale no_unroll =
+    let opts =
+      options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
+        ~extra_stage ~model ~no_unroll
+    in
+    let c = compile_one bench opts scale in
+    let r = Rc_harness.Pipeline.simulate c in
+    Fmt.pr "== %s ==@." bench;
+    print_result c r;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile one kernel and simulate it")
+    Term.(
+      const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
+      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll)
+
+let compare_cmd =
+  let run bench issue core_int core_float load scale =
+    let lat = Rc_isa.Latency.v ~load () in
+    let base_opts =
+      Rc_harness.Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1
+        ~mem_channels:2 ~core_int:2048 ~core_float:2048 ()
+    in
+    let base = Rc_harness.Pipeline.simulate (compile_one bench base_opts scale) in
+    let base_cycles = float_of_int base.Rc_machine.Machine.cycles in
+    let show name opts =
+      let c = compile_one bench opts scale in
+      let r = Rc_harness.Pipeline.simulate c in
+      Fmt.pr "%-28s cycles %-9d speedup %.2f  connects %-7d spills %d@." name
+        r.Rc_machine.Machine.cycles
+        (base_cycles /. float_of_int r.Rc_machine.Machine.cycles)
+        r.Rc_machine.Machine.connects c.Rc_harness.Pipeline.spills
+    in
+    Fmt.pr "== %s: base = 1-issue, unlimited registers, classical opt ==@."
+      bench;
+    show "without RC"
+      (Rc_harness.Pipeline.options ~rc:false ~issue ~core_int ~core_float ~lat ());
+    show "with RC (256 regs)"
+      (Rc_harness.Pipeline.options ~rc:true ~issue ~core_int ~core_float ~lat ());
+    show "unlimited registers"
+      (Rc_harness.Pipeline.options ~issue ~core_int:2048 ~core_float:2048 ~lat ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare without-RC, with-RC and unlimited register files")
+    Term.(const run $ bench_arg $ issue $ core_int $ core_float $ load_lat $ scale)
+
+let dump_cmd =
+  let run bench issue core_int core_float rc model scale =
+    let opts =
+      options_of ~issue ~core_int ~core_float ~rc ~load:2 ~connect:0
+        ~mem_channels:None ~extra_stage:false ~model ~no_unroll:false
+    in
+    let c = compile_one bench opts scale in
+    Fmt.pr "%a@." Rc_isa.Mcode.pp c.Rc_harness.Pipeline.mcode;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the generated machine code")
+    Term.(
+      const run $ bench_arg $ issue $ core_int $ core_float $ rc $ model $ scale)
+
+let main_cmd =
+  let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
+  Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; compare_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

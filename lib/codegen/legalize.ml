@@ -1,0 +1,37 @@
+(** Make the IR directly lowerable: every [Alu] operation must have a
+    register first operand (the target has register-immediate forms only
+    for the second operand).  Commutative operations are swapped;
+    otherwise the constant is materialised.  Runs before register
+    allocation so materialisation temporaries participate in colouring. *)
+
+open Rc_isa
+open Rc_ir
+
+let commutative = function
+  | Opcode.Add | Opcode.Mul | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Seq
+    ->
+      true
+  | Opcode.Sub | Opcode.Div | Opcode.Rem | Opcode.Sll | Opcode.Srl
+  | Opcode.Sra | Opcode.Slt ->
+      false
+
+let run_func (f : Func.t) =
+  List.iter
+    (fun (b : Block.t) ->
+      b.Block.ops <-
+        List.concat_map
+          (fun op ->
+            match op with
+            | Op.Alu (a, d, Op.C cx, Op.C cy) ->
+                [ Op.Li (d, Opcode.eval_alu a cx cy) ]
+            | Op.Alu (a, d, Op.C cx, (Op.V _ as y)) ->
+                if commutative a then [ Op.Alu (a, d, y, Op.C cx) ]
+                else begin
+                  let t = Func.fresh_vreg f Reg.Int in
+                  [ Op.Li (t, cx); Op.Alu (a, d, Op.V t, y) ]
+                end
+            | op -> [ op ])
+          b.Block.ops)
+    f.Func.blocks
+
+let run (p : Prog.t) = List.iter run_func p.Prog.funcs

@@ -1,0 +1,9 @@
+(** Make the IR directly lowerable: every [Alu] operation must have a
+    register first operand (the target has register-immediate forms only
+    for the second operand).  Commutative operations are swapped;
+    otherwise the constant is materialised.  Runs before register
+    allocation so materialisation temporaries participate in
+    colouring. *)
+
+val run_func : Rc_ir.Func.t -> unit
+val run : Rc_ir.Prog.t -> unit

@@ -1,0 +1,476 @@
+(** Lowering allocated IR to machine code in {e physical form}: operands
+    are physical register numbers (possibly in the extended section);
+    spill code uses the reserved spill temporaries; callers save live
+    caller-saved and extended registers around calls; callees save the
+    callee-saved core registers they use.
+
+    Frame layout (offsets from SP after the prologue):
+
+    {v
+    +0 .. 8*nslots-1      spill slots
+    then                  callee-save area
+    then                  return-address slot (functions making calls)
+    then                  caller-save area (one slot per saved phys reg)
+    sp+frame+8k           incoming argument k
+    v}
+
+    Outgoing arguments are stored below SP, which is then dropped by
+    [8*nargs] for the call, so the callee sees argument k at
+    [sp_entry + 8k]. *)
+
+open Rc_isa
+open Rc_ir
+open Rc_dataflow
+open Rc_regalloc
+
+type ctx = {
+  prog : Prog.t;
+  alloc : Alloc.t;
+  profile : Rc_interp.Profile.t;
+  global_addr : (string * int) list;
+  labels : (string * int, int) Hashtbl.t;
+  mutable next_label : int;
+}
+
+let label_of ctx fname bid =
+  match Hashtbl.find_opt ctx.labels (fname, bid) with
+  | Some l -> l
+  | None ->
+      let l = ctx.next_label in
+      ctx.next_label <- l + 1;
+      Hashtbl.replace ctx.labels (fname, bid) l;
+      l
+
+let entry_label ctx (f : Func.t) = label_of ctx f.Func.name (Func.entry f).Block.id
+
+(* Frame bookkeeping for one function. *)
+type frame = {
+  asn : Assignment.t;
+  has_calls : bool;
+  callee_saved_used : (Reg.cls * int) list;
+  caller_slots : (Reg.cls * int, int) Hashtbl.t;  (** phys -> frame offset *)
+  ra_off : int;
+  size : int;
+}
+
+let is_caller_exposed cls (file : Reg.file) p =
+  (* Registers the callee may clobber: allocatable caller-saved core and
+     the whole extended section (paper section 4.1: extended registers
+     cannot be treated as callee-saved). *)
+  p >= Reg.first_alloc cls
+  && ((not (Reg.is_callee_saved cls file p)) || Reg.is_extended file p)
+
+(** Physical registers needing a caller-side save anywhere in [f]. *)
+let caller_saved_regs (f : Func.t) (asn : Assignment.t) (live : Liveness.t) =
+  let found = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      Liveness.fold_block_backward live b ~init:() ~f:(fun () op live_after ->
+          match op with
+          | Op.Call { dst; _ } ->
+              let live_across =
+                match dst with
+                | Some d -> Vreg.Set.remove d live_after
+                | None -> live_after
+              in
+              Vreg.Set.iter
+                (fun (v : Vreg.t) ->
+                  match Assignment.location asn v with
+                  | Assignment.Reg p ->
+                      let file = Assignment.file_of asn v.Vreg.cls in
+                      if is_caller_exposed v.Vreg.cls file p then
+                        Hashtbl.replace found (v.Vreg.cls, p) ()
+                  | Assignment.Slot _ -> ())
+                live_across
+          | _ -> ()))
+    f.Func.blocks;
+  Hashtbl.fold (fun k () acc -> k :: acc) found []
+  |> List.sort compare
+
+let make_frame (f : Func.t) (asn : Assignment.t) (live : Liveness.t) =
+  let has_calls =
+    List.exists
+      (fun (b : Block.t) -> List.exists Op.is_call b.Block.ops)
+      f.Func.blocks
+  in
+  let callee_saved_used =
+    List.concat_map
+      (fun cls ->
+        let file = Assignment.file_of asn cls in
+        Assignment.used_registers asn cls
+        |> List.filter (fun p -> Reg.is_callee_saved cls file p)
+        |> List.map (fun p -> (cls, p)))
+      [ Reg.Int; Reg.Float ]
+  in
+  let off = ref (8 * asn.Assignment.nslots) in
+  let callee_off = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace callee_off key !off;
+      off := !off + 8)
+    callee_saved_used;
+  let ra_off = !off in
+  if has_calls then off := !off + 8;
+  let caller_slots = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace caller_slots key !off;
+      off := !off + 8)
+    (caller_saved_regs f asn live);
+  let size = !off in
+  ( { asn; has_calls; callee_saved_used; caller_slots; ra_off; size },
+    callee_off )
+
+let slot_off (_fr : frame) s = 8 * s
+
+(* --- per-block emission ---------------------------------------------- *)
+
+type emitter = { mutable rev : Insn.t list }
+
+let emit e i = e.rev <- i :: e.rev
+
+let itemp k = Reg.spill_base + k
+let ftemp k = Reg.fspill_base + k
+
+(** Bring an integer source operand into a register; [k] picks the
+    reserved temporary if it was spilled. *)
+let use_i fr e v k =
+  match Assignment.location fr.asn v with
+  | Assignment.Reg p -> p
+  | Assignment.Slot s ->
+      emit e (Insn.ld ~tag:Insn.Spill ~dst:(itemp k) ~base:Reg.sp ~off:(slot_off fr s) ());
+      itemp k
+
+let use_f fr e v k =
+  match Assignment.location fr.asn v with
+  | Assignment.Reg p -> p
+  | Assignment.Slot s ->
+      emit e (Insn.fld ~tag:Insn.Spill ~dst:(ftemp k) ~base:Reg.sp ~off:(slot_off fr s) ());
+      ftemp k
+
+(** Destination register and a post-instruction flush. *)
+let def_i fr v =
+  match Assignment.location fr.asn v with
+  | Assignment.Reg p -> (p, fun _e -> ())
+  | Assignment.Slot s ->
+      ( itemp 0,
+        fun e ->
+          emit e
+            (Insn.st ~tag:Insn.Spill ~src:(itemp 0) ~base:Reg.sp
+               ~off:(slot_off fr s) ()) )
+
+let def_f fr v =
+  match Assignment.location fr.asn v with
+  | Assignment.Reg p -> (p, fun _e -> ())
+  | Assignment.Slot s ->
+      ( ftemp 0,
+        fun e ->
+          emit e
+            (Insn.fst_ ~tag:Insn.Spill ~src:(ftemp 0) ~base:Reg.sp
+               ~off:(slot_off fr s) ()) )
+
+let save_tag cls (file : Reg.file) p =
+  ignore cls;
+  if Reg.is_extended file p then Insn.Xsave else Insn.Save
+
+let lower_call ctx fr e ~live_across (c : Vreg.t option * string * Vreg.t list) =
+  let dst, callee, args = c in
+  (* 1. Caller-side saves of exposed live registers. *)
+  let to_save =
+    Vreg.Set.fold
+      (fun (v : Vreg.t) acc ->
+        match Assignment.location fr.asn v with
+        | Assignment.Reg p ->
+            let file = Assignment.file_of fr.asn v.Vreg.cls in
+            if is_caller_exposed v.Vreg.cls file p then (v.Vreg.cls, p) :: acc
+            else acc
+        | Assignment.Slot _ -> acc)
+      live_across []
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (cls, p) ->
+      let off = Hashtbl.find fr.caller_slots (cls, p) in
+      let tag = save_tag cls (Assignment.file_of fr.asn cls) p in
+      match cls with
+      | Reg.Int -> emit e (Insn.st ~tag ~src:p ~base:Reg.sp ~off ())
+      | Reg.Float -> emit e (Insn.fst_ ~tag ~src:p ~base:Reg.sp ~off ()))
+    to_save;
+  (* 2. Outgoing arguments below SP. *)
+  let n = List.length args in
+  List.iteri
+    (fun k (a : Vreg.t) ->
+      let off = -8 * (n - k) in
+      match a.Vreg.cls with
+      | Reg.Int ->
+          let p = use_i fr e a 0 in
+          emit e (Insn.st ~src:p ~base:Reg.sp ~off ())
+      | Reg.Float ->
+          let p = use_f fr e a 0 in
+          emit e (Insn.fst_ ~src:p ~base:Reg.sp ~off ()))
+    args;
+  if n > 0 then
+    emit e (Insn.alui Opcode.Sub ~dst:Reg.sp ~s1:Reg.sp ~imm:(Int64.of_int (8 * n)));
+  (* 3. The call itself. *)
+  let callee_f = Prog.find_func ctx.prog callee in
+  emit e (Insn.jsr (entry_label ctx callee_f));
+  if n > 0 then
+    emit e (Insn.alui Opcode.Add ~dst:Reg.sp ~s1:Reg.sp ~imm:(Int64.of_int (8 * n)));
+  (* 4. Return value. *)
+  (match dst with
+  | None -> ()
+  | Some d -> (
+      match d.Vreg.cls with
+      | Reg.Int -> (
+          match Assignment.location fr.asn d with
+          | Assignment.Reg p -> emit e (Insn.move ~dst:p ~src:Reg.rv ())
+          | Assignment.Slot s ->
+              emit e
+                (Insn.st ~tag:Insn.Spill ~src:Reg.rv ~base:Reg.sp
+                   ~off:(slot_off fr s) ()))
+      | Reg.Float -> (
+          match Assignment.location fr.asn d with
+          | Assignment.Reg p -> emit e (Insn.fmove ~dst:p ~src:Reg.frv ())
+          | Assignment.Slot s ->
+              emit e
+                (Insn.fst_ ~tag:Insn.Spill ~src:Reg.frv ~base:Reg.sp
+                   ~off:(slot_off fr s) ()))));
+  (* 5. Caller-side restores. *)
+  List.iter
+    (fun (cls, p) ->
+      let off = Hashtbl.find fr.caller_slots (cls, p) in
+      let tag = save_tag cls (Assignment.file_of fr.asn cls) p in
+      match cls with
+      | Reg.Int -> emit e (Insn.ld ~tag ~dst:p ~base:Reg.sp ~off ())
+      | Reg.Float -> emit e (Insn.fld ~tag ~dst:p ~base:Reg.sp ~off ()))
+    to_save
+
+let lower_op ctx fr e ~live_after op =
+  match op with
+  | Op.Li (d, n) ->
+      let p, flush = def_i fr d in
+      emit e (Insn.li ~dst:p n);
+      flush e
+  | Op.Fli (d, x) ->
+      let p, flush = def_f fr d in
+      emit e (Insn.fli ~dst:p x);
+      flush e
+  | Op.Mov (d, s) -> (
+      match d.Vreg.cls with
+      | Reg.Int ->
+          let ps = use_i fr e s 1 in
+          let pd, flush = def_i fr d in
+          if pd <> ps then emit e (Insn.move ~dst:pd ~src:ps ());
+          flush e
+      | Reg.Float ->
+          let ps = use_f fr e s 1 in
+          let pd, flush = def_f fr d in
+          if pd <> ps then emit e (Insn.fmove ~dst:pd ~src:ps ());
+          flush e)
+  | Op.Alu (a, d, Op.V x, Op.V y) ->
+      let px = use_i fr e x 0 and py = use_i fr e y 1 in
+      let pd, flush = def_i fr d in
+      emit e (Insn.alu a ~dst:pd ~s1:px ~s2:py);
+      flush e
+  | Op.Alu (a, d, Op.V x, Op.C c) ->
+      let px = use_i fr e x 0 in
+      let pd, flush = def_i fr d in
+      emit e (Insn.alui a ~dst:pd ~s1:px ~imm:c);
+      flush e
+  | Op.Alu (a, d, Op.C cx, Op.C cy) ->
+      let pd, flush = def_i fr d in
+      emit e (Insn.li ~dst:pd (Opcode.eval_alu a cx cy));
+      flush e
+  | Op.Alu (_, _, Op.C _, Op.V _) ->
+      invalid_arg "Lower: un-legalised constant first operand"
+  | Op.Fpu (o, d, s1, s2) ->
+      let p1 = use_f fr e s1 0 in
+      let p2 = match s2 with Some s -> use_f fr e s 1 | None -> p1 in
+      let pd, flush = def_f fr d in
+      (match s2 with
+      | Some _ -> emit e (Insn.fpu o ~dst:pd ~s1:p1 ~s2:p2)
+      | None -> emit e (Insn.fpu1 o ~dst:pd ~s1:p1));
+      flush e
+  | Op.Itof (d, s) ->
+      let ps = use_i fr e s 0 in
+      let pd, flush = def_f fr d in
+      emit e (Insn.itof ~dst:pd ~src:ps ());
+      flush e
+  | Op.Ftoi (d, s) ->
+      let ps = use_f fr e s 0 in
+      let pd, flush = def_i fr d in
+      emit e (Insn.ftoi ~dst:pd ~src:ps ());
+      flush e
+  | Op.Fcmp (c, d, s1, s2) ->
+      let p1 = use_f fr e s1 0 and p2 = use_f fr e s2 1 in
+      let pd, flush = def_i fr d in
+      emit e (Insn.fcmp c ~dst:pd ~s1:p1 ~s2:p2);
+      flush e
+  | Op.Ld (w, d, base, off) ->
+      let pb = use_i fr e base 1 in
+      let pd, flush = def_i fr d in
+      emit e (Insn.ld ~width:w ~dst:pd ~base:pb ~off ());
+      flush e
+  | Op.St (w, v, base, off) ->
+      let pv = use_i fr e v 0 and pb = use_i fr e base 1 in
+      emit e (Insn.st ~width:w ~src:pv ~base:pb ~off ())
+  | Op.Fld (d, base, off) ->
+      let pb = use_i fr e base 1 in
+      let pd, flush = def_f fr d in
+      emit e (Insn.fld ~dst:pd ~base:pb ~off ());
+      flush e
+  | Op.Fst (v, base, off) ->
+      let pv = use_f fr e v 0 and pb = use_i fr e base 1 in
+      emit e (Insn.fst_ ~src:pv ~base:pb ~off ())
+  | Op.Addr (d, g) ->
+      let addr =
+        match List.assoc_opt g ctx.global_addr with
+        | Some a -> Int64.of_int a
+        | None -> invalid_arg ("Lower: unknown global " ^ g)
+      in
+      let pd, flush = def_i fr d in
+      emit e (Insn.li ~dst:pd addr);
+      flush e
+  | Op.Call { dst; callee; args } ->
+      let live_across =
+        match dst with
+        | Some d -> Vreg.Set.remove d live_after
+        | None -> live_after
+      in
+      lower_call ctx fr e ~live_across (dst, callee, args)
+  | Op.Emit v ->
+      let p = use_i fr e v 0 in
+      emit e (Insn.emit ~src:p)
+  | Op.Femit v ->
+      let p = use_f fr e v 0 in
+      emit e (Insn.femit ~src:p)
+
+let lower_epilogue fr callee_off e =
+  List.iter
+    (fun (cls, p) ->
+      let off = Hashtbl.find callee_off (cls, p) in
+      match cls with
+      | Reg.Int -> emit e (Insn.ld ~tag:Insn.Save ~dst:p ~base:Reg.sp ~off ())
+      | Reg.Float -> emit e (Insn.fld ~tag:Insn.Save ~dst:p ~base:Reg.sp ~off ()))
+    fr.callee_saved_used;
+  if fr.has_calls then
+    emit e (Insn.ld ~dst:Reg.ra ~base:Reg.sp ~off:fr.ra_off ());
+  if fr.size > 0 then
+    emit e (Insn.alui Opcode.Add ~dst:Reg.sp ~s1:Reg.sp ~imm:(Int64.of_int fr.size))
+
+let lower_term ctx fr callee_off e (f : Func.t) (b : Block.t) ~next_id =
+  let lbl id = label_of ctx f.Func.name id in
+  match b.Block.term with
+  | Op.Jmp l -> if Some l <> next_id then emit e (Insn.jmp (lbl l))
+  | Op.Br (c, x, y, t, el) ->
+      let px = use_i fr e x 0 and py = use_i fr e y 1 in
+      let hint =
+        Rc_interp.Profile.predict_taken ctx.profile ~func:f.Func.name
+          ~block:b.Block.id
+      in
+      emit e (Insn.br c ~s1:px ~s2:py ~target:(lbl t) ~hint);
+      if Some el <> next_id then emit e (Insn.jmp (lbl el))
+  | Op.Halt -> emit e (Insn.halt ())
+  | Op.Ret v ->
+      (match v with
+      | None -> ()
+      | Some rv -> (
+          match rv.Vreg.cls with
+          | Reg.Int ->
+              let p = use_i fr e rv 0 in
+              if p <> Reg.rv then emit e (Insn.move ~dst:Reg.rv ~src:p ())
+          | Reg.Float ->
+              let p = use_f fr e rv 0 in
+              if p <> Reg.frv then emit e (Insn.fmove ~dst:Reg.frv ~src:p ())));
+      lower_epilogue fr callee_off e;
+      emit e (Insn.rts ())
+
+let lower_prologue fr callee_off e (f : Func.t) =
+  if fr.size > 0 then
+    emit e (Insn.alui Opcode.Sub ~dst:Reg.sp ~s1:Reg.sp ~imm:(Int64.of_int fr.size));
+  if fr.has_calls then
+    emit e (Insn.st ~src:Reg.ra ~base:Reg.sp ~off:fr.ra_off ());
+  List.iter
+    (fun (cls, p) ->
+      let off = Hashtbl.find callee_off (cls, p) in
+      match cls with
+      | Reg.Int -> emit e (Insn.st ~tag:Insn.Save ~src:p ~base:Reg.sp ~off ())
+      | Reg.Float -> emit e (Insn.fst_ ~tag:Insn.Save ~src:p ~base:Reg.sp ~off ()))
+    fr.callee_saved_used;
+  List.iteri
+    (fun k (v : Vreg.t) ->
+      let arg_off = fr.size + (8 * k) in
+      match v.Vreg.cls with
+      | Reg.Int -> (
+          match Assignment.location fr.asn v with
+          | Assignment.Reg p -> emit e (Insn.ld ~dst:p ~base:Reg.sp ~off:arg_off ())
+          | Assignment.Slot s ->
+              emit e (Insn.ld ~dst:(itemp 0) ~base:Reg.sp ~off:arg_off ());
+              emit e
+                (Insn.st ~tag:Insn.Spill ~src:(itemp 0) ~base:Reg.sp
+                   ~off:(slot_off fr s) ()))
+      | Reg.Float -> (
+          match Assignment.location fr.asn v with
+          | Assignment.Reg p -> emit e (Insn.fld ~dst:p ~base:Reg.sp ~off:arg_off ())
+          | Assignment.Slot s ->
+              emit e (Insn.fld ~dst:(ftemp 0) ~base:Reg.sp ~off:arg_off ());
+              emit e
+                (Insn.fst_ ~tag:Insn.Spill ~src:(ftemp 0) ~base:Reg.sp
+                   ~off:(slot_off fr s) ())))
+    f.Func.params
+
+let lower_func ctx (f : Func.t) =
+  let asn = Alloc.assignment ctx.alloc f in
+  let live = Liveness.compute f in
+  let fr, callee_off = make_frame f asn live in
+  let rec next_ids = function
+    | [] -> []
+    | [ (b : Block.t) ] -> [ (b, None) ]
+    | b :: (b2 : Block.t) :: rest ->
+        (b, Some b2.Block.id) :: next_ids (b2 :: rest)
+  in
+  let mblocks =
+    List.map
+      (fun ((b : Block.t), next_id) ->
+        let e = { rev = [] } in
+        if b == Func.entry f then lower_prologue fr callee_off e f;
+        (* Forward walk with live-after sets for the call sites. *)
+        let live_after_per_op =
+          let acc =
+            Liveness.fold_block_backward live b ~init:[]
+              ~f:(fun acc _op live_after -> live_after :: acc)
+          in
+          acc
+        in
+        List.iter2
+          (fun op live_after -> lower_op ctx fr e ~live_after op)
+          b.Block.ops live_after_per_op;
+        lower_term ctx fr callee_off e f b ~next_id;
+        {
+          Mcode.label = label_of ctx f.Func.name b.Block.id;
+          Mcode.insns = List.rev e.rev;
+        })
+      (next_ids f.Func.blocks)
+  in
+  {
+    Mcode.name = f.Func.name;
+    Mcode.entry_label = entry_label ctx f;
+    Mcode.blocks = mblocks;
+  }
+
+(** Lower a whole program to machine code in physical form. *)
+let run (prog : Prog.t) (alloc : Alloc.t) (profile : Rc_interp.Profile.t) =
+  let ctx =
+    {
+      prog;
+      alloc;
+      profile;
+      global_addr = fst (Image.layout_globals prog.Prog.globals);
+      labels = Hashtbl.create 64;
+      next_label = 0;
+    }
+  in
+  let m = Mcode.create ~entry:prog.Prog.entry in
+  List.iter (fun g -> Mcode.add_global m g) prog.Prog.globals;
+  List.iter (fun f -> Mcode.add_func m (lower_func ctx f)) prog.Prog.funcs;
+  m

@@ -1,0 +1,24 @@
+(** Lowering allocated IR to machine code in {e physical form}: operands
+    are physical register numbers (possibly in the extended section);
+    spill code uses the reserved spill temporaries; callers save live
+    caller-saved and extended registers around calls; callees save the
+    callee-saved core registers they use.
+
+    Frame layout (offsets from SP after the prologue):
+
+    {v
+    +0 .. 8*nslots-1      spill slots
+    then                  callee-save area
+    then                  return-address slot (functions making calls)
+    then                  caller-save area (one slot per saved phys reg)
+    sp+frame+8k           incoming argument k
+    v}
+
+    Outgoing arguments are stored below SP, which is then dropped by
+    [8*nargs] for the call, so the callee sees argument k at
+    [sp_entry + 8k]. *)
+
+(** Lower a whole program.  The profile provides the static branch
+    prediction hints. *)
+val run :
+  Rc_ir.Prog.t -> Rc_regalloc.Alloc.t -> Rc_interp.Profile.t -> Rc_isa.Mcode.t

@@ -1,0 +1,676 @@
+(** Connect insertion: rewrite machine code from {e physical form}
+    (operands are physical registers, possibly extended) into
+    {e architectural form} (operands are core-sized indices, with
+    [Connect] instructions steering the mapping table) — the compiler
+    support of paper section 3.
+
+    The pass emulates the register mapping table ({!Rc_core.Map_table},
+    with the configured automatic-reset model) instruction by
+    instruction:
+
+    - a source needing physical register [p] uses any index whose read
+      map already points at [p]; otherwise a victim index is chosen (the
+      one whose current target has the farthest next use) and a
+      connect-use is inserted;
+    - a destination needing [p] uses an index whose write map points at
+      [p] (under model 3 this is only ever the home index) or gets a
+      connect-def;
+    - under model 3 the write's automatic read-map update makes the
+      written value readable with no further connect — the "connect-use
+      is not required prior to instruction 3" example of section 3.
+
+    Every block has a compiler-chosen {e entry state} for the mapping
+    table, and each block ends by steering the table to the entry state
+    its successors expect (all successors of a block are arranged to
+    agree).  The default entry state is the home state — it holds at
+    power-up and is re-established in hardware by every [jsr]/[rts]
+    (section 4.1).  For hot loops, the pass {e pins} the most-read
+    extended registers onto map indices whose home registers the loop
+    never touches: the pins are installed once in the loop's
+    predecessors and live across all iterations, so steady-state
+    iterations pay no connect for those reads.  This is the "proper
+    selection [of] the register map entry" that minimises artificial
+    dependences (section 3).
+
+    Terminator sources are routed through reserved core temporaries when
+    they live in extended registers that are not pinned at the block's
+    exit, so terminators never leave the table in an unexpected
+    state. *)
+
+open Rc_isa
+open Rc_core
+
+type config = {
+  ifile : Reg.file;
+  ffile : Reg.file;
+  model : Model.t;
+  combine : bool;
+      (** use connect-use-use / connect-def-use / connect-def-def *)
+  pin_loops : bool;  (** pin hot extended values across loops *)
+}
+
+let config ?(model = Model.default) ?(combine = true) ?(pin_loops = true)
+    ~ifile ~ffile () =
+  { ifile; ffile; model; combine; pin_loops }
+
+let file_of cfg = function Reg.Int -> cfg.ifile | Reg.Float -> cfg.ffile
+
+let is_terminator (i : Insn.t) =
+  match i.Insn.op with
+  | Opcode.Br _ | Opcode.Jmp | Opcode.Rts | Opcode.Halt -> true
+  | _ -> false
+
+(* --- machine-level CFG -------------------------------------------------- *)
+
+type binfo = {
+  blk : Mcode.block;
+  mutable preds : int list;
+  mutable succs : int list;
+}
+
+let block_cfg (f : Mcode.func) =
+  let info : (int, binfo) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Mcode.block) ->
+      Hashtbl.replace info b.Mcode.label { blk = b; preds = []; succs = [] })
+    f.Mcode.blocks;
+  let add_edge a b =
+    match (Hashtbl.find_opt info a, Hashtbl.find_opt info b) with
+    | Some ia, Some ib ->
+        if not (List.mem b ia.succs) then ia.succs <- b :: ia.succs;
+        if not (List.mem a ib.preds) then ib.preds <- a :: ib.preds
+    | _ -> () (* cross-function target: a call, not an edge *)
+  in
+  let rec walk = function
+    | [] -> ()
+    | [ (b : Mcode.block) ] -> walk_block b None
+    | b :: (b2 : Mcode.block) :: rest ->
+        walk_block b (Some b2.Mcode.label);
+        walk (b2 :: rest)
+  and walk_block (b : Mcode.block) next =
+    let falls = ref true in
+    List.iter
+      (fun (i : Insn.t) ->
+        match i.Insn.op with
+        | Opcode.Br _ -> add_edge b.Mcode.label i.Insn.target
+        | Opcode.Jmp ->
+            add_edge b.Mcode.label i.Insn.target;
+            falls := false
+        | Opcode.Rts | Opcode.Halt -> falls := false
+        | _ -> ())
+      b.Mcode.insns;
+    match next with
+    | Some n when !falls -> add_edge b.Mcode.label n
+    | _ -> ()
+  in
+  walk f.Mcode.blocks;
+  info
+
+(* --- loop pinning -------------------------------------------------------- *)
+
+(** One pin: this architectural index reads this physical register on
+    entry to the block. *)
+type pin = { pcls : Reg.cls; pidx : int; pphys : int }
+
+(** Physical registers referenced (read or written) by a block, and
+    extended-register read counts. *)
+let scan_block cfg (b : Mcode.block) =
+  let referenced = Hashtbl.create 32 in
+  let ext_reads = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Insn.t) ->
+      Array.iter
+        (fun (o : Insn.operand) ->
+          Hashtbl.replace referenced (o.Insn.cls, o.Insn.r) ();
+          if Reg.is_extended (file_of cfg o.Insn.cls) o.Insn.r then
+            Hashtbl.replace ext_reads (o.Insn.cls, o.Insn.r)
+              (1 + try Hashtbl.find ext_reads (o.Insn.cls, o.Insn.r) with Not_found -> 0))
+        i.Insn.srcs;
+      Option.iter
+        (fun (o : Insn.operand) ->
+          Hashtbl.replace referenced (o.Insn.cls, o.Insn.r) ())
+        i.Insn.dst)
+    b.Mcode.insns;
+  (referenced, ext_reads)
+
+(** Keep some indices free for dynamic victim needs inside the loop. *)
+let min_free_victims = 4
+
+let victim_indices cfg cls =
+  let file = file_of cfg cls in
+  let pinned = Reg.pinned_indices cls in
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if List.mem i pinned then acc else i :: acc)
+  in
+  collect (file.Reg.core - 1) []
+
+(** Find pinnable {e loop regions} and choose their pins.  A region is a
+    chain of 2-block loops [Hi <-> Bi] where each loop's exit is the next
+    loop's header (the shape produced by unrolling: unrolled loop
+    followed by the residual loop), closed by a final exit block whose
+    only predecessor is the last header.  All blocks of the region plus
+    the final exit share one entry state; the region's entry
+    predecessors (each with the first header as only successor) install
+    it.  Returns the entry-pin table (label -> pins). *)
+let analyze_pins cfg (f : Mcode.func) info =
+  let pins : (int, pin list) Hashtbl.t = Hashtbl.create 8 in
+  let assigned = Hashtbl.create 8 in
+  (* header -> (body, exit) for every 2-block loop *)
+  let by_header = Hashtbl.create 8 in
+  let exits = Hashtbl.create 8 in
+  List.iter
+    (fun (body : Mcode.block) ->
+      let bl = body.Mcode.label in
+      let bi = Hashtbl.find info bl in
+      match (bi.succs, bi.preds) with
+      | [ h ], [ h' ] when h = h' && h <> bl -> (
+          match Hashtbl.find_opt info h with
+          | Some hi -> (
+              match List.filter (fun s -> s <> bl) hi.succs with
+              | [ e ] when e <> h && e <> bl ->
+                  Hashtbl.replace by_header h (bl, e);
+                  Hashtbl.replace exits e ()
+              | _ -> ())
+          | None -> ())
+      | _ -> ())
+    f.Mcode.blocks;
+  let try_region h0 =
+    (* Walk the chain of loops starting at h0. *)
+    let rec chain h region =
+      match Hashtbl.find_opt by_header h with
+      | Some (b, e) when not (List.mem h region || List.mem b region) -> (
+          let region = region @ [ h; b ] in
+          let ei = Hashtbl.find info e in
+          (* The next loop's header may be entered only from this region
+             and its own back edge. *)
+          match Hashtbl.find_opt by_header e with
+          | Some (be, _)
+            when List.for_all
+                   (fun p -> List.mem p region || p = be)
+                   ei.preds ->
+              chain e region
+          | _ -> if ei.preds = [ h ] then Some (region, e) else None)
+      | _ -> None
+    in
+    match chain h0 [] with
+    | None -> ()
+    | Some (region, final_exit) ->
+        let all_blocks = region @ [ final_exit ] in
+        if List.exists (Hashtbl.mem assigned) all_blocks then ()
+        else
+          let h0i = Hashtbl.find info h0 in
+          let entry_preds =
+            List.filter (fun p -> not (List.mem p region)) h0i.preds
+          in
+          let preds_ok =
+            entry_preds <> []
+            && List.for_all
+                 (fun p ->
+                   match Hashtbl.find_opt info p with
+                   | Some pi -> pi.succs = [ h0 ] && not (Hashtbl.mem assigned p)
+                   | None -> false)
+                 entry_preds
+          in
+          if not preds_ok then ()
+          else begin
+            (* Reads and references over the whole region (the final
+               exit excluded: it only needs the shared entry state). *)
+            let referenced = Hashtbl.create 64 in
+            let read_counts = Hashtbl.create 32 in
+            List.iter
+              (fun l ->
+                let bi = Hashtbl.find info l in
+                let refs, reads = scan_block cfg bi.blk in
+                Hashtbl.iter (fun k () -> Hashtbl.replace referenced k ()) refs;
+                Hashtbl.iter
+                  (fun k n ->
+                    Hashtbl.replace read_counts k
+                      (n + try Hashtbl.find read_counts k with Not_found -> 0))
+                  reads)
+              region;
+            let chosen = ref [] in
+            List.iter
+              (fun cls ->
+                let cands =
+                  List.filter
+                    (fun i -> not (Hashtbl.mem referenced (cls, Reg.home i)))
+                    (victim_indices cfg cls)
+                in
+                let budget = max 0 (List.length cands - min_free_victims) in
+                let values =
+                  Hashtbl.fold
+                    (fun (c, p) n acc ->
+                      if Reg.equal_cls c cls then (p, n) :: acc else acc)
+                    read_counts []
+                  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+                in
+                let rec pair idxs vals k =
+                  match (idxs, vals, k) with
+                  | i :: idxs', (p, _) :: vals', k when k > 0 ->
+                      chosen := { pcls = cls; pidx = i; pphys = p } :: !chosen;
+                      pair idxs' vals' (k - 1)
+                  | _ -> ()
+                in
+                pair cands values budget)
+              [ Reg.Int; Reg.Float ];
+            if !chosen <> [] then
+              List.iter
+                (fun l ->
+                  Hashtbl.replace pins l !chosen;
+                  Hashtbl.replace assigned l ())
+                all_blocks
+          end
+  in
+  (* Start chains at headers that are not another loop's exit. *)
+  Hashtbl.iter
+    (fun h _ -> if not (Hashtbl.mem exits h) then try_region h)
+    by_header;
+  pins
+
+(* --- next-use tables for victim selection ----------------------------- *)
+
+type next_use = { reads : (Reg.cls * int, int array) Hashtbl.t }
+
+let build_next_use (insns : Insn.t array) =
+  let reads = Hashtbl.create 64 in
+  let note tbl key pos =
+    let cur = try Hashtbl.find tbl key with Not_found -> [] in
+    Hashtbl.replace tbl key (pos :: cur)
+  in
+  Array.iteri
+    (fun pos (i : Insn.t) ->
+      Array.iter
+        (fun (o : Insn.operand) -> note reads (o.Insn.cls, o.Insn.r) pos)
+        i.Insn.srcs)
+    insns;
+  let out = Hashtbl.create (Hashtbl.length reads) in
+  Hashtbl.iter
+    (fun k poss -> Hashtbl.replace out k (Array.of_list (List.rev poss)))
+    reads;
+  { reads = out }
+
+(** First read of [(cls, p)] strictly after [pos]; [max_int] if none. *)
+let next_read nu key pos =
+  match Hashtbl.find_opt nu.reads key with
+  | None -> max_int
+  | Some arr ->
+      let n = Array.length arr in
+      let rec search lo hi =
+        if lo >= hi then if lo < n then arr.(lo) else max_int
+        else
+          let mid = (lo + hi) / 2 in
+          if arr.(mid) <= pos then search (mid + 1) hi else search lo mid
+      in
+      search 0 n
+
+(* --- the per-block rewriter -------------------------------------------- *)
+
+type state = {
+  cfg : config;
+  imap : Map_table.t;
+  fmap : Map_table.t;
+  pinned_idx : (Reg.cls * int, unit) Hashtbl.t;
+      (** indices carrying pins in this block: avoided as victims *)
+  mutable pending : Insn.connect list;
+  mutable out_rev : Insn.t list;
+  mutable connects_emitted : int;
+}
+
+let table st = function Reg.Int -> st.imap | Reg.Float -> st.fmap
+
+let flush_connects st =
+  let rec emit = function
+    | [] -> ()
+    | [ c ] ->
+        st.out_rev <- Insn.make Opcode.Connect ~connects:[| c |] :: st.out_rev;
+        st.connects_emitted <- st.connects_emitted + 1
+    | c1 :: c2 :: rest when st.cfg.combine ->
+        st.out_rev <- Insn.connect2 c1 c2 :: st.out_rev;
+        st.connects_emitted <- st.connects_emitted + 1;
+        emit rest
+    | c :: rest ->
+        st.out_rev <- Insn.make Opcode.Connect ~connects:[| c |] :: st.out_rev;
+        st.connects_emitted <- st.connects_emitted + 1;
+        emit rest
+  in
+  (* Defs before uses: the combined forms are def-def, def-use, use-use. *)
+  let defs, uses =
+    List.partition (fun (c : Insn.connect) -> c.Insn.cmap = Insn.Write) st.pending
+  in
+  emit (defs @ uses);
+  st.pending <- []
+
+let queue_connect st (c : Insn.connect) =
+  Map_table.apply (table st c.Insn.ccls) c;
+  st.pending <- st.pending @ [ c ]
+
+let usable_victims st cls =
+  List.filter
+    (fun i -> not (Hashtbl.mem st.pinned_idx (cls, i)))
+    (victim_indices st.cfg cls)
+
+(** Resolve a source operand to an architectural index, inserting a
+    connect-use when no index currently reads [p]. *)
+let resolve_src st nu pos ~in_use (o : Insn.operand) =
+  let cls = o.Insn.cls and p = o.Insn.r in
+  let file = file_of st.cfg cls in
+  let tbl = table st cls in
+  if p >= file.Reg.total then
+    invalid_arg (Fmt.str "Rc_lower: physical %d out of file" p);
+  if Reg.is_core file p && Map_table.read tbl p = p then p
+  else
+    match Map_table.index_reading tbl p with
+    | Some i -> i
+    | None ->
+        let candidates =
+          List.filter (fun i -> not (List.mem i in_use)) (usable_victims st cls)
+        in
+        let candidates =
+          if candidates = [] then
+            (* every victim is pinned or busy: fall back to stealing *)
+            List.filter
+              (fun i -> not (List.mem i in_use))
+              (victim_indices st.cfg cls)
+          else candidates
+        in
+        let best =
+          List.fold_left
+            (fun best i ->
+              let cost = next_read nu (cls, Map_table.read tbl i) pos in
+              match best with
+              | Some (_, c) when c >= cost -> best
+              | _ -> Some (i, cost))
+            None candidates
+        in
+        let i =
+          match best with
+          | Some (i, _) -> i
+          | None -> invalid_arg "Rc_lower: no victim index available"
+        in
+        queue_connect st { Insn.cmap = Insn.Read; ri = i; rp = p; ccls = cls };
+        i
+
+(** Resolve a destination operand, inserting a connect-def when no index
+    currently writes [p]. *)
+let resolve_dst st (o : Insn.operand) =
+  let cls = o.Insn.cls and p = o.Insn.r in
+  let file = file_of st.cfg cls in
+  let tbl = table st cls in
+  if p >= file.Reg.total then
+    invalid_arg (Fmt.str "Rc_lower: physical %d out of file" p);
+  if Reg.is_core file p && Map_table.write tbl p = p then p
+  else
+    match Map_table.index_writing tbl p with
+    | Some i -> i
+    | None ->
+        (* Prefer the home index when [p] is core; otherwise any
+           non-pinned index works — under the reset models the write map
+           snaps back to home immediately after the write. *)
+        let i =
+          if Reg.is_core file p then p
+          else
+            match usable_victims st cls with
+            | i :: _ -> i
+            | [] -> (
+                match victim_indices st.cfg cls with
+                | i :: _ -> i
+                | [] -> invalid_arg "Rc_lower: no victim index available")
+        in
+        queue_connect st { Insn.cmap = Insn.Write; ri = i; rp = p; ccls = cls };
+        i
+
+(** Steer the table from its current state to [target]: home everywhere
+    except the targeted read pins. *)
+let restore_to st (target : pin list) =
+  let target_read cls i =
+    match
+      List.find_opt (fun pn -> Reg.equal_cls pn.pcls cls && pn.pidx = i) target
+    with
+    | Some pn -> pn.pphys
+    | None -> Reg.home i
+  in
+  List.iter
+    (fun cls ->
+      let tbl = table st cls in
+      for i = 0 to Map_table.entries tbl - 1 do
+        let want = target_read cls i in
+        if Map_table.read tbl i <> want then
+          queue_connect st { Insn.cmap = Insn.Read; ri = i; rp = want; ccls = cls };
+        if Map_table.write tbl i <> Reg.home i then
+          queue_connect st
+            { Insn.cmap = Insn.Write; ri = i; rp = Reg.home i; ccls = cls }
+      done)
+    [ Reg.Int; Reg.Float ];
+  flush_connects st
+
+let install_pins st (pins : pin list) =
+  List.iter
+    (fun pn ->
+      let tbl = table st pn.pcls in
+      Map_table.connect_use tbl ~ri:pn.pidx ~rp:pn.pphys;
+      Hashtbl.replace st.pinned_idx (pn.pcls, pn.pidx) ())
+    pins
+
+(** Route extended-register sources of terminator instructions through
+    reserved core temporaries, so terminators read core registers only
+    and never disturb the block's exit state.  Runs on every block
+    {e before} pin analysis, so the temporaries it uses are visible as
+    referenced registers when pin candidates are chosen. *)
+let fix_terminators cfg (insns : Insn.t array) =
+  let out = ref [] in
+  let n = Array.length insns in
+  let first_term = ref n in
+  (try
+     for idx = n - 1 downto 0 do
+       if is_terminator insns.(idx) then first_term := idx else raise Exit
+     done
+   with Exit -> ());
+  Array.iteri
+    (fun idx (i : Insn.t) ->
+      if idx < !first_term then out := i :: !out
+      else begin
+        let next_temp = ref 0 in
+        let srcs =
+          Array.map
+            (fun (o : Insn.operand) ->
+              let file = file_of cfg o.Insn.cls in
+              if Reg.is_extended file o.Insn.r then begin
+                (match o.Insn.cls with
+                | Reg.Int -> ()
+                | Reg.Float -> invalid_arg "Rc_lower: float terminator source");
+                let t = Reg.spill_base + Reg.spill_count - 1 - !next_temp in
+                incr next_temp;
+                out :=
+                  Insn.make Opcode.Move ~dst:(Insn.ireg t)
+                    ~srcs:[| Insn.ireg o.Insn.r |]
+                  :: !out;
+                Insn.ireg t
+              end
+              else o)
+            i.Insn.srcs
+        in
+        out := { i with Insn.srcs } :: !out
+      end)
+    insns;
+  Array.of_list (List.rev !out)
+
+(** Hoist connects away from their consumers so that a 1-cycle connect
+    implementation (Figure 12) does not split every connect/consumer
+    pair across cycles.  A connect may move up past instruction [j] when
+    none of its updates can change [j]'s behaviour or be destroyed by
+    it:
+
+    - a read update of index [i] must not pass an instruction reading
+      or writing through [i] (writes adjust the read map under the
+      automatic-reset models);
+    - a write update of [i] must not pass an instruction writing
+      through [i];
+    - no connect passes a [jsr] (hardware map reset) or another connect
+      updating the same entry of the same map. *)
+let hoist_connects (insns : Insn.t array) =
+  let max_hoist = 6 in
+  let conflicts (c : Insn.connect) (j : Insn.t) =
+    match j.Insn.op with
+    | Opcode.Jsr | Opcode.Rts | Opcode.Trap | Opcode.Rfe | Opcode.Mapen
+    | Opcode.Mfmap _ | Opcode.Mtmap _ ->
+        true
+    | Opcode.Connect ->
+        Array.exists
+          (fun (c2 : Insn.connect) ->
+            Reg.equal_cls c.Insn.ccls c2.Insn.ccls
+            && c.Insn.ri = c2.Insn.ri && c.Insn.cmap = c2.Insn.cmap)
+          j.Insn.connects
+    | _ -> (
+        let touches_idx (o : Insn.operand) =
+          Reg.equal_cls o.Insn.cls c.Insn.ccls && o.Insn.r = c.Insn.ri
+        in
+        let dst_touches =
+          match j.Insn.dst with Some o -> touches_idx o | None -> false
+        in
+        match c.Insn.cmap with
+        | Insn.Read -> dst_touches || Array.exists touches_idx j.Insn.srcs
+        | Insn.Write -> dst_touches)
+  in
+  let insn_conflicts (ci : Insn.t) (j : Insn.t) =
+    Array.exists (fun c -> conflicts c j) ci.Insn.connects
+  in
+  let n = Array.length insns in
+  for idx = 1 to n - 1 do
+    if Insn.is_connect insns.(idx) then begin
+      let pos = ref idx in
+      while
+        !pos > 0
+        && idx - !pos < max_hoist
+        && not (insn_conflicts insns.(idx) insns.(!pos - 1))
+      do
+        decr pos
+      done;
+      if !pos < idx then begin
+        let c = insns.(idx) in
+        Array.blit insns !pos insns (!pos + 1) (idx - !pos);
+        insns.(!pos) <- c
+      end
+    end
+  done;
+  insns
+
+let run_block cfg ~entry_pins ~exit_pins (b : Mcode.block) =
+  let insns = Array.of_list b.Mcode.insns in
+  let nu = build_next_use insns in
+  let st =
+    {
+      cfg;
+      imap = Map_table.create ~model:cfg.model cfg.ifile;
+      fmap = Map_table.create ~model:cfg.model cfg.ffile;
+      pinned_idx = Hashtbl.create 8;
+      pending = [];
+      out_rev = [];
+      connects_emitted = 0;
+    }
+  in
+  install_pins st entry_pins;
+  st.pending <- [];
+  (* Pins to steer towards at the block's end: they keep indices
+     reserved during the block even if a mid-block call reset them. *)
+  List.iter
+    (fun pn -> Hashtbl.replace st.pinned_idx (pn.pcls, pn.pidx) ())
+    exit_pins;
+  let n = Array.length insns in
+  let first_term = ref n in
+  (try
+     for idx = n - 1 downto 0 do
+       if is_terminator insns.(idx) then first_term := idx else raise Exit
+     done
+   with Exit -> ());
+  (* No steering needed before a return or halt: [rts] resets the table
+     in hardware and [halt] ends the program. *)
+  let exit_needs_steering =
+    !first_term = n
+    ||
+    match insns.(!first_term).Insn.op with
+    | Opcode.Rts | Opcode.Halt -> false
+    | _ -> true
+  in
+  Array.iteri
+    (fun pos (i : Insn.t) ->
+      if pos = !first_term && exit_needs_steering then restore_to st exit_pins;
+      match i.Insn.op with
+      | Opcode.Connect | Opcode.Mapen | Opcode.Trap | Opcode.Rfe
+      | Opcode.Mfmap _ | Opcode.Mtmap _ ->
+          invalid_arg "Rc_lower: unexpected opcode in physical form"
+      | Opcode.Jsr ->
+          (* Hardware resets the map and writes RA to its home. *)
+          st.out_rev <- i :: st.out_rev;
+          Map_table.reset st.imap;
+          Map_table.reset st.fmap
+      | _ ->
+          let in_use = ref [] in
+          let srcs =
+            Array.map
+              (fun (o : Insn.operand) ->
+                let idx = resolve_src st nu pos ~in_use:!in_use o in
+                in_use := idx :: !in_use;
+                { o with Insn.r = idx })
+              i.Insn.srcs
+          in
+          let dst, noted =
+            match i.Insn.dst with
+            | None -> (None, None)
+            | Some o ->
+                let idx = resolve_dst st o in
+                (Some { o with Insn.r = idx }, Some (o.Insn.cls, idx))
+          in
+          flush_connects st;
+          st.out_rev <- { i with Insn.srcs; dst } :: st.out_rev;
+          (match noted with
+          | Some (cls, idx) -> Map_table.note_write (table st cls) idx
+          | None -> ()))
+    insns;
+  if !first_term = n && exit_needs_steering then restore_to st exit_pins;
+  b.Mcode.insns <-
+    Array.to_list (hoist_connects (Array.of_list (List.rev st.out_rev)));
+  st.connects_emitted
+
+(** Rewrite a whole program into architectural form.  Returns the number
+    of connect instructions inserted. *)
+let run cfg (m : Mcode.t) =
+  let total = ref 0 in
+  List.iter
+    (fun (f : Mcode.func) ->
+      List.iter
+        (fun (b : Mcode.block) ->
+          b.Mcode.insns <-
+            Array.to_list (fix_terminators cfg (Array.of_list b.Mcode.insns)))
+        f.Mcode.blocks;
+      let info = block_cfg f in
+      let pins =
+        if cfg.pin_loops then analyze_pins cfg f info else Hashtbl.create 0
+      in
+      let pin_of l = try Hashtbl.find pins l with Not_found -> [] in
+      List.iter
+        (fun (b : Mcode.block) ->
+          let bi = Hashtbl.find info b.Mcode.label in
+          let entry_pins = pin_of b.Mcode.label in
+          (* All successors agree on their entry state by construction
+             of the pin assignment. *)
+          let exit_pins =
+            match bi.succs with [] -> [] | s :: _ -> pin_of s
+          in
+          total := !total + run_block cfg ~entry_pins ~exit_pins b)
+        f.Mcode.blocks)
+    m.Mcode.funcs;
+  !total
+
+(** Check that a program is in architectural form: every operand index
+    is below its file's core size. *)
+let check_arch_form ~ifile ~ffile (m : Mcode.t) =
+  let ok = ref true in
+  let check (o : Insn.operand) =
+    let file = match o.Insn.cls with Reg.Int -> ifile | Reg.Float -> ffile in
+    if o.Insn.r >= file.Reg.core then ok := false
+  in
+  Mcode.iter_insns m (fun i ->
+      Array.iter check i.Insn.srcs;
+      Option.iter check i.Insn.dst);
+  !ok

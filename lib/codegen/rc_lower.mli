@@ -1,0 +1,45 @@
+(** Connect insertion: rewrite machine code from {e physical form}
+    (operands are physical registers, possibly extended) into
+    {e architectural form} (operands are core-sized indices, with
+    [Connect] instructions steering the mapping table) — the compiler
+    support of paper section 3.
+
+    The pass emulates the register mapping table instruction by
+    instruction under the configured automatic-reset model.  Every block
+    has a compiler-chosen {e entry state}; blocks end by steering the
+    table to the state their successors expect.  The default entry state
+    is home (established by power-up and by every [jsr]/[rts]); across
+    hot loop regions the most-read extended registers are {e pinned}
+    onto indices whose home registers the loop never touches, so
+    steady-state iterations pay no connect for those reads. *)
+
+open Rc_isa
+
+type config = {
+  ifile : Reg.file;
+  ffile : Reg.file;
+  model : Rc_core.Model.t;
+  combine : bool;
+      (** use connect-use-use / connect-def-use / connect-def-def
+          (paper footnote 1) *)
+  pin_loops : bool;  (** pin hot extended values across loop regions *)
+}
+
+val config :
+  ?model:Rc_core.Model.t ->
+  ?combine:bool ->
+  ?pin_loops:bool ->
+  ifile:Reg.file ->
+  ffile:Reg.file ->
+  unit ->
+  config
+
+(** Rewrite a whole program into architectural form, in place.  Returns
+    the number of connect instructions inserted.
+    @raise Invalid_argument on physical registers outside the file or
+    opcodes that cannot appear in physical form. *)
+val run : config -> Mcode.t -> int
+
+(** Check that a program is in architectural form: every operand index
+    is below its file's core size. *)
+val check_arch_form : ifile:Reg.file -> ffile:Reg.file -> Mcode.t -> bool

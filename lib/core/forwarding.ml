@@ -1,0 +1,98 @@
+(** Zero-cycle connect forwarding (paper section 2.4, Figures 4–6).
+
+    Connect instructions are implemented with zero-cycle execution
+    latency: they may affect the register accesses of instructions issued
+    in the {e same} cycle.  The mapping table itself is read late in
+    decode and written at the start of execute, so same-cycle consumers
+    see a stale table; forwarding repairs this.  What must be forwarded
+    depends on where register fetch sits in the pipeline (Figure 4):
+
+    - {e register fetch after dispatch} (Figure 5): connects forward the
+      updated {e physical register numbers} to later instructions of the
+      group during dispatch; fetch then uses correct numbers.
+    - {e register fetch before dispatch} (Figure 6): fetch has already
+      read the wrong register, so a connect-use reads the contents of its
+      target physical register during decode and forwards the {e data
+      value} to later instructions of the group.
+
+    This module executes one issue group under either variant and under a
+    plain sequential reference, exposing the stale values seen at decode
+    and the corrected values after forwarding.  It is the executable
+    form of the paper's Figures 5 and 6 and is exercised by the test
+    suite; the timing simulator relies on the same property (map updates
+    visible within the issue group) via {!Map_table}. *)
+
+open Rc_isa
+
+type variant = Fetch_before_dispatch | Fetch_after_dispatch
+
+(** One slot of an issue group: either a (possibly multiple-) connect, or
+    a generic operation reading and writing architectural indices. *)
+type slot =
+  | Connect of Insn.connect list
+  | Op of { srcs : int list; dst : int option }
+
+(** How each [Op] slot resolved. *)
+type resolved = {
+  stale_phys : int list;  (** numbers obtained from the stale table *)
+  phys : int list;  (** numbers actually accessed after forwarding *)
+  values : int64 list;  (** values delivered to the operation *)
+  dst_phys : int option;  (** physical destination after forwarding *)
+  forwarded : bool;  (** true if any operand needed forwarding *)
+  needs_stall : bool;
+      (** fetch-before-dispatch only: an operand's mapping was changed by
+          an {e automatic reset} of an earlier same-cycle write, so its
+          value cannot come from a connect's decode-stage read; the
+          machine's interlock stalls it to the next cycle (it would also
+          stall on data readiness). *)
+}
+
+(** Execute one issue group.  [table] is updated in place (as the real
+    table is at the execute stage); [regfile] holds the physical register
+    values at the start of the cycle.  Returns the resolution of each
+    [Op] slot, in order. *)
+let issue_group variant (table : Map_table.t) (regfile : int64 array)
+    (group : slot list) =
+  let stale = Map_table.copy table in
+  (* Physical registers whose mapping was installed by an explicit
+     connect this cycle (those have decode-stage value reads to forward
+     from), as opposed to automatic resets. *)
+  let connect_set = Hashtbl.create 8 in
+  let resolutions = ref [] in
+  List.iter
+    (fun slot ->
+      match slot with
+      | Connect cs ->
+          List.iter
+            (fun (c : Insn.connect) ->
+              Map_table.apply table c;
+              if c.Insn.cmap = Insn.Read then
+                Hashtbl.replace connect_set (c.Insn.ri, c.Insn.rp) ())
+            cs
+      | Op { srcs; dst } ->
+          let stale_phys = List.map (Map_table.read stale) srcs in
+          let phys = List.map (Map_table.read table) srcs in
+          let needs_stall =
+            variant = Fetch_before_dispatch
+            && List.exists2
+                 (fun i p ->
+                   p <> Map_table.read stale i
+                   && not (Hashtbl.mem connect_set (i, p)))
+                 srcs phys
+          in
+          let values = List.map (fun p -> regfile.(p)) phys in
+          let dst_phys =
+            match dst with None -> None | Some i -> Some (Map_table.write table i)
+          in
+          (match dst with Some i -> Map_table.note_write table i | None -> ());
+          let forwarded = stale_phys <> phys in
+          resolutions :=
+            { stale_phys; phys; values; dst_phys; forwarded; needs_stall }
+            :: !resolutions)
+    group;
+  List.rev !resolutions
+
+(** Sequential reference: each slot sees a fully up-to-date table, as if
+    the group issued one instruction per cycle. *)
+let sequential (table : Map_table.t) (regfile : int64 array) group =
+  issue_group Fetch_after_dispatch table regfile group

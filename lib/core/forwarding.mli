@@ -1,0 +1,41 @@
+(** Zero-cycle connect forwarding (paper section 2.4, Figures 4–6).
+
+    Executes one issue group under either pipeline variant of Figure 4,
+    demonstrating that forwarding delivers correct operands to
+    instructions issued in the same cycle as a connect:
+
+    - {!Fetch_after_dispatch} (Figure 5): connects forward updated
+      {e physical register numbers} during dispatch;
+    - {!Fetch_before_dispatch} (Figure 6): a connect-use reads its
+      target register during decode and forwards the {e data value}. *)
+
+open Rc_isa
+
+type variant = Fetch_before_dispatch | Fetch_after_dispatch
+
+(** One slot of an issue group. *)
+type slot =
+  | Connect of Insn.connect list
+  | Op of { srcs : int list; dst : int option }
+
+(** How each [Op] slot resolved. *)
+type resolved = {
+  stale_phys : int list;  (** numbers obtained from the stale table *)
+  phys : int list;  (** numbers actually accessed after forwarding *)
+  values : int64 list;  (** values delivered to the operation *)
+  dst_phys : int option;  (** physical destination after forwarding *)
+  forwarded : bool;  (** some operand needed forwarding *)
+  needs_stall : bool;
+      (** fetch-before-dispatch only: the mapping changed via an
+          automatic reset of a same-cycle write, so no connect has the
+          value to forward; the interlock stalls the consumer *)
+}
+
+(** Execute one issue group.  [table] is updated in place, as the real
+    table is at the execute stage; the register array holds the physical
+    values at the start of the cycle.  Returns the resolution of each
+    [Op] slot, in order. *)
+val issue_group : variant -> Map_table.t -> int64 array -> slot list -> resolved list
+
+(** Sequential reference semantics (one instruction per cycle). *)
+val sequential : Map_table.t -> int64 array -> slot list -> resolved list

@@ -1,0 +1,46 @@
+(** The four automatic register-connection models of paper section 2.3
+    (Figure 3).  All models only ever adjust the mapping-table entry of
+    the {e destination} register of a write.
+
+    - model 1, {!No_reset}: maps change only via explicit connects.
+    - model 2, {!Write_reset}: after a write through index [i], the write
+      map of [i] is reset to its home location.
+    - model 3, {!Write_reset_read_update}: additionally the read map of
+      [i] is replaced by the previous write map, so the written value is
+      readable through [i] with no extra connect-use.  This is the model
+      the paper implements and simulates.
+    - model 4, {!Read_write_reset}: both maps reset to home, emphasising
+      free use of the core section. *)
+
+type t =
+  | No_reset
+  | Write_reset
+  | Write_reset_read_update
+  | Read_write_reset
+
+let all = [ No_reset; Write_reset; Write_reset_read_update; Read_write_reset ]
+
+(** The model chosen for implementation and performance simulation in the
+    paper. *)
+let default = Write_reset_read_update
+
+let to_string = function
+  | No_reset -> "no-reset"
+  | Write_reset -> "write-reset"
+  | Write_reset_read_update -> "write-reset-read-update"
+  | Read_write_reset -> "read-write-reset"
+
+let of_string = function
+  | "no-reset" | "1" -> Some No_reset
+  | "write-reset" | "2" -> Some Write_reset
+  | "write-reset-read-update" | "3" -> Some Write_reset_read_update
+  | "read-write-reset" | "4" -> Some Read_write_reset
+  | _ -> None
+
+let number = function
+  | No_reset -> 1
+  | Write_reset -> 2
+  | Write_reset_read_update -> 3
+  | Read_write_reset -> 4
+
+let pp ppf m = Fmt.string ppf (to_string m)

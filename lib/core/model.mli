@@ -1,0 +1,36 @@
+(** The four automatic register-connection models of paper section 2.3
+    (Figure 3).
+
+    All models only ever adjust the mapping-table entry of the
+    {e destination} register of a write:
+
+    - model 1, {!No_reset}: maps change only via explicit connects;
+    - model 2, {!Write_reset}: the write map resets to home after a
+      write;
+    - model 3, {!Write_reset_read_update}: additionally the read map
+      receives the previous write map, so the written value is readable
+      with no extra connect-use — the model the paper implements;
+    - model 4, {!Read_write_reset}: both maps reset to home. *)
+
+type t =
+  | No_reset
+  | Write_reset
+  | Write_reset_read_update
+  | Read_write_reset
+
+(** All four models, in paper order. *)
+val all : t list
+
+(** The model chosen for implementation and performance simulation in
+    the paper: {!Write_reset_read_update}. *)
+val default : t
+
+val to_string : t -> string
+
+(** Accepts both names ("write-reset") and paper numbers ("2"). *)
+val of_string : string -> t option
+
+(** The paper's 1-based numbering. *)
+val number : t -> int
+
+val pp : Format.formatter -> t -> unit

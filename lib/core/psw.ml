@@ -1,0 +1,33 @@
+(** Processor status word bits added by the RC extension (paper
+    sections 4.2 and 4.3).
+
+    - [map_enable]: when cleared, register accesses bypass the mapping
+      table and go directly to the core registers.  Cleared automatically
+      on trap/interrupt entry; restored by the return-from-exception.
+    - [extended_arch]: marks the running program as compiled for the
+      extended architecture; the context-switch code uses it to choose
+      between the two process-context formats. *)
+
+type t = { mutable map_enable : bool; mutable extended_arch : bool }
+
+let create ?(map_enable = true) ?(extended_arch = true) () =
+  { map_enable; extended_arch }
+
+let copy t = { t with map_enable = t.map_enable }
+
+(** Trap/interrupt entry: the handler sees un-mapped core registers so
+    time-critical device drivers pay no connect overhead. *)
+let enter_trap t =
+  let saved = copy t in
+  t.map_enable <- false;
+  saved
+
+(** Return from exception: restore the interrupted program's PSW, which
+    automatically re-enables the register map. *)
+let return_from_exception t ~saved =
+  t.map_enable <- saved.map_enable;
+  t.extended_arch <- saved.extended_arch
+
+let pp ppf t =
+  Fmt.pf ppf "psw{map_enable=%b; extended_arch=%b}" t.map_enable
+    t.extended_arch

@@ -1,0 +1,25 @@
+(** Processor status word bits added by the RC extension (paper
+    sections 4.2 and 4.3). *)
+
+type t = {
+  mutable map_enable : bool;
+      (** when cleared, register accesses bypass the mapping table and go
+          directly to the core registers *)
+  mutable extended_arch : bool;
+      (** the running program was compiled for the extended architecture;
+          selects the context-switch format (section 4.2) *)
+}
+
+val create : ?map_enable:bool -> ?extended_arch:bool -> unit -> t
+val copy : t -> t
+
+(** Trap/interrupt entry: clears [map_enable] so time-critical handlers
+    address core registers with no connect bookkeeping, and returns the
+    PSW to restore (section 4.3). *)
+val enter_trap : t -> t
+
+(** Return from exception: restore the interrupted program's PSW, which
+    automatically re-enables the register map. *)
+val return_from_exception : t -> saved:t -> unit
+
+val pp : Format.formatter -> t -> unit

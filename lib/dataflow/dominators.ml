@@ -1,0 +1,71 @@
+(** Iterative dominator analysis on the block graph of a function. *)
+
+open Rc_ir
+module IntSet = Set.Make (Int)
+
+type t = {
+  dom : (Op.label, IntSet.t) Hashtbl.t;  (** all dominators of each block *)
+  idom : (Op.label, Op.label option) Hashtbl.t;
+}
+
+let dominators t id = try Hashtbl.find t.dom id with Not_found -> IntSet.empty
+let idom t id = try Hashtbl.find t.idom id with Not_found -> None
+let dominates t a b = IntSet.mem a (dominators t b)
+
+let compute (f : Func.t) =
+  let ids = Func.block_ids f in
+  let all = List.fold_left (fun s i -> IntSet.add i s) IntSet.empty ids in
+  let entry = (Func.entry f).Block.id in
+  let preds = Func.predecessors f in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace dom id
+        (if id = entry then IntSet.singleton entry else all))
+    ids;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> entry then begin
+          let pred_doms =
+            List.filter_map
+              (fun p ->
+                match Hashtbl.find_opt dom p with
+                | Some s -> Some s
+                | None -> None)
+              (preds id)
+          in
+          let inter =
+            match pred_doms with
+            | [] -> IntSet.singleton id (* unreachable *)
+            | d :: rest -> List.fold_left IntSet.inter d rest
+          in
+          let next = IntSet.add id inter in
+          if not (IntSet.equal next (Hashtbl.find dom id)) then begin
+            Hashtbl.replace dom id next;
+            changed := true
+          end
+        end)
+      ids
+  done;
+  (* Immediate dominator: the strict dominator dominated by all other
+     strict dominators. *)
+  let idom = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let strict = IntSet.remove id (Hashtbl.find dom id) in
+      let im =
+        IntSet.fold
+          (fun cand acc ->
+            match acc with
+            | None -> Some cand
+            | Some best ->
+                if IntSet.mem best (Hashtbl.find dom cand) then Some cand
+                else Some best)
+          strict None
+      in
+      Hashtbl.replace idom id im)
+    ids;
+  { dom; idom }

@@ -1,0 +1,14 @@
+(** Iterative dominator analysis on the block graph of a function. *)
+
+open Rc_ir
+module IntSet : Set.S with type elt = int
+
+type t = {
+  dom : (Op.label, IntSet.t) Hashtbl.t;  (** all dominators of each block *)
+  idom : (Op.label, Op.label option) Hashtbl.t;
+}
+
+val dominators : t -> Op.label -> IntSet.t
+val idom : t -> Op.label -> Op.label option
+val dominates : t -> Op.label -> Op.label -> bool
+val compute : Func.t -> t

@@ -1,0 +1,72 @@
+(** Interference graph over virtual registers, built from liveness.
+    Only same-class interference is recorded (the integer and
+    floating-point files are allocated independently). *)
+
+open Rc_ir
+
+type t = {
+  adj : (int, Vreg.Set.t) Hashtbl.t;  (** vreg id -> interfering vregs *)
+  mutable moves : (Vreg.t * Vreg.t) list;  (** move-related pairs *)
+  nodes : Vreg.Set.t;
+}
+
+let neighbours t (v : Vreg.t) =
+  try Hashtbl.find t.adj v.Vreg.id with Not_found -> Vreg.Set.empty
+
+let degree t v = Vreg.Set.cardinal (neighbours t v)
+let interferes t a b = Vreg.Set.mem b (neighbours t a)
+
+let add_edge t (a : Vreg.t) (b : Vreg.t) =
+  if (not (Vreg.equal a b)) && Rc_isa.Reg.equal_cls a.Vreg.cls b.Vreg.cls then begin
+    let na = neighbours t a and nb = neighbours t b in
+    Hashtbl.replace t.adj a.Vreg.id (Vreg.Set.add b na);
+    Hashtbl.replace t.adj b.Vreg.id (Vreg.Set.add a nb)
+  end
+
+let build (f : Func.t) (live : Liveness.t) =
+  let t =
+    { adj = Hashtbl.create 64; moves = []; nodes = Func.all_vregs f }
+  in
+  (* Parameters are all defined simultaneously at function entry. *)
+  let rec pairs = function
+    | [] -> ()
+    | p :: rest ->
+        List.iter (add_edge t p) rest;
+        pairs rest
+  in
+  pairs f.Func.params;
+  List.iter
+    (fun (b : Block.t) ->
+      Liveness.fold_block_backward live b ~init:()
+        ~f:(fun () op live_after ->
+          match Op.def op with
+          | None -> ()
+          | Some d ->
+              let live_after =
+                match op with
+                | Op.Mov (_, s) ->
+                    t.moves <- (d, s) :: t.moves;
+                    Vreg.Set.remove s live_after
+                | _ -> live_after
+              in
+              Vreg.Set.iter (fun v -> add_edge t d v) live_after))
+    f.Func.blocks;
+  t
+
+(** Largest number of same-class registers simultaneously live at any
+    program point (block interiors included) — the register-pressure
+    indicator used by the allocator's core-scarcity policy and by
+    tests. *)
+let max_pressure (f : Func.t) (live : Liveness.t) cls =
+  let count set =
+    Vreg.Set.fold
+      (fun (v : Vreg.t) n ->
+        if Rc_isa.Reg.equal_cls v.Vreg.cls cls then n + 1 else n)
+      set 0
+  in
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      let acc = max acc (count (Liveness.live_in live b.Block.id)) in
+      Liveness.fold_block_backward live b ~init:acc
+        ~f:(fun acc _op live_after -> max acc (count live_after)))
+    0 f.Func.blocks

@@ -1,0 +1,25 @@
+(** Interference graph over virtual registers, built from liveness.
+    Only same-class interference is recorded (the integer and
+    floating-point files are allocated independently). *)
+
+open Rc_ir
+
+type t = {
+  adj : (int, Vreg.Set.t) Hashtbl.t;  (** vreg id -> interfering vregs *)
+  mutable moves : (Vreg.t * Vreg.t) list;  (** move-related pairs *)
+  nodes : Vreg.Set.t;
+}
+
+val neighbours : t -> Vreg.t -> Vreg.Set.t
+val degree : t -> Vreg.t -> int
+val interferes : t -> Vreg.t -> Vreg.t -> bool
+
+(** Adds a same-class undirected edge; cross-class pairs are ignored. *)
+val add_edge : t -> Vreg.t -> Vreg.t -> unit
+
+val build : Func.t -> Liveness.t -> t
+
+(** Largest number of same-class registers simultaneously live at any
+    program point (block interiors included) — the register-pressure
+    indicator used by the allocator's core-scarcity policy. *)
+val max_pressure : Func.t -> Liveness.t -> Rc_isa.Reg.cls -> int

@@ -1,0 +1,95 @@
+(** Backward liveness analysis over virtual registers. *)
+
+open Rc_ir
+
+type t = {
+  live_in : (Op.label, Vreg.Set.t) Hashtbl.t;
+  live_out : (Op.label, Vreg.Set.t) Hashtbl.t;
+}
+
+let live_in t id = try Hashtbl.find t.live_in id with Not_found -> Vreg.Set.empty
+let live_out t id = try Hashtbl.find t.live_out id with Not_found -> Vreg.Set.empty
+
+(** Per-block [use] (read before written) and [def] (written) sets. *)
+let block_use_def (b : Block.t) =
+  let use = ref Vreg.Set.empty and def = ref Vreg.Set.empty in
+  let add_use v = if not (Vreg.Set.mem v !def) then use := Vreg.Set.add v !use in
+  List.iter
+    (fun op ->
+      List.iter add_use (Op.uses op);
+      Option.iter (fun d -> def := Vreg.Set.add d !def) (Op.def op))
+    b.Block.ops;
+  List.iter add_use (Op.term_uses b.Block.term);
+  (!use, !def)
+
+let compute (f : Func.t) =
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  let use_def = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace use_def b.Block.id (block_use_def b);
+      Hashtbl.replace live_in b.Block.id Vreg.Set.empty;
+      Hashtbl.replace live_out b.Block.id Vreg.Set.empty)
+    f.Func.blocks;
+  let changed = ref true in
+  (* Iterate blocks in reverse layout order for fast convergence. *)
+  let rev_blocks = List.rev f.Func.blocks in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Block.t) ->
+        let id = b.Block.id in
+        let out =
+          List.fold_left
+            (fun acc s -> Vreg.Set.union acc (Hashtbl.find live_in s))
+            Vreg.Set.empty (Block.successors b)
+        in
+        let use, def = Hashtbl.find use_def id in
+        let inn = Vreg.Set.union use (Vreg.Set.diff out def) in
+        if not (Vreg.Set.equal out (Hashtbl.find live_out id)) then begin
+          Hashtbl.replace live_out id out;
+          changed := true
+        end;
+        if not (Vreg.Set.equal inn (Hashtbl.find live_in id)) then begin
+          Hashtbl.replace live_in id inn;
+          changed := true
+        end)
+      rev_blocks
+  done;
+  { live_in; live_out }
+
+(** Walk a block backwards, supplying at each operation the set of
+    registers live {e after} it.  [f] sees operations last-to-first. *)
+let fold_block_backward t (b : Block.t) ~f ~init =
+  let live = ref (live_out t b.Block.id) in
+  List.iter (fun v -> live := Vreg.Set.add v !live) (Op.term_uses b.Block.term);
+  let acc = ref init in
+  List.iter
+    (fun op ->
+      acc := f !acc op !live;
+      Option.iter (fun d -> live := Vreg.Set.remove d !live) (Op.def op);
+      List.iter (fun u -> live := Vreg.Set.add u !live) (Op.uses op))
+    (List.rev b.Block.ops);
+  !acc
+
+(** Registers live across at least one call site (candidates for
+    callee-saved placement). *)
+let live_across_calls (f : Func.t) t =
+  let acc = ref Vreg.Set.empty in
+  List.iter
+    (fun (b : Block.t) ->
+      ignore
+        (fold_block_backward t b ~init:()
+           ~f:(fun () op live_after ->
+             match op with
+             | Op.Call _ ->
+                 (* The call's own result is defined, not live across. *)
+                 let live =
+                   match Op.def op with
+                   | Some d -> Vreg.Set.remove d live_after
+                   | None -> live_after
+                 in
+                 acc := Vreg.Set.union !acc live
+             | _ -> ())))
+    f.Func.blocks;
+  !acc

@@ -1,0 +1,25 @@
+(** Backward liveness analysis over virtual registers. *)
+
+open Rc_ir
+
+type t = {
+  live_in : (Op.label, Vreg.Set.t) Hashtbl.t;
+  live_out : (Op.label, Vreg.Set.t) Hashtbl.t;
+}
+
+val live_in : t -> Op.label -> Vreg.Set.t
+val live_out : t -> Op.label -> Vreg.Set.t
+
+(** Per-block [use] (read before written) and [def] (written) sets. *)
+val block_use_def : Block.t -> Vreg.Set.t * Vreg.Set.t
+
+val compute : Func.t -> t
+
+(** Walk a block backwards, supplying at each operation the set of
+    registers live {e after} it.  [f] sees operations last-to-first. *)
+val fold_block_backward :
+  t -> Block.t -> f:('a -> Op.t -> Vreg.Set.t -> 'a) -> init:'a -> 'a
+
+(** Registers live across at least one call site (candidates for
+    callee-saved placement). *)
+val live_across_calls : Func.t -> t -> Vreg.Set.t

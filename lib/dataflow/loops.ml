@@ -1,0 +1,141 @@
+(** Natural-loop discovery, plus recognition of the {e simple counted
+    loops} that the unroller and loop-invariant code motion operate
+    on. *)
+
+open Rc_ir
+open Rc_isa
+module IntSet = Set.Make (Int)
+
+type loop = {
+  head : Op.label;
+  body : IntSet.t;  (** includes the head *)
+  back_edges : Op.label list;  (** sources of edges into the head *)
+}
+
+(** Natural loops from back edges (edge [t -> h] where [h] dominates
+    [t]); loops with the same head are merged. *)
+let natural_loops (f : Func.t) =
+  let doms = Dominators.compute f in
+  let preds = Func.predecessors f in
+  let loops = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun succ ->
+          if Dominators.dominates doms succ b.Block.id then begin
+            (* back edge b -> succ *)
+            let body = ref (IntSet.of_list [ succ; b.Block.id ]) in
+            let rec grow node =
+              if not (IntSet.mem node !body) then begin
+                body := IntSet.add node !body;
+                List.iter grow (preds node)
+              end
+            in
+            if b.Block.id <> succ then List.iter grow (preds b.Block.id);
+            let prev =
+              match Hashtbl.find_opt loops succ with
+              | Some l -> l
+              | None -> { head = succ; body = IntSet.empty; back_edges = [] }
+            in
+            Hashtbl.replace loops succ
+              {
+                prev with
+                body = IntSet.union prev.body !body;
+                back_edges = b.Block.id :: prev.back_edges;
+              }
+          end)
+        (Block.successors b))
+    f.Func.blocks;
+  Hashtbl.fold (fun _ l acc -> l :: acc) loops []
+
+(** Loop-nesting depth of every block (0 outside any loop), used as a
+    static spill-cost weight when no profile is available. *)
+let depths (f : Func.t) =
+  let loops = natural_loops f in
+  let depth = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace depth id 0) (Func.block_ids f);
+  List.iter
+    (fun l ->
+      IntSet.iter
+        (fun id -> Hashtbl.replace depth id (1 + Hashtbl.find depth id))
+        l.body)
+    loops;
+  fun id -> try Hashtbl.find depth id with Not_found -> 0
+
+(** A simple counted loop, as produced by {!Rc_ir.Builder.for_}:
+
+    {v
+    header: ...test ops...
+            br cond i, n -> body | exit
+    body:   ...ops...
+            i' = add i, step     (single def of i in the loop)
+            i  = mov i'
+            jmp header
+    v}
+
+    with a single-block body, [n] invariant and step constant. *)
+type simple = {
+  loop : loop;
+  header : Block.t;
+  body_blk : Block.t;
+  cond : Opcode.cond;
+  ivar : Vreg.t;  (** induction variable *)
+  bound : Vreg.t;
+  step : int64;
+  exit : Op.label;
+}
+
+let find_simple (f : Func.t) =
+  let candidates = natural_loops f in
+  List.filter_map
+    (fun l ->
+      match IntSet.elements l.body with
+      | [ a; b ] -> (
+          let header = Func.find_block f l.head in
+          let body_id = if a = l.head then b else a in
+          let body_blk = Func.find_block f body_id in
+          match (header.Block.term, body_blk.Block.term) with
+          | Op.Br (cond, i, n, t, e), Op.Jmp back
+            when t = body_id && back = l.head && e <> l.head -> (
+              (* Find the unique redefinition of i in the body as the
+                 builder's add/mov pair, and check n is loop-invariant. *)
+              let defs_of v =
+                List.filter
+                  (fun op -> match Op.def op with Some d -> Vreg.equal d v | None -> false)
+                  body_blk.Block.ops
+              in
+              let header_defines v =
+                List.exists
+                  (fun op ->
+                    match Op.def op with Some d -> Vreg.equal d v | None -> false)
+                  header.Block.ops
+              in
+              if defs_of n <> [] || header_defines n || header_defines i then None
+              else
+                match defs_of i with
+                | [ Op.Mov (_, i') ] -> (
+                    match defs_of i' with
+                    | [ Op.Alu (Opcode.Add, _, Op.V base, Op.C step) ]
+                      when Vreg.equal base i ->
+                        let ok_dir =
+                          (cond = Opcode.Lt && Int64.compare step 0L > 0)
+                          || (cond = Opcode.Gt && Int64.compare step 0L < 0)
+                        in
+                        if ok_dir then
+                          Some
+                            {
+                              loop = l;
+                              header;
+                              body_blk;
+                              cond;
+                              ivar = i;
+                              bound = n;
+                              step;
+                              exit = e;
+                            }
+                        else None
+                    | _ -> None)
+                | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    candidates

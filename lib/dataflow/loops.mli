@@ -1,0 +1,36 @@
+(** Natural-loop discovery, plus recognition of the {e simple counted
+    loops} that the unroller and loop-invariant code motion operate
+    on. *)
+
+open Rc_ir
+open Rc_isa
+module IntSet : Set.S with type elt = int
+
+type loop = {
+  head : Op.label;
+  body : IntSet.t;  (** includes the head *)
+  back_edges : Op.label list;  (** sources of edges into the head *)
+}
+
+(** Natural loops from back edges; loops sharing a head are merged. *)
+val natural_loops : Func.t -> loop list
+
+(** Loop-nesting depth of every block (0 outside any loop), usable as a
+    static weight when no profile is available. *)
+val depths : Func.t -> Op.label -> int
+
+(** A simple counted loop, as produced by {!Rc_ir.Builder.for_}:
+    single-block body, invariant bound, constant step, and the
+    builder's add/mov induction pattern. *)
+type simple = {
+  loop : loop;
+  header : Block.t;
+  body_blk : Block.t;
+  cond : Opcode.cond;
+  ivar : Vreg.t;  (** induction variable *)
+  bound : Vreg.t;
+  step : int64;
+  exit : Op.label;
+}
+
+val find_simple : Func.t -> simple list

@@ -1,0 +1,549 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (section 5), over the twelve benchmark kernels.
+
+    Speedups are computed exactly as in the paper: the base configuration
+    is a single-issue processor with an unlimited number of registers
+    using conventional compiler scalar optimisations (section 5.3).
+    Integer benchmarks vary the integer register file with a fixed
+    floating-point file; floating-point benchmarks vary the
+    floating-point file with a fixed 64-entry integer file (section
+    5.2).  The paper counts FP registers for double-precision variables
+    (two registers per double); our simulator stores one double per
+    register, so FP sweeps are labelled with the paper's register counts
+    while the simulator gets half as many (DESIGN.md section 10). *)
+
+open Rc_workloads
+
+(* --- memoising context ------------------------------------------------- *)
+
+type ctx = {
+  scale : int;
+  prepared : (string * string, Rc_ir.Prog.t * Rc_interp.Interp.outcome) Hashtbl.t;
+  runs :
+    ( string,
+      Rc_machine.Machine.result * Rc_isa.Mcode.size_breakdown * int )
+    Hashtbl.t;
+  base_cycles : (string, float) Hashtbl.t;
+}
+
+let create ?(scale = 1) () =
+  {
+    scale;
+    prepared = Hashtbl.create 32;
+    runs = Hashtbl.create 256;
+    base_cycles = Hashtbl.create 16;
+  }
+
+let level_key = function
+  | Rc_opt.Pass.Classical -> "classical"
+  | Rc_opt.Pass.Ilp f -> "ilp" ^ string_of_int f
+
+let prepared ctx (b : Wutil.bench) level =
+  let key = (b.Wutil.name, level_key level) in
+  match Hashtbl.find_opt ctx.prepared key with
+  | Some p -> p
+  | None ->
+      let p = Pipeline.prepare ~opt:level (b.Wutil.build ctx.scale) in
+      Hashtbl.replace ctx.prepared key p;
+      p
+
+let opts_key (o : Pipeline.options) =
+  Fmt.str "%s/rc=%b/%d.%d.%d.%d/%a/c=%b/i=%d/m=%d/l=%d.%d/x=%b"
+    (level_key o.Pipeline.opt) o.Pipeline.rc o.Pipeline.core_int
+    o.Pipeline.core_float o.Pipeline.total_int o.Pipeline.total_float
+    Rc_core.Model.pp o.Pipeline.model o.Pipeline.combine o.Pipeline.issue
+    o.Pipeline.mem_channels o.Pipeline.lat.Rc_isa.Latency.load
+    o.Pipeline.lat.Rc_isa.Latency.connect o.Pipeline.extra_stage
+
+(** Compile and simulate one benchmark under one configuration
+    (memoised). *)
+let run ctx (b : Wutil.bench) (opts : Pipeline.options) =
+  let key = b.Wutil.name ^ "#" ^ opts_key opts in
+  match Hashtbl.find_opt ctx.runs key with
+  | Some r -> r
+  | None ->
+      let c = Pipeline.compile_prepared opts (prepared ctx b opts.Pipeline.opt) in
+      let r = Pipeline.simulate c in
+      let v = (r, c.Pipeline.breakdown, c.Pipeline.spills) in
+      Hashtbl.replace ctx.runs key v;
+      v
+
+let unlimited = 2048
+
+(** The paper's base configuration (section 5.3). *)
+let base_cycles ctx (b : Wutil.bench) =
+  match Hashtbl.find_opt ctx.base_cycles b.Wutil.name with
+  | Some c -> c
+  | None ->
+      let opts =
+        Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1 ~mem_channels:2
+          ~core_int:unlimited ~core_float:unlimited ()
+      in
+      let r, _, _ = run ctx b opts in
+      let c = float_of_int r.Rc_machine.Machine.cycles in
+      Hashtbl.replace ctx.base_cycles b.Wutil.name c;
+      c
+
+let speedup ctx b opts =
+  let r, _, _ = run ctx b opts in
+  base_cycles ctx b /. float_of_int r.Rc_machine.Machine.cycles
+
+(* --- register-file parameterisation ----------------------------------- *)
+
+(** FP sweeps use the paper's double-counted labels. *)
+let fp_actual label = max 6 (label / 2)
+
+let fixed_float_for_int_benches = 32 (* 64 paper registers *)
+let fixed_int_for_fp_benches = 64
+let rc_total_int = 256
+let rc_total_float = 128 (* 256 paper registers *)
+
+(** Options for one benchmark given the varied core size (paper label)
+    and whether RC support is present. *)
+let reg_opts (b : Wutil.bench) ~label ~rc ?opt ?(issue = 4) ?mem_channels
+    ?(lat = Rc_isa.Latency.default) ?(model = Rc_core.Model.default)
+    ?(combine = true) ?(extra_stage = false) () =
+  match b.Wutil.kind with
+  | Wutil.Int_bench ->
+      Pipeline.options ~rc ?opt ~issue ?mem_channels ~lat ~model ~combine
+        ~extra_stage ~core_int:label ~core_float:fixed_float_for_int_benches
+        ~total_int:rc_total_int ~total_float:fixed_float_for_int_benches ()
+  | Wutil.Float_bench ->
+      Pipeline.options ~rc ?opt ~issue ?mem_channels ~lat ~model ~combine
+        ~extra_stage ~core_int:fixed_int_for_fp_benches
+        ~core_float:(fp_actual label) ~total_int:fixed_int_for_fp_benches
+        ~total_float:rc_total_float ()
+
+let unlimited_opts ?(issue = 4) ?mem_channels ?(lat = Rc_isa.Latency.default)
+    () =
+  Pipeline.options ~issue ?mem_channels ~lat ~core_int:unlimited
+    ~core_float:unlimited ()
+
+(** The per-benchmark small-core size used in Figures 10-13: 16 integer
+    registers for integer benchmarks, 32 (paper label) floating-point
+    registers for floating-point benchmarks. *)
+let small_label (b : Wutil.bench) =
+  match b.Wutil.kind with Wutil.Int_bench -> 16 | Wutil.Float_bench -> 32
+
+(* --- tables ------------------------------------------------------------ *)
+
+type table = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : (string * float list) list;  (** benchmark, one value per column *)
+  note : string;
+}
+
+let geomean xs =
+  match List.filter (fun x -> x > 0.0) xs with
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let with_geomean t =
+  let cols = List.length t.columns in
+  let means =
+    List.init cols (fun k ->
+        geomean (List.map (fun (_, vs) -> List.nth vs k) t.rows))
+  in
+  { t with rows = t.rows @ [ ("geomean", means) ] }
+
+let print_table ppf t =
+  Fmt.pf ppf "@.== %s: %s ==@." t.id t.title;
+  if t.note <> "" then Fmt.pf ppf "%s@." t.note;
+  let w = 10 in
+  Fmt.pf ppf "%-12s" "benchmark";
+  List.iter (fun c -> Fmt.pf ppf "%*s" w c) t.columns;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (name, vs) ->
+      Fmt.pf ppf "%-12s" name;
+      List.iter (fun v -> Fmt.pf ppf "%*.2f" w v) vs;
+      Fmt.pf ppf "@.")
+    t.rows
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+let table1 () =
+  let rows2 = Rc_isa.Latency.table1 Rc_isa.Latency.default in
+  let rows4 = Rc_isa.Latency.table1 (Rc_isa.Latency.v ~load:4 ()) in
+  {
+    id = "table1";
+    title = "Instruction latencies";
+    columns = [ "2cyc-load"; "4cyc-load" ];
+    rows =
+      List.map2
+        (fun (n, l2) (_, l4) -> (n, [ float_of_int l2; float_of_int l4 ]))
+        rows2 rows4;
+    note = "Deterministic latencies assumed by every simulation (Table 1).";
+  }
+
+(* --- Figure 7 ---------------------------------------------------------- *)
+
+let issue_rates = [ 1; 2; 4; 8 ]
+
+let fig7 ctx =
+  let columns = List.map (fun i -> Fmt.str "%d-issue" i) issue_rates in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        ( b.Wutil.name,
+          List.map (fun issue -> speedup ctx b (unlimited_opts ~issue ()))
+            issue_rates ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id = "fig7";
+      title = "Speedup with unlimited registers vs issue rate";
+      columns;
+      rows;
+      note =
+        "Memory channels: 2 for 1/2/4-issue, 4 for 8-issue; 2-cycle loads.";
+    }
+
+(* --- Figure 8 ---------------------------------------------------------- *)
+
+let int_labels = [ 8; 16; 24; 32; 64 ]
+let fp_labels = [ 16; 32; 64; 128 ]
+
+let fig8_rows ctx benches labels =
+  List.map
+    (fun (b : Wutil.bench) ->
+      ( b.Wutil.name,
+        List.concat_map
+          (fun label ->
+            [
+              speedup ctx b (reg_opts b ~label ~rc:false ());
+              speedup ctx b (reg_opts b ~label ~rc:true ());
+            ])
+          labels
+        @ [ speedup ctx b (unlimited_opts ()) ] ))
+    benches
+
+let fig8_columns labels =
+  List.concat_map (fun l -> [ Fmt.str "no%d" l; Fmt.str "rc%d" l ]) labels
+  @ [ "unlim" ]
+
+let fig8_int ctx =
+  with_geomean
+    {
+      id = "fig8-int";
+      title = "Speedup vs core integer registers (4-issue, 2-cycle load)";
+      columns = fig8_columns int_labels;
+      rows = fig8_rows ctx (Registry.integer ()) int_labels;
+      note = "noN = without RC, rcN = with RC (256 total); dotted line = unlim.";
+    }
+
+let fig8_fp ctx =
+  with_geomean
+    {
+      id = "fig8-fp";
+      title = "Speedup vs core FP registers (4-issue, 2-cycle load)";
+      columns = fig8_columns fp_labels;
+      rows = fig8_rows ctx (Registry.floating ()) fp_labels;
+      note =
+        "FP register counts use the paper's double-counted labels \
+         (simulator holds one double per register).";
+    }
+
+(* --- Figure 9 ---------------------------------------------------------- *)
+
+(** Code-size increase after register allocation, in percent; for the
+    with-RC model also the part caused by extended-register save/restore
+    around calls (the black bars). *)
+let size_increase (bk : Rc_isa.Mcode.size_breakdown) =
+  let open Rc_isa.Mcode in
+  let ideal = float_of_int (bk.normal + bk.save) in
+  let extra = float_of_int (bk.spill + bk.xsave + bk.connects) in
+  100.0 *. extra /. ideal
+
+let xsave_increase (bk : Rc_isa.Mcode.size_breakdown) =
+  let open Rc_isa.Mcode in
+  let ideal = float_of_int (bk.normal + bk.save) in
+  100.0 *. float_of_int bk.xsave /. ideal
+
+let fig9_rows ctx benches labels =
+  List.map
+    (fun (b : Wutil.bench) ->
+      ( b.Wutil.name,
+        List.concat_map
+          (fun label ->
+            let _, bk_no, _ = run ctx b (reg_opts b ~label ~rc:false ()) in
+            let _, bk_rc, _ = run ctx b (reg_opts b ~label ~rc:true ()) in
+            [ size_increase bk_no; size_increase bk_rc; xsave_increase bk_rc ])
+          labels ))
+    benches
+
+let fig9_columns labels =
+  List.concat_map
+    (fun l -> [ Fmt.str "no%d" l; Fmt.str "rc%d" l; Fmt.str "xs%d" l ])
+    labels
+
+let fig9_int ctx =
+  {
+    id = "fig9-int";
+    title = "Code size increase %% due to spill/connect code (integer)";
+    columns = fig9_columns int_labels;
+    rows = fig9_rows ctx (Registry.integer ()) int_labels;
+    note =
+      "noN = without RC; rcN = with RC (spill+connect+xsave); xsN = \
+       extended-register save/restore part of rcN (black bars).";
+  }
+
+let fig9_fp ctx =
+  {
+    id = "fig9-fp";
+    title = "Code size increase %% due to spill/connect code (FP)";
+    columns = fig9_columns fp_labels;
+    rows = fig9_rows ctx (Registry.floating ()) fp_labels;
+    note = "";
+  }
+
+(* --- Figures 10 and 11 -------------------------------------------------- *)
+
+let fig10_11 ctx ~load ~id =
+  let lat = Rc_isa.Latency.v ~load () in
+  let columns =
+    List.concat_map
+      (fun i -> [ Fmt.str "no/%d" i; Fmt.str "rc/%d" i; Fmt.str "un/%d" i ])
+      issue_rates
+  in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        let label = small_label b in
+        ( b.Wutil.name,
+          List.concat_map
+            (fun issue ->
+              [
+                speedup ctx b (reg_opts b ~label ~rc:false ~issue ~lat ());
+                speedup ctx b (reg_opts b ~label ~rc:true ~issue ~lat ());
+                speedup ctx b (unlimited_opts ~issue ~lat ());
+              ])
+            issue_rates ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id;
+      title =
+        Fmt.str
+          "Speedup vs issue rate (%d-cycle load, 16 int / 32 fp core regs)"
+          load;
+      columns;
+      rows;
+      note = "no = without RC, rc = with RC, un = unlimited registers.";
+    }
+
+let fig10 ctx = fig10_11 ctx ~load:2 ~id:"fig10"
+let fig11 ctx = fig10_11 ctx ~load:4 ~id:"fig11"
+
+(* --- Figure 12 ---------------------------------------------------------- *)
+
+let fig12 ctx =
+  let scenarios =
+    [
+      ("0cyc", 0, false);
+      ("0cyc+st", 0, true);
+      ("1cyc", 1, false);
+      ("1cyc+st", 1, true);
+    ]
+  in
+  let columns = "noRC" :: List.map (fun (n, _, _) -> n) scenarios in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        let label = small_label b in
+        ( b.Wutil.name,
+          speedup ctx b (reg_opts b ~label ~rc:false ())
+          :: List.map
+               (fun (_, connect, extra_stage) ->
+                 let lat = Rc_isa.Latency.v ~connect () in
+                 speedup ctx b (reg_opts b ~label ~rc:true ~lat ~extra_stage ()))
+               scenarios ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id = "fig12";
+      title =
+        "Speedup vs RC implementation scenario (4-issue, 2-cycle load)";
+      columns;
+      rows;
+      note =
+        "0cyc/1cyc = connect latency; +st = extra pipeline stage for \
+         mapping-table access.";
+    }
+
+(* --- Figure 13 ---------------------------------------------------------- *)
+
+let fig13 ctx =
+  let columns =
+    List.concat_map
+      (fun load ->
+        List.concat_map
+          (fun ch -> [ Fmt.str "no%dc/l%d" ch load; Fmt.str "rc%dc/l%d" ch load ])
+          [ 2; 4 ])
+      [ 2; 4 ]
+  in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        let label = small_label b in
+        ( b.Wutil.name,
+          List.concat_map
+            (fun load ->
+              let lat = Rc_isa.Latency.v ~load () in
+              List.concat_map
+                (fun mem_channels ->
+                  [
+                    speedup ctx b
+                      (reg_opts b ~label ~rc:false ~mem_channels ~lat ());
+                    speedup ctx b
+                      (reg_opts b ~label ~rc:true ~mem_channels ~lat ());
+                  ])
+                [ 2; 4 ])
+            [ 2; 4 ] ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id = "fig13";
+      title = "Speedup vs memory channels (4-issue, 2- and 4-cycle load)";
+      columns;
+      rows;
+      note =
+        "noNc = without RC with N channels; rcNc = with RC; compare rc2c \
+         against no4c: RC at 2 channels vs more memory ports.";
+    }
+
+(* --- ablations ----------------------------------------------------------- *)
+
+let ablation_models ctx =
+  let columns =
+    List.map (fun m -> Fmt.str "m%d" (Rc_core.Model.number m)) Rc_core.Model.all
+  in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        let label = small_label b in
+        ( b.Wutil.name,
+          List.map
+            (fun model -> speedup ctx b (reg_opts b ~label ~rc:true ~model ()))
+            Rc_core.Model.all ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id = "ablation-models";
+      title = "Speedup per automatic-reset model (4-issue, small cores, RC)";
+      columns;
+      rows;
+      note =
+        "m1 no-reset, m2 write-reset, m3 write-reset-read-update (paper's \
+         choice), m4 read/write-reset.";
+    }
+
+let ablation_combine ctx =
+  let columns = [ "single"; "combined"; "sgl-size"; "cmb-size" ] in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        let label = small_label b in
+        let o_single = reg_opts b ~label ~rc:true ~combine:false () in
+        let o_comb = reg_opts b ~label ~rc:true ~combine:true () in
+        let _, bk_s, _ = run ctx b o_single in
+        let _, bk_c, _ = run ctx b o_comb in
+        ( b.Wutil.name,
+          [
+            speedup ctx b o_single;
+            speedup ctx b o_comb;
+            size_increase bk_s;
+            size_increase bk_c;
+          ] ))
+      (Registry.all ())
+  in
+  {
+    id = "ablation-combine";
+    title = "Single vs multiple-connect instructions (speedup, size%)";
+    columns;
+    rows;
+    note = "Paper footnote 1: experiments use the combined connect forms.";
+  }
+
+let ablation_unroll ctx =
+  (* The paper's closing prediction: "As new code parallelization methods
+     become available, we expect that the RC method will become
+     beneficial for architectures with 32 or more registers."  We proxy
+     "more aggressive parallelization" with the unroll factor and measure
+     at 32 core registers. *)
+  let factors = [ 1; 2; 4; 8 ] in
+  let columns =
+    List.concat_map
+      (fun f -> [ Fmt.str "no/u%d" f; Fmt.str "rc/u%d" f ])
+      factors
+  in
+  let rows =
+    List.map
+      (fun (b : Wutil.bench) ->
+        ( b.Wutil.name,
+          List.concat_map
+            (fun factor ->
+              let opt = Rc_opt.Pass.Ilp factor in
+              [
+                speedup ctx b (reg_opts b ~label:32 ~rc:false ~opt ());
+                speedup ctx b (reg_opts b ~label:32 ~rc:true ~opt ());
+              ])
+            factors ))
+      (Registry.all ())
+  in
+  with_geomean
+    {
+      id = "ablation-unroll";
+      title =
+        "RC benefit at 32 core registers vs parallelization aggressiveness";
+      columns;
+      rows;
+      note =
+        "uN = unroll factor N (4-issue, 2-cycle load).  The paper's \
+         conclusion predicts the rc/no gap at 32 registers to widen as \
+         compilers parallelize more aggressively.";
+    }
+
+(* --- registry ------------------------------------------------------------ *)
+
+let all_figures ctx =
+  [
+    table1 ();
+    fig7 ctx;
+    fig8_int ctx;
+    fig8_fp ctx;
+    fig9_int ctx;
+    fig9_fp ctx;
+    fig10 ctx;
+    fig11 ctx;
+    fig12 ctx;
+    fig13 ctx;
+    ablation_models ctx;
+    ablation_combine ctx;
+    ablation_unroll ctx;
+  ]
+
+let by_id ctx id =
+  match id with
+  | "table1" -> Some (table1 ())
+  | "fig7" -> Some (fig7 ctx)
+  | "fig8" | "fig8-int" -> Some (fig8_int ctx)
+  | "fig8-fp" -> Some (fig8_fp ctx)
+  | "fig9" | "fig9-int" -> Some (fig9_int ctx)
+  | "fig9-fp" -> Some (fig9_fp ctx)
+  | "fig10" -> Some (fig10 ctx)
+  | "fig11" -> Some (fig11 ctx)
+  | "fig12" -> Some (fig12 ctx)
+  | "fig13" -> Some (fig13 ctx)
+  | "ablation-models" -> Some (ablation_models ctx)
+  | "ablation-combine" -> Some (ablation_combine ctx)
+  | "ablation-unroll" -> Some (ablation_unroll ctx)
+  | _ -> None

@@ -1,0 +1,101 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (section 5), plus the repository's ablations, over the twelve
+    benchmark kernels.
+
+    Speedups are computed exactly as in the paper: the base
+    configuration is a single-issue processor with an unlimited number
+    of registers using conventional compiler scalar optimisations
+    (section 5.3). *)
+
+open Rc_workloads
+
+(** Memoising context: programs are prepared once per optimisation
+    level and every (benchmark, configuration) simulation runs once. *)
+type ctx
+
+val create : ?scale:int -> unit -> ctx
+
+(** Compile and simulate one benchmark under one configuration
+    (memoised).  Returns the machine result, the static code-size
+    breakdown and the spilled-register count. *)
+val run :
+  ctx ->
+  Wutil.bench ->
+  Pipeline.options ->
+  Rc_machine.Machine.result * Rc_isa.Mcode.size_breakdown * int
+
+(** Stand-in core size for "unlimited registers". *)
+val unlimited : int
+
+(** Cycles of the paper's base configuration for this benchmark. *)
+val base_cycles : ctx -> Wutil.bench -> float
+
+val speedup : ctx -> Wutil.bench -> Pipeline.options -> float
+
+(** Simulator registers for a paper FP label (doubles take two paper
+    registers, one simulator register). *)
+val fp_actual : int -> int
+
+(** Experiment configuration for one benchmark at a varied core size
+    (paper label): integer benchmarks vary the integer file, FP
+    benchmarks the FP file, the other file held fixed (section 5.2). *)
+val reg_opts :
+  Wutil.bench ->
+  label:int ->
+  rc:bool ->
+  ?opt:Rc_opt.Pass.level ->
+  ?issue:int ->
+  ?mem_channels:int ->
+  ?lat:Rc_isa.Latency.t ->
+  ?model:Rc_core.Model.t ->
+  ?combine:bool ->
+  ?extra_stage:bool ->
+  unit ->
+  Pipeline.options
+
+val unlimited_opts :
+  ?issue:int -> ?mem_channels:int -> ?lat:Rc_isa.Latency.t -> unit -> Pipeline.options
+
+(** 16 integer registers for integer benchmarks, 32 (paper label) FP
+    registers for FP benchmarks — the small cores of Figures 10–13. *)
+val small_label : Wutil.bench -> int
+
+(** {2 Result tables} *)
+
+type table = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : (string * float list) list;  (** benchmark, one value per column *)
+  note : string;
+}
+
+val geomean : float list -> float
+val with_geomean : table -> table
+val print_table : Format.formatter -> table -> unit
+
+(** Figure 9's code-size metrics (percent over ideal code). *)
+val size_increase : Rc_isa.Mcode.size_breakdown -> float
+
+val xsave_increase : Rc_isa.Mcode.size_breakdown -> float
+
+(** {2 The experiments} *)
+
+val table1 : unit -> table
+val fig7 : ctx -> table
+val fig8_int : ctx -> table
+val fig8_fp : ctx -> table
+val fig9_int : ctx -> table
+val fig9_fp : ctx -> table
+val fig10 : ctx -> table
+val fig11 : ctx -> table
+val fig12 : ctx -> table
+val fig13 : ctx -> table
+val ablation_models : ctx -> table
+val ablation_combine : ctx -> table
+val ablation_unroll : ctx -> table
+val all_figures : ctx -> table list
+
+(** Look an experiment up by its command-line id ("fig8-int",
+    "ablation-models", ...). *)
+val by_id : ctx -> string -> table option

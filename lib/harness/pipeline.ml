@@ -1,0 +1,145 @@
+(** The full compilation pipeline of the experiments:
+
+    {v
+    IR --classical/ILP opt--> IR --legalize--> IR --profile (interpreter)
+       --priority colouring--> assignment
+       --lowering--> machine code (physical form)
+       --list scheduling--> machine code (physical form, packed)
+       --connect insertion (RC only)--> architectural form
+       --assembly--> image --simulation--> cycles
+    v} *)
+
+open Rc_isa
+open Rc_ir
+
+type options = {
+  opt : Rc_opt.Pass.level;
+  rc : bool;
+  core_int : int;
+  core_float : int;
+  total_int : int;  (** integer physical file size when [rc] *)
+  total_float : int;  (** floating-point physical file size when [rc] *)
+  model : Rc_core.Model.t;
+  combine : bool;  (** multiple-connect instructions *)
+  connect_dispatch : [ `Shared | `Extra of int ] option;
+      (** forwarded to {!Rc_machine.Config}; [None] = machine default *)
+  issue : int;
+  mem_channels : int;
+  lat : Latency.t;
+  extra_stage : bool;
+}
+
+let options ?(opt = Rc_opt.Pass.Ilp Rc_opt.Pass.default_unroll) ?(rc = false)
+    ?(core_int = 32) ?(core_float = 32) ?total_int ?total_float
+    ?(model = Rc_core.Model.default) ?(combine = true) ?connect_dispatch
+    ?(issue = 4) ?mem_channels ?(lat = Latency.default) ?(extra_stage = false)
+    () =
+  let total_int = match total_int with Some t -> t | None -> max 256 core_int in
+  let total_float =
+    match total_float with Some t -> t | None -> max 256 core_float
+  in
+  let mem_channels =
+    match mem_channels with
+    | Some m -> m
+    | None -> Rc_machine.Config.default_mem_channels issue
+  in
+  {
+    opt;
+    rc;
+    core_int;
+    core_float;
+    total_int;
+    total_float;
+    model;
+    combine;
+    connect_dispatch;
+    issue;
+    mem_channels;
+    lat;
+    extra_stage;
+  }
+
+let files opts =
+  if opts.rc then
+    ( Reg.file ~core:opts.core_int ~total:opts.total_int,
+      Reg.file ~core:opts.core_float ~total:opts.total_float )
+  else (Reg.core_only opts.core_int, Reg.core_only opts.core_float)
+
+type compiled = {
+  opts : options;
+  mcode : Mcode.t;
+  image : Image.t;
+  breakdown : Mcode.size_breakdown;
+  spills : int;
+  connects_inserted : int;
+  expected : Rc_interp.Interp.outcome;  (** reference run of the optimised IR *)
+}
+
+(** Optimise, legalise and profile a freshly built program.  The result
+    can be shared by every register configuration at the same
+    optimisation level. *)
+let prepare ~opt (prog : Prog.t) =
+  Rc_opt.Pass.apply opt prog;
+  Rc_codegen.Legalize.run prog;
+  let outcome = Rc_interp.Interp.run prog in
+  (prog, outcome)
+
+(** Compile a prepared program under [opts]. *)
+let compile_prepared opts ((prog : Prog.t), (expected : Rc_interp.Interp.outcome)) =
+  let ifile, ffile = files opts in
+  let alloc =
+    (* A compiler targeting 1-cycle connects avoids leaning on the
+       extended section for short-lived values: without zero-cycle
+       forwarding every adjacent connect/consumer pair would split
+       across cycles. *)
+    Rc_regalloc.Alloc.run
+      ~aggressive_extended:(opts.lat.Latency.connect = 0)
+      ~ifile ~ffile prog expected.Rc_interp.Interp.profile
+  in
+  let mcode = Rc_codegen.Lower.run prog alloc expected.Rc_interp.Interp.profile in
+  let sched_cfg =
+    Rc_sched.List_sched.config ~width:opts.issue ~mem_channels:opts.mem_channels
+      ~lat:opts.lat ()
+  in
+  Rc_sched.List_sched.run sched_cfg mcode;
+  let connects_inserted =
+    if opts.rc then
+      Rc_codegen.Rc_lower.run
+        (Rc_codegen.Rc_lower.config ~model:opts.model ~combine:opts.combine
+           ~ifile ~ffile ())
+        mcode
+    else 0
+  in
+  if not (Rc_codegen.Rc_lower.check_arch_form ~ifile ~ffile mcode) then
+    invalid_arg "Pipeline: generated code is not in architectural form";
+  let image = Image.assemble mcode in
+  {
+    opts;
+    mcode;
+    image;
+    breakdown = Mcode.size_breakdown mcode;
+    spills = Rc_regalloc.Alloc.total_spills alloc;
+    connects_inserted;
+    expected;
+  }
+
+let compile opts (prog : Prog.t) =
+  compile_prepared opts (prepare ~opt:opts.opt prog)
+
+(** Simulate compiled code, checking the output stream against the
+    reference interpreter run. *)
+let simulate ?(verify = true) (c : compiled) =
+  let ifile, ffile = files c.opts in
+  let mcfg =
+    Rc_machine.Config.v ~issue:c.opts.issue ~mem_channels:c.opts.mem_channels
+      ~lat:c.opts.lat ~ifile ~ffile ~model:c.opts.model
+      ?connect_dispatch:c.opts.connect_dispatch
+      ~extra_stage:c.opts.extra_stage ()
+  in
+  let r = Rc_machine.Machine.run mcfg c.image in
+  if verify && r.Rc_machine.Machine.output <> c.expected.Rc_interp.Interp.output then
+    invalid_arg "Pipeline.simulate: simulated output differs from reference";
+  r
+
+(** Convenience: full compile-and-run. *)
+let run opts prog = simulate (compile opts prog)

@@ -1,0 +1,88 @@
+(** The full compilation pipeline of the experiments:
+
+    {v
+    IR --classical/ILP opt--> IR --legalize--> IR --profile (interpreter)
+       --priority colouring--> assignment
+       --lowering--> machine code (physical form)
+       --list scheduling--> machine code (physical form, packed)
+       --connect insertion (RC only)--> architectural form
+       --assembly--> image --simulation--> cycles
+    v} *)
+
+open Rc_isa
+
+type options = {
+  opt : Rc_opt.Pass.level;
+  rc : bool;
+  core_int : int;
+  core_float : int;
+  total_int : int;  (** integer physical file size when [rc] *)
+  total_float : int;  (** floating-point physical file size when [rc] *)
+  model : Rc_core.Model.t;
+  combine : bool;  (** multiple-connect instructions *)
+  connect_dispatch : [ `Shared | `Extra of int ] option;
+      (** forwarded to {!Rc_machine.Config}; [None] = machine default *)
+  issue : int;
+  mem_channels : int;
+  lat : Latency.t;
+  extra_stage : bool;
+}
+
+(** Defaults: ILP optimisation (unroll 4), no RC, 32/32 core registers,
+    256-register physical files, model 3, combined connects, 4-issue,
+    2-cycle loads, zero-cycle connects. *)
+val options :
+  ?opt:Rc_opt.Pass.level ->
+  ?rc:bool ->
+  ?core_int:int ->
+  ?core_float:int ->
+  ?total_int:int ->
+  ?total_float:int ->
+  ?model:Rc_core.Model.t ->
+  ?combine:bool ->
+  ?connect_dispatch:[ `Shared | `Extra of int ] ->
+  ?issue:int ->
+  ?mem_channels:int ->
+  ?lat:Latency.t ->
+  ?extra_stage:bool ->
+  unit ->
+  options
+
+(** The register files a configuration implies (core-only without
+    RC). *)
+val files : options -> Reg.file * Reg.file
+
+type compiled = {
+  opts : options;
+  mcode : Mcode.t;
+  image : Image.t;
+  breakdown : Mcode.size_breakdown;
+  spills : int;
+  connects_inserted : int;
+  expected : Rc_interp.Interp.outcome;
+      (** reference run of the optimised IR *)
+}
+
+(** Optimise, legalise and profile a freshly built program.  The result
+    can be shared by every register configuration at the same
+    optimisation level. *)
+val prepare :
+  opt:Rc_opt.Pass.level ->
+  Rc_ir.Prog.t ->
+  Rc_ir.Prog.t * Rc_interp.Interp.outcome
+
+(** Compile a prepared program under [opts].
+    @raise Invalid_argument if the generated code fails the
+    architectural-form check. *)
+val compile_prepared :
+  options -> Rc_ir.Prog.t * Rc_interp.Interp.outcome -> compiled
+
+val compile : options -> Rc_ir.Prog.t -> compiled
+
+(** Simulate compiled code; when [verify] (default), check the output
+    stream against the reference interpreter run.
+    @raise Invalid_argument on a verification mismatch. *)
+val simulate : ?verify:bool -> compiled -> Rc_machine.Machine.result
+
+(** [compile] followed by [simulate]. *)
+val run : options -> Rc_ir.Prog.t -> Rc_machine.Machine.result

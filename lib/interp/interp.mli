@@ -1,0 +1,36 @@
+(** Reference interpreter for the IR.
+
+    Serves three roles: the {e profiler} (block/branch counts for the
+    compiler), the {e oracle} for differential testing (compiled code
+    must emit the same output stream), and the {e baseline semantics}
+    that optimisation passes must preserve.
+
+    Memory is laid out exactly as the assembler lays it out
+    ({!Rc_isa.Image.layout_globals}), so addresses computed by [Addr]
+    arithmetic agree between interpreted and simulated runs. *)
+
+exception Out_of_fuel
+exception Bad_address of int
+
+type value = I of int64 | F of float
+
+type outcome = {
+  output : int64 list;
+      (** emitted values in order; floats as IEEE bit patterns *)
+  checksum : int64;
+  profile : Profile.t;
+  dyn_ops : int;  (** IR operations executed (terminators included) *)
+  return_value : value option;
+}
+
+(** The order-sensitive fold over the output stream shared with the
+    simulator. *)
+val checksum_of_output : int64 list -> int64
+
+(** Run a whole program from its entry function.  [fuel] bounds the
+    number of executed IR operations.
+    @raise Out_of_fuel when the bound is hit.
+    @raise Bad_address on an out-of-range memory access.
+    @raise Invalid_argument on arity mismatches, unknown globals or use
+    of an undefined register. *)
+val run : ?fuel:int -> Rc_ir.Prog.t -> outcome

@@ -1,0 +1,44 @@
+(** Execution profiles gathered by the IR interpreter: block execution
+    counts (allocation priorities) and branch direction counts (static
+    prediction hints).  Keys are [(function name, block id)]. *)
+
+type key = string * int
+
+type t = {
+  block : (key, int) Hashtbl.t;
+  taken : (key, int) Hashtbl.t;  (** branch in block took its target *)
+  not_taken : (key, int) Hashtbl.t;
+  calls : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    block = Hashtbl.create 64;
+    taken = Hashtbl.create 64;
+    not_taken = Hashtbl.create 64;
+    calls = Hashtbl.create 16;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + try Hashtbl.find tbl key with Not_found -> 0)
+
+let note_block t ~func ~block = bump t.block (func, block)
+let note_branch t ~func ~block ~taken =
+  bump (if taken then t.taken else t.not_taken) (func, block)
+let note_call t ~callee = bump t.calls callee
+
+let get tbl key = try Hashtbl.find tbl key with Not_found -> 0
+
+(** Execution count of a block; 1 when never profiled, so unprofiled code
+    still gets sane allocation priorities. *)
+let weight t ~func ~block = max 1 (get t.block (func, block))
+
+(** Static prediction hint for the branch terminating [block]. *)
+let predict_taken t ~func ~block =
+  get t.taken (func, block) > get t.not_taken (func, block)
+
+let call_count t callee = get t.calls callee
+
+(** A neutral profile (all weights 1, all branches predicted
+    not-taken) used when no profiling run is available. *)
+let neutral () = create ()

@@ -1,0 +1,30 @@
+(** Execution profiles gathered by the IR interpreter: block execution
+    counts (allocation priorities) and branch direction counts (static
+    prediction hints).  Keys are [(function name, block id)]. *)
+
+type key = string * int
+
+type t = {
+  block : (key, int) Hashtbl.t;
+  taken : (key, int) Hashtbl.t;  (** branch in block took its target *)
+  not_taken : (key, int) Hashtbl.t;
+  calls : (string, int) Hashtbl.t;
+}
+
+val create : unit -> t
+val note_block : t -> func:string -> block:int -> unit
+val note_branch : t -> func:string -> block:int -> taken:bool -> unit
+val note_call : t -> callee:string -> unit
+
+(** Execution count of a block; 1 when never profiled, so unprofiled
+    code still gets sane allocation priorities. *)
+val weight : t -> func:string -> block:int -> int
+
+(** Static prediction hint for the branch terminating [block]. *)
+val predict_taken : t -> func:string -> block:int -> bool
+
+val call_count : t -> string -> int
+
+(** A neutral profile: all weights 1, all branches predicted
+    not-taken. *)
+val neutral : unit -> t

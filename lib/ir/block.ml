@@ -1,0 +1,14 @@
+(** Basic blocks: a label, straight-line operations, and one
+    terminator. *)
+
+type t = { id : Op.label; mutable ops : Op.t list; mutable term : Op.term }
+
+let create id = { id; ops = []; term = Op.Halt }
+let successors b = Op.successors b.term
+
+let iter_ops f b = List.iter f b.ops
+
+let pp ppf b =
+  Fmt.pf ppf "L%d:@." b.id;
+  List.iter (fun op -> Fmt.pf ppf "  %a@." Op.pp op) b.ops;
+  Fmt.pf ppf "  %a@." Op.pp_term b.term

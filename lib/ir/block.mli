@@ -1,0 +1,11 @@
+(** Basic blocks: a label, straight-line operations, and one
+    terminator. *)
+
+type t = { id : Op.label; mutable ops : Op.t list; mutable term : Op.term }
+
+(** A fresh block with no operations and a [Halt] terminator. *)
+val create : Op.label -> t
+
+val successors : t -> Op.label list
+val iter_ops : (Op.t -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit

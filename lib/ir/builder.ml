@@ -1,0 +1,279 @@
+(** A structured construction DSL for IR programs.  Workloads and
+    examples are written against this interface; it manages block
+    creation, layout and terminators so user code reads like structured
+    source. *)
+
+open Rc_isa
+
+type t = {
+  prog : Prog.t;
+  func : Func.t;
+  mutable cur : Block.t;
+  mutable terminated : bool;
+}
+
+let program ~entry = Prog.create ~entry
+
+let global prog name ~bytes ?init () =
+  Prog.add_global prog (Mcode.global ~name ~bytes ?init ())
+
+(* --- function definition ------------------------------------------- *)
+
+let define prog name ~params ?ret body =
+  let func = Func.create ~name ~params ~ret in
+  let entry = Func.fresh_block func in
+  Func.append_block func entry;
+  let b = { prog; func; cur = entry; terminated = false } in
+  body b func.Func.params;
+  if not b.terminated then begin
+    b.cur.Block.term <-
+      (if name = prog.Prog.entry then Op.Halt else Op.Ret None);
+    b.terminated <- true
+  end;
+  Prog.add_func prog func;
+  func
+
+(* --- raw emission --------------------------------------------------- *)
+
+let emit_op b op =
+  if b.terminated then invalid_arg "Builder: emitting into a terminated block";
+  b.cur.Block.ops <- b.cur.Block.ops @ [ op ]
+
+let fresh b cls = Func.fresh_vreg b.func cls
+let new_block b = Func.fresh_block b.func
+
+let set_term b term =
+  if b.terminated then invalid_arg "Builder: block already terminated";
+  b.cur.Block.term <- term;
+  b.terminated <- true
+
+(** Append [blk] to the layout and make it current.  If the previous
+    block was not terminated, it falls through with a jump. *)
+let place b blk =
+  if not b.terminated then set_term b (Op.Jmp blk.Block.id);
+  Func.append_block b.func blk;
+  b.cur <- blk;
+  b.terminated <- false
+
+let goto b blk = set_term b (Op.Jmp blk.Block.id)
+
+let branch b cond x y ~taken ~fallthrough =
+  set_term b (Op.Br (cond, x, y, taken.Block.id, fallthrough.Block.id))
+
+(* --- values ---------------------------------------------------------- *)
+
+let ci b n =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Li (d, n));
+  d
+
+let cint b n = ci b (Int64.of_int n)
+
+let cf b x =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Fli (d, x));
+  d
+
+let alu2 b op x y =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Alu (op, d, Op.V x, Op.V y));
+  d
+
+let alui b op x n =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Alu (op, d, Op.V x, Op.C n));
+  d
+
+let add b x y = alu2 b Opcode.Add x y
+let sub b x y = alu2 b Opcode.Sub x y
+let mul b x y = alu2 b Opcode.Mul x y
+let div_ b x y = alu2 b Opcode.Div x y
+let rem_ b x y = alu2 b Opcode.Rem x y
+let and_ b x y = alu2 b Opcode.And x y
+let or_ b x y = alu2 b Opcode.Or x y
+let xor_ b x y = alu2 b Opcode.Xor x y
+let sll b x y = alu2 b Opcode.Sll x y
+let srl b x y = alu2 b Opcode.Srl x y
+let sra b x y = alu2 b Opcode.Sra x y
+let slt b x y = alu2 b Opcode.Slt x y
+let seq b x y = alu2 b Opcode.Seq x y
+let addi b x n = alui b Opcode.Add x n
+let subi b x n = alui b Opcode.Sub x n
+let muli b x n = alui b Opcode.Mul x n
+let divi b x n = alui b Opcode.Div x n
+let remi b x n = alui b Opcode.Rem x n
+let andi b x n = alui b Opcode.And x n
+let ori b x n = alui b Opcode.Or x n
+let xori b x n = alui b Opcode.Xor x n
+let slli b x n = alui b Opcode.Sll x n
+let srli b x n = alui b Opcode.Srl x n
+let srai b x n = alui b Opcode.Sra x n
+let slti b x n = alui b Opcode.Slt x n
+let seqi b x n = alui b Opcode.Seq x n
+
+let fpu2 b op x y =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Fpu (op, d, x, Some y));
+  d
+
+let fadd b x y = fpu2 b Opcode.Fadd x y
+let fsub b x y = fpu2 b Opcode.Fsub x y
+let fmul b x y = fpu2 b Opcode.Fmul x y
+let fdiv_ b x y = fpu2 b Opcode.Fdiv x y
+
+let fneg b x =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Fpu (Opcode.Fneg, d, x, None));
+  d
+
+let fabs_ b x =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Fpu (Opcode.Fabs, d, x, None));
+  d
+
+let itof b x =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Itof (d, x));
+  d
+
+let ftoi b x =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Ftoi (d, x));
+  d
+
+let fcmp b c x y =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Fcmp (c, d, x, y));
+  d
+
+(* --- assignment into existing registers ------------------------------ *)
+
+let mov b ~dst ~src = emit_op b (Op.Mov (dst, src))
+let seti b dst n = emit_op b (Op.Li (dst, n))
+let setf b dst x = emit_op b (Op.Fli (dst, x))
+
+(** [assign b dst op_result]: copy a computed value into a loop-carried
+    register. *)
+let assign b dst src = mov b ~dst ~src
+
+(* --- memory ----------------------------------------------------------- *)
+
+let addr b name =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Addr (d, name));
+  d
+
+let load b ?(off = 0) base =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Ld (Opcode.W8, d, base, off));
+  d
+
+let loadb b ?(off = 0) base =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Ld (Opcode.W1, d, base, off));
+  d
+
+let store b ?(off = 0) ~src base = emit_op b (Op.St (Opcode.W8, src, base, off))
+let storeb b ?(off = 0) ~src base = emit_op b (Op.St (Opcode.W1, src, base, off))
+
+let fload b ?(off = 0) base =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Fld (d, base, off));
+  d
+
+let fstore b ?(off = 0) ~src base = emit_op b (Op.Fst (src, base, off))
+
+(** Address of the [idx]-th 8-byte element of [base]. *)
+let elem8 b base idx = add b base (slli b idx 3L)
+
+(** Address of the [idx]-th byte of [base]. *)
+let elem1 b base idx = add b base idx
+
+(* --- calls and output -------------------------------------------------- *)
+
+let call b callee args = emit_op b (Op.Call { dst = None; callee; args })
+
+let call_i b callee args =
+  let d = fresh b Reg.Int in
+  emit_op b (Op.Call { dst = Some d; callee; args });
+  d
+
+let call_f b callee args =
+  let d = fresh b Reg.Float in
+  emit_op b (Op.Call { dst = Some d; callee; args });
+  d
+
+let emit b v = emit_op b (Op.Emit v)
+let femit b v = emit_op b (Op.Femit v)
+
+(* --- structured control flow ------------------------------------------ *)
+
+let ret b v = set_term b (Op.Ret v)
+let halt b = set_term b Op.Halt
+
+let if_ b cond x y ~then_ ?else_ () =
+  let then_blk = new_block b in
+  let join = new_block b in
+  let else_blk = match else_ with None -> join | Some _ -> new_block b in
+  branch b cond x y ~taken:then_blk ~fallthrough:else_blk;
+  place b then_blk;
+  then_ ();
+  if not b.terminated then goto b join;
+  b.terminated <- true;
+  (match else_ with
+  | None -> ()
+  | Some f ->
+      b.terminated <- true;
+      Func.append_block b.func else_blk;
+      b.cur <- else_blk;
+      b.terminated <- false;
+      f ();
+      if not b.terminated then goto b join);
+  Func.append_block b.func join;
+  b.cur <- join;
+  b.terminated <- false
+
+(** [while_ b ~cond ~body]: [cond] emits the test into the loop header
+    and returns the branch condition; the loop runs while it holds. *)
+let while_ b ~cond ~body =
+  let header = new_block b in
+  let body_blk = new_block b in
+  let exit_blk = new_block b in
+  goto b header;
+  Func.append_block b.func header;
+  b.cur <- header;
+  b.terminated <- false;
+  let c, x, y = cond () in
+  branch b c x y ~taken:body_blk ~fallthrough:exit_blk;
+  Func.append_block b.func body_blk;
+  b.cur <- body_blk;
+  b.terminated <- false;
+  body ();
+  if not b.terminated then goto b header;
+  Func.append_block b.func exit_blk;
+  b.cur <- exit_blk;
+  b.terminated <- false
+
+(** [for_ b ~start ~stop body]: iterates [i] from [start] while
+    [i < stop] (or [i > stop] for negative [step]), stepping by [step]
+    (default 1).  [start] and [stop] may be constants or registers. *)
+let for_ b ?(step = 1L) ~start ~stop body =
+  let i = fresh b Reg.Int in
+  (match start with
+  | Op.C n -> seti b i n
+  | Op.V v -> mov b ~dst:i ~src:v);
+  let stop_v =
+    match stop with Op.C n -> ci b n | Op.V v -> v
+  in
+  let c = if Int64.compare step 0L > 0 then Opcode.Lt else Opcode.Gt in
+  while_ b
+    ~cond:(fun () -> (c, i, stop_v))
+    ~body:(fun () ->
+      body i;
+      let i' = alui b Opcode.Add i step in
+      mov b ~dst:i ~src:i')
+
+(** Simple integer-constant bounds version of {!for_}. *)
+let for_n b ?step ~start ~stop body =
+  for_ b ?step ~start:(Op.C (Int64.of_int start)) ~stop:(Op.C (Int64.of_int stop))
+    body

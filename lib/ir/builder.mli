@@ -1,0 +1,168 @@
+(** A structured construction DSL for IR programs.  Workloads and
+    examples are written against this interface; it manages block
+    creation, layout and terminators so user code reads like structured
+    source.
+
+    Typical shape:
+
+    {[
+      let prog = Builder.program ~entry:"main" in
+      Builder.global prog "xs" ~bytes:(8 * 64) ();
+      let _main =
+        Builder.define prog "main" ~params:[] (fun b _ ->
+            let xs = Builder.addr b "xs" in
+            let acc = Builder.cint b 0 in
+            Builder.for_n b ~start:0 ~stop:64 (fun i ->
+                let x = Builder.load b (Builder.elem8 b xs i) in
+                Builder.assign b acc (Builder.add b acc x));
+            Builder.emit b acc;
+            Builder.halt b)
+      in
+      prog
+    ]} *)
+
+open Rc_isa
+
+type t
+
+val program : entry:string -> Prog.t
+
+(** Declare a zero- or explicitly-initialised global. *)
+val global :
+  Prog.t -> string -> bytes:int -> ?init:Mcode.init -> unit -> unit
+
+(** Define a function.  The body callback receives the builder and the
+    parameter registers.  If the body does not terminate its last block,
+    a [Ret] (or [Halt] for the program entry) is appended. *)
+val define :
+  Prog.t ->
+  string ->
+  params:Reg.cls list ->
+  ?ret:Reg.cls ->
+  (t -> Vreg.t list -> unit) ->
+  Func.t
+
+(** {2 Raw emission} *)
+
+(** @raise Invalid_argument when the current block is terminated. *)
+val emit_op : t -> Op.t -> unit
+
+val fresh : t -> Reg.cls -> Vreg.t
+val new_block : t -> Block.t
+val set_term : t -> Op.term -> unit
+
+(** Append [blk] to the layout and make it current; an unterminated
+    previous block falls through with a jump. *)
+val place : t -> Block.t -> unit
+
+val goto : t -> Block.t -> unit
+
+val branch :
+  t -> Opcode.cond -> Vreg.t -> Vreg.t -> taken:Block.t -> fallthrough:Block.t -> unit
+
+(** {2 Values} — operations return the fresh destination register *)
+
+val ci : t -> int64 -> Vreg.t
+val cint : t -> int -> Vreg.t
+val cf : t -> float -> Vreg.t
+val alu2 : t -> Opcode.alu -> Vreg.t -> Vreg.t -> Vreg.t
+val alui : t -> Opcode.alu -> Vreg.t -> int64 -> Vreg.t
+val add : t -> Vreg.t -> Vreg.t -> Vreg.t
+val sub : t -> Vreg.t -> Vreg.t -> Vreg.t
+val mul : t -> Vreg.t -> Vreg.t -> Vreg.t
+val div_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val rem_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val and_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val or_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val xor_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val sll : t -> Vreg.t -> Vreg.t -> Vreg.t
+val srl : t -> Vreg.t -> Vreg.t -> Vreg.t
+val sra : t -> Vreg.t -> Vreg.t -> Vreg.t
+val slt : t -> Vreg.t -> Vreg.t -> Vreg.t
+val seq : t -> Vreg.t -> Vreg.t -> Vreg.t
+val addi : t -> Vreg.t -> int64 -> Vreg.t
+val subi : t -> Vreg.t -> int64 -> Vreg.t
+val muli : t -> Vreg.t -> int64 -> Vreg.t
+val divi : t -> Vreg.t -> int64 -> Vreg.t
+val remi : t -> Vreg.t -> int64 -> Vreg.t
+val andi : t -> Vreg.t -> int64 -> Vreg.t
+val ori : t -> Vreg.t -> int64 -> Vreg.t
+val xori : t -> Vreg.t -> int64 -> Vreg.t
+val slli : t -> Vreg.t -> int64 -> Vreg.t
+val srli : t -> Vreg.t -> int64 -> Vreg.t
+val srai : t -> Vreg.t -> int64 -> Vreg.t
+val slti : t -> Vreg.t -> int64 -> Vreg.t
+val seqi : t -> Vreg.t -> int64 -> Vreg.t
+val fpu2 : t -> Opcode.fpu -> Vreg.t -> Vreg.t -> Vreg.t
+val fadd : t -> Vreg.t -> Vreg.t -> Vreg.t
+val fsub : t -> Vreg.t -> Vreg.t -> Vreg.t
+val fmul : t -> Vreg.t -> Vreg.t -> Vreg.t
+val fdiv_ : t -> Vreg.t -> Vreg.t -> Vreg.t
+val fneg : t -> Vreg.t -> Vreg.t
+val fabs_ : t -> Vreg.t -> Vreg.t
+val itof : t -> Vreg.t -> Vreg.t
+val ftoi : t -> Vreg.t -> Vreg.t
+val fcmp : t -> Opcode.cond -> Vreg.t -> Vreg.t -> Vreg.t
+
+(** {2 Assignment into existing registers} *)
+
+val mov : t -> dst:Vreg.t -> src:Vreg.t -> unit
+val seti : t -> Vreg.t -> int64 -> unit
+val setf : t -> Vreg.t -> float -> unit
+
+(** [assign b dst src]: copy a computed value into a loop-carried
+    register. *)
+val assign : t -> Vreg.t -> Vreg.t -> unit
+
+(** {2 Memory} *)
+
+val addr : t -> string -> Vreg.t
+val load : t -> ?off:int -> Vreg.t -> Vreg.t
+val loadb : t -> ?off:int -> Vreg.t -> Vreg.t
+val store : t -> ?off:int -> src:Vreg.t -> Vreg.t -> unit
+val storeb : t -> ?off:int -> src:Vreg.t -> Vreg.t -> unit
+val fload : t -> ?off:int -> Vreg.t -> Vreg.t
+val fstore : t -> ?off:int -> src:Vreg.t -> Vreg.t -> unit
+
+(** Address of the [idx]-th 8-byte element of [base]. *)
+val elem8 : t -> Vreg.t -> Vreg.t -> Vreg.t
+
+(** Address of the [idx]-th byte of [base]. *)
+val elem1 : t -> Vreg.t -> Vreg.t -> Vreg.t
+
+(** {2 Calls and output} *)
+
+val call : t -> string -> Vreg.t list -> unit
+val call_i : t -> string -> Vreg.t list -> Vreg.t
+val call_f : t -> string -> Vreg.t list -> Vreg.t
+val emit : t -> Vreg.t -> unit
+val femit : t -> Vreg.t -> unit
+
+(** {2 Structured control flow} *)
+
+val ret : t -> Vreg.t option -> unit
+val halt : t -> unit
+
+val if_ :
+  t ->
+  Opcode.cond ->
+  Vreg.t ->
+  Vreg.t ->
+  then_:(unit -> unit) ->
+  ?else_:(unit -> unit) ->
+  unit ->
+  unit
+
+(** [while_ b ~cond ~body]: [cond] emits the test into the loop header
+    and returns the branch condition; the loop runs while it holds. *)
+val while_ :
+  t -> cond:(unit -> Opcode.cond * Vreg.t * Vreg.t) -> body:(unit -> unit) -> unit
+
+(** [for_ b ~start ~stop body]: iterates [i] from [start] while
+    [i < stop] (or [i > stop] for negative [step]), stepping by [step]
+    (default 1).  Bounds may be constants or registers. *)
+val for_ :
+  t -> ?step:int64 -> start:Op.value -> stop:Op.value -> (Vreg.t -> unit) -> unit
+
+(** Integer-constant-bounds version of {!for_}. *)
+val for_n : t -> ?step:int64 -> start:int -> stop:int -> (Vreg.t -> unit) -> unit

@@ -1,0 +1,97 @@
+(** IR functions: parameters, a CFG of basic blocks in layout order (the
+    first block is the entry), and fresh-name supplies. *)
+
+open Rc_isa
+
+type t = {
+  name : string;
+  params : Vreg.t list;
+  ret : Reg.cls option;
+  mutable blocks : Block.t list;  (** layout order; head is the entry *)
+  mutable next_vreg : int;
+  mutable next_block : int;
+}
+
+let create ~name ~params ~ret =
+  let next_vreg = ref 0 in
+  let params =
+    List.map
+      (fun cls ->
+        let v = { Vreg.id = !next_vreg; cls } in
+        incr next_vreg;
+        v)
+      params
+  in
+  {
+    name;
+    params;
+    ret;
+    blocks = [];
+    next_vreg = !next_vreg;
+    next_block = 0;
+  }
+
+let fresh_vreg t cls =
+  let v = { Vreg.id = t.next_vreg; cls } in
+  t.next_vreg <- t.next_vreg + 1;
+  v
+
+(** Create a block without placing it in the layout. *)
+let fresh_block t =
+  let b = Block.create t.next_block in
+  t.next_block <- t.next_block + 1;
+  b
+
+let append_block t b = t.blocks <- t.blocks @ [ b ]
+
+let entry t =
+  match t.blocks with
+  | [] -> invalid_arg ("Func.entry: empty function " ^ t.name)
+  | b :: _ -> b
+
+let find_block t id =
+  try List.find (fun (b : Block.t) -> b.Block.id = id) t.blocks
+  with Not_found -> invalid_arg (Fmt.str "Func.find_block: L%d in %s" id t.name)
+
+let block_ids t = List.map (fun (b : Block.t) -> b.Block.id) t.blocks
+
+(** Map from block id to the ids of its predecessors. *)
+let predecessors t =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun (b : Block.t) -> Hashtbl.replace preds b.Block.id []) t.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (b.Block.id :: cur))
+        (Block.successors b))
+    t.blocks;
+  fun id -> try Hashtbl.find preds id with Not_found -> []
+
+let iter_ops f t = List.iter (Block.iter_ops f) t.blocks
+
+let op_count t =
+  let n = ref 0 in
+  iter_ops (fun _ -> incr n) t;
+  !n + List.length t.blocks (* terminators *)
+
+(** All virtual registers mentioned anywhere in the function. *)
+let all_vregs t =
+  let set = ref Vreg.Set.empty in
+  let add v = set := Vreg.Set.add v !set in
+  List.iter add t.params;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun op ->
+          List.iter add (Op.uses op);
+          Option.iter add (Op.def op))
+        b.Block.ops;
+      List.iter add (Op.term_uses b.Block.term))
+    t.blocks;
+  !set
+
+let pp ppf t =
+  Fmt.pf ppf "func %s(%a):@." t.name Fmt.(list ~sep:comma Vreg.pp) t.params;
+  List.iter (Block.pp ppf) t.blocks

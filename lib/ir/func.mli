@@ -1,0 +1,45 @@
+(** IR functions: parameters, a CFG of basic blocks in layout order (the
+    first block is the entry), and fresh-name supplies. *)
+
+open Rc_isa
+
+type t = {
+  name : string;
+  params : Vreg.t list;
+  ret : Reg.cls option;
+  mutable blocks : Block.t list;  (** layout order; head is the entry *)
+  mutable next_vreg : int;
+  mutable next_block : int;
+}
+
+(** Creates the function with parameter vregs allocated from the given
+    classes; no blocks yet. *)
+val create : name:string -> params:Reg.cls list -> ret:Reg.cls option -> t
+
+val fresh_vreg : t -> Reg.cls -> Vreg.t
+
+(** Create a block without placing it in the layout. *)
+val fresh_block : t -> Block.t
+
+val append_block : t -> Block.t -> unit
+
+(** @raise Invalid_argument on an empty function. *)
+val entry : t -> Block.t
+
+(** @raise Invalid_argument when the label is unknown. *)
+val find_block : t -> Op.label -> Block.t
+
+val block_ids : t -> Op.label list
+
+(** Map from block id to the ids of its predecessors. *)
+val predecessors : t -> Op.label -> Op.label list
+
+val iter_ops : (Op.t -> unit) -> t -> unit
+
+(** Operation count, terminators included. *)
+val op_count : t -> int
+
+(** All virtual registers mentioned anywhere in the function. *)
+val all_vregs : t -> Vreg.Set.t
+
+val pp : Format.formatter -> t -> unit

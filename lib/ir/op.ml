@@ -1,0 +1,174 @@
+(** IR operations and block terminators: three-address code over virtual
+    registers, close enough to the target ISA that lowering is a
+    per-operation translation. *)
+
+open Rc_isa
+
+(** Integer ALU operands: a virtual register or a foldable constant. *)
+type value = V of Vreg.t | C of int64
+
+type t =
+  | Li of Vreg.t * int64
+  | Fli of Vreg.t * float
+  | Mov of Vreg.t * Vreg.t  (** same-class copy *)
+  | Alu of Opcode.alu * Vreg.t * value * value  (** integer dst/operands *)
+  | Fpu of Opcode.fpu * Vreg.t * Vreg.t * Vreg.t option
+      (** [None] second source for the unary Fneg/Fabs *)
+  | Itof of Vreg.t * Vreg.t
+  | Ftoi of Vreg.t * Vreg.t
+  | Fcmp of Opcode.cond * Vreg.t * Vreg.t * Vreg.t  (** int dst, float srcs *)
+  | Ld of Opcode.width * Vreg.t * Vreg.t * int  (** dst, base, offset *)
+  | St of Opcode.width * Vreg.t * Vreg.t * int  (** value, base, offset *)
+  | Fld of Vreg.t * Vreg.t * int
+  | Fst of Vreg.t * Vreg.t * int
+  | Addr of Vreg.t * string  (** address of a named global *)
+  | Call of { dst : Vreg.t option; callee : string; args : Vreg.t list }
+  | Emit of Vreg.t  (** observable output, integer *)
+  | Femit of Vreg.t  (** observable output, float *)
+
+type label = int
+
+type term =
+  | Ret of Vreg.t option
+  | Br of Opcode.cond * Vreg.t * Vreg.t * label * label
+      (** condition over two integer registers; taken target, fallthrough
+          target *)
+  | Jmp of label
+  | Halt  (** terminates the whole program (entry function only) *)
+
+let value_uses = function V v -> [ v ] | C _ -> []
+
+(** Virtual registers read by an operation. *)
+let uses = function
+  | Li _ | Fli _ | Addr _ -> []
+  | Mov (_, s) | Itof (_, s) | Ftoi (_, s) -> [ s ]
+  | Alu (_, _, a, b) -> value_uses a @ value_uses b
+  | Fpu (_, _, s1, s2) -> s1 :: Option.to_list s2
+  | Fcmp (_, _, s1, s2) -> [ s1; s2 ]
+  | Ld (_, _, base, _) | Fld (_, base, _) -> [ base ]
+  | St (_, v, base, _) | Fst (v, base, _) -> [ v; base ]
+  | Call { args; _ } -> args
+  | Emit v | Femit v -> [ v ]
+
+(** Virtual register written by an operation, if any. *)
+let def = function
+  | Li (d, _)
+  | Fli (d, _)
+  | Mov (d, _)
+  | Alu (_, d, _, _)
+  | Fpu (_, d, _, _)
+  | Itof (d, _)
+  | Ftoi (d, _)
+  | Fcmp (_, d, _, _)
+  | Ld (_, d, _, _)
+  | Fld (d, _, _)
+  | Addr (d, _) ->
+      Some d
+  | St _ | Fst _ | Emit _ | Femit _ -> None
+  | Call { dst; _ } -> dst
+
+(** Rewrite every virtual-register {e use} (sources only). *)
+let map_uses f op =
+  let fv = function V v -> V (f v) | C _ as c -> c in
+  match op with
+  | Li _ | Fli _ | Addr _ -> op
+  | Mov (d, s) -> Mov (d, f s)
+  | Alu (a, d, x, y) -> Alu (a, d, fv x, fv y)
+  | Fpu (o, d, s1, s2) -> Fpu (o, d, f s1, Option.map f s2)
+  | Itof (d, s) -> Itof (d, f s)
+  | Ftoi (d, s) -> Ftoi (d, f s)
+  | Fcmp (c, d, s1, s2) -> Fcmp (c, d, f s1, f s2)
+  | Ld (w, d, b, o) -> Ld (w, d, f b, o)
+  | St (w, v, b, o) -> St (w, f v, f b, o)
+  | Fld (d, b, o) -> Fld (d, f b, o)
+  | Fst (v, b, o) -> Fst (f v, f b, o)
+  | Call c -> Call { c with args = List.map f c.args }
+  | Emit v -> Emit (f v)
+  | Femit v -> Femit (f v)
+
+(** Rewrite the defined register. *)
+let map_def f op =
+  match op with
+  | Li (d, i) -> Li (f d, i)
+  | Fli (d, x) -> Fli (f d, x)
+  | Mov (d, s) -> Mov (f d, s)
+  | Alu (a, d, x, y) -> Alu (a, f d, x, y)
+  | Fpu (o, d, s1, s2) -> Fpu (o, f d, s1, s2)
+  | Itof (d, s) -> Itof (f d, s)
+  | Ftoi (d, s) -> Ftoi (f d, s)
+  | Fcmp (c, d, s1, s2) -> Fcmp (c, f d, s1, s2)
+  | Ld (w, d, b, o) -> Ld (w, f d, b, o)
+  | Fld (d, b, o) -> Fld (f d, b, o)
+  | Addr (d, g) -> Addr (f d, g)
+  | Call c -> Call { c with dst = Option.map f c.dst }
+  | St _ | Fst _ | Emit _ | Femit _ -> op
+
+let is_call = function Call _ -> true | _ -> false
+let has_side_effect = function
+  | St _ | Fst _ | Call _ | Emit _ | Femit _ -> true
+  | _ -> false
+
+let term_uses = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Halt | Jmp _ -> []
+  | Br (_, a, b, _, _) -> [ a; b ]
+
+let term_map_uses f = function
+  | Ret (Some v) -> Ret (Some (f v))
+  | (Ret None | Halt | Jmp _) as t -> t
+  | Br (c, a, b, t1, t2) -> Br (c, f a, f b, t1, t2)
+
+let successors = function
+  | Ret _ | Halt -> []
+  | Jmp l -> [ l ]
+  | Br (_, _, _, t, e) -> if t = e then [ t ] else [ t; e ]
+
+let pp_value ppf = function
+  | V v -> Vreg.pp ppf v
+  | C c -> Fmt.int64 ppf c
+
+let pp ppf = function
+  | Li (d, i) -> Fmt.pf ppf "%a = li %Ld" Vreg.pp d i
+  | Fli (d, x) -> Fmt.pf ppf "%a = fli %g" Vreg.pp d x
+  | Mov (d, s) -> Fmt.pf ppf "%a = %a" Vreg.pp d Vreg.pp s
+  | Alu (a, d, x, y) ->
+      Fmt.pf ppf "%a = %s %a, %a" Vreg.pp d (Opcode.string_of_alu a) pp_value x
+        pp_value y
+  | Fpu (o, d, s1, None) ->
+      Fmt.pf ppf "%a = %s %a" Vreg.pp d (Opcode.string_of_fpu o) Vreg.pp s1
+  | Fpu (o, d, s1, Some s2) ->
+      Fmt.pf ppf "%a = %s %a, %a" Vreg.pp d (Opcode.string_of_fpu o) Vreg.pp s1
+        Vreg.pp s2
+  | Itof (d, s) -> Fmt.pf ppf "%a = itof %a" Vreg.pp d Vreg.pp s
+  | Ftoi (d, s) -> Fmt.pf ppf "%a = ftoi %a" Vreg.pp d Vreg.pp s
+  | Fcmp (c, d, s1, s2) ->
+      Fmt.pf ppf "%a = fcmp.%s %a, %a" Vreg.pp d (Opcode.string_of_cond c)
+        Vreg.pp s1 Vreg.pp s2
+  | Ld (w, d, b, o) ->
+      Fmt.pf ppf "%a = %s [%a + %d]" Vreg.pp d
+        (match w with Opcode.W8 -> "ld" | Opcode.W1 -> "lb")
+        Vreg.pp b o
+  | St (w, v, b, o) ->
+      Fmt.pf ppf "%s [%a + %d] = %a"
+        (match w with Opcode.W8 -> "st" | Opcode.W1 -> "sb")
+        Vreg.pp b o Vreg.pp v
+  | Fld (d, b, o) -> Fmt.pf ppf "%a = fld [%a + %d]" Vreg.pp d Vreg.pp b o
+  | Fst (v, b, o) -> Fmt.pf ppf "fst [%a + %d] = %a" Vreg.pp b o Vreg.pp v
+  | Addr (d, g) -> Fmt.pf ppf "%a = addr %s" Vreg.pp d g
+  | Call { dst; callee; args } ->
+      Fmt.pf ppf "%a%s(%a)"
+        Fmt.(option (Vreg.pp ++ any " = "))
+        dst callee
+        Fmt.(list ~sep:comma Vreg.pp)
+        args
+  | Emit v -> Fmt.pf ppf "emit %a" Vreg.pp v
+  | Femit v -> Fmt.pf ppf "femit %a" Vreg.pp v
+
+let pp_term ppf = function
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some v) -> Fmt.pf ppf "ret %a" Vreg.pp v
+  | Br (c, a, b, t, e) ->
+      Fmt.pf ppf "b%s %a, %a -> L%d | L%d" (Opcode.string_of_cond c) Vreg.pp a
+        Vreg.pp b t e
+  | Jmp l -> Fmt.pf ppf "jmp L%d" l
+  | Halt -> Fmt.string ppf "halt"

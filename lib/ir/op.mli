@@ -1,0 +1,66 @@
+(** IR operations and block terminators: three-address code over virtual
+    registers, close enough to the target ISA that lowering is a
+    per-operation translation. *)
+
+open Rc_isa
+
+(** Integer ALU operands: a virtual register or a foldable constant. *)
+type value = V of Vreg.t | C of int64
+
+type t =
+  | Li of Vreg.t * int64
+  | Fli of Vreg.t * float
+  | Mov of Vreg.t * Vreg.t  (** same-class copy *)
+  | Alu of Opcode.alu * Vreg.t * value * value  (** integer dst/operands *)
+  | Fpu of Opcode.fpu * Vreg.t * Vreg.t * Vreg.t option
+      (** [None] second source for the unary Fneg/Fabs *)
+  | Itof of Vreg.t * Vreg.t
+  | Ftoi of Vreg.t * Vreg.t
+  | Fcmp of Opcode.cond * Vreg.t * Vreg.t * Vreg.t  (** int dst, float srcs *)
+  | Ld of Opcode.width * Vreg.t * Vreg.t * int  (** dst, base, offset *)
+  | St of Opcode.width * Vreg.t * Vreg.t * int  (** value, base, offset *)
+  | Fld of Vreg.t * Vreg.t * int
+  | Fst of Vreg.t * Vreg.t * int
+  | Addr of Vreg.t * string  (** address of a named global *)
+  | Call of { dst : Vreg.t option; callee : string; args : Vreg.t list }
+  | Emit of Vreg.t  (** observable output, integer *)
+  | Femit of Vreg.t  (** observable output, float *)
+
+type label = int
+
+type term =
+  | Ret of Vreg.t option
+  | Br of Opcode.cond * Vreg.t * Vreg.t * label * label
+      (** condition over two integer registers; taken target,
+          fallthrough target *)
+  | Jmp of label
+  | Halt  (** terminates the whole program (entry function only) *)
+
+val value_uses : value -> Vreg.t list
+
+(** Virtual registers read by an operation. *)
+val uses : t -> Vreg.t list
+
+(** Virtual register written by an operation, if any. *)
+val def : t -> Vreg.t option
+
+(** Rewrite every virtual-register {e use} (sources only). *)
+val map_uses : (Vreg.t -> Vreg.t) -> t -> t
+
+(** Rewrite the defined register. *)
+val map_def : (Vreg.t -> Vreg.t) -> t -> t
+
+val is_call : t -> bool
+
+(** Stores, calls and emits must never be removed or duplicated. *)
+val has_side_effect : t -> bool
+
+val term_uses : term -> Vreg.t list
+val term_map_uses : (Vreg.t -> Vreg.t) -> term -> term
+
+(** Successor labels, deduplicated. *)
+val successors : term -> label list
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> term -> unit

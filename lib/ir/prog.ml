@@ -1,0 +1,51 @@
+(** Whole IR programs: functions plus static data.  Static data reuses
+    the machine-level {!Rc_isa.Mcode.global} description so the IR
+    interpreter and the simulator lay memory out identically. *)
+
+open Rc_isa
+
+type t = {
+  entry : string;
+  mutable funcs : Func.t list;
+  mutable globals : Mcode.global list;
+}
+
+let create ~entry = { entry; funcs = []; globals = [] }
+
+let add_func t f = t.funcs <- t.funcs @ [ f ]
+
+let add_global t g =
+  if List.exists (fun (x : Mcode.global) -> x.Mcode.gname = g.Mcode.gname) t.globals
+  then invalid_arg ("Prog.add_global: duplicate " ^ g.Mcode.gname);
+  t.globals <- t.globals @ [ g ]
+
+let find_func t name =
+  try List.find (fun (f : Func.t) -> f.Func.name = name) t.funcs
+  with Not_found -> invalid_arg ("Prog.find_func: " ^ name)
+
+let entry_func t = find_func t t.entry
+
+let op_count t = List.fold_left (fun n f -> n + Func.op_count f) 0 t.funcs
+
+(** Deep copy, so destructive optimisation passes can run on a copy. *)
+let copy t =
+  {
+    t with
+    funcs =
+      List.map
+        (fun (f : Func.t) ->
+          {
+            f with
+            Func.blocks =
+              List.map
+                (fun (b : Block.t) -> { b with Block.ops = b.Block.ops })
+                f.Func.blocks;
+          })
+        t.funcs;
+  }
+
+let pp ppf t =
+  List.iter (fun g ->
+      Fmt.pf ppf "global %s[%d]@." g.Mcode.gname g.Mcode.bytes)
+    t.globals;
+  List.iter (Func.pp ppf) t.funcs

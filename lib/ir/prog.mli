@@ -1,0 +1,28 @@
+(** Whole IR programs: functions plus static data.  Static data reuses
+    the machine-level {!Rc_isa.Mcode.global} description so the IR
+    interpreter and the simulator lay memory out identically. *)
+
+open Rc_isa
+
+type t = {
+  entry : string;
+  mutable funcs : Func.t list;
+  mutable globals : Mcode.global list;
+}
+
+val create : entry:string -> t
+val add_func : t -> Func.t -> unit
+
+(** @raise Invalid_argument on a duplicate global name. *)
+val add_global : t -> Mcode.global -> unit
+
+(** @raise Invalid_argument when the name is unknown. *)
+val find_func : t -> string -> Func.t
+
+val entry_func : t -> Func.t
+val op_count : t -> int
+
+(** Deep copy, so destructive optimisation passes can run on a copy. *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

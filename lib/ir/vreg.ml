@@ -1,0 +1,33 @@
+(** Virtual registers: unbounded, classed, allocated per function. *)
+
+open Rc_isa
+
+type t = { id : int; cls : Reg.cls }
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+
+let pp ppf v =
+  match v.cls with
+  | Reg.Int -> Fmt.pf ppf "v%d" v.id
+  | Reg.Float -> Fmt.pf ppf "w%d" v.id
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

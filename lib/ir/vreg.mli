@@ -1,0 +1,14 @@
+(** Virtual registers: unbounded, classed, allocated per function. *)
+
+open Rc_isa
+
+type t = { id : int; cls : Reg.cls }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,126 @@
+(** The assembler: flattens a machine program into an executable image.
+
+    Instruction addresses are indices into the flat code array; data lives
+    in a separate byte-addressed space (globals from [data_base] upward,
+    the stack growing down from [stack_top]). *)
+
+type t = {
+  code : Insn.t array;
+  entry : int;  (** address of the entry function's first instruction *)
+  label_addr : (int, int) Hashtbl.t;
+  func_addr : (string * int) list;
+  global_addr : (string * int) list;
+  data_base : int;
+  data_end : int;
+  stack_top : int;
+  mem_size : int;
+  data_image : (int * Mcode.init) list;  (** address, initialiser *)
+}
+
+let data_base = 0x1000
+let stack_reserve = 1 lsl 20
+let align8 n = (n + 7) land lnot 7
+
+exception Undefined_label of int
+exception Undefined_function of string
+
+(** Write one global's initialiser at [addr].  Words are little-endian
+    64-bit; doubles are stored as their IEEE bit patterns. *)
+let write_init mem addr (init : Mcode.init) =
+  match init with
+  | Mcode.Zero -> ()
+  | Mcode.Words ws ->
+      Array.iteri (fun k w -> Bytes.set_int64_le mem (addr + (8 * k)) w) ws
+  | Mcode.Doubles ds ->
+      Array.iteri
+        (fun k d -> Bytes.set_int64_le mem (addr + (8 * k)) (Int64.bits_of_float d))
+        ds
+  | Mcode.Bytes s -> Bytes.blit_string s 0 mem addr (String.length s)
+
+let global_address t name =
+  try List.assoc name t.global_addr
+  with Not_found -> invalid_arg ("Image.global_address: " ^ name)
+
+(** Lay out globals from [data_base], 8-byte aligned, in declaration
+    order.  Shared by the assembler and the IR interpreter so both see
+    identical addresses.  Returns the address map and the end of the
+    data segment. *)
+let layout_globals (globals : Mcode.global list) =
+  let next = ref data_base in
+  let addr =
+    List.map
+      (fun (g : Mcode.global) ->
+        let a = !next in
+        next := align8 (!next + g.bytes);
+        (g.gname, a))
+      globals
+  in
+  (addr, !next)
+
+let function_address t name =
+  try List.assoc name t.func_addr with Not_found -> raise (Undefined_function name)
+
+(** Lay out globals, flatten functions block by block, and patch branch
+    targets.  [Jsr] targets must already be label ids of function entry
+    blocks (the code generator emits calls via entry labels). *)
+let assemble (prog : Mcode.t) =
+  let global_addr, data_end = layout_globals prog.globals in
+  let stack_top = align8 (data_end + stack_reserve) in
+  let mem_size = stack_top + 4096 in
+  let data_image =
+    List.map
+      (fun (g : Mcode.global) -> (List.assoc g.gname global_addr, g.init))
+      prog.globals
+  in
+  (* Code layout: entry function first so execution can start at 0. *)
+  let funcs =
+    let entry_fn = Mcode.find_func prog prog.entry in
+    entry_fn :: List.filter (fun (f : Mcode.func) -> f.name <> prog.entry) prog.funcs
+  in
+  let label_addr = Hashtbl.create 64 in
+  let addr = ref 0 in
+  List.iter
+    (fun (f : Mcode.func) ->
+      List.iter
+        (fun (b : Mcode.block) ->
+          Hashtbl.replace label_addr b.label !addr;
+          addr := !addr + List.length b.insns)
+        f.blocks)
+    funcs;
+  let code = Array.make !addr (Insn.nop ()) in
+  let pos = ref 0 in
+  List.iter
+    (fun (f : Mcode.func) ->
+      List.iter
+        (fun (b : Mcode.block) ->
+          List.iter
+            (fun (i : Insn.t) ->
+              let patched =
+                if i.Insn.target = Insn.no_target then i
+                else
+                  match Hashtbl.find_opt label_addr i.Insn.target with
+                  | Some a -> { i with Insn.target = a }
+                  | None -> raise (Undefined_label i.Insn.target)
+              in
+              code.(!pos) <- patched;
+              incr pos)
+            b.insns)
+        f.blocks)
+    funcs;
+  let func_addr =
+    List.map
+      (fun (f : Mcode.func) -> (f.name, Hashtbl.find label_addr f.entry_label))
+      funcs
+  in
+  {
+    code;
+    entry = 0;
+    label_addr;
+    func_addr;
+    global_addr;
+    data_base;
+    data_end;
+    stack_top;
+    mem_size;
+    data_image;
+  }

@@ -1,0 +1,174 @@
+(** Machine instructions.
+
+    Instructions exist in two forms that share this one type:
+
+    - {e physical form} — produced by the code generator after register
+      allocation: each operand's [r] field is a {e physical} register
+      number (possibly in the extended section).  No [Connect]
+      instructions are present.
+    - {e architectural form} — produced by the connect-insertion pass
+      (or trivially, when no RC is in use, identical to physical form):
+      each operand's [r] field is an {e architectural index} below the
+      core size, and [Connect] instructions steer the mapping table so
+      every access reaches the physical register the allocator chose.
+
+    The simulator executes architectural form; the register allocator and
+    its tests reason about physical form. *)
+
+type operand = { cls : Reg.cls; r : int }
+
+let ireg r = { cls = Reg.Int; r }
+let freg r = { cls = Reg.Float; r }
+
+(** Provenance of an instruction, for the code-size accounting of
+    Figure 9. *)
+type tag =
+  | Normal
+  | Spill  (** spill loads/stores and their address arithmetic *)
+  | Save  (** callee-saved core register save/restore *)
+  | Xsave  (** extended-register save/restore around calls (sec. 4.1) *)
+
+type map_kind = Opcode.map_kind = Read | Write
+
+(** One mapping-table update carried by a [Connect] instruction.  The
+    multiple-connect instructions (connect-use-use, connect-def-use,
+    connect-def-def; paper section 2.2) carry two. *)
+type connect = { cmap : map_kind; ri : int; rp : int; ccls : Reg.cls }
+
+type t = {
+  op : Opcode.t;
+  dst : operand option;
+  srcs : operand array;
+  imm : int64;
+  fimm : float;
+  mutable target : int;
+      (** label id before assembly; absolute instruction address after *)
+  hint : bool;  (** static branch prediction: [true] = predicted taken *)
+  tag : tag;
+  connects : connect array;  (** non-empty iff [op = Connect] *)
+}
+
+let no_target = -1
+
+let make ?dst ?(srcs = [||]) ?(imm = 0L) ?(fimm = 0.0) ?(target = no_target)
+    ?(hint = false) ?(tag = Normal) ?(connects = [||]) op =
+  { op; dst; srcs; imm; fimm; target; hint; tag; connects }
+
+(* Convenience constructors used by the code generator and tests. *)
+
+let alu ?tag a ~dst ~s1 ~s2 =
+  make ?tag (Opcode.Alu a) ~dst:(ireg dst) ~srcs:[| ireg s1; ireg s2 |]
+
+let alui ?tag a ~dst ~s1 ~imm =
+  make ?tag (Opcode.Alui a) ~dst:(ireg dst) ~srcs:[| ireg s1 |] ~imm
+
+let li ?tag ~dst imm = make ?tag Opcode.Li ~dst:(ireg dst) ~imm
+let move ?tag ~dst ~src () =
+  make ?tag Opcode.Move ~dst:(ireg dst) ~srcs:[| ireg src |]
+let fli ?tag ~dst fimm = make ?tag Opcode.Fli ~dst:(freg dst) ~fimm
+let fmove ?tag ~dst ~src () =
+  make ?tag Opcode.Fmove ~dst:(freg dst) ~srcs:[| freg src |]
+
+let fpu ?tag f ~dst ~s1 ~s2 =
+  make ?tag (Opcode.Fpu f) ~dst:(freg dst) ~srcs:[| freg s1; freg s2 |]
+
+let fpu1 ?tag f ~dst ~s1 = make ?tag (Opcode.Fpu f) ~dst:(freg dst) ~srcs:[| freg s1 |]
+let itof ?tag ~dst ~src () = make ?tag Opcode.Itof ~dst:(freg dst) ~srcs:[| ireg src |]
+let ftoi ?tag ~dst ~src () = make ?tag Opcode.Ftoi ~dst:(ireg dst) ~srcs:[| freg src |]
+
+let fcmp ?tag c ~dst ~s1 ~s2 =
+  make ?tag (Opcode.Fcmp c) ~dst:(ireg dst) ~srcs:[| freg s1; freg s2 |]
+
+let ld ?tag ?(width = Opcode.W8) ~dst ~base ~off () =
+  make ?tag (Opcode.Ld width) ~dst:(ireg dst) ~srcs:[| ireg base |]
+    ~imm:(Int64.of_int off)
+
+let st ?tag ?(width = Opcode.W8) ~src ~base ~off () =
+  make ?tag (Opcode.St width) ~srcs:[| ireg src; ireg base |]
+    ~imm:(Int64.of_int off)
+
+let fld ?tag ~dst ~base ~off () =
+  make ?tag Opcode.Fld ~dst:(freg dst) ~srcs:[| ireg base |] ~imm:(Int64.of_int off)
+
+let fst_ ?tag ~src ~base ~off () =
+  make ?tag Opcode.Fst ~srcs:[| freg src; ireg base |] ~imm:(Int64.of_int off)
+
+let br ?tag c ~s1 ~s2 ~target ~hint =
+  make ?tag (Opcode.Br c) ~srcs:[| ireg s1; ireg s2 |] ~target ~hint
+
+let jmp ?tag target = make ?tag Opcode.Jmp ~target ~hint:true
+
+let jsr ?tag target =
+  make ?tag Opcode.Jsr ~dst:(ireg Reg.ra) ~target ~hint:true
+
+let rts ?tag () = make ?tag Opcode.Rts ~srcs:[| ireg Reg.ra |] ~hint:true
+let emit ~src = make Opcode.Emit ~srcs:[| ireg src |]
+let femit ~src = make Opcode.Femit ~srcs:[| freg src |]
+let halt () = make Opcode.Halt
+let nop () = make Opcode.Nop
+let trap () = make Opcode.Trap ~hint:true
+let rfe () = make Opcode.Rfe ~hint:true
+let mapen enabled = make Opcode.Mapen ~imm:(if enabled then 1L else 0L)
+
+(** Privileged: read integer mapping-table entry [idx] into [dst]. *)
+let mfmap kind ~dst ~idx =
+  make (Opcode.Mfmap kind) ~dst:(ireg dst) ~imm:(Int64.of_int idx)
+
+(** Privileged: write [src] into integer mapping-table entry [idx]. *)
+let mtmap kind ~src ~idx =
+  make (Opcode.Mtmap kind) ~srcs:[| ireg src |] ~imm:(Int64.of_int idx)
+
+let connect1 ?tag cmap ~cls ~ri ~rp =
+  make ?tag Opcode.Connect ~connects:[| { cmap; ri; rp; ccls = cls } |]
+
+let connect_use ?tag ~cls ~ri ~rp () = connect1 ?tag Read ~cls ~ri ~rp
+let connect_def ?tag ~cls ~ri ~rp () = connect1 ?tag Write ~cls ~ri ~rp
+
+(** A multiple-connect instruction carrying two updates. *)
+let connect2 ?tag c1 c2 = make ?tag Opcode.Connect ~connects:[| c1; c2 |]
+
+let is_connect i = Opcode.is_connect i.op
+let is_branch i = Opcode.is_branch i.op
+let is_mem i = Opcode.is_mem i.op
+let is_load i = Opcode.is_load i.op
+let is_store i = Opcode.is_store i.op
+let is_call i = Opcode.is_call i.op
+
+(** All register reads of an instruction (class, number). *)
+let reads i = i.srcs
+
+let writes i = match i.dst with None -> [||] | Some d -> [| d |]
+
+let pp_operand ppf o = Reg.pp_arch o.cls ppf o.r
+
+let pp_connect ppf c =
+  let kind = match c.cmap with Read -> "use" | Write -> "def" in
+  Fmt.pf ppf "%s %a,%a" kind (Reg.pp_arch c.ccls) c.ri (Reg.pp_phys c.ccls) c.rp
+
+let pp ppf i =
+  match i.op with
+  | Opcode.Connect ->
+      Fmt.pf ppf "connect_%a"
+        Fmt.(array ~sep:(any "_") pp_connect)
+        i.connects
+  | _ ->
+      let parts = ref [] in
+      Array.iter (fun s -> parts := Fmt.str "%a" pp_operand s :: !parts) i.srcs;
+      (match i.op with
+      | Opcode.Li | Opcode.Alui _ | Opcode.Ld _ | Opcode.St _ | Opcode.Fld
+      | Opcode.Fst | Opcode.Mapen ->
+          parts := Int64.to_string i.imm :: !parts
+      | Opcode.Fli -> parts := Fmt.str "%g" i.fimm :: !parts
+      | _ -> ());
+      if i.target <> no_target then parts := Fmt.str "@%d" i.target :: !parts;
+      let srcs = List.rev !parts in
+      let dst =
+        match i.dst with None -> [] | Some d -> [ Fmt.str "%a" pp_operand d ]
+      in
+      Fmt.pf ppf "%a %s" Opcode.pp i.op (String.concat ", " (dst @ srcs))
+
+let tag_to_string = function
+  | Normal -> "normal"
+  | Spill -> "spill"
+  | Save -> "save"
+  | Xsave -> "xsave"

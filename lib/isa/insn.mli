@@ -1,0 +1,124 @@
+(** Machine instructions.
+
+    Instructions exist in two forms that share this one type:
+
+    - {e physical form} — produced by the code generator after register
+      allocation: each operand's [r] field is a {e physical} register
+      number (possibly in the extended section); no [Connect]
+      instructions are present;
+    - {e architectural form} — produced by the connect-insertion pass
+      (or trivially identical when no RC is in use): each operand's [r]
+      field is an {e architectural index} below the core size, and
+      [Connect] instructions steer the mapping table so every access
+      reaches the physical register the allocator chose.
+
+    The simulator executes architectural form; the register allocator
+    and its tests reason about physical form. *)
+
+type operand = { cls : Reg.cls; r : int }
+
+val ireg : int -> operand
+val freg : int -> operand
+
+(** Provenance of an instruction, for the code-size accounting of
+    Figure 9. *)
+type tag =
+  | Normal
+  | Spill  (** spill loads/stores *)
+  | Save  (** callee-saved core register save/restore *)
+  | Xsave  (** extended-register save/restore around calls (sec. 4.1) *)
+
+type map_kind = Opcode.map_kind = Read | Write
+
+(** One mapping-table update carried by a [Connect] instruction.  The
+    multiple-connect instructions (connect-use-use, connect-def-use,
+    connect-def-def; paper section 2.2) carry two. *)
+type connect = { cmap : map_kind; ri : int; rp : int; ccls : Reg.cls }
+
+type t = {
+  op : Opcode.t;
+  dst : operand option;
+  srcs : operand array;
+  imm : int64;
+  fimm : float;
+  mutable target : int;
+      (** label id before assembly; absolute instruction address after *)
+  hint : bool;  (** static branch prediction: [true] = predicted taken *)
+  tag : tag;
+  connects : connect array;  (** non-empty iff [op = Connect] *)
+}
+
+val no_target : int
+
+val make :
+  ?dst:operand ->
+  ?srcs:operand array ->
+  ?imm:int64 ->
+  ?fimm:float ->
+  ?target:int ->
+  ?hint:bool ->
+  ?tag:tag ->
+  ?connects:connect array ->
+  Opcode.t ->
+  t
+
+(** {2 Convenience constructors} *)
+
+val alu : ?tag:tag -> Opcode.alu -> dst:int -> s1:int -> s2:int -> t
+val alui : ?tag:tag -> Opcode.alu -> dst:int -> s1:int -> imm:int64 -> t
+val li : ?tag:tag -> dst:int -> int64 -> t
+val move : ?tag:tag -> dst:int -> src:int -> unit -> t
+val fli : ?tag:tag -> dst:int -> float -> t
+val fmove : ?tag:tag -> dst:int -> src:int -> unit -> t
+val fpu : ?tag:tag -> Opcode.fpu -> dst:int -> s1:int -> s2:int -> t
+val fpu1 : ?tag:tag -> Opcode.fpu -> dst:int -> s1:int -> t
+val itof : ?tag:tag -> dst:int -> src:int -> unit -> t
+val ftoi : ?tag:tag -> dst:int -> src:int -> unit -> t
+val fcmp : ?tag:tag -> Opcode.cond -> dst:int -> s1:int -> s2:int -> t
+val ld : ?tag:tag -> ?width:Opcode.width -> dst:int -> base:int -> off:int -> unit -> t
+val st : ?tag:tag -> ?width:Opcode.width -> src:int -> base:int -> off:int -> unit -> t
+val fld : ?tag:tag -> dst:int -> base:int -> off:int -> unit -> t
+val fst_ : ?tag:tag -> src:int -> base:int -> off:int -> unit -> t
+val br : ?tag:tag -> Opcode.cond -> s1:int -> s2:int -> target:int -> hint:bool -> t
+val jmp : ?tag:tag -> int -> t
+
+(** Writes RA implicitly (visible as the [dst] operand). *)
+val jsr : ?tag:tag -> int -> t
+
+(** Reads RA implicitly (visible as the source operand). *)
+val rts : ?tag:tag -> unit -> t
+
+val emit : src:int -> t
+val femit : src:int -> t
+val halt : unit -> t
+val nop : unit -> t
+val trap : unit -> t
+val rfe : unit -> t
+val mapen : bool -> t
+
+(** Privileged: read integer mapping-table entry [idx] into [dst]. *)
+val mfmap : map_kind -> dst:int -> idx:int -> t
+
+(** Privileged: write register [src] into integer mapping-table entry
+    [idx]. *)
+val mtmap : map_kind -> src:int -> idx:int -> t
+
+val connect1 : ?tag:tag -> map_kind -> cls:Reg.cls -> ri:int -> rp:int -> t
+val connect_use : ?tag:tag -> cls:Reg.cls -> ri:int -> rp:int -> unit -> t
+val connect_def : ?tag:tag -> cls:Reg.cls -> ri:int -> rp:int -> unit -> t
+
+(** A multiple-connect instruction carrying two updates. *)
+val connect2 : ?tag:tag -> connect -> connect -> t
+
+val is_connect : t -> bool
+val is_branch : t -> bool
+val is_mem : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_call : t -> bool
+val reads : t -> operand array
+val writes : t -> operand array
+val pp_operand : Format.formatter -> operand -> unit
+val pp_connect : Format.formatter -> connect -> unit
+val pp : Format.formatter -> t -> unit
+val tag_to_string : tag -> string

@@ -1,0 +1,94 @@
+(** Machine-code containers: labelled blocks, functions, whole programs,
+    and static data.  Produced by the code generator, consumed by the
+    scheduler and the assembler. *)
+
+type block = { label : int; mutable insns : Insn.t list }
+
+type func = {
+  name : string;
+  entry_label : int;  (** label of the first block *)
+  mutable blocks : block list;
+}
+
+type init =
+  | Zero
+  | Words of int64 array
+  | Doubles of float array
+  | Bytes of string
+
+type global = { gname : string; bytes : int; init : init }
+
+type t = {
+  mutable funcs : func list;
+  mutable globals : global list;
+  entry : string;  (** name of the entry function *)
+}
+
+let create ~entry = { funcs = []; globals = []; entry }
+
+let add_func t f = t.funcs <- t.funcs @ [ f ]
+let add_global t g = t.globals <- t.globals @ [ g ]
+
+let find_func t name = List.find (fun f -> f.name = name) t.funcs
+
+let init_bytes = function
+  | Zero -> 0
+  | Words ws -> 8 * Array.length ws
+  | Doubles ds -> 8 * Array.length ds
+  | Bytes s -> String.length s
+
+let global ~name ~bytes ?(init = Zero) () =
+  if bytes < init_bytes init then invalid_arg "Mcode.global: init larger than size";
+  { gname = name; bytes; init }
+
+let iter_insns t f =
+  List.iter
+    (fun fn -> List.iter (fun b -> List.iter f b.insns) fn.blocks)
+    t.funcs
+
+let insn_count t =
+  let n = ref 0 in
+  iter_insns t (fun _ -> incr n);
+  !n
+
+(** Static instruction counts per provenance tag plus connects, the raw
+    material of Figure 9. *)
+type size_breakdown = {
+  normal : int;
+  spill : int;
+  save : int;
+  xsave : int;
+  connects : int;
+}
+
+let size_breakdown t =
+  let normal = ref 0
+  and spill = ref 0
+  and save = ref 0
+  and xsave = ref 0
+  and connects = ref 0 in
+  iter_insns t (fun i ->
+      if Insn.is_connect i then incr connects
+      else
+        match i.Insn.tag with
+        | Insn.Normal -> incr normal
+        | Insn.Spill -> incr spill
+        | Insn.Save -> incr save
+        | Insn.Xsave -> incr xsave);
+  {
+    normal = !normal;
+    spill = !spill;
+    save = !save;
+    xsave = !xsave;
+    connects = !connects;
+  }
+
+let pp_func ppf fn =
+  Fmt.pf ppf "%s:@." fn.name;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf ".L%d:@." b.label;
+      List.iter (fun i -> Fmt.pf ppf "    %a@." Insn.pp i) b.insns)
+    fn.blocks
+
+let pp ppf t = List.iter (pp_func ppf) t.funcs

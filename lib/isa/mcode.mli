@@ -1,0 +1,54 @@
+(** Machine-code containers: labelled blocks, functions, whole programs
+    and static data.  Produced by the code generator, consumed by the
+    scheduler and the assembler. *)
+
+type block = { label : int; mutable insns : Insn.t list }
+
+type func = {
+  name : string;
+  entry_label : int;  (** label of the first block *)
+  mutable blocks : block list;
+}
+
+type init =
+  | Zero
+  | Words of int64 array
+  | Doubles of float array
+  | Bytes of string
+
+type global = { gname : string; bytes : int; init : init }
+
+type t = {
+  mutable funcs : func list;
+  mutable globals : global list;
+  entry : string;  (** name of the entry function *)
+}
+
+val create : entry:string -> t
+val add_func : t -> func -> unit
+val add_global : t -> global -> unit
+
+(** @raise Not_found when no function has that name. *)
+val find_func : t -> string -> func
+
+val init_bytes : init -> int
+
+(** @raise Invalid_argument when the initialiser exceeds [bytes]. *)
+val global : name:string -> bytes:int -> ?init:init -> unit -> global
+
+val iter_insns : t -> (Insn.t -> unit) -> unit
+val insn_count : t -> int
+
+(** Static instruction counts per provenance tag plus connects, the raw
+    material of Figure 9. *)
+type size_breakdown = {
+  normal : int;
+  spill : int;
+  save : int;
+  xsave : int;
+  connects : int;
+}
+
+val size_breakdown : t -> size_breakdown
+val pp_func : Format.formatter -> func -> unit
+val pp : Format.formatter -> t -> unit

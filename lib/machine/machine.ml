@@ -1,0 +1,451 @@
+(** The execution-driven simulator: functional execution of architectural
+    form machine code, with cycle-accurate in-order superscalar timing.
+
+    Each cycle, instructions issue in program order until the issue rate
+    is reached or an instruction cannot issue because:
+
+    - a source or destination physical register is still being produced
+      (CRAY-1-style interlock; results become ready [latency] cycles
+      after issue);
+    - no memory channel is free this cycle;
+    - with 1-cycle connect latency, the instruction's mapping-table
+      entries were updated by a connect issued this same cycle (the
+      zero-cycle implementation forwards through dispatch instead,
+      section 2.4, and never stalls for this reason);
+    - a taken control transfer ends the issue group; a mispredicted
+      conditional branch additionally pays the front-end redirect
+      penalty (one more cycle with the extra RC pipeline stage).
+
+    Register accesses go through the register mapping table whenever the
+    PSW map-enable flag is set; [jsr]/[rts] reset the table to home
+    (section 4.1); traps clear map-enable so handlers address core
+    registers directly (section 4.3). *)
+
+open Rc_isa
+open Rc_core
+
+exception Simulation_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Simulation_error s)) fmt
+
+type stats = {
+  mutable cycles : int;
+  mutable issued : int;  (** dynamic instructions, connects included *)
+  mutable connects : int;
+  mutable mem_ops : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable data_stalls : int;  (** group-ending operand-not-ready events *)
+  mutable map_stalls : int;  (** 1-cycle-connect same-group conflicts *)
+  mutable channel_stalls : int;
+}
+
+type t = {
+  cfg : Config.t;
+  image : Image.t;
+  iregs : int64 array;
+  fregs : float array;
+  iready : int array;
+  fready : int array;
+  imap : Map_table.t;
+  fmap : Map_table.t;
+  psw : Psw.t;
+  mem : Bytes.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable out_rev : int64 list;
+  stats : stats;
+  (* trap state *)
+  mutable epc : int;
+  mutable saved_psw : Psw.t option;
+  mutable pending_interrupt : bool;
+}
+
+let create (cfg : Config.t) (image : Image.t) =
+  let mem = Bytes.make image.Image.mem_size '\000' in
+  List.iter (fun (addr, init) -> Image.write_init mem addr init) image.Image.data_image;
+  let t =
+    {
+      cfg;
+      image;
+      iregs = Array.make cfg.ifile.Reg.total 0L;
+      fregs = Array.make cfg.ffile.Reg.total 0.0;
+      iready = Array.make cfg.ifile.Reg.total 0;
+      fready = Array.make cfg.ffile.Reg.total 0;
+      imap = Map_table.create ~model:cfg.model cfg.ifile;
+      fmap = Map_table.create ~model:cfg.model cfg.ffile;
+      psw = Psw.create ();
+      mem;
+      pc = image.Image.entry;
+      halted = false;
+      out_rev = [];
+      stats =
+        {
+          cycles = 0;
+          issued = 0;
+          connects = 0;
+          mem_ops = 0;
+          branches = 0;
+          mispredicts = 0;
+          data_stalls = 0;
+          map_stalls = 0;
+          channel_stalls = 0;
+        };
+      epc = 0;
+      saved_psw = None;
+      pending_interrupt = false;
+    }
+  in
+  t.iregs.(Reg.sp) <- Int64.of_int image.Image.stack_top;
+  t
+
+let context_view t =
+  {
+    Context.iregs = t.iregs;
+    fregs = t.fregs;
+    imap = t.imap;
+    fmap = t.fmap;
+    psw = t.psw;
+  }
+
+(* --- register access through the mapping table ------------------------ *)
+
+let read_phys t (o : Insn.operand) =
+  if not t.psw.Psw.map_enable then o.Insn.r
+  else
+    match o.Insn.cls with
+    | Reg.Int -> Map_table.read t.imap o.Insn.r
+    | Reg.Float -> Map_table.read t.fmap o.Insn.r
+
+let write_phys t (o : Insn.operand) =
+  if not t.psw.Psw.map_enable then o.Insn.r
+  else
+    match o.Insn.cls with
+    | Reg.Int -> Map_table.write t.imap o.Insn.r
+    | Reg.Float -> Map_table.write t.fmap o.Insn.r
+
+let note_write t (o : Insn.operand) =
+  if t.psw.Psw.map_enable then
+    match o.Insn.cls with
+    | Reg.Int -> Map_table.note_write t.imap o.Insn.r
+    | Reg.Float -> Map_table.note_write t.fmap o.Insn.r
+
+let get_i t p = if p = Reg.zero then 0L else t.iregs.(p)
+let get_f t p = t.fregs.(p)
+
+let set_i t p v lat_done =
+  if p <> Reg.zero then begin
+    t.iregs.(p) <- v;
+    t.iready.(p) <- lat_done
+  end
+
+let set_f t p v lat_done =
+  t.fregs.(p) <- v;
+  t.fready.(p) <- lat_done
+
+(* --- memory ------------------------------------------------------------ *)
+
+let check_addr t a width =
+  if a < 0 || a + width > Bytes.length t.mem then
+    fail "bad address %d at pc %d" a t.pc
+
+let load_mem t width a =
+  match width with
+  | Opcode.W8 ->
+      check_addr t a 8;
+      Bytes.get_int64_le t.mem a
+  | Opcode.W1 ->
+      check_addr t a 1;
+      Int64.of_int (Char.code (Bytes.get t.mem a))
+
+let store_mem t width a v =
+  match width with
+  | Opcode.W8 ->
+      check_addr t a 8;
+      Bytes.set_int64_le t.mem a v
+  | Opcode.W1 ->
+      check_addr t a 1;
+      Bytes.set t.mem a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+
+(* --- trap entry --------------------------------------------------------- *)
+
+let handler_addr t =
+  match t.cfg.Config.trap_handler with
+  | Some name -> Image.function_address t.image name
+  | None -> fail "trap with no handler configured"
+
+let enter_trap t ~return_to =
+  t.saved_psw <- Some (Psw.enter_trap t.psw);
+  t.epc <- return_to;
+  t.pc <- handler_addr t
+
+(** Request an external interrupt; taken at the next cycle boundary. *)
+let inject_interrupt t = t.pending_interrupt <- true
+
+(* --- one cycle ----------------------------------------------------------- *)
+
+type issue_blocker = Data | Map | Channel
+
+exception Group_end of issue_blocker option
+
+let run_cycle t =
+  let cycle = t.stats.cycles in
+  if t.pending_interrupt then begin
+    t.pending_interrupt <- false;
+    enter_trap t ~return_to:t.pc
+  end;
+  let slots = ref t.cfg.Config.issue in
+  (* Connects execute in the dispatch logic, not in a function unit
+     (section 2.4): they have their own per-cycle dispatch budget
+     instead of competing for issue slots. *)
+  let connect_slots =
+    ref
+      (match t.cfg.Config.connect_dispatch with
+      | `Shared -> 0
+      | `Extra n -> n)
+  in
+  let shared_connects = t.cfg.Config.connect_dispatch = `Shared in
+  let mem_free = ref t.cfg.Config.mem_channels in
+  (* Mapping-table entries touched by connects issued this cycle, for the
+     1-cycle connect latency model. *)
+  let pending_maps : (Reg.cls * Insn.map_kind * int) list ref = ref [] in
+  let src_blocked (i : Insn.t) =
+    Array.exists
+      (fun (o : Insn.operand) ->
+        List.mem (o.Insn.cls, Insn.Read, o.Insn.r) !pending_maps)
+      i.Insn.srcs
+    ||
+    match i.Insn.dst with
+    | Some o -> List.mem (o.Insn.cls, Insn.Write, o.Insn.r) !pending_maps
+    | None -> false
+  in
+  let ready (o : Insn.operand) p =
+    match o.Insn.cls with
+    | Reg.Int -> t.iready.(p) <= cycle
+    | Reg.Float -> t.fready.(p) <= cycle
+  in
+  (try
+     while (!slots > 0 || !connect_slots > 0) && not t.halted do
+       if t.pc < 0 || t.pc >= Array.length t.image.Image.code then
+         fail "pc %d out of code" t.pc;
+       let i = t.image.Image.code.(t.pc) in
+       (* --- can it issue this cycle? --- *)
+       if
+         t.cfg.Config.lat.Latency.connect > 0
+         && t.psw.Psw.map_enable && src_blocked i
+       then raise (Group_end (Some Map));
+       if Insn.is_mem i && !mem_free <= 0 then raise (Group_end (Some Channel));
+       (if Insn.is_connect i && not shared_connects then begin
+          if !connect_slots <= 0 then raise (Group_end (Some Map))
+        end
+        else if !slots <= 0 then raise (Group_end None));
+       let src_phys = Array.map (fun o -> read_phys t o) i.Insn.srcs in
+       let ok_srcs =
+         let ok = ref true in
+         Array.iteri
+           (fun k o -> if not (ready o src_phys.(k)) then ok := false)
+           i.Insn.srcs;
+         !ok
+       in
+       let dst_phys = Option.map (fun o -> write_phys t o) i.Insn.dst in
+       let ok_dst =
+         match (i.Insn.dst, dst_phys) with
+         | Some o, Some p -> ready o p
+         | _ -> true
+       in
+       if not (ok_srcs && ok_dst) then raise (Group_end (Some Data));
+       (* --- issue --- *)
+       if Insn.is_connect i && not shared_connects then decr connect_slots
+       else decr slots;
+       t.stats.issued <- t.stats.issued + 1;
+       if Insn.is_mem i then begin
+         decr mem_free;
+         t.stats.mem_ops <- t.stats.mem_ops + 1
+       end;
+       let lat = Latency.of_opcode t.cfg.Config.lat i.Insn.op in
+       let done_at = cycle + max 1 lat in
+       let iv k = get_i t src_phys.(k) in
+       let fv k = get_f t src_phys.(k) in
+       let set_int v =
+         match dst_phys with
+         | Some p ->
+             set_i t p v done_at;
+             note_write t (Option.get i.Insn.dst)
+         | None -> fail "missing destination at pc %d" t.pc
+       in
+       let set_float v =
+         match dst_phys with
+         | Some p ->
+             set_f t p v done_at;
+             note_write t (Option.get i.Insn.dst)
+         | None -> fail "missing destination at pc %d" t.pc
+       in
+       let next_pc = ref (t.pc + 1) in
+       let end_group = ref false in
+       (match i.Insn.op with
+       | Opcode.Alu a -> set_int (Opcode.eval_alu a (iv 0) (iv 1))
+       | Opcode.Alui a -> set_int (Opcode.eval_alu a (iv 0) i.Insn.imm)
+       | Opcode.Li -> set_int i.Insn.imm
+       | Opcode.Move -> set_int (iv 0)
+       | Opcode.Fli -> set_float i.Insn.fimm
+       | Opcode.Fmove -> set_float (fv 0)
+       | Opcode.Fpu f ->
+           let b = if Array.length i.Insn.srcs > 1 then fv 1 else 0.0 in
+           set_float (Opcode.eval_fpu f (fv 0) b)
+       | Opcode.Itof -> set_float (Int64.to_float (iv 0))
+       | Opcode.Ftoi -> set_int (Int64.of_float (fv 0))
+       | Opcode.Fcmp c ->
+           set_int (if Opcode.eval_fcond c (fv 0) (fv 1) then 1L else 0L)
+       | Opcode.Ld w ->
+           let a = Int64.to_int (iv 0) + Int64.to_int i.Insn.imm in
+           set_int (load_mem t w a)
+       | Opcode.St w ->
+           let a = Int64.to_int (iv 1) + Int64.to_int i.Insn.imm in
+           store_mem t w a (iv 0)
+       | Opcode.Fld ->
+           let a = Int64.to_int (iv 0) + Int64.to_int i.Insn.imm in
+           set_float (Int64.float_of_bits (load_mem t Opcode.W8 a))
+       | Opcode.Fst ->
+           let a = Int64.to_int (iv 1) + Int64.to_int i.Insn.imm in
+           store_mem t Opcode.W8 a (Int64.bits_of_float (fv 0))
+       (* The front end follows correctly predicted control transfers
+          within an issue group ("all combinations of instruction
+          patterns are allowed to be executed in parallel", section
+          5.2); a misprediction redirects fetch and pays the front-end
+          penalty. *)
+       | Opcode.Br c ->
+           t.stats.branches <- t.stats.branches + 1;
+           let taken = Opcode.eval_cond c (iv 0) (iv 1) in
+           if taken then next_pc := i.Insn.target;
+           if taken <> i.Insn.hint then begin
+             t.stats.mispredicts <- t.stats.mispredicts + 1;
+             t.stats.cycles <-
+               t.stats.cycles + Config.mispredict_penalty t.cfg;
+             end_group := true
+           end
+       | Opcode.Jmp ->
+           t.stats.branches <- t.stats.branches + 1;
+           next_pc := i.Insn.target
+       | Opcode.Jsr ->
+           t.stats.branches <- t.stats.branches + 1;
+           (* Reset the map, then write RA to its home location
+              (section 4.1). *)
+           Map_table.reset t.imap;
+           Map_table.reset t.fmap;
+           set_i t Reg.ra (Int64.of_int (t.pc + 1)) done_at;
+           next_pc := i.Insn.target
+       | Opcode.Rts ->
+           t.stats.branches <- t.stats.branches + 1;
+           let ra = Int64.to_int (iv 0) in
+           Map_table.reset t.imap;
+           Map_table.reset t.fmap;
+           next_pc := ra
+       | Opcode.Connect ->
+           t.stats.connects <- t.stats.connects + 1;
+           if t.psw.Psw.map_enable then
+             Array.iter
+               (fun (c : Insn.connect) ->
+                 (match c.Insn.ccls with
+                 | Reg.Int -> Map_table.apply t.imap c
+                 | Reg.Float -> Map_table.apply t.fmap c);
+                 if t.cfg.Config.lat.Latency.connect > 0 then
+                   pending_maps :=
+                     (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: !pending_maps)
+               i.Insn.connects
+       | Opcode.Emit -> t.out_rev <- iv 0 :: t.out_rev
+       | Opcode.Femit -> t.out_rev <- Int64.bits_of_float (fv 0) :: t.out_rev
+       | Opcode.Trap ->
+           enter_trap t ~return_to:(t.pc + 1);
+           next_pc := t.pc;
+           end_group := true
+       | Opcode.Rfe ->
+           (match t.saved_psw with
+           | Some saved ->
+               Psw.return_from_exception t.psw ~saved;
+               t.saved_psw <- None
+           | None -> fail "rfe without saved PSW");
+           next_pc := t.epc;
+           end_group := true
+       | Opcode.Mapen ->
+           t.psw.Psw.map_enable <- not (Int64.equal i.Insn.imm 0L)
+       (* Privileged map access (section 4.3): reads and writes the
+          integer mapping table directly, regardless of the PSW
+          map-enable flag, so handlers can save and restore connection
+          state. *)
+       | Opcode.Mfmap kind ->
+           let idx = Int64.to_int i.Insn.imm in
+           let v =
+             match kind with
+             | Opcode.Read -> Map_table.read t.imap idx
+             | Opcode.Write -> Map_table.write t.imap idx
+           in
+           (match dst_phys with
+           | Some p -> set_i t p (Int64.of_int v) done_at
+           | None -> fail "mfmap needs a destination at pc %d" t.pc)
+       | Opcode.Mtmap kind -> (
+           let idx = Int64.to_int i.Insn.imm in
+           let v = Int64.to_int (iv 0) in
+           match kind with
+           | Opcode.Read -> Map_table.connect_use t.imap ~ri:idx ~rp:v
+           | Opcode.Write -> Map_table.connect_def t.imap ~ri:idx ~rp:v)
+       | Opcode.Halt ->
+           t.halted <- true;
+           end_group := true
+       | Opcode.Nop -> ());
+       (match i.Insn.op with
+       | Opcode.Trap -> () (* pc already set by enter_trap *)
+       | _ -> t.pc <- !next_pc);
+       if !end_group then raise (Group_end None)
+     done
+   with Group_end reason ->
+     (match reason with
+     | Some Data -> t.stats.data_stalls <- t.stats.data_stalls + 1
+     | Some Map -> t.stats.map_stalls <- t.stats.map_stalls + 1
+     | Some Channel -> t.stats.channel_stalls <- t.stats.channel_stalls + 1
+     | None -> ()));
+  t.stats.cycles <- t.stats.cycles + 1
+
+type result = {
+  cycles : int;
+  issued : int;
+  connects : int;
+  mem_ops : int;
+  branches : int;
+  mispredicts : int;
+  data_stalls : int;
+  map_stalls : int;
+  channel_stalls : int;
+  output : int64 list;
+  checksum : int64;
+}
+
+let checksum_of_output output =
+  List.fold_left
+    (fun acc v -> Int64.add (Int64.mul acc 1000003L) v)
+    0x9E3779B9L output
+
+let finish t =
+  let output = List.rev t.out_rev in
+  {
+    cycles = t.stats.cycles;
+    issued = t.stats.issued;
+    connects = t.stats.connects;
+    mem_ops = t.stats.mem_ops;
+    branches = t.stats.branches;
+    mispredicts = t.stats.mispredicts;
+    data_stalls = t.stats.data_stalls;
+    map_stalls = t.stats.map_stalls;
+    channel_stalls = t.stats.channel_stalls;
+    output;
+    checksum = checksum_of_output output;
+  }
+
+let run_machine t =
+  while (not t.halted) && t.stats.cycles < t.cfg.Config.fuel do
+    run_cycle t
+  done;
+  if not t.halted then fail "out of fuel after %d cycles" t.stats.cycles;
+  finish t
+
+(** Assemble-free entry point: simulate an image under a configuration. *)
+let run cfg image = run_machine (create cfg image)

@@ -1,0 +1,99 @@
+(** The execution-driven simulator: functional execution of
+    architectural-form machine code with cycle-accurate in-order
+    superscalar timing.
+
+    Each cycle, instructions issue in program order until the issue rate
+    is reached or an instruction cannot issue because:
+
+    - a source or destination physical register is still being produced
+      (CRAY-1-style interlock; results become ready [latency] cycles
+      after issue);
+    - no memory channel is free this cycle;
+    - with 1-cycle connect latency, the instruction's mapping-table
+      entries were updated by a connect issued this same cycle (the
+      zero-cycle implementation forwards through dispatch instead,
+      section 2.4, and never stalls for this reason);
+    - a mispredicted branch redirects fetch and pays the front-end
+      penalty.
+
+    Register accesses go through the register mapping table whenever the
+    PSW map-enable flag is set; [jsr]/[rts] reset the table to home
+    (section 4.1); traps clear map-enable so handlers address core
+    registers directly (section 4.3). *)
+
+open Rc_isa
+
+exception Simulation_error of string
+
+type stats = {
+  mutable cycles : int;
+  mutable issued : int;  (** dynamic instructions, connects included *)
+  mutable connects : int;
+  mutable mem_ops : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable data_stalls : int;  (** group-ending operand-not-ready events *)
+  mutable map_stalls : int;  (** 1-cycle-connect same-group conflicts *)
+  mutable channel_stalls : int;
+}
+
+type t = {
+  cfg : Config.t;
+  image : Image.t;
+  iregs : int64 array;
+  fregs : float array;
+  iready : int array;
+  fready : int array;
+  imap : Rc_core.Map_table.t;
+  fmap : Rc_core.Map_table.t;
+  psw : Rc_core.Psw.t;
+  mem : Bytes.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable out_rev : int64 list;
+  stats : stats;
+  mutable epc : int;
+  mutable saved_psw : Rc_core.Psw.t option;
+  mutable pending_interrupt : bool;
+}
+
+(** A fresh machine with data initialised, SP at the stack top and PC at
+    the image entry. *)
+val create : Config.t -> Image.t -> t
+
+(** The register-state view used by {!Rc_core.Context} for context
+    switching. *)
+val context_view : t -> Rc_core.Context.machine_view
+
+(** Request an external interrupt; taken at the next cycle boundary. *)
+val inject_interrupt : t -> unit
+
+(** Simulate one cycle (issue one in-order group). *)
+val run_cycle : t -> unit
+
+type result = {
+  cycles : int;
+  issued : int;
+  connects : int;
+  mem_ops : int;
+  branches : int;
+  mispredicts : int;
+  data_stalls : int;
+  map_stalls : int;
+  channel_stalls : int;
+  output : int64 list;
+  checksum : int64;
+}
+
+(** Same fold as {!Rc_interp.Interp.checksum_of_output}. *)
+val checksum_of_output : int64 list -> int64
+
+val finish : t -> result
+
+(** Run until [Halt].
+    @raise Simulation_error on bad addresses, PC escapes or fuel
+    exhaustion. *)
+val run_machine : t -> result
+
+(** [create] followed by [run_machine]. *)
+val run : Config.t -> Image.t -> result

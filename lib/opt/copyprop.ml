@@ -1,0 +1,37 @@
+(** Local copy propagation: after [x = mov y], subsequent uses of [x] in
+    the same block become uses of [y] until either register is
+    redefined.  Combined with DCE this removes most of the copies that
+    value numbering and the builder introduce. *)
+
+open Rc_ir
+
+let run_block (b : Block.t) =
+  let copy_of : Vreg.t Vreg.Tbl.t = Vreg.Tbl.create 16 in
+  let kill d =
+    Vreg.Tbl.remove copy_of d;
+    (* Any mapping whose source is d is now stale. *)
+    let stale =
+      Vreg.Tbl.fold
+        (fun k v acc -> if Vreg.equal v d then k :: acc else acc)
+        copy_of []
+    in
+    List.iter (Vreg.Tbl.remove copy_of) stale
+  in
+  let subst v =
+    match Vreg.Tbl.find_opt copy_of v with Some s -> s | None -> v
+  in
+  b.Block.ops <-
+    List.map
+      (fun op ->
+        let op = Op.map_uses subst op in
+        (match Op.def op with Some d -> kill d | None -> ());
+        (match op with
+        | Op.Mov (d, s) when not (Vreg.equal d s) ->
+            Vreg.Tbl.replace copy_of d s
+        | _ -> ());
+        op)
+      b.Block.ops;
+  b.Block.term <- Op.term_map_uses subst b.Block.term
+
+let run_func (f : Func.t) = List.iter run_block f.Func.blocks
+let run (p : Prog.t) = List.iter run_func p.Prog.funcs

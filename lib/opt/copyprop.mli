@@ -1,0 +1,8 @@
+(** Local copy propagation: after [x = mov y], subsequent uses of [x] in
+    the same block become uses of [y] until either register is
+    redefined.  Combined with DCE this removes most of the copies that
+    value numbering and the builder introduce. *)
+
+val run_block : Rc_ir.Block.t -> unit
+val run_func : Rc_ir.Func.t -> unit
+val run : Rc_ir.Prog.t -> unit

@@ -1,0 +1,35 @@
+(** Liveness-based dead-code elimination: removes pure operations whose
+    result is never used.  Iterates to a fixpoint since removing one
+    dead operation can kill the operations feeding it. *)
+
+open Rc_ir
+open Rc_dataflow
+
+let run_func (f : Func.t) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live = Liveness.compute f in
+    List.iter
+      (fun (b : Block.t) ->
+        let keep =
+          Liveness.fold_block_backward live b ~init:[]
+            ~f:(fun acc op live_after ->
+              let dead =
+                (not (Op.has_side_effect op))
+                &&
+                match Op.def op with
+                | Some d -> not (Vreg.Set.mem d live_after)
+                | None -> true
+              in
+              if dead then begin
+                changed := true;
+                acc
+              end
+              else op :: acc)
+        in
+        b.Block.ops <- keep)
+      f.Func.blocks
+  done
+
+let run (p : Prog.t) = List.iter run_func p.Prog.funcs

@@ -1,0 +1,6 @@
+(** Liveness-based dead-code elimination: removes pure operations whose
+    result is never used.  Iterates to a fixpoint since removing one
+    dead operation can kill the operations feeding it. *)
+
+val run_func : Rc_ir.Func.t -> unit
+val run : Rc_ir.Prog.t -> unit

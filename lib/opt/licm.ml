@@ -1,0 +1,115 @@
+(** Loop-invariant code motion for simple counted loops (single-block
+    bodies).  Pure operations — and loads, when the loop body contains no
+    stores or calls — whose operands are not defined inside the loop are
+    hoisted to a freshly created preheader. *)
+
+open Rc_ir
+open Rc_dataflow
+
+let retarget_term ~from_ ~to_ = function
+  | Op.Jmp l when l = from_ -> Op.Jmp to_
+  | Op.Br (c, x, y, t, e) when t = from_ || e = from_ ->
+      let t = if t = from_ then to_ else t in
+      let e = if e = from_ then to_ else e in
+      Op.Br (c, x, y, t, e)
+  | t -> t
+
+(** Create a preheader for [header]: all edges into it except those from
+    [loop_blocks] are redirected.  Returns the preheader. *)
+let make_preheader (f : Func.t) (header : Block.t) ~loop_blocks =
+  let pre = Func.fresh_block f in
+  pre.Block.term <- Op.Jmp header.Block.id;
+  List.iter
+    (fun (b : Block.t) ->
+      if not (List.mem b.Block.id loop_blocks) then
+        b.Block.term <-
+          retarget_term ~from_:header.Block.id ~to_:pre.Block.id b.Block.term)
+    f.Func.blocks;
+  (* Insert just before the header in layout; if the header was the
+     entry, the preheader becomes the new entry. *)
+  let rec insert = function
+    | [] -> [ pre ]
+    | b :: rest when b == header -> pre :: b :: rest
+    | b :: rest -> b :: insert rest
+  in
+  f.Func.blocks <- insert f.Func.blocks;
+  pre
+
+let def_counts (f : Func.t) =
+  let counts = Vreg.Tbl.create 64 in
+  Func.iter_ops
+    (fun op ->
+      Option.iter
+        (fun d ->
+          Vreg.Tbl.replace counts d
+            (1 + try Vreg.Tbl.find counts d with Not_found -> 0))
+        (Op.def op))
+    f;
+  counts
+
+let run_func (f : Func.t) =
+  let simples = Loops.find_simple f in
+  if simples <> [] then begin
+    let counts = def_counts f in
+    List.iter
+      (fun (s : Loops.simple) ->
+        let body = s.Loops.body_blk and header = s.Loops.header in
+        let loop_blocks = [ header.Block.id; body.Block.id ] in
+        let mem_safe =
+          not
+            (List.exists
+               (fun op ->
+                 match op with
+                 | Op.St _ | Op.Fst _ | Op.Call _ -> true
+                 | _ -> false)
+               body.Block.ops)
+        in
+        (* Registers defined anywhere in the loop and not yet hoisted. *)
+        let loop_defs = Vreg.Tbl.create 16 in
+        let note_defs (b : Block.t) =
+          List.iter
+            (fun op ->
+              Option.iter (fun d -> Vreg.Tbl.replace loop_defs d ()) (Op.def op))
+            b.Block.ops
+        in
+        note_defs header;
+        note_defs body;
+        let hoistable op =
+          match Op.def op with
+          | None -> false
+          | Some d -> (
+              (match Vreg.Tbl.find_opt counts d with Some 1 -> true | _ -> false)
+              && List.for_all
+                   (fun u -> not (Vreg.Tbl.mem loop_defs u))
+                   (Op.uses op)
+              &&
+              match op with
+              | Op.Ld _ | Op.Fld _ -> mem_safe
+              | op -> not (Op.has_side_effect op))
+        in
+        let hoisted = ref [] in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          let remaining =
+            List.filter
+              (fun op ->
+                if hoistable op then begin
+                  hoisted := op :: !hoisted;
+                  Option.iter (Vreg.Tbl.remove loop_defs) (Op.def op);
+                  changed := true;
+                  false
+                end
+                else true)
+              body.Block.ops
+          in
+          body.Block.ops <- remaining
+        done;
+        if !hoisted <> [] then begin
+          let pre = make_preheader f header ~loop_blocks in
+          pre.Block.ops <- List.rev !hoisted
+        end)
+      simples
+  end
+
+let run (p : Prog.t) = List.iter run_func p.Prog.funcs

@@ -1,0 +1,17 @@
+(** Loop-invariant code motion for simple counted loops (single-block
+    bodies).  Pure operations — and loads, when the loop body contains
+    no stores or calls — whose operands are not defined inside the loop
+    are hoisted to a freshly created preheader. *)
+
+open Rc_ir
+
+(** Retarget a terminator's edges from one label to another (shared with
+    the unroller). *)
+val retarget_term : from_:Op.label -> to_:Op.label -> Op.term -> Op.term
+
+(** Create a preheader for [header]: all edges into it except those from
+    [loop_blocks] are redirected.  Returns the preheader. *)
+val make_preheader : Func.t -> Block.t -> loop_blocks:Op.label list -> Block.t
+
+val run_func : Func.t -> unit
+val run : Prog.t -> unit

@@ -1,0 +1,257 @@
+(** Local value numbering: within each basic block this performs constant
+    folding, constant propagation into immediate operands, common
+    subexpression elimination (including redundant loads, invalidated at
+    stores and calls), and copy detection.  Redundant computations are
+    rewritten to [Mov]s; dead-code elimination then cleans up. *)
+
+open Rc_isa
+open Rc_ir
+
+type vn = int
+
+type expr =
+  | E_const of int64
+  | E_fconst of float  (* compared by bit pattern *)
+  | E_alu of Opcode.alu * vn * vn
+  | E_fpu of Opcode.fpu * vn * vn option
+  | E_itof of vn
+  | E_ftoi of vn
+  | E_fcmp of Opcode.cond * vn * vn
+  | E_addr of string
+  | E_load of Opcode.width * vn * int * int  (** base, offset, memory gen *)
+  | E_fload of vn * int * int
+
+type state = {
+  mutable next_vn : int;
+  vn_of : vn Vreg.Tbl.t;  (** current value number of each vreg *)
+  expr_vn : (expr, vn) Hashtbl.t;
+  holders : (vn, Vreg.t list) Hashtbl.t;  (** vregs currently holding a vn *)
+  const_of : (vn, int64) Hashtbl.t;
+  mutable memgen : int;
+}
+
+let fresh st =
+  let v = st.next_vn in
+  st.next_vn <- v + 1;
+  v
+
+let vn_of_vreg st v =
+  match Vreg.Tbl.find_opt st.vn_of v with
+  | Some n -> n
+  | None ->
+      (* Unknown incoming value: give it a fresh number and record the
+         vreg as its holder. *)
+      let n = fresh st in
+      Vreg.Tbl.replace st.vn_of v n;
+      Hashtbl.replace st.holders n [ v ];
+      n
+
+let vn_of_expr st e =
+  match Hashtbl.find_opt st.expr_vn e with
+  | Some n -> Some n
+  | None -> None
+
+let intern st e =
+  match Hashtbl.find_opt st.expr_vn e with
+  | Some n -> n
+  | None ->
+      let n = fresh st in
+      Hashtbl.replace st.expr_vn e n;
+      (match e with
+      | E_const c -> Hashtbl.replace st.const_of n c
+      | _ -> ());
+      n
+
+let holder st n =
+  match Hashtbl.find_opt st.holders n with
+  | Some (v :: _) -> Some v
+  | _ -> None
+
+let const st n = Hashtbl.find_opt st.const_of n
+
+(** Record that [v] now holds value number [n], removing it from its
+    previous number's holder list. *)
+let assign st v n =
+  (match Vreg.Tbl.find_opt st.vn_of v with
+  | Some old -> (
+      match Hashtbl.find_opt st.holders old with
+      | Some hs ->
+          Hashtbl.replace st.holders old
+            (List.filter (fun h -> not (Vreg.equal h v)) hs)
+      | None -> ())
+  | None -> ());
+  Vreg.Tbl.replace st.vn_of v n;
+  let hs = try Hashtbl.find st.holders n with Not_found -> [] in
+  Hashtbl.replace st.holders n (hs @ [ v ])
+
+let value_vn st = function
+  | Op.V v -> vn_of_vreg st v
+  | Op.C c -> intern st (E_const c)
+
+(** Replace a register use by an equivalent-valued register if the
+    current holder differs (mostly a no-op: a vreg always holds its own
+    number; this canonicalises after copies). *)
+let canon st v =
+  match holder st (vn_of_vreg st v) with
+  | Some h when Rc_isa.Reg.equal_cls h.Vreg.cls v.Vreg.cls -> h
+  | _ -> v
+
+(** Fold a register operand to a constant when its value is known. *)
+let canon_value st = function
+  | Op.C _ as c -> c
+  | Op.V v -> (
+      let n = vn_of_vreg st v in
+      match const st n with Some c -> Op.C c | None -> Op.V (canon st v))
+
+let run_block (b : Block.t) =
+  let st =
+    {
+      next_vn = 0;
+      vn_of = Vreg.Tbl.create 64;
+      expr_vn = Hashtbl.create 64;
+      holders = Hashtbl.create 64;
+      const_of = Hashtbl.create 64;
+      memgen = 0;
+    }
+  in
+  let rewrite op =
+    match op with
+    | Op.Li (d, c) ->
+        assign st d (intern st (E_const c));
+        op
+    | Op.Fli (d, x) ->
+        assign st d (intern st (E_fconst x));
+        op
+    | Op.Mov (d, s) ->
+        let s = canon st s in
+        let n = vn_of_vreg st s in
+        assign st d n;
+        (match const st n with Some c -> Op.Li (d, c) | None -> Op.Mov (d, s))
+    | Op.Alu (a, d, x, y) -> (
+        let x = canon_value st x and y = canon_value st y in
+        match (x, y) with
+        | Op.C cx, Op.C cy ->
+            let c = Opcode.eval_alu a cx cy in
+            assign st d (intern st (E_const c));
+            Op.Li (d, c)
+        | _ -> (
+            let nx = value_vn st x and ny = value_vn st y in
+            let e = E_alu (a, nx, ny) in
+            match vn_of_expr st e with
+            | Some n -> (
+                match holder st n with
+                | Some h when not (Vreg.equal h d) ->
+                    assign st d n;
+                    Op.Mov (d, h)
+                | _ ->
+                    assign st d (intern st e);
+                    Op.Alu (a, d, x, y))
+            | None ->
+                assign st d (intern st e);
+                Op.Alu (a, d, x, y)))
+    | Op.Fpu (o, d, s1, s2) -> (
+        let s1 = canon st s1 and s2 = Option.map (canon st) s2 in
+        let e = E_fpu (o, vn_of_vreg st s1, Option.map (vn_of_vreg st) s2) in
+        match vn_of_expr st e with
+        | Some n -> (
+            match holder st n with
+            | Some h when not (Vreg.equal h d) ->
+                assign st d n;
+                Op.Mov (d, h)
+            | _ ->
+                assign st d (intern st e);
+                Op.Fpu (o, d, s1, s2))
+        | None ->
+            assign st d (intern st e);
+            Op.Fpu (o, d, s1, s2))
+    | Op.Itof (d, s) ->
+        let s = canon st s in
+        let e = E_itof (vn_of_vreg st s) in
+        assign st d (intern st e);
+        Op.Itof (d, s)
+    | Op.Ftoi (d, s) ->
+        let s = canon st s in
+        let e = E_ftoi (vn_of_vreg st s) in
+        assign st d (intern st e);
+        Op.Ftoi (d, s)
+    | Op.Fcmp (c, d, s1, s2) ->
+        let s1 = canon st s1 and s2 = canon st s2 in
+        let e = E_fcmp (c, vn_of_vreg st s1, vn_of_vreg st s2) in
+        assign st d (intern st e);
+        Op.Fcmp (c, d, s1, s2)
+    | Op.Addr (d, g) -> (
+        let e = E_addr g in
+        match vn_of_expr st e with
+        | Some n -> (
+            match holder st n with
+            | Some h when not (Vreg.equal h d) ->
+                assign st d n;
+                Op.Mov (d, h)
+            | _ ->
+                assign st d (intern st e);
+                op)
+        | None ->
+            assign st d (intern st e);
+            op)
+    | Op.Ld (w, d, base, off) -> (
+        let base = canon st base in
+        let e = E_load (w, vn_of_vreg st base, off, st.memgen) in
+        match vn_of_expr st e with
+        | Some n -> (
+            match holder st n with
+            | Some h when not (Vreg.equal h d) ->
+                assign st d n;
+                Op.Mov (d, h)
+            | _ ->
+                assign st d (intern st e);
+                Op.Ld (w, d, base, off))
+        | None ->
+            assign st d (intern st e);
+            Op.Ld (w, d, base, off))
+    | Op.Fld (d, base, off) -> (
+        let base = canon st base in
+        let e = E_fload (vn_of_vreg st base, off, st.memgen) in
+        match vn_of_expr st e with
+        | Some n -> (
+            match holder st n with
+            | Some h when not (Vreg.equal h d) ->
+                assign st d n;
+                Op.Mov (d, h)
+            | _ ->
+                assign st d (intern st e);
+                Op.Fld (d, base, off))
+        | None ->
+            assign st d (intern st e);
+            Op.Fld (d, base, off))
+    | Op.St (w, v, base, off) ->
+        let v = canon st v and base = canon st base in
+        st.memgen <- st.memgen + 1;
+        Op.St (w, v, base, off)
+    | Op.Fst (v, base, off) ->
+        let v = canon st v and base = canon st base in
+        st.memgen <- st.memgen + 1;
+        Op.Fst (v, base, off)
+    | Op.Call c ->
+        let args = List.map (canon st) c.args in
+        st.memgen <- st.memgen + 1;
+        (* The result is a brand-new unknown value. *)
+        (match c.dst with Some d -> assign st d (fresh st) | None -> ());
+        Op.Call { c with args }
+    | Op.Emit v -> Op.Emit (canon st v)
+    | Op.Femit v -> Op.Femit (canon st v)
+  in
+  b.Block.ops <- List.map rewrite b.Block.ops;
+  b.Block.term <- Op.term_map_uses (canon st) b.Block.term;
+  (* Fold constant branches away entirely. *)
+  b.Block.term <-
+    (match b.Block.term with
+    | Op.Br (c, x, y, t, e) -> (
+        let cx = const st (vn_of_vreg st x)
+        and cy = const st (vn_of_vreg st y) in
+        match (cx, cy) with
+        | Some a, Some b' -> if Opcode.eval_cond c a b' then Op.Jmp t else Op.Jmp e
+        | _ -> b.Block.term)
+    | t -> t)
+
+let run_func (f : Func.t) = List.iter run_block f.Func.blocks
+let run (p : Prog.t) = List.iter run_func p.Prog.funcs

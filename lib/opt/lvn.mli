@@ -1,0 +1,10 @@
+(** Local value numbering: within each basic block this performs
+    constant folding, constant propagation into immediate operands,
+    common subexpression elimination (including redundant loads,
+    invalidated at stores and calls), copy detection, and constant
+    branch folding.  Redundant computations are rewritten to [Mov]s;
+    dead-code elimination then cleans up. *)
+
+val run_block : Rc_ir.Block.t -> unit
+val run_func : Rc_ir.Func.t -> unit
+val run : Rc_ir.Prog.t -> unit

@@ -1,0 +1,39 @@
+(** Optimisation pipelines.
+
+    - {!classical}: the "conventional compiler scalar optimizations" of
+      the paper's baseline — value numbering (constant folding /
+      propagation, CSE), copy propagation, dead-code elimination and
+      loop-invariant code motion.
+    - {!ilp}: the instruction-level-parallelism preparation applied for
+      superscalar targets — loop unrolling with register renaming —
+      followed by a classical clean-up round.  This is the transformation
+      that "tends to increase the number of variables that are
+      simultaneously live" (paper section 1). *)
+
+open Rc_ir
+
+type level = Classical | Ilp of int  (** unroll factor *)
+
+let default_unroll = 4
+
+let cleanup (p : Prog.t) =
+  Lvn.run p;
+  Copyprop.run p;
+  Dce.run p
+
+let classical (p : Prog.t) =
+  cleanup p;
+  Licm.run p;
+  cleanup p
+
+let ilp ?(factor = default_unroll) (p : Prog.t) =
+  classical p;
+  Unroll.run ~factor p;
+  cleanup p
+
+let apply level (p : Prog.t) =
+  match level with Classical -> classical p | Ilp f -> ilp ~factor:f p
+
+let level_to_string = function
+  | Classical -> "classical"
+  | Ilp f -> Fmt.str "ilp(unroll=%d)" f

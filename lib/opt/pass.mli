@@ -1,0 +1,19 @@
+(** Optimisation pipelines.
+
+    - {!classical}: the "conventional compiler scalar optimizations" of
+      the paper's baseline — value numbering, copy propagation,
+      dead-code elimination and loop-invariant code motion.
+    - {!ilp}: the instruction-level-parallelism preparation applied for
+      superscalar targets — loop unrolling with register renaming
+      followed by a classical clean-up — the transformation that "tends
+      to increase the number of variables that are simultaneously live"
+      (paper section 1). *)
+
+type level = Classical | Ilp of int  (** unroll factor *)
+
+val default_unroll : int
+val cleanup : Rc_ir.Prog.t -> unit
+val classical : Rc_ir.Prog.t -> unit
+val ilp : ?factor:int -> Rc_ir.Prog.t -> unit
+val apply : level -> Rc_ir.Prog.t -> unit
+val level_to_string : level -> string

@@ -1,0 +1,111 @@
+(** Counted-loop unrolling with per-copy register renaming — the ILP
+    transformation that enlarges basic blocks for the scheduler and, as
+    the paper studies, raises the register requirement of the code.
+
+    A simple loop
+
+    {v
+    header: br (i < n) -> body | exit
+    body:   OPS(i); i += step; jmp header
+    v}
+
+    becomes
+
+    {v
+    uheader: t = i + (K-1)*step
+             br (t < n) -> ubody | header      (guard for K iterations)
+    ubody:   OPS(i); i1 = i + step             (copy 1, fresh names)
+             OPS(i1); i2 = i1 + step           (copy 2)
+             ... K copies ...
+             carried-variable restore moves
+             jmp uheader
+    header:  (the original loop, now the residual loop)
+    v}
+
+    Renaming gives every copy fresh destinations, eliminating the false
+    dependences that would otherwise serialise the copies. *)
+
+open Rc_ir
+open Rc_dataflow
+
+(** Replicate [ops] once, renaming definitions through [env]. *)
+let copy_once (f : Func.t) env ops =
+  List.map
+    (fun op ->
+      let op =
+        Op.map_uses
+          (fun v ->
+            match Vreg.Tbl.find_opt env v with Some v' -> v' | None -> v)
+          op
+      in
+      match Op.def op with
+      | None -> op
+      | Some d ->
+          let d' = Func.fresh_vreg f d.Vreg.cls in
+          let op = Op.map_def (fun _ -> d') op in
+          Vreg.Tbl.replace env d d';
+          op)
+    ops
+
+let unroll_loop (f : Func.t) ~factor (s : Loops.simple) =
+  let header = s.Loops.header and body = s.Loops.body_blk in
+  let live = Liveness.compute f in
+  let live_at_header = Liveness.live_in live header.Block.id in
+  let defs_in_body =
+    List.fold_left
+      (fun acc op ->
+        match Op.def op with Some d -> Vreg.Set.add d acc | None -> acc)
+      Vreg.Set.empty body.Block.ops
+  in
+  let carried = Vreg.Set.inter defs_in_body live_at_header in
+  let uheader = Func.fresh_block f in
+  let ubody = Func.fresh_block f in
+  (* Guard: all K iterations must be within bounds. *)
+  let t = Func.fresh_vreg f Rc_isa.Reg.Int in
+  let lookahead = Int64.mul (Int64.of_int (factor - 1)) s.Loops.step in
+  uheader.Block.ops <-
+    [ Op.Alu (Rc_isa.Opcode.Add, t, Op.V s.Loops.ivar, Op.C lookahead) ];
+  uheader.Block.term <-
+    Op.Br (s.Loops.cond, t, s.Loops.bound, ubody.Block.id, header.Block.id);
+  (* K renamed copies of the body. *)
+  let env = Vreg.Tbl.create 32 in
+  let copies = ref [] in
+  for _k = 1 to factor do
+    copies := !copies @ copy_once f env body.Block.ops
+  done;
+  let restores =
+    Vreg.Set.fold
+      (fun v acc ->
+        match Vreg.Tbl.find_opt env v with
+        | Some v' when not (Vreg.equal v v') -> Op.Mov (v, v') :: acc
+        | _ -> acc)
+      carried []
+  in
+  ubody.Block.ops <- !copies @ restores;
+  ubody.Block.term <- Op.Jmp uheader.Block.id;
+  (* Entry edges now reach the unrolled loop first. *)
+  List.iter
+    (fun (b : Block.t) ->
+      if b.Block.id <> body.Block.id && b != uheader then
+        b.Block.term <-
+          Licm.retarget_term ~from_:header.Block.id ~to_:uheader.Block.id
+            b.Block.term)
+    f.Func.blocks;
+  let rec insert = function
+    | [] -> [ uheader; ubody ]
+    | b :: rest when b == header -> uheader :: ubody :: b :: rest
+    | b :: rest -> b :: insert rest
+  in
+  f.Func.blocks <- insert f.Func.blocks
+
+let run_func ~factor (f : Func.t) =
+  if factor > 1 then
+    let simples = Loops.find_simple f in
+    List.iter
+      (fun (s : Loops.simple) ->
+        (* Only loops whose header carries no computation can drop the
+           intermediate tests. *)
+        if s.Loops.header.Block.ops = [] then unroll_loop f ~factor s)
+      simples
+
+let run ~factor (p : Prog.t) = List.iter (run_func ~factor) p.Prog.funcs

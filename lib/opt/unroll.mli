@@ -1,0 +1,11 @@
+(** Counted-loop unrolling with per-copy register renaming — the ILP
+    transformation that enlarges basic blocks for the scheduler and, as
+    the paper studies, raises the register requirement of the code.
+
+    Applies to simple counted loops with computation-free headers: the
+    unrolled loop checks a lookahead guard and runs [factor] renamed
+    body copies per iteration; the original loop remains as the
+    residual. *)
+
+val run_func : factor:int -> Rc_ir.Func.t -> unit
+val run : factor:int -> Rc_ir.Prog.t -> unit

@@ -1,0 +1,49 @@
+(** Top-level register allocation over a whole program.
+
+    - Without RC, the machine has only the core registers: colours are
+      the allocatable core registers and everything else spills to
+      memory through the reserved spill temporaries.
+    - With RC, colours span the whole 256-register physical file; the
+      priority order places hot ranges in the core section and colder
+      ranges in the extended section, where every access costs connect
+      instructions instead of loads and stores. *)
+
+open Rc_ir
+
+type t = {
+  ifile : Rc_isa.Reg.file;
+  ffile : Rc_isa.Reg.file;
+  by_func : (string, Assignment.t) Hashtbl.t;
+  graphs : (string, Rc_dataflow.Interference.t) Hashtbl.t;
+}
+
+let assignment t (f : Func.t) =
+  try Hashtbl.find t.by_func f.Func.name
+  with Not_found -> invalid_arg ("Alloc.assignment: " ^ f.Func.name)
+
+let graph t (f : Func.t) = Hashtbl.find t.graphs f.Func.name
+
+let run ?aggressive_extended ~ifile ~ffile (prog : Prog.t)
+    (profile : Rc_interp.Profile.t) =
+  let cfg = Coloring.config ?aggressive_extended ~ifile ~ffile () in
+  let t =
+    { ifile; ffile; by_func = Hashtbl.create 8; graphs = Hashtbl.create 8 }
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      let graph, asn = Coloring.run cfg f profile in
+      Hashtbl.replace t.by_func f.Func.name asn;
+      Hashtbl.replace t.graphs f.Func.name graph)
+    prog.Prog.funcs;
+  t
+
+(** Validation across a whole program (used by the test-suite). *)
+let validate t =
+  Hashtbl.fold
+    (fun name asn ok ->
+      ok && Assignment.validate asn (Hashtbl.find t.graphs name))
+    t.by_func true
+
+(** Total spilled virtual registers across the program. *)
+let total_spills t =
+  Hashtbl.fold (fun _ asn n -> n + Assignment.spilled_count asn) t.by_func 0

@@ -1,0 +1,39 @@
+(** Top-level register allocation over a whole program.
+
+    - Without RC, the machine has only the core registers: colours are
+      the allocatable core registers and everything else spills through
+      the reserved spill temporaries.
+    - With RC, colours span the whole physical file; hot read-mostly
+      ranges land in the core section and colder or write-heavy ranges
+      in the extended section, where accesses cost connect instructions
+      instead of loads and stores. *)
+
+open Rc_ir
+
+type t = {
+  ifile : Rc_isa.Reg.file;
+  ffile : Rc_isa.Reg.file;
+  by_func : (string, Assignment.t) Hashtbl.t;
+  graphs : (string, Rc_dataflow.Interference.t) Hashtbl.t;
+}
+
+(** @raise Invalid_argument for an unknown function. *)
+val assignment : t -> Func.t -> Assignment.t
+
+val graph : t -> Func.t -> Rc_dataflow.Interference.t
+
+(** [aggressive_extended] defaults to [true]; pass [false] when
+    compiling for 1-cycle connects (see {!Coloring.config}). *)
+val run :
+  ?aggressive_extended:bool ->
+  ifile:Rc_isa.Reg.file ->
+  ffile:Rc_isa.Reg.file ->
+  Prog.t ->
+  Rc_interp.Profile.t ->
+  t
+
+(** Validation across a whole program (used by the test-suite). *)
+val validate : t -> bool
+
+(** Total spilled virtual registers across the program. *)
+val total_spills : t -> int

@@ -1,0 +1,86 @@
+(** The result of register allocation for one function: every virtual
+    register is either in a physical register (core or extended section)
+    or in a numbered spill slot of the frame. *)
+
+open Rc_ir
+
+type location =
+  | Reg of int  (** physical register number within the vreg's class *)
+  | Slot of int  (** spill slot index; the code generator assigns frame
+                     offsets *)
+
+type t = {
+  loc : location Vreg.Tbl.t;
+  mutable nslots : int;  (** number of spill slots handed out *)
+  ifile : Rc_isa.Reg.file;
+  ffile : Rc_isa.Reg.file;
+}
+
+let create ~ifile ~ffile =
+  { loc = Vreg.Tbl.create 64; nslots = 0; ifile; ffile }
+
+let file_of t = function
+  | Rc_isa.Reg.Int -> t.ifile
+  | Rc_isa.Reg.Float -> t.ffile
+
+let set_reg t v p = Vreg.Tbl.replace t.loc v (Reg p)
+
+let fresh_slot t =
+  let s = t.nslots in
+  t.nslots <- s + 1;
+  s
+
+let spill t v =
+  let s = fresh_slot t in
+  Vreg.Tbl.replace t.loc v (Slot s);
+  s
+
+let location t v =
+  match Vreg.Tbl.find_opt t.loc v with
+  | Some l -> l
+  | None -> invalid_arg (Fmt.str "Assignment.location: %a unallocated" Vreg.pp v)
+
+let is_spilled t v = match location t v with Slot _ -> true | Reg _ -> false
+
+let reg_of t v =
+  match location t v with
+  | Reg p -> p
+  | Slot _ -> invalid_arg (Fmt.str "Assignment.reg_of: %a spilled" Vreg.pp v)
+
+(** Physical registers of a class actually used by the allocation. *)
+let used_registers t cls =
+  let used = Hashtbl.create 32 in
+  Vreg.Tbl.iter
+    (fun (v : Vreg.t) l ->
+      match l with
+      | Reg p when Rc_isa.Reg.equal_cls v.Vreg.cls cls -> Hashtbl.replace used p ()
+      | _ -> ())
+    t.loc;
+  Hashtbl.fold (fun p () acc -> p :: acc) used []
+  |> List.sort Int.compare
+
+let spilled_count t =
+  Vreg.Tbl.fold
+    (fun _ l n -> match l with Slot _ -> n + 1 | Reg _ -> n)
+    t.loc 0
+
+(** Check that no two interfering same-class virtual registers share a
+    location — the correctness property of any allocation. *)
+let validate t (graph : Rc_dataflow.Interference.t) =
+  let ok = ref true in
+  Vreg.Set.iter
+    (fun v ->
+      Vreg.Set.iter
+        (fun u ->
+          if Vreg.compare v u < 0 && location t v = location t u then ok := false)
+        (Rc_dataflow.Interference.neighbours graph v))
+    graph.Rc_dataflow.Interference.nodes;
+  !ok
+
+let pp ppf t =
+  Vreg.Tbl.iter
+    (fun v l ->
+      match l with
+      | Reg p -> Fmt.pf ppf "%a -> %a@." Vreg.pp v (Rc_isa.Reg.pp_phys v.Vreg.cls) p
+      | Slot s -> Fmt.pf ppf "%a -> slot %d@." Vreg.pp v s)
+    t.loc

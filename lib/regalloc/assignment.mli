@@ -1,0 +1,44 @@
+(** The result of register allocation for one function: every virtual
+    register is either in a physical register (core or extended section)
+    or in a numbered spill slot of the frame. *)
+
+open Rc_ir
+
+type location =
+  | Reg of int  (** physical register number within the vreg's class *)
+  | Slot of int
+      (** spill slot index; the code generator assigns frame offsets *)
+
+type t = {
+  loc : location Vreg.Tbl.t;
+  mutable nslots : int;  (** number of spill slots handed out *)
+  ifile : Rc_isa.Reg.file;
+  ffile : Rc_isa.Reg.file;
+}
+
+val create : ifile:Rc_isa.Reg.file -> ffile:Rc_isa.Reg.file -> t
+val file_of : t -> Rc_isa.Reg.cls -> Rc_isa.Reg.file
+val set_reg : t -> Vreg.t -> int -> unit
+val fresh_slot : t -> int
+
+(** Spill a register into a fresh slot; returns the slot. *)
+val spill : t -> Vreg.t -> int
+
+(** @raise Invalid_argument for an unallocated register. *)
+val location : t -> Vreg.t -> location
+
+val is_spilled : t -> Vreg.t -> bool
+
+(** @raise Invalid_argument when the register is spilled. *)
+val reg_of : t -> Vreg.t -> int
+
+(** Physical registers of a class actually used, sorted. *)
+val used_registers : t -> Rc_isa.Reg.cls -> int list
+
+val spilled_count : t -> int
+
+(** Check that no two interfering same-class virtual registers share a
+    location — the correctness property of any allocation. *)
+val validate : t -> Rc_dataflow.Interference.t -> bool
+
+val pp : Format.formatter -> t -> unit

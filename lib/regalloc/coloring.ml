@@ -1,0 +1,188 @@
+(** Profile-guided priority colouring (Chow-style, as the paper's "graph
+    coloring algorithm that utilizes profile information in its priority
+    calculations", section 5.1).
+
+    Live ranges are coloured hottest-first.  Each range has an ordered
+    colour preference realising the paper's allocation policy: "place
+    the most important variables into the core registers, while storing
+    the less important variables in the extended registers or memory"
+    (section 3), with values live across calls preferring callee-saved
+    core registers to avoid save/restore traffic. *)
+
+open Rc_isa
+open Rc_ir
+open Rc_dataflow
+
+type config = {
+  ifile : Reg.file;
+  ffile : Reg.file;
+  aggressive_extended : bool;
+      (** send write-heavy ranges to the extended section when the core
+          is scarce — profitable with zero-cycle connects, where the
+          connect-def per write is nearly free; a compiler targeting
+          1-cycle connects keeps values in the core instead *)
+  (* registers available for allocation, per class, partitioned *)
+  caller_core : Reg.cls -> int list;
+  callee_core : Reg.cls -> int list;
+  extended : Reg.cls -> int list;
+}
+
+let config ?(aggressive_extended = true) ~ifile ~ffile () =
+  let part cls (f : Reg.file) =
+    let alloc = Reg.allocatable cls f in
+    let callee = Reg.callee_saved cls f in
+    let core, ext = List.partition (fun p -> Reg.is_core f p) alloc in
+    let caller = List.filter (fun p -> not (List.mem p callee)) core in
+    (caller, callee, ext)
+  in
+  let icaller, icallee, iext = part Reg.Int ifile in
+  let fcaller, fcallee, fext = part Reg.Float ffile in
+  {
+    ifile;
+    ffile;
+    aggressive_extended;
+    caller_core = (function Reg.Int -> icaller | Reg.Float -> fcaller);
+    callee_core = (function Reg.Int -> icallee | Reg.Float -> fcallee);
+    extended = (function Reg.Int -> iext | Reg.Float -> fext);
+  }
+
+(** Profile-weighted use and definition counts of each virtual register.
+    Their sum is the classic spill cost (every occurrence would become a
+    memory access); their difference ranks {e core affinity} under RC:
+    read-mostly values (loop invariants) gain the most from a core
+    register — their reads are free and they are never rewritten —
+    while frequently-written temporaries are better renamed across the
+    large extended section at the price of a connect-def per write. *)
+let use_def_weights (f : Func.t) (profile : Rc_interp.Profile.t) =
+  let uses = Vreg.Tbl.create 64 and defs = Vreg.Tbl.create 64 in
+  let bump tbl v w =
+    Vreg.Tbl.replace tbl v (w + try Vreg.Tbl.find tbl v with Not_found -> 0)
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      let w =
+        Rc_interp.Profile.weight profile ~func:f.Func.name ~block:b.Block.id
+      in
+      List.iter
+        (fun op ->
+          List.iter (fun u -> bump uses u w) (Op.uses op);
+          Option.iter (fun d -> bump defs d w) (Op.def op))
+        b.Block.ops;
+      List.iter (fun u -> bump uses u w) (Op.term_uses b.Block.term))
+    f.Func.blocks;
+  (* Parameters are live at entry even if rarely used. *)
+  List.iter (fun p -> bump uses p 1) f.Func.params;
+  let get tbl v = try Vreg.Tbl.find tbl v with Not_found -> 0 in
+  ((fun v -> get uses v), fun v -> get defs v)
+
+let spill_costs (f : Func.t) (profile : Rc_interp.Profile.t) =
+  let use_w, def_w = use_def_weights f profile in
+  fun v -> use_w v + def_w v
+
+(** Colour one function.  Returns the assignment; spills get slots. *)
+let run cfg (f : Func.t) (profile : Rc_interp.Profile.t) =
+  let live = Liveness.compute f in
+  let graph = Interference.build f live in
+  let use_w, def_w = use_def_weights f profile in
+  let cost v = use_w v + def_w v in
+  let has_extended =
+    cfg.extended Reg.Int <> [] || cfg.extended Reg.Float <> []
+  in
+  (* Assignment order doubles as core priority: earlier ranges grab the
+     core segment.  Without an extended section the order is the classic
+     spill priority (hottest first).  With one, rank by core affinity
+     (uses minus defs) so invariants occupy the core and write-heavy
+     temporaries spread over the extended registers. *)
+  let rank v = if has_extended then use_w v - def_w v else cost v in
+  (* Core scarcity per class: only when the live pressure exceeds the
+     allocatable core section is it worth sending write-heavy ranges to
+     the extended section (renaming beats reuse stalls); with a roomy
+     core, extended placement would just buy connects for nothing. *)
+  let core_scarce cls =
+    has_extended && cfg.aggressive_extended
+    &&
+    let core_avail =
+      List.length (cfg.caller_core cls) + List.length (cfg.callee_core cls)
+    in
+    (* Renaming freedom needs headroom well beyond the peak pressure:
+       with the core only just covering the live values, reuse distances
+       stay within instruction latencies and the in-order pipeline
+       stalls. *)
+    2 * Interference.max_pressure f live cls > core_avail
+  in
+  let iscarce = core_scarce Reg.Int and fscarce = core_scarce Reg.Float in
+  let core_scarce = function Reg.Int -> iscarce | Reg.Float -> fscarce in
+  let crosses_call = Liveness.live_across_calls f live in
+  let asn = Assignment.create ~ifile:cfg.ifile ~ffile:cfg.ffile in
+  let nodes =
+    Vreg.Set.elements graph.Interference.nodes
+    |> List.sort (fun a b ->
+           match Int.compare (rank b) (rank a) with
+           | 0 -> (
+               match Int.compare (cost b) (cost a) with
+               | 0 -> Vreg.compare a b
+               | c -> c)
+           | c -> c)
+  in
+  (* Within a preference segment, pick the least-recently-assigned free
+     colour.  First-fit would funnel every short-lived range through the
+     same few registers, and the resulting WAR/WAW dependences serialise
+     an in-order superscalar; spreading assignments is the compiler-side
+     register renaming that lets a large file pay off — and with a small
+     file the forced reuse is precisely the scheduling restriction the
+     paper measures. *)
+  let stamp = ref 0 in
+  let last_used : (Reg.cls * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (v : Vreg.t) ->
+      let cls = v.Vreg.cls in
+      let segments =
+        if Vreg.Set.mem v crosses_call then
+          [ cfg.callee_core cls; cfg.caller_core cls; cfg.extended cls ]
+        else begin
+          (* One merged core segment: restricting short-lived ranges to
+             the caller-saved half would halve the effective file and
+             reintroduce the very reuse serialisation a big file is
+             meant to remove. *)
+          let core = cfg.caller_core cls @ cfg.callee_core cls in
+          if core_scarce cls && use_w v <= def_w v then
+            (* Write-heavy ranges prefer the extended section outright:
+               a core register would only buy them reuse stalls, while a
+               connect-def per write buys full renaming. *)
+            [ cfg.extended cls; core ]
+          else [ core; cfg.extended cls ]
+        end
+      in
+      let taken = Hashtbl.create 16 in
+      Vreg.Set.iter
+        (fun n ->
+          match Vreg.Tbl.find_opt asn.Assignment.loc n with
+          | Some (Assignment.Reg p) -> Hashtbl.replace taken p ()
+          | _ -> ())
+        (Interference.neighbours graph v);
+      let pick_in_segment seg =
+        List.fold_left
+          (fun best p ->
+            if Hashtbl.mem taken p then best
+            else
+              let age =
+                try Hashtbl.find last_used (cls, p) with Not_found -> -1
+              in
+              match best with
+              | Some (_, best_age) when best_age <= age -> best
+              | _ -> Some (p, age))
+          None seg
+      in
+      let rec pick = function
+        | [] -> None
+        | seg :: rest -> (
+            match pick_in_segment seg with Some (p, _) -> Some p | None -> pick rest)
+      in
+      match pick segments with
+      | Some p ->
+          incr stamp;
+          Hashtbl.replace last_used (cls, p) !stamp;
+          Assignment.set_reg asn v p
+      | None -> ignore (Assignment.spill asn v))
+    nodes;
+  (graph, asn)

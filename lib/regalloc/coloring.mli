@@ -1,0 +1,46 @@
+(** Profile-guided priority colouring (Chow-style, as the paper's "graph
+    coloring algorithm that utilizes profile information in its priority
+    calculations", section 5.1).
+
+    Live ranges are coloured by priority.  Each range has an ordered
+    colour preference realising the paper's allocation policy ("place
+    the most important variables into the core registers, while storing
+    the less important variables in the extended registers or memory",
+    section 3) plus two policies this reproduction needed on an in-order
+    machine (DESIGN.md section 10): least-recently-used colour choice
+    within a preference segment, and core-affinity ranking with an
+    extended-first rule for write-heavy ranges under core scarcity. *)
+
+open Rc_isa
+open Rc_ir
+
+type config = {
+  ifile : Reg.file;
+  ffile : Reg.file;
+  aggressive_extended : bool;
+      (** send write-heavy ranges to the extended section when the core
+          is scarce — profitable with zero-cycle connects; a compiler
+          targeting 1-cycle connects keeps values in the core instead *)
+  caller_core : Reg.cls -> int list;
+  callee_core : Reg.cls -> int list;
+  extended : Reg.cls -> int list;
+}
+
+val config :
+  ?aggressive_extended:bool -> ifile:Reg.file -> ffile:Reg.file -> unit -> config
+
+(** Profile-weighted use and definition counts of each virtual register.
+    Their sum is the classic spill cost; their difference ranks core
+    affinity under RC. *)
+val use_def_weights :
+  Func.t -> Rc_interp.Profile.t -> (Vreg.t -> int) * (Vreg.t -> int)
+
+val spill_costs : Func.t -> Rc_interp.Profile.t -> Vreg.t -> int
+
+(** Colour one function; spilled registers receive slots.  Returns the
+    interference graph (for validation) and the assignment. *)
+val run :
+  config ->
+  Func.t ->
+  Rc_interp.Profile.t ->
+  Rc_dataflow.Interference.t * Assignment.t

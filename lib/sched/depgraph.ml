@@ -1,0 +1,170 @@
+(** Dependence DAG over the instructions of one basic block (physical
+    form, before connect insertion).
+
+    Edges carry the minimum issue distance in cycles: RAW edges carry the
+    producer's latency, WAR edges zero, WAW edges the first writer's
+    latency (CRAY-1 style interlocking holds a destination busy until the
+    write completes).  Memory edges are conservative except that
+    SP-relative accesses with disjoint byte ranges and no intervening SP
+    redefinition are independent — spill traffic to distinct slots can
+    overlap.  Calls are scheduling barriers; block terminators are
+    pinned at the end. *)
+
+open Rc_isa
+
+type edge = { src : int; dst : int; lat : int }
+
+type t = {
+  insns : Insn.t array;
+  succs : (int * int) list array;  (** (successor, latency) *)
+  preds : (int * int) list array;
+  n_term : int;  (** trailing pinned terminator instructions *)
+}
+
+let is_terminator (i : Insn.t) =
+  match i.Insn.op with
+  | Opcode.Br _ | Opcode.Jmp | Opcode.Rts | Opcode.Halt | Opcode.Trap
+  | Opcode.Rfe ->
+      true
+  | _ -> false
+
+let is_barrier (i : Insn.t) =
+  match i.Insn.op with
+  | Opcode.Jsr | Opcode.Mapen | Opcode.Connect | Opcode.Mfmap _
+  | Opcode.Mtmap _ ->
+      true
+  | _ -> false
+
+(* Byte range touched by a memory instruction, for disambiguation. *)
+let mem_range (i : Insn.t) =
+  let off = Int64.to_int i.Insn.imm in
+  match i.Insn.op with
+  | Opcode.Ld Opcode.W1 | Opcode.St Opcode.W1 -> (off, off + 1)
+  | _ -> (off, off + 8)
+
+let mem_base (i : Insn.t) =
+  match i.Insn.op with
+  | Opcode.Ld _ | Opcode.Fld -> Some i.Insn.srcs.(0)
+  | Opcode.St _ | Opcode.Fst -> Some i.Insn.srcs.(1)
+  | _ -> None
+
+let build (lat : Latency.t) (insns : Insn.t array) =
+  let n = Array.length insns in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let have = Hashtbl.create 64 in
+  let add_edge src dst l =
+    (* The first recorded edge between a pair wins; RAW edges (the only
+       ones carrying real latency) are always recorded first for a pair
+       because the reader's source scan precedes every later writer. *)
+    if src <> dst && not (Hashtbl.mem have (src, dst)) then begin
+      Hashtbl.replace have (src, dst) ();
+      succs.(src) <- (dst, l) :: succs.(src);
+      preds.(dst) <- (src, l) :: preds.(dst)
+    end
+  in
+  (* Register dependences via last-def / uses-since-def tracking. *)
+  let key (o : Insn.operand) = (o.Insn.cls, o.Insn.r) in
+  let last_def : ((Reg.cls * int), int) Hashtbl.t = Hashtbl.create 32 in
+  let uses_since : ((Reg.cls * int), int list) Hashtbl.t = Hashtbl.create 32 in
+  (* SP version for memory disambiguation. *)
+  let sp_version = ref 0 in
+  let last_stores = ref [] (* (index, base_key, base_version, range) *) in
+  let loads_since = ref [] in
+  let last_barrier = ref (-1) in
+  let last_emit = ref (-1) in
+  for idx = 0 to n - 1 do
+    let i = insns.(idx) in
+    if !last_barrier >= 0 then add_edge !last_barrier idx 1;
+    (* RAW / WAR *)
+    Array.iter
+      (fun o ->
+        let k = key o in
+        (match Hashtbl.find_opt last_def k with
+        | Some d -> add_edge d idx (Latency.of_opcode lat insns.(d).Insn.op)
+        | None -> ());
+        let us = try Hashtbl.find uses_since k with Not_found -> [] in
+        Hashtbl.replace uses_since k (idx :: us))
+      i.Insn.srcs;
+    (match i.Insn.dst with
+    | Some o ->
+        let k = key o in
+        (match Hashtbl.find_opt last_def k with
+        | Some d -> add_edge d idx (Latency.of_opcode lat insns.(d).Insn.op)
+        | None -> ());
+        (match Hashtbl.find_opt uses_since k with
+        | Some us -> List.iter (fun u -> add_edge u idx 0) us
+        | None -> ());
+        Hashtbl.replace last_def k idx;
+        Hashtbl.replace uses_since k [];
+        if k = (Reg.Int, Reg.sp) then incr sp_version
+    | None -> ());
+    (* Memory ordering. *)
+    if Insn.is_mem i then begin
+      let base =
+        match mem_base i with Some o -> key o | None -> assert false
+      in
+      let bver = if base = (Reg.Int, Reg.sp) then !sp_version else -1 in
+      let range = mem_range i in
+      let disjoint (b2, v2, (lo2, hi2)) =
+        base = (Reg.Int, Reg.sp) && b2 = base && bver = v2
+        &&
+        let lo, hi = range in
+        hi <= lo2 || hi2 <= lo
+      in
+      if Insn.is_store i then begin
+        List.iter
+          (fun (s, b2, v2, r2) ->
+            if not (disjoint (b2, v2, r2)) then add_edge s idx 1)
+          !last_stores;
+        List.iter
+          (fun (l, b2, v2, r2) ->
+            if not (disjoint (b2, v2, r2)) then add_edge l idx 0)
+          !loads_since;
+        last_stores := (idx, base, bver, range) :: !last_stores;
+        loads_since := []
+      end
+      else
+        List.iter
+          (fun (s, b2, v2, r2) ->
+            if not (disjoint (b2, v2, r2)) then add_edge s idx 1)
+          !last_stores;
+      if Insn.is_load i then loads_since := (idx, base, bver, range) :: !loads_since
+    end;
+    (* Output stream order. *)
+    (match i.Insn.op with
+    | Opcode.Emit | Opcode.Femit ->
+        if !last_emit >= 0 then add_edge !last_emit idx 0;
+        last_emit := idx
+    | _ -> ());
+    if is_barrier i then begin
+      for j = 0 to idx - 1 do
+        add_edge j idx 1
+      done;
+      last_barrier := idx
+    end
+  done;
+  (* Pin terminators at the end, in order. *)
+  let n_term = ref 0 in
+  let continue_ = ref true in
+  for idx = n - 1 downto 0 do
+    if !continue_ && is_terminator insns.(idx) then incr n_term
+    else continue_ := false
+  done;
+  let first_term = n - !n_term in
+  for t = first_term to n - 1 do
+    for j = 0 to t - 1 do
+      if j < first_term || j = t - 1 then add_edge j t 0
+    done
+  done;
+  { insns; succs; preds; n_term = !n_term }
+
+(** Longest-path-to-exit priority for list scheduling. *)
+let heights t =
+  let n = Array.length t.insns in
+  let h = Array.make n 0 in
+  for idx = n - 1 downto 0 do
+    List.iter
+      (fun (s, l) -> h.(idx) <- max h.(idx) (h.(s) + max 1 l))
+      t.succs.(idx)
+  done;
+  h

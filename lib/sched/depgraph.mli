@@ -1,0 +1,30 @@
+(** Dependence DAG over the instructions of one basic block (physical
+    form, before connect insertion).
+
+    Edges carry the minimum issue distance in cycles: RAW edges carry
+    the producer's latency, WAR edges zero, WAW edges the first writer's
+    latency (CRAY-1-style interlocking holds a destination busy until
+    the write completes).  Memory edges are conservative except that
+    SP-relative accesses with disjoint byte ranges and no intervening SP
+    redefinition are independent — spill traffic to distinct slots can
+    overlap.  Calls are scheduling barriers; block terminators are
+    pinned at the end; emits keep their program order (they are the
+    observable output stream). *)
+
+open Rc_isa
+
+type edge = { src : int; dst : int; lat : int }
+
+type t = {
+  insns : Insn.t array;
+  succs : (int * int) list array;  (** (successor, latency) *)
+  preds : (int * int) list array;
+  n_term : int;  (** trailing pinned terminator instructions *)
+}
+
+val is_terminator : Insn.t -> bool
+val is_barrier : Insn.t -> bool
+val build : Latency.t -> Insn.t array -> t
+
+(** Longest-path-to-exit priority for list scheduling. *)
+val heights : t -> int array

@@ -1,0 +1,77 @@
+(** Cycle-driven list scheduling of each basic block for a given issue
+    width and memory-channel count.  The output is a new linear order;
+    the simulator re-derives exact timing from it, so the scheduler is a
+    heuristic that tries to pack independent instructions into the same
+    issue group and hide load and FP latencies. *)
+
+open Rc_isa
+
+type config = { width : int; mem_channels : int; lat : Latency.t }
+
+let config ?(width = 4) ?(mem_channels = 2) ?(lat = Latency.default) () =
+  { width; mem_channels; lat }
+
+let schedule_block cfg (insns : Insn.t array) =
+  let n = Array.length insns in
+  if n <= 1 then insns
+  else begin
+    let g = Depgraph.build cfg.lat insns in
+    let height = Depgraph.heights g in
+    let unsched_preds = Array.map List.length g.Depgraph.preds in
+    let ready_time = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let count = ref 0 in
+    let cycle = ref 0 in
+    while !count < n do
+      let slots = ref cfg.width and mem = ref cfg.mem_channels in
+      let progressed = ref true in
+      while !progressed && !slots > 0 do
+        progressed := false;
+        (* Pick the ready instruction with the greatest height; break
+           ties towards original program order. *)
+        let best = ref (-1) in
+        for idx = n - 1 downto 0 do
+          if
+            (not scheduled.(idx))
+            && unsched_preds.(idx) = 0
+            && ready_time.(idx) <= !cycle
+            && ((not (Insn.is_mem insns.(idx))) || !mem > 0)
+          then
+            if
+              !best = -1
+              || height.(idx) > height.(!best)
+              || (height.(idx) = height.(!best) && idx < !best)
+            then best := idx
+        done;
+        if !best >= 0 then begin
+          let idx = !best in
+          scheduled.(idx) <- true;
+          incr count;
+          decr slots;
+          if Insn.is_mem insns.(idx) then decr mem;
+          order := idx :: !order;
+          List.iter
+            (fun (s, l) ->
+              unsched_preds.(s) <- unsched_preds.(s) - 1;
+              ready_time.(s) <- max ready_time.(s) (!cycle + l))
+            g.Depgraph.succs.(idx);
+          progressed := true
+        end
+      done;
+      incr cycle
+    done;
+    let order = Array.of_list (List.rev !order) in
+    Array.map (fun idx -> insns.(idx)) order
+  end
+
+(** Schedule every block of a machine program in place. *)
+let run cfg (m : Mcode.t) =
+  List.iter
+    (fun (f : Mcode.func) ->
+      List.iter
+        (fun (b : Mcode.block) ->
+          let arr = Array.of_list b.Mcode.insns in
+          b.Mcode.insns <- Array.to_list (schedule_block cfg arr))
+        f.Mcode.blocks)
+    m.Mcode.funcs

@@ -1,0 +1,18 @@
+(** Cycle-driven list scheduling of each basic block for a given issue
+    width and memory-channel count.  The output is a new linear order;
+    the simulator re-derives exact timing from it, so the scheduler is a
+    heuristic that packs independent instructions into issue groups and
+    hides load and FP latencies. *)
+
+open Rc_isa
+
+type config = { width : int; mem_channels : int; lat : Latency.t }
+
+val config : ?width:int -> ?mem_channels:int -> ?lat:Latency.t -> unit -> config
+
+(** Schedule one block: returns a dependence-respecting permutation of
+    the same instruction records. *)
+val schedule_block : config -> Insn.t array -> Insn.t array
+
+(** Schedule every block of a machine program in place. *)
+val run : config -> Mcode.t -> unit

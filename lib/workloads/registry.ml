@@ -1,0 +1,31 @@
+(** All benchmark kernels, in the paper's order (section 5.3): nine
+    integer and three floating-point programs. *)
+
+let all () : Wutil.bench list =
+  [
+    W_cccp.bench;
+    W_cmp.bench;
+    W_compress.bench;
+    W_eqn.bench;
+    W_eqntott.bench;
+    W_espresso.bench;
+    W_grep.bench;
+    W_lex.bench;
+    W_yacc.bench;
+    W_matrix300.bench;
+    W_nasa7.bench;
+    W_tomcatv.bench;
+  ]
+
+let find name =
+  match List.find_opt (fun (b : Wutil.bench) -> b.Wutil.name = name) (all ()) with
+  | Some b -> b
+  | None -> invalid_arg ("Registry.find: unknown benchmark " ^ name)
+
+let names () = List.map (fun (b : Wutil.bench) -> b.Wutil.name) (all ())
+
+let integer () =
+  List.filter (fun (b : Wutil.bench) -> b.Wutil.kind = Wutil.Int_bench) (all ())
+
+let floating () =
+  List.filter (fun (b : Wutil.bench) -> b.Wutil.kind = Wutil.Float_bench) (all ())

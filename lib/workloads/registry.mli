@@ -1,0 +1,11 @@
+(** All benchmark kernels, in the paper's order (section 5.3): nine
+    integer and three floating-point programs. *)
+
+val all : unit -> Wutil.bench list
+
+(** @raise Invalid_argument for an unknown name. *)
+val find : string -> Wutil.bench
+
+val names : unit -> string list
+val integer : unit -> Wutil.bench list
+val floating : unit -> Wutil.bench list

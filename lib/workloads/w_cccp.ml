@@ -1,0 +1,114 @@
+(** [cccp]: the GNU C preprocessor's character — token scanning over a
+    byte buffer, hashing each identifier, probing a macro table and
+    accumulating the expansion.  Branchy byte-at-a-time code with a
+    helper call per token (procedure-interface register traffic). *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let table_size = 256
+
+let build scale =
+  let n = 1536 * scale in
+  let r = Wutil.rng 1001L in
+  let text = Wutil.random_bytes r n "abcdefgh  \n" in
+  (* Macro table: open addressing, key = hash, value = replacement. *)
+  let table = Array.make (2 * table_size) 0L in
+  for _ = 1 to 180 do
+    let h = Wutil.next_int r table_size in
+    table.((2 * h) + 0) <- Int64.of_int (1 + Wutil.next_int r 0xFFFF);
+    table.((2 * h) + 1) <- Int64.of_int (Wutil.next_int r 100000)
+  done;
+  let prog = B.program ~entry:"main" in
+  Wutil.global_bytes prog "text" text;
+  Wutil.global_words prog "macros" table;
+  (* hash_token(ptr, len) -> hash of the token bytes *)
+  let _hash =
+    B.define prog "hash_token" ~params:[ Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let ptr, len =
+          match params with [ x; y ] -> (x, y) | _ -> assert false
+        in
+        let h = B.cint b 5381 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let c = B.loadb b (B.elem1 b ptr i) in
+            B.assign b h (B.add b (B.muli b h 33L) c));
+        B.ret b (Some h))
+  in
+  (* lookup(h) -> value or 0 *)
+  let _lookup =
+    B.define prog "lookup" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+        let h = match params with [ x ] -> x | _ -> assert false in
+        let tbl = B.addr b "macros" in
+        let key = B.addi b (B.andi b h (Int64.of_int (table_size - 1))) 1L in
+        let slot = B.muli b (B.subi b key 1L) 16L in
+        let k = B.load b (B.add b tbl slot) in
+        let result = B.cint b 0 in
+        B.if_ b Opcode.Ne k (B.cint b 0)
+          ~then_:(fun () ->
+            let v = B.load b ~off:8 (B.add b tbl slot) in
+            B.assign b result (B.add b v k))
+          ();
+        B.ret b (Some result))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let text_p = B.addr b "text" in
+        let len = B.cint b n in
+        let pos = B.cint b 0 in
+        let expansions = B.cint b 0 in
+        let checksum = B.cint b 0 in
+        let tokens = B.cint b 0 in
+        let space = B.cint b 32 in
+        B.while_ b
+          ~cond:(fun () -> (Opcode.Lt, pos, len))
+          ~body:(fun () ->
+            let c = B.loadb b (B.elem1 b text_p pos) in
+            B.if_ b Opcode.Le c space
+              ~then_:(fun () -> B.assign b pos (B.addi b pos 1L))
+              ~else_:(fun () ->
+                (* find the end of the token *)
+                let tok_start = B.fresh b Reg.Int in
+                B.mov b ~dst:tok_start ~src:pos;
+                let scanning = B.cint b 1 in
+                B.while_ b
+                  ~cond:(fun () -> (Opcode.Ne, scanning, B.cint b 0))
+                  ~body:(fun () ->
+                    B.if_ b Opcode.Ge pos len
+                      ~then_:(fun () -> B.seti b scanning 0L)
+                      ~else_:(fun () ->
+                        let ch = B.loadb b (B.elem1 b text_p pos) in
+                        B.if_ b Opcode.Le ch space
+                          ~then_:(fun () -> B.seti b scanning 0L)
+                          ~else_:(fun () -> B.assign b pos (B.addi b pos 1L))
+                          ())
+                      ());
+                let tok_len = B.sub b pos tok_start in
+                let tok_ptr = B.add b text_p tok_start in
+                let h = B.call_i b "hash_token" [ tok_ptr; tok_len ] in
+                let v = B.call_i b "lookup" [ h ] in
+                B.assign b tokens (B.addi b tokens 1L);
+                B.if_ b Opcode.Ne v (B.cint b 0)
+                  ~then_:(fun () ->
+                    B.assign b expansions (B.addi b expansions 1L);
+                    B.assign b checksum
+                      (B.add b (B.muli b checksum 31L) v))
+                  ~else_:(fun () ->
+                    B.assign b checksum (B.add b checksum h))
+                  ())
+              ());
+        B.emit b tokens;
+        B.emit b expansions;
+        B.emit b checksum;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "cccp";
+    kind = Wutil.Int_bench;
+    description = "token scanning and macro-table expansion";
+    build;
+  }

@@ -1,0 +1,99 @@
+(** [cmp]: byte-wise comparison of two buffers — the character of the
+    SPEC-era [cmp] utility.  A hot branch-free scan accumulates mismatch
+    counts and rolling checksums of both buffers (unrollable by the ILP
+    optimiser), followed by a branchy first-difference search. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let build scale =
+  let n = 1024 * scale in
+  let r = Wutil.rng 42L in
+  let s1 = Wutil.random_bytes r n "abcdefgh" in
+  (* A mostly-equal second buffer: sparse differences, like comparing
+     two revisions of a file. *)
+  let s2 =
+    String.map
+      (fun c ->
+        if Wutil.next_int r 97 = 0 then Char.chr (Char.code c lxor 1) else c)
+      s1
+  in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_bytes prog "bufa" s1;
+  Wutil.global_bytes prog "bufb" s2;
+  let _scan =
+    B.define prog "scan" ~params:[ Reg.Int; Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let pa, pb, len =
+          match params with
+          | [ x; y; z ] -> (x, y, z)
+          | _ -> assert false
+        in
+        let diff = B.cint b 0 in
+        let suma = B.cint b 0 in
+        let sumb = B.cint b 0 in
+        let wsum = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let ca = B.loadb b (B.elem1 b pa i) in
+            let cb = B.loadb b (B.elem1 b pb i) in
+            let equal = B.seq b ca cb in
+            let ne = B.xori b equal 1L in
+            B.assign b diff (B.add b diff ne);
+            B.assign b suma (B.add b (B.muli b suma 31L) ca);
+            B.assign b sumb (B.add b (B.muli b sumb 31L) cb);
+            B.assign b wsum (B.add b wsum (B.mul b ne i)));
+        B.emit b suma;
+        B.emit b sumb;
+        B.emit b wsum;
+        B.ret b (Some diff))
+  in
+  let _first =
+    B.define prog "first_diff" ~params:[ Reg.Int; Reg.Int; Reg.Int ]
+      ~ret:Reg.Int (fun b params ->
+        let pa, pb, len =
+          match params with
+          | [ x; y; z ] -> (x, y, z)
+          | _ -> assert false
+        in
+        let i = B.cint b 0 in
+        let res = B.cint b (-1) in
+        let stop = B.cint b 0 in
+        B.while_ b
+          ~cond:(fun () -> (Opcode.Eq, stop, B.cint b 0))
+          ~body:(fun () ->
+            B.if_ b Opcode.Ge i len
+              ~then_:(fun () -> B.seti b stop 1L)
+              ~else_:(fun () ->
+                let ca = B.loadb b (B.elem1 b pa i) in
+                let cb = B.loadb b (B.elem1 b pb i) in
+                B.if_ b Opcode.Ne ca cb
+                  ~then_:(fun () ->
+                    B.mov b ~dst:res ~src:i;
+                    B.seti b stop 1L)
+                  ~else_:(fun () ->
+                    B.assign b i (B.addi b i 1L))
+                  ())
+              ());
+        B.ret b (Some res))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let pa = B.addr b "bufa" in
+        let pb = B.addr b "bufb" in
+        let len = B.cint b n in
+        let diff = B.call_i b "scan" [ pa; pb; len ] in
+        let first = B.call_i b "first_diff" [ pa; pb; len ] in
+        B.emit b diff;
+        B.emit b first;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "cmp";
+    kind = Wutil.Int_bench;
+    description = "byte-buffer comparison with rolling checksums";
+    build;
+  }

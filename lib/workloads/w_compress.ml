@@ -1,0 +1,132 @@
+(** [compress]: LZW-style dictionary compression — rolling prefix codes,
+    an open-addressed code table in memory and a probe loop per input
+    byte, as in the SPEC [compress] kernel — followed by a verification
+    pass that re-reads the emitted code stream and folds it against the
+    dictionary (the decompressor's table-walk access pattern). *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let hash_size = 4096 (* power of two *)
+
+let build scale =
+  let n = 1536 * scale in
+  let r = Wutil.rng 90125L in
+  (* Compressible text: repeated phrases with noise. *)
+  let phrase = "the quick brown fox jumps over the lazy dog " in
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    if Wutil.next_int r 5 = 0 then
+      Buffer.add_char buf "abcdefghijklmnopqrstuvwxyz".[Wutil.next_int r 26]
+    else
+      Buffer.add_string buf
+        (String.sub phrase 0 (1 + Wutil.next_int r (String.length phrase - 1)))
+  done;
+  let text = Buffer.sub buf 0 n in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_bytes prog "text" text;
+  (* Two parallel arrays: keys and codes. *)
+  Builder.global prog "hkeys" ~bytes:(8 * hash_size) ();
+  Builder.global prog "hcodes" ~bytes:(8 * hash_size) ();
+  (* emitted code stream, for the verification pass *)
+  Builder.global prog "codes_out" ~bytes:(8 * (n + 2)) ();
+  (* decoder table: code -> packed (prefix, last byte) *)
+  Builder.global prog "dict" ~bytes:(8 * (256 + n + 2)) ();
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let text_p = B.addr b "text" in
+        let keys = B.addr b "hkeys" in
+        let codes = B.addr b "hcodes" in
+        let out_p = B.addr b "codes_out" in
+        let dict_p = B.addr b "dict" in
+        let len = B.cint b n in
+        let next_code = B.cint b 256 in
+        let out_sum = B.cint b 0 in
+        let out_count = B.cint b 0 in
+        let cur = B.loadb b text_p in
+        let mask = B.cint b (hash_size - 1) in
+        B.for_ b ~start:(Op.C 1L) ~stop:(Op.V len) (fun i ->
+            let ch = B.loadb b (B.elem1 b text_p i) in
+            (* key for (cur, ch); 0 marks an empty slot so add 1 *)
+            let key = B.addi b (B.add b (B.slli b cur 9L) ch) 1L in
+            let h = B.fresh b Reg.Int in
+            B.mov b ~dst:h
+              ~src:(B.and_ b (B.add b (B.muli b key 2654435761L) (B.srli b key 7L)) mask);
+            (* probe until the key or an empty slot is found *)
+            let probing = B.cint b 1 in
+            let found = B.cint b 0 in
+            B.while_ b
+              ~cond:(fun () -> (Opcode.Ne, probing, B.cint b 0))
+              ~body:(fun () ->
+                let slot = B.load b (B.elem8 b keys h) in
+                B.if_ b Opcode.Eq slot key
+                  ~then_:(fun () ->
+                    B.seti b found 1L;
+                    B.seti b probing 0L)
+                  ~else_:(fun () ->
+                    B.if_ b Opcode.Eq slot (B.cint b 0)
+                      ~then_:(fun () -> B.seti b probing 0L)
+                      ~else_:(fun () ->
+                        B.assign b h (B.and_ b (B.addi b h 1L) mask))
+                      ())
+                  ());
+            B.if_ b Opcode.Ne found (B.cint b 0)
+              ~then_:(fun () ->
+                (* extend the current phrase *)
+                let code = B.load b (B.elem8 b codes h) in
+                B.assign b cur code)
+              ~else_:(fun () ->
+                (* emit the phrase code, record the dictionary entry and
+                   start a new phrase *)
+                B.assign b out_sum (B.add b (B.muli b out_sum 131L) cur);
+                B.store b ~src:cur (B.elem8 b out_p out_count);
+                B.assign b out_count (B.addi b out_count 1L);
+                B.store b ~src:key (B.elem8 b keys h);
+                B.store b ~src:next_code (B.elem8 b codes h);
+                (* decoder view: next_code = (prefix cur, last byte ch) *)
+                B.store b
+                  ~src:(B.add b (B.slli b cur 9L) ch)
+                  (B.elem8 b dict_p next_code);
+                B.assign b next_code (B.addi b next_code 1L);
+                B.assign b cur ch)
+              ());
+        B.assign b out_sum (B.add b (B.muli b out_sum 131L) cur);
+        B.store b ~src:cur (B.elem8 b out_p out_count);
+        B.assign b out_count (B.addi b out_count 1L);
+        B.emit b out_count;
+        B.emit b next_code;
+        B.emit b out_sum;
+        (* verification pass: walk each emitted code back through the
+           dictionary to its first byte, folding the bytes visited — the
+           decompressor's pointer-chasing access pattern *)
+        let verify = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V out_count) (fun i ->
+            let code = B.fresh b Reg.Int in
+            B.mov b ~dst:code ~src:(B.load b (B.elem8 b out_p i));
+            let walking = B.cint b 1 in
+            B.while_ b
+              ~cond:(fun () -> (Opcode.Ne, walking, B.cint b 0))
+              ~body:(fun () ->
+                B.if_ b Opcode.Lt code (B.cint b 256)
+                  ~then_:(fun () ->
+                    B.assign b verify (B.add b (B.muli b verify 31L) code);
+                    B.seti b walking 0L)
+                  ~else_:(fun () ->
+                    let packed = B.load b (B.elem8 b dict_p code) in
+                    B.assign b verify
+                      (B.add b (B.muli b verify 31L) (B.andi b packed 511L));
+                    B.assign b code (B.srli b packed 9L))
+                  ()));
+        B.emit b verify;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "compress";
+    kind = Wutil.Int_bench;
+    description = "LZW-style dictionary compression";
+    build;
+  }

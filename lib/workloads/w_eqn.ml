@@ -1,0 +1,74 @@
+(** [eqn]: equation-typesetting arithmetic — dense fixed-point expression
+    evaluation.  Three independent Horner chains per element over twelve
+    coefficients held in registers across the loop: exactly the kind of
+    code whose register requirement explodes after unrolling. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let build scale =
+  let n = 512 * scale in
+  let r = Wutil.rng 7L in
+  let xs = Wutil.random_words r n 1000 in
+  let coef = Wutil.random_words r 12 50 in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_words prog "xs" xs;
+  Wutil.global_words prog "coef" coef;
+  Builder.global prog "ys" ~bytes:(8 * n) ();
+  let _eval =
+    B.define prog "eval" ~params:[ Reg.Int; Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let px, py, len =
+          match params with
+          | [ x; y; z ] -> (x, y, z)
+          | _ -> assert false
+        in
+        let pc = B.addr b "coef" in
+        (* Twelve coefficients live across the whole loop. *)
+        let c = Array.init 12 (fun k -> B.load b ~off:(8 * k) pc) in
+        let acc1 = B.cint b 0 in
+        let acc2 = B.cint b 0 in
+        let acc3 = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let x = B.load b (B.elem8 b px i) in
+            let horner c0 c1 c2 c3 =
+              let t = B.add b (B.mul b c0 x) c1 in
+              let t = B.add b (B.mul b t x) c2 in
+              B.add b (B.mul b t x) c3
+            in
+            let p1 = horner c.(0) c.(1) c.(2) c.(3) in
+            let p2 = horner c.(4) c.(5) c.(6) c.(7) in
+            let p3 = horner c.(8) c.(9) c.(10) c.(11) in
+            B.assign b acc1 (B.add b acc1 p1);
+            B.assign b acc2 (B.xor_ b acc2 p2);
+            B.assign b acc3 (B.add b acc3 (B.sub b p1 p3));
+            B.store b ~src:(B.add b p1 (B.add b p2 p3)) (B.elem8 b py i));
+        B.emit b acc1;
+        B.emit b acc2;
+        B.ret b (Some acc3))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let px = B.addr b "xs" in
+        let py = B.addr b "ys" in
+        let len = B.cint b n in
+        let acc = B.call_i b "eval" [ px; py; len ] in
+        B.emit b acc;
+        (* Fold the output array so stores are observable. *)
+        let sum = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let y = B.load b (B.elem8 b py i) in
+            B.assign b sum (B.add b (B.muli b sum 131L) y));
+        B.emit b sum;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "eqn";
+    kind = Wutil.Int_bench;
+    description = "fixed-point Horner expression evaluation";
+    build;
+  }

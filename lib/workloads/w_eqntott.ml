@@ -1,0 +1,83 @@
+(** [eqntott]: truth-table generation — evaluates a wide boolean
+    expression over the bits of every input vector with branch-free
+    logic (many simultaneously live temporaries, fully unrollable),
+    builds a bucket histogram and finishes with a counting sort. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let buckets = 64
+
+let build scale =
+  let n = 4096 * scale in
+  let prog = B.program ~entry:"main" in
+  Builder.global prog "hist" ~bytes:(8 * buckets) ();
+  Builder.global prog "sorted" ~bytes:(8 * buckets) ();
+  let _eval =
+    B.define prog "truth_scan" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+        let len = match params with [ x ] -> x | _ -> assert false in
+        let hist = B.addr b "hist" in
+        let minterms = B.cint b 0 in
+        let weighted = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            (* extract 12 input bits *)
+            let bit k = B.andi b (B.srli b i (Int64.of_int k)) 1L in
+            let a0 = bit 0 and a1 = bit 1 and a2 = bit 2 and a3 = bit 3 in
+            let a4 = bit 4 and a5 = bit 5 and a6 = bit 6 and a7 = bit 7 in
+            let a8 = bit 8 and a9 = bit 9 and a10 = bit 10 and a11 = bit 11 in
+            (* two-level logic: sum of products *)
+            let p1 = B.and_ b (B.and_ b a0 a1) (B.xori b a2 1L) in
+            let p2 = B.and_ b (B.and_ b a3 a4) a5 in
+            let p3 = B.and_ b (B.xor_ b a6 a7) a8 in
+            let p4 = B.and_ b (B.and_ b a9 (B.xori b a10 1L)) a11 in
+            let p5 = B.and_ b (B.xor_ b a0 a5) (B.xor_ b a4 a9) in
+            let p6 = B.and_ b (B.and_ b a2 a7) (B.xori b a11 1L) in
+            let s1 = B.or_ b p1 p2 in
+            let s2 = B.or_ b p3 p4 in
+            let s3 = B.or_ b p5 p6 in
+            let out = B.or_ b (B.or_ b s1 s2) s3 in
+            B.assign b minterms (B.add b minterms out);
+            B.assign b weighted (B.add b weighted (B.mul b out i));
+            (* histogram the product-term signature *)
+            let sig_ =
+              B.add b p1
+                (B.add b (B.slli b p2 1L)
+                   (B.add b (B.slli b p3 2L)
+                      (B.add b (B.slli b p4 3L)
+                         (B.add b (B.slli b p5 4L) (B.slli b p6 5L)))))
+            in
+            let cell = B.elem8 b hist sig_ in
+            B.store b ~src:(B.addi b (B.load b cell) 1L) cell);
+        B.emit b weighted;
+        B.ret b (Some minterms))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let len = B.cint b n in
+        let minterms = B.call_i b "truth_scan" [ len ] in
+        B.emit b minterms;
+        (* counting-sort style prefix over the histogram *)
+        let hist = B.addr b "hist" in
+        let sorted = B.addr b "sorted" in
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:buckets (fun i ->
+            let c = B.load b (B.elem8 b hist i) in
+            B.assign b acc (B.add b acc c);
+            B.store b ~src:acc (B.elem8 b sorted i));
+        let chk = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:buckets (fun i ->
+            let v = B.load b (B.elem8 b sorted i) in
+            B.assign b chk (B.add b (B.muli b chk 1009L) v));
+        B.emit b chk;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "eqntott";
+    kind = Wutil.Int_bench;
+    description = "truth-table evaluation with counting sort";
+    build;
+  }

@@ -1,0 +1,94 @@
+(** [espresso]: two-level logic minimisation — pairwise cube operations
+    over a cover stored as bit-vectors: intersection emptiness,
+    containment and distance-1 merge tests, all branch-free in the inner
+    loop (espresso's hot [cdist]/[contains] kernels). *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let words_per_cube = 2
+
+let build scale =
+  let m = 96 * scale in
+  let r = Wutil.rng 555L in
+  let cubes =
+    Array.init (m * words_per_cube) (fun _ ->
+        (* Cube positional notation: pairs of bits; bias towards 11
+           (don't care) for realistic sparsity. *)
+        let w = ref 0L in
+        for k = 0 to 31 do
+          let v =
+            match Wutil.next_int r 4 with
+            | 0 -> 1
+            | 1 -> 2
+            | _ -> 3
+          in
+          w := Int64.logor !w (Int64.shift_left (Int64.of_int v) (2 * k))
+        done;
+        !w)
+  in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_words prog "cubes" cubes;
+  let _pairs =
+    B.define prog "cube_pairs" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+        let count = match params with [ x ] -> x | _ -> assert false in
+        let base = B.addr b "cubes" in
+        let empty = B.cint b 0 in
+        let contains = B.cint b 0 in
+        let mergeable = B.cint b 0 in
+        let chk = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V count) (fun i ->
+            let pi = B.add b base (B.muli b i (Int64.of_int (8 * words_per_cube))) in
+            let a0 = B.load b ~off:0 pi in
+            let a1 = B.load b ~off:8 pi in
+            B.for_ b ~start:(Op.C 0L) ~stop:(Op.V count) (fun j ->
+                let pj =
+                  B.add b base (B.muli b j (Int64.of_int (8 * words_per_cube)))
+                in
+                let b0 = B.load b ~off:0 pj in
+                let b1 = B.load b ~off:8 pj in
+                (* intersection *)
+                let i0 = B.and_ b a0 b0 in
+                let i1 = B.and_ b a1 b1 in
+                (* a variable column is empty if both its bits are 0:
+                   detect via (x | x>>1) & odd-mask missing a column *)
+                let odd = B.cint b 0x5555555555555555 in
+                let c0 = B.and_ b (B.or_ b i0 (B.srli b i0 1L)) odd in
+                let c1 = B.and_ b (B.or_ b i1 (B.srli b i1 1L)) odd in
+                let full0 = B.seq b c0 odd in
+                let full1 = B.seq b c1 odd in
+                let nonempty = B.and_ b full0 full1 in
+                B.assign b empty
+                  (B.add b empty (B.xori b nonempty 1L));
+                (* containment: a contains b iff b & a = b *)
+                let e0 = B.seq b i0 b0 in
+                let e1 = B.seq b i1 b1 in
+                B.assign b contains (B.add b contains (B.and_ b e0 e1));
+                (* rough distance-1 merge test: identical second word *)
+                let same1 = B.seq b a1 b1 in
+                let differ0 = B.xori b (B.seq b a0 b0) 1L in
+                B.assign b mergeable
+                  (B.add b mergeable (B.and_ b same1 differ0));
+                B.assign b chk
+                  (B.add b (B.muli b chk 7L) (B.xor_ b i0 i1))));
+        B.emit b empty;
+        B.emit b contains;
+        B.emit b mergeable;
+        B.ret b (Some chk))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let chk = B.call_i b "cube_pairs" [ B.cint b m ] in
+        B.emit b chk;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "espresso";
+    kind = Wutil.Int_bench;
+    description = "pairwise cube operations on bit-vector covers";
+    build;
+  }

@@ -1,0 +1,75 @@
+(** [grep]: fixed-string search over a text buffer.  The match test is a
+    straight-line 8-byte comparison (branch-free, unrollable) guarded by
+    a first-character filter, plus newline counting for line numbers. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let pattern = "foxtrot_"
+
+let build scale =
+  let n = 2048 * scale in
+  let r = Wutil.rng 424242L in
+  let buf = Buffer.create (n + 16) in
+  while Buffer.length buf < n do
+    match Wutil.next_int r 14 with
+    | 0 -> Buffer.add_string buf pattern
+    | 1 -> Buffer.add_char buf '\n'
+    | 2 -> Buffer.add_string buf "foxtro__"
+    | _ ->
+        Buffer.add_char buf "abcdefghijklmnop _".[Wutil.next_int r 18]
+  done;
+  let text = Buffer.sub buf 0 n ^ String.make 16 ' ' in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_bytes prog "text" text;
+  Wutil.global_bytes prog "pat" pattern;
+  let _search =
+    B.define prog "search" ~params:[ Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let text_p, len =
+          match params with [ x; y ] -> (x, y) | _ -> assert false
+        in
+        let pat_p = B.addr b "pat" in
+        (* The pattern bytes stay in registers across the scan. *)
+        let pat = Array.init 8 (fun k -> B.loadb b ~off:k pat_p) in
+        let matches = B.cint b 0 in
+        let lines = B.cint b 0 in
+        let lastpos = B.cint b 0 in
+        let nl = B.cint b 10 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let p = B.elem1 b text_p i in
+            let c0 = B.loadb b p in
+            B.assign b lines (B.add b lines (B.seq b c0 nl));
+            let eq = B.seq b c0 pat.(0) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:1 p) pat.(1)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:2 p) pat.(2)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:3 p) pat.(3)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:4 p) pat.(4)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:5 p) pat.(5)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:6 p) pat.(6)) in
+            let eq = B.and_ b eq (B.seq b (B.loadb b ~off:7 p) pat.(7)) in
+            B.assign b matches (B.add b matches eq);
+            B.assign b lastpos
+              (B.add b (B.mul b lastpos (B.xori b eq 1L)) (B.mul b i eq)));
+        B.emit b lines;
+        B.emit b lastpos;
+        B.ret b (Some matches))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let text_p = B.addr b "text" in
+        let len = B.cint b n in
+        let matches = B.call_i b "search" [ text_p; len ] in
+        B.emit b matches;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "grep";
+    kind = Wutil.Int_bench;
+    description = "fixed-string search with line counting";
+    build;
+  }

@@ -1,0 +1,93 @@
+(** [lex]: table-driven DFA tokenisation.  Two independent automata scan
+    the same buffer (the second checks a different token language),
+    giving the scheduler parallel dependence chains while each chain
+    carries the serial state dependence characteristic of lexers. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let n_states = 12
+let n_classes = 6
+
+let build scale =
+  let n = 2048 * scale in
+  let r = Wutil.rng 31415L in
+  let text = Wutil.random_bytes r n "abc019 ;\n" in
+  (* char -> class table (256 entries) *)
+  let cls = Array.make 256 0L in
+  String.iter (fun c -> cls.(Char.code c) <- 1L) "abcdefghijklmnopqrstuvwxyz";
+  String.iter (fun c -> cls.(Char.code c) <- 2L) "0123456789";
+  cls.(Char.code ' ') <- 3L;
+  cls.(Char.code '\n') <- 4L;
+  cls.(Char.code ';') <- 5L;
+  (* transition tables, deterministic pseudorandom but fixed *)
+  let t1 =
+    Array.init (n_states * n_classes) (fun k ->
+        Int64.of_int ((k * 7) mod n_states))
+  in
+  let t2 =
+    Array.init (n_states * n_classes) (fun k ->
+        Int64.of_int (((k * 5) + 3) mod n_states))
+  in
+  let accept = Array.init n_states (fun k -> Int64.of_int (k land 1)) in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_bytes prog "text" text;
+  Wutil.global_words prog "cls" cls;
+  Wutil.global_words prog "t1" t1;
+  Wutil.global_words prog "t2" t2;
+  Wutil.global_words prog "accept" accept;
+  let _scan =
+    B.define prog "scan" ~params:[ Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let text_p, len =
+          match params with [ x; y ] -> (x, y) | _ -> assert false
+        in
+        let cls_p = B.addr b "cls" in
+        let t1_p = B.addr b "t1" in
+        let t2_p = B.addr b "t2" in
+        let acc_p = B.addr b "accept" in
+        let st1 = B.cint b 0 in
+        let st2 = B.cint b 1 in
+        let tok1 = B.cint b 0 in
+        let tok2 = B.cint b 0 in
+        let sig_ = B.cint b 0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let c = B.loadb b (B.elem1 b text_p i) in
+            let k = B.load b (B.elem8 b cls_p c) in
+            let idx1 =
+              B.add b (B.muli b st1 (Int64.of_int n_classes)) k
+            in
+            let idx2 =
+              B.add b (B.muli b st2 (Int64.of_int n_classes)) k
+            in
+            B.assign b st1 (B.load b (B.elem8 b t1_p idx1));
+            B.assign b st2 (B.load b (B.elem8 b t2_p idx2));
+            let a1 = B.load b (B.elem8 b acc_p st1) in
+            let a2 = B.load b (B.elem8 b acc_p st2) in
+            B.assign b tok1 (B.add b tok1 a1);
+            B.assign b tok2 (B.add b tok2 a2);
+            B.assign b sig_
+              (B.add b (B.muli b sig_ 17L)
+                 (B.add b st1 (B.slli b st2 4L))));
+        B.emit b tok1;
+        B.emit b tok2;
+        B.ret b (Some sig_))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let text_p = B.addr b "text" in
+        let len = B.cint b n in
+        let sig_ = B.call_i b "scan" [ text_p; len ] in
+        B.emit b sig_;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "lex";
+    kind = Wutil.Int_bench;
+    description = "dual DFA tokenisation over one buffer";
+    build;
+  }

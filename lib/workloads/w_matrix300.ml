@@ -1,0 +1,100 @@
+(** [matrix300]: dense double-precision matrix multiply (the SPEC
+    kernel's character, at a simulator-friendly size) plus a scaled
+    matrix accumulation.  The i-k-j loop keeps [a(i,k)] live across the
+    unrollable inner loop; unrolling creates parallel multiply-add
+    chains — the classic floating-point register-pressure generator. *)
+
+
+open Rc_ir
+module B = Builder
+
+let build scale =
+  let n = 16 * scale in
+  let r = Wutil.rng 300L in
+  let a = Wutil.random_doubles r (n * n) in
+  let bm = Wutil.random_doubles r (n * n) in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_doubles prog "A" a;
+  Wutil.global_doubles prog "Bm" bm;
+  Builder.global prog "C" ~bytes:(8 * n * n) ();
+  Builder.global prog "D" ~bytes:(8 * n * n) ();
+  let nn = Int64.of_int n in
+  (* C = A * B with 2x2 register blocking: four dot-product accumulators
+     live across the unrollable k-loop. *)
+  let _matmul =
+    B.define prog "matmul" ~params:[] (fun b _ ->
+        let pa = B.addr b "A" in
+        let pb = B.addr b "Bm" in
+        let pc = B.addr b "C" in
+        B.for_ b ~step:2L ~start:(Op.C 0L) ~stop:(Op.C nn) (fun i ->
+            let row0 = B.muli b i nn in
+            let row1 = B.addi b row0 nn in
+            B.for_ b ~step:2L ~start:(Op.C 0L) ~stop:(Op.C nn) (fun j ->
+                let acc00 = B.cf b 0.0 in
+                let acc01 = B.cf b 0.0 in
+                let acc10 = B.cf b 0.0 in
+                let acc11 = B.cf b 0.0 in
+                B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun k ->
+                    let a0 = B.fload b (B.elem8 b pa (B.add b row0 k)) in
+                    let a1 = B.fload b (B.elem8 b pa (B.add b row1 k)) in
+                    let rowk = B.add b (B.muli b k nn) j in
+                    let b0 = B.fload b (B.elem8 b pb rowk) in
+                    let b1 = B.fload b ~off:8 (B.elem8 b pb rowk) in
+                    B.assign b acc00 (B.fadd b acc00 (B.fmul b a0 b0));
+                    B.assign b acc01 (B.fadd b acc01 (B.fmul b a0 b1));
+                    B.assign b acc10 (B.fadd b acc10 (B.fmul b a1 b0));
+                    B.assign b acc11 (B.fadd b acc11 (B.fmul b a1 b1)));
+                let c00 = B.elem8 b pc (B.add b row0 j) in
+                let c10 = B.elem8 b pc (B.add b row1 j) in
+                B.fstore b ~src:acc00 c00;
+                B.fstore b ~off:8 ~src:acc01 c00;
+                B.fstore b ~src:acc10 c10;
+                B.fstore b ~off:8 ~src:acc11 c10));
+        B.ret b None)
+  in
+  (* D = alpha*C + beta*A, element-wise with several live constants *)
+  let _saxpyish =
+    B.define prog "axpy" ~params:[] (fun b _ ->
+        let pa = B.addr b "A" in
+        let pc = B.addr b "C" in
+        let pd = B.addr b "D" in
+        let alpha = B.cf b 0.75 in
+        let beta = B.cf b 1.25 in
+        let gamma = B.cf b 0.0625 in
+        let total = Int64.of_int (n * n) in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C total) (fun i ->
+            let c = B.fload b (B.elem8 b pc i) in
+            let av = B.fload b (B.elem8 b pa i) in
+            let v = B.fadd b (B.fmul b alpha c) (B.fmul b beta av) in
+            let v = B.fadd b v (B.fmul b gamma (B.fmul b c av)) in
+            B.fstore b ~src:v (B.elem8 b pd i));
+        B.ret b None)
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        B.call b "matmul" [];
+        B.call b "axpy" [];
+        (* fold D and the diagonal of C *)
+        let pc = B.addr b "C" in
+        let pd = B.addr b "D" in
+        let sum = B.cf b 0.0 in
+        let total = Int64.of_int (n * n) in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C total) (fun i ->
+            B.assign b sum (B.fadd b sum (B.fload b (B.elem8 b pd i))));
+        let diag = B.cf b 0.0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun i ->
+            let idx = B.add b (B.muli b i nn) i in
+            B.assign b diag (B.fadd b diag (B.fload b (B.elem8 b pc idx))));
+        B.femit b sum;
+        B.femit b diag;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "matrix300";
+    kind = Wutil.Float_bench;
+    description = "dense double-precision matrix multiply";
+    build;
+  }

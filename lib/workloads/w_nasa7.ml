@@ -1,0 +1,116 @@
+(** [nasa7]: a suite of small double-precision kernels in the spirit of
+    the NASA7 collection — blocked matrix-vector products, batched dot
+    products and a Gaussian-elimination row update.  Every kernel keeps
+    a handful of accumulators and row pointers live across an unrollable
+    inner loop. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let build scale =
+  let n = 32 * scale in
+  let r = Wutil.rng 700L in
+  let a = Wutil.random_doubles r (n * n) in
+  let x = Wutil.random_doubles r n in
+  let v1 = Wutil.random_doubles r n in
+  let v2 = Wutil.random_doubles r n in
+  let v3 = Wutil.random_doubles r n in
+  let v4 = Wutil.random_doubles r n in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_doubles prog "A" a;
+  Wutil.global_doubles prog "x" x;
+  Wutil.global_doubles prog "v1" v1;
+  Wutil.global_doubles prog "v2" v2;
+  Wutil.global_doubles prog "v3" v3;
+  Wutil.global_doubles prog "v4" v4;
+  Builder.global prog "y" ~bytes:(8 * n) ();
+  let nn = Int64.of_int n in
+  (* y = A x, two rows at a time *)
+  let _matvec =
+    B.define prog "matvec" ~params:[] (fun b _ ->
+        let pa = B.addr b "A" in
+        let px = B.addr b "x" in
+        let py = B.addr b "y" in
+        B.for_ b ~step:2L ~start:(Op.C 0L) ~stop:(Op.C nn) (fun i ->
+            let row0 = B.muli b i nn in
+            let row1 = B.addi b row0 nn in
+            let acc0 = B.cf b 0.0 in
+            let acc1 = B.cf b 0.0 in
+            B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun k ->
+                let xv = B.fload b (B.elem8 b px k) in
+                let a0 = B.fload b (B.elem8 b pa (B.add b row0 k)) in
+                let a1 = B.fload b (B.elem8 b pa (B.add b row1 k)) in
+                B.assign b acc0 (B.fadd b acc0 (B.fmul b a0 xv));
+                B.assign b acc1 (B.fadd b acc1 (B.fmul b a1 xv)));
+            B.fstore b ~src:acc0 (B.elem8 b py i);
+            B.fstore b ~src:acc1 (B.elem8 b py (B.addi b i 1L)));
+        B.ret b None)
+  in
+  (* four simultaneous dot products against y *)
+  let _dots =
+    B.define prog "dots" ~params:[] ~ret:Reg.Float (fun b _ ->
+        let py = B.addr b "y" in
+        let p1 = B.addr b "v1" in
+        let p2 = B.addr b "v2" in
+        let p3 = B.addr b "v3" in
+        let p4 = B.addr b "v4" in
+        let d1 = B.cf b 0.0 in
+        let d2 = B.cf b 0.0 in
+        let d3 = B.cf b 0.0 in
+        let d4 = B.cf b 0.0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun k ->
+            let yv = B.fload b (B.elem8 b py k) in
+            B.assign b d1 (B.fadd b d1 (B.fmul b yv (B.fload b (B.elem8 b p1 k))));
+            B.assign b d2 (B.fadd b d2 (B.fmul b yv (B.fload b (B.elem8 b p2 k))));
+            B.assign b d3 (B.fadd b d3 (B.fmul b yv (B.fload b (B.elem8 b p3 k))));
+            B.assign b d4 (B.fadd b d4 (B.fmul b yv (B.fload b (B.elem8 b p4 k)))));
+        B.femit b d1;
+        B.femit b d2;
+        B.femit b d3;
+        let s = B.fadd b (B.fadd b d1 d2) (B.fadd b d3 d4) in
+        B.ret b (Some s))
+  in
+  (* one Gaussian elimination sweep with the first row as pivot *)
+  let _gauss =
+    B.define prog "gauss_step" ~params:[] ~ret:Reg.Float (fun b _ ->
+        let pa = B.addr b "A" in
+        let pivot = B.fload b pa in
+        let residual = B.cf b 0.0 in
+        B.for_ b ~start:(Op.C 1L) ~stop:(Op.C nn) (fun i ->
+            let rowi = B.muli b i nn in
+            let lead = B.fload b (B.elem8 b pa rowi) in
+            let factor = B.fdiv_ b lead pivot in
+            B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun k ->
+                let top = B.fload b (B.elem8 b pa k) in
+                let cell = B.elem8 b pa (B.add b rowi k) in
+                let v = B.fsub b (B.fload b cell) (B.fmul b factor top) in
+                B.fstore b ~src:v cell);
+            B.assign b residual (B.fadd b residual factor));
+        B.ret b (Some residual))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        B.call b "matvec" [];
+        let dots = B.call_f b "dots" [] in
+        B.femit b dots;
+        let res = B.call_f b "gauss_step" [] in
+        B.femit b res;
+        (* fold the eliminated matrix's first column *)
+        let pa = B.addr b "A" in
+        let fold = B.cf b 0.0 in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C nn) (fun i ->
+            let v = B.fload b (B.elem8 b pa (B.muli b i nn)) in
+            B.assign b fold (B.fadd b fold (B.fabs_ b v)));
+        B.femit b fold;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "nasa7";
+    kind = Wutil.Float_bench;
+    description = "matrix-vector, batched dots and Gaussian elimination";
+    build;
+  }

@@ -1,0 +1,111 @@
+(** [tomcatv]: vectorised mesh generation — Jacobi-style sweeps of a
+    9-point stencil over two coupled grids with residual tracking.  Each
+    stencil point consumes eight neighbour values and five coefficients
+    (all live simultaneously), the signature register profile of the
+    SPEC [tomcatv] loop nests. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let iters = 2
+
+let build scale =
+  let m = 18 * scale in
+  let r = Wutil.rng 999L in
+  let gx = Wutil.random_doubles r (m * m) in
+  let gy = Wutil.random_doubles r (m * m) in
+  let prog = B.program ~entry:"main" in
+  Wutil.global_doubles prog "X" gx;
+  Wutil.global_doubles prog "Y" gy;
+  Builder.global prog "XN" ~bytes:(8 * m * m) ();
+  Builder.global prog "YN" ~bytes:(8 * m * m) ();
+  let mm = Int64.of_int m in
+  (* one sweep: src -> dst, returns the residual *)
+  let _sweep =
+    B.define prog "sweep" ~params:[ Reg.Int; Reg.Int; Reg.Int; Reg.Int ]
+      ~ret:Reg.Float (fun b params ->
+        let px, py, pxn, pyn =
+          match params with
+          | [ a; b'; c; d ] -> (a, b', c, d)
+          | _ -> assert false
+        in
+        let c1 = B.cf b 0.25 in
+        let c2 = B.cf b 0.125 in
+        let c3 = B.cf b 0.5 in
+        let c4 = B.cf b 0.0625 in
+        let residual = B.cf b 0.0 in
+        B.for_ b ~start:(Op.C 1L) ~stop:(Op.C (Int64.sub mm 1L)) (fun i ->
+            let row = B.muli b i mm in
+            let rowm = B.sub b row (B.ci b mm) in
+            let rowp = B.add b row (B.ci b mm) in
+            B.for_ b ~start:(Op.C 1L) ~stop:(Op.C (Int64.sub mm 1L)) (fun j ->
+                let at base row' dj =
+                  B.fload b
+                    (B.elem8 b base (B.add b row' (B.addi b j (Int64.of_int dj))))
+                in
+                (* 9-point stencil on X *)
+                let xn = at px rowm 0 and xs = at px rowp 0 in
+                let xw = at px row (-1) and xe = at px row 1 in
+                let xnw = at px rowm (-1) and xne = at px rowm 1 in
+                let xsw = at px rowp (-1) and xse = at px rowp 1 in
+                let xc = at px row 0 in
+                let cross = B.fadd b (B.fadd b xn xs) (B.fadd b xw xe) in
+                let diag = B.fadd b (B.fadd b xnw xne) (B.fadd b xsw xse) in
+                (* couple in Y's cross neighbours *)
+                let yn = at py rowm 0 and ys = at py rowp 0 in
+                let ycross = B.fadd b yn ys in
+                let vx =
+                  B.fadd b
+                    (B.fadd b (B.fmul b c1 cross) (B.fmul b c4 diag))
+                    (B.fmul b c2 ycross)
+                in
+                let vx = B.fadd b (B.fmul b c3 xc) (B.fmul b c2 vx) in
+                B.fstore b ~src:vx
+                  (B.elem8 b pxn (B.add b row j));
+                (* Y update uses its own cross plus X coupling *)
+                let yw = at py row (-1) and ye = at py row 1 in
+                let yc = at py row 0 in
+                let ycross2 = B.fadd b (B.fadd b yn ys) (B.fadd b yw ye) in
+                let vy =
+                  B.fadd b (B.fmul b c1 ycross2)
+                    (B.fmul b c2 (B.fadd b xc cross))
+                in
+                let vy = B.fadd b (B.fmul b c3 yc) (B.fmul b c2 vy) in
+                B.fstore b ~src:vy (B.elem8 b pyn (B.add b row j));
+                let dx = B.fabs_ b (B.fsub b vx xc) in
+                let dy = B.fabs_ b (B.fsub b vy yc) in
+                B.assign b residual (B.fadd b residual (B.fadd b dx dy))));
+        B.ret b (Some residual))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let px = B.addr b "X" in
+        let py = B.addr b "Y" in
+        let pxn = B.addr b "XN" in
+        let pyn = B.addr b "YN" in
+        for k = 1 to iters do
+          let src_x, src_y, dst_x, dst_y =
+            if k land 1 = 1 then (px, py, pxn, pyn) else (pxn, pyn, px, py)
+          in
+          let res = B.call_f b "sweep" [ src_x; src_y; dst_x; dst_y ] in
+          B.femit b res
+        done;
+        (* fold the final grid *)
+        let final_x = if iters land 1 = 1 then pxn else px in
+        let fold = B.cf b 0.0 in
+        let total = Int64.of_int (m * m) in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.C total) (fun i ->
+            B.assign b fold (B.fadd b fold (B.fload b (B.elem8 b final_x i))));
+        B.femit b fold;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "tomcatv";
+    kind = Wutil.Float_bench;
+    description = "coupled 9-point stencil mesh sweeps";
+    build;
+  }

@@ -1,0 +1,153 @@
+(** [yacc]: LR-style shift/reduce parsing — an operator-precedence
+    parser over a generated token stream, with explicit value and
+    operator stacks in memory and a [reduce] helper called from the hot
+    loop (stack traffic plus procedure-interface register traffic). *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+(* token encoding *)
+let t_semi = 10000L
+let t_plus = 10001L
+let t_minus = 10002L
+let t_times = 10003L
+
+let build scale =
+  let n_tokens = 768 * scale in
+  let r = Wutil.rng 777L in
+  let toks = Array.make n_tokens t_semi in
+  let pos = ref 0 in
+  let emit_tok t =
+    if !pos < n_tokens then begin
+      toks.(!pos) <- t;
+      incr pos
+    end
+  in
+  while !pos < n_tokens - 1 do
+    (* expression: num (op num)* ; *)
+    emit_tok (Int64.of_int (Wutil.next_int r 1000));
+    let ops = Wutil.next_int r 6 in
+    for _ = 1 to ops do
+      (match Wutil.next_int r 3 with
+      | 0 -> emit_tok t_plus
+      | 1 -> emit_tok t_minus
+      | _ -> emit_tok t_times);
+      emit_tok (Int64.of_int (Wutil.next_int r 1000))
+    done;
+    emit_tok t_semi
+  done;
+  toks.(n_tokens - 1) <- t_semi;
+  let prog = B.program ~entry:"main" in
+  Wutil.global_words prog "tokens" toks;
+  Builder.global prog "vstack" ~bytes:(8 * 256) ();
+  Builder.global prog "ostack" ~bytes:(8 * 256) ();
+  (* reduce(vsp, osp) -> new vsp; pops one op and two values, pushes the
+     result. *)
+  let _reduce =
+    B.define prog "reduce" ~params:[ Reg.Int; Reg.Int ] ~ret:Reg.Int
+      (fun b params ->
+        let vsp, osp =
+          match params with [ x; y ] -> (x, y) | _ -> assert false
+        in
+        let vstack = B.addr b "vstack" in
+        let ostack = B.addr b "ostack" in
+        let op = B.load b (B.elem8 b ostack (B.subi b osp 1L)) in
+        let rhs = B.load b (B.elem8 b vstack (B.subi b vsp 1L)) in
+        let lhs = B.load b (B.elem8 b vstack (B.subi b vsp 2L)) in
+        let res = B.fresh b Reg.Int in
+        B.if_ b Opcode.Eq op (B.ci b t_plus)
+          ~then_:(fun () -> B.assign b res (B.add b lhs rhs))
+          ~else_:(fun () ->
+            B.if_ b Opcode.Eq op (B.ci b t_minus)
+              ~then_:(fun () -> B.assign b res (B.sub b lhs rhs))
+              ~else_:(fun () ->
+                B.assign b res (B.andi b (B.mul b lhs rhs) 0xFFFFFFL))
+              ())
+          ();
+        B.store b ~src:res (B.elem8 b vstack (B.subi b vsp 2L));
+        B.ret b (Some (B.subi b vsp 1L)))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let toks_p = B.addr b "tokens" in
+        let vstack = B.addr b "vstack" in
+        let ostack = B.addr b "ostack" in
+        let len = B.cint b n_tokens in
+        let vsp = B.cint b 0 in
+        let osp = B.cint b 0 in
+        let reductions = B.cint b 0 in
+        let results = B.cint b 0 in
+        let prec op =
+          (* 2 for *, 1 for + and -, computed branch-free *)
+          let is_times = B.seq b op (B.ci b t_times) in
+          B.addi b is_times 1L
+        in
+        B.for_ b ~start:(Op.C 0L) ~stop:(Op.V len) (fun i ->
+            let t = B.load b (B.elem8 b toks_p i) in
+            B.if_ b Opcode.Lt t (B.ci b t_semi)
+              ~then_:(fun () ->
+                (* shift a number *)
+                B.store b ~src:t (B.elem8 b vstack vsp);
+                B.assign b vsp (B.addi b vsp 1L))
+              ~else_:(fun () ->
+                B.if_ b Opcode.Eq t (B.ci b t_semi)
+                  ~then_:(fun () ->
+                    (* flush: reduce everything, pop the result *)
+                    B.while_ b
+                      ~cond:(fun () -> (Opcode.Gt, osp, B.cint b 0))
+                      ~body:(fun () ->
+                        let v = B.call_i b "reduce" [ vsp; osp ] in
+                        B.assign b vsp v;
+                        B.assign b osp (B.subi b osp 1L);
+                        B.assign b reductions (B.addi b reductions 1L));
+                    B.if_ b Opcode.Gt vsp (B.cint b 0)
+                      ~then_:(fun () ->
+                        let v =
+                          B.load b (B.elem8 b vstack (B.subi b vsp 1L))
+                        in
+                        B.assign b results
+                          (B.add b (B.muli b results 31L) v);
+                        B.assign b vsp (B.subi b vsp 1L))
+                      ())
+                  ~else_:(fun () ->
+                    (* operator: reduce while top precedence >= ours *)
+                    let p = prec t in
+                    let looping = B.cint b 1 in
+                    B.while_ b
+                      ~cond:(fun () -> (Opcode.Ne, looping, B.cint b 0))
+                      ~body:(fun () ->
+                        B.if_ b Opcode.Le osp (B.cint b 0)
+                          ~then_:(fun () -> B.seti b looping 0L)
+                          ~else_:(fun () ->
+                            let top =
+                              B.load b (B.elem8 b ostack (B.subi b osp 1L))
+                            in
+                            let tp = prec top in
+                            B.if_ b Opcode.Lt tp p
+                              ~then_:(fun () -> B.seti b looping 0L)
+                              ~else_:(fun () ->
+                                let v = B.call_i b "reduce" [ vsp; osp ] in
+                                B.assign b vsp v;
+                                B.assign b osp (B.subi b osp 1L);
+                                B.assign b reductions
+                                  (B.addi b reductions 1L))
+                              ())
+                          ());
+                    B.store b ~src:t (B.elem8 b ostack osp);
+                    B.assign b osp (B.addi b osp 1L))
+                  ())
+              ());
+        B.emit b reductions;
+        B.emit b results;
+        B.halt b)
+  in
+  prog
+
+let bench =
+  {
+    Wutil.name = "yacc";
+    kind = Wutil.Int_bench;
+    description = "shift/reduce expression parsing with helper calls";
+    build;
+  }

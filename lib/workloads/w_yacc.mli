@@ -1,0 +1,7 @@
+(** The [yacc] benchmark kernel; see the implementation header for the
+    workload's character and construction. *)
+
+(** Build the kernel's IR program at the given scale factor. *)
+val build : int -> Rc_ir.Prog.t
+
+val bench : Wutil.bench

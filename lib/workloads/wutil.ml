@@ -1,0 +1,63 @@
+(** Shared helpers for the synthetic benchmark kernels: a deterministic
+    PRNG for input generation, data initialisers and builder idioms. *)
+
+open Rc_isa
+open Rc_ir
+
+(** xorshift64* — deterministic across platforms, used to generate every
+    workload input. *)
+type rng = { mutable s : int64 }
+
+let rng seed = { s = (if Int64.equal seed 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let next r =
+  let open Int64 in
+  let x = r.s in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  r.s <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+(** Uniform in [0, bound). *)
+let next_int r bound =
+  let v = Int64.rem (next r) (Int64.of_int bound) in
+  Int64.to_int (Int64.abs v)
+
+let next_float r =
+  (* in (0, 1) *)
+  let v = Int64.to_float (Int64.logand (next r) 0xFFFFFFFFL) in
+  (v +. 1.0) /. 4294967297.0
+
+let words_of_rng r n f = Array.init n (fun i -> f r i)
+
+let random_words r n bound =
+  Array.init n (fun _ -> Int64.of_int (next_int r bound))
+
+let random_bytes r n alphabet =
+  String.init n (fun _ ->
+      alphabet.[next_int r (String.length alphabet)])
+
+let random_doubles r n = Array.init n (fun _ -> next_float r)
+
+(** Declare a global initialised with 64-bit words. *)
+let global_words prog name ws =
+  Builder.global prog name ~bytes:(8 * Array.length ws)
+    ~init:(Mcode.Words ws) ()
+
+let global_doubles prog name ds =
+  Builder.global prog name ~bytes:(8 * Array.length ds)
+    ~init:(Mcode.Doubles ds) ()
+
+let global_bytes prog name s =
+  Builder.global prog name ~bytes:(String.length s) ~init:(Mcode.Bytes s) ()
+
+(** The kind of register file a benchmark stresses. *)
+type kind = Int_bench | Float_bench
+
+type bench = {
+  name : string;
+  kind : kind;
+  description : string;
+  build : int -> Prog.t;  (** scale factor (>= 1) *)
+}

@@ -1,0 +1,38 @@
+(** Shared helpers for the synthetic benchmark kernels: a deterministic
+    PRNG for input generation, data initialisers and builder idioms. *)
+
+open Rc_ir
+
+(** xorshift64* — deterministic across platforms, used to generate every
+    workload input. *)
+type rng = { mutable s : int64 }
+
+val rng : int64 -> rng
+val next : rng -> int64
+
+(** Uniform in [0, bound). *)
+val next_int : rng -> int -> int
+
+(** Uniform in (0, 1). *)
+val next_float : rng -> float
+
+val words_of_rng : rng -> int -> (rng -> int -> int64) -> int64 array
+val random_words : rng -> int -> int -> int64 array
+val random_bytes : rng -> int -> string -> string
+val random_doubles : rng -> int -> float array
+
+(** Declare a global initialised with 64-bit words. *)
+val global_words : Prog.t -> string -> int64 array -> unit
+
+val global_doubles : Prog.t -> string -> float array -> unit
+val global_bytes : Prog.t -> string -> string -> unit
+
+(** The kind of register file a benchmark stresses. *)
+type kind = Int_bench | Float_bench
+
+type bench = {
+  name : string;
+  kind : kind;
+  description : string;
+  build : int -> Prog.t;  (** scale factor (>= 1) *)
+}

@@ -1,0 +1,439 @@
+(* Tests for rc_codegen: legalisation, lowering through the calling
+   convention, and the connect-insertion pass (architectural form,
+   steering invariants, combining, hoisting). *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let compile ?(rc = false) ?(core_int = 32) ?(core_float = 16)
+    ?(model = Rc_core.Model.default) ?(combine = true) prog =
+  let opts =
+    Rc_harness.Pipeline.options ~opt:Rc_opt.Pass.Classical ~rc ~core_int
+      ~core_float ~model ~combine ()
+  in
+  Rc_harness.Pipeline.compile opts prog
+
+let run_expect ?rc ?core_int ?core_float ?model ?combine build expected =
+  let prog = B.program ~entry:"main" in
+  build prog;
+  let c = compile ?rc ?core_int ?core_float ?model ?combine prog in
+  let r = Rc_harness.Pipeline.simulate c in
+  Alcotest.(check (list int64)) "machine output" expected r.Rc_machine.Machine.output
+
+(* --- legalize ------------------------------------------------------------- *)
+
+let test_legalize_swaps_commutative () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 5 in
+        let d = B.fresh b Reg.Int in
+        B.emit_op b (Op.Alu (Opcode.Add, d, Op.C 3L, Op.V x));
+        B.emit b d;
+        B.halt b)
+  in
+  Rc_codegen.Legalize.run prog;
+  let ok =
+    List.exists
+      (fun op ->
+        match op with Op.Alu (Opcode.Add, _, Op.V _, Op.C 3L) -> true | _ -> false)
+      (Func.entry f).Block.ops
+  in
+  check_bool "swapped" true ok
+
+let test_legalize_materialises_noncommutative () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 5 in
+        let d = B.fresh b Reg.Int in
+        B.emit_op b (Op.Alu (Opcode.Sub, d, Op.C 100L, Op.V x));
+        B.emit b d;
+        B.halt b)
+  in
+  Rc_codegen.Legalize.run prog;
+  let bad =
+    List.exists
+      (fun op -> match op with Op.Alu (_, _, Op.C _, _) -> true | _ -> false)
+      (Func.entry f).Block.ops
+  in
+  check_bool "no constant first operand" false bad;
+  let out = Rc_interp.Interp.run prog in
+  Alcotest.(check (list int64)) "still 95" [ 95L ] out.Rc_interp.Interp.output
+
+(* --- end-to-end lowering ----------------------------------------------------- *)
+
+let test_simple_program () =
+  run_expect
+    (fun prog ->
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             let x = B.cint b 6 in
+             let y = B.cint b 7 in
+             B.emit b (B.mul b x y);
+             B.halt b)))
+    [ 42L ]
+
+let test_calls_and_args () =
+  run_expect
+    (fun prog ->
+      let _f3 =
+        B.define prog "weigh" ~params:[ Reg.Int; Reg.Int; Reg.Int ] ~ret:Reg.Int
+          (fun b params ->
+            match params with
+            | [ a; b'; c ] ->
+                B.ret b (Some (B.add b a (B.add b (B.muli b b' 10L) (B.muli b c 100L))))
+            | _ -> assert false)
+      in
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             let r =
+               B.call_i b "weigh" [ B.cint b 1; B.cint b 2; B.cint b 3 ]
+             in
+             B.emit b r;
+             B.halt b)))
+    [ 321L ]
+
+let test_float_args_and_ret () =
+  run_expect
+    (fun prog ->
+      let _avg =
+        B.define prog "avg" ~params:[ Reg.Float; Reg.Float ] ~ret:Reg.Float
+          (fun b params ->
+            match params with
+            | [ x; y ] -> B.ret b (Some (B.fmul b (B.fadd b x y) (B.cf b 0.5)))
+            | _ -> assert false)
+      in
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             let r = B.call_f b "avg" [ B.cf b 3.0; B.cf b 5.0 ] in
+             B.femit b r;
+             B.halt b)))
+    [ Int64.bits_of_float 4.0 ]
+
+let test_nested_calls_preserve_ra () =
+  run_expect
+    (fun prog ->
+      let _leaf =
+        B.define prog "leaf" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+            B.ret b (Some (B.addi b (List.hd params) 1L)))
+      in
+      let _mid =
+        B.define prog "mid" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+            let a = B.call_i b "leaf" [ List.hd params ] in
+            let c = B.call_i b "leaf" [ a ] in
+            B.ret b (Some c))
+      in
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             B.emit b (B.call_i b "mid" [ B.cint b 40 ]);
+             B.halt b)))
+    [ 42L ]
+
+let test_recursion_deep () =
+  run_expect
+    (fun prog ->
+      let _s =
+        B.define prog "sum" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+            let n = List.hd params in
+            let r = B.fresh b Reg.Int in
+            B.if_ b Opcode.Le n (B.cint b 0)
+              ~then_:(fun () -> B.seti b r 0L)
+              ~else_:(fun () ->
+                let rest = B.call_i b "sum" [ B.subi b n 1L ] in
+                B.assign b r (B.add b n rest))
+              ();
+            B.ret b (Some r))
+      in
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             B.emit b (B.call_i b "sum" [ B.cint b 100 ]);
+             B.halt b)))
+    [ 5050L ]
+
+let test_spill_correctness () =
+  (* more live values than an 8-register core can hold: heavy spilling *)
+  let build prog =
+    ignore
+      (B.define prog "main" ~params:[] (fun b _ ->
+           let vs = List.init 25 (fun k -> B.cint b (k * k)) in
+           let acc = B.cint b 0 in
+           List.iter (fun v -> B.assign b acc (B.add b acc v)) vs;
+           B.emit b acc;
+           B.halt b))
+  in
+  let expected = List.init 25 (fun k -> k * k) |> List.fold_left ( + ) 0 in
+  run_expect ~core_int:8 build [ Int64.of_int expected ]
+
+let test_spilled_params () =
+  run_expect ~core_int:8
+    (fun prog ->
+      let _f =
+        B.define prog "many"
+          ~params:[ Reg.Int; Reg.Int; Reg.Int; Reg.Int; Reg.Int; Reg.Int ]
+          ~ret:Reg.Int
+          (fun b params ->
+            let sum =
+              List.fold_left (fun acc p -> B.add b acc p) (B.cint b 0) params
+            in
+            B.ret b (Some sum))
+      in
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             let args = List.init 6 (fun k -> B.cint b (1 lsl k)) in
+             B.emit b (B.call_i b "many" args);
+             B.halt b)))
+    [ 63L ]
+
+(* --- connect insertion --------------------------------------------------------- *)
+
+let rc_compile ?(core_int = 12) ?model ?combine prog =
+  compile ~rc:true ~core_int ?model ?combine prog
+
+let pressure_build n prog =
+  (* values come from memory so constant folding cannot erase the
+     register pressure *)
+  Rc_workloads.Wutil.global_words prog "seed"
+    (Array.init n (fun k -> Int64.of_int (k + 1)));
+  ignore
+    (B.define prog "main" ~params:[] (fun b _ ->
+         let p = B.addr b "seed" in
+         let vs = List.init n (fun k -> B.load b ~off:(8 * k) p) in
+         let acc = B.cint b 0 in
+         List.iter (fun v -> B.assign b acc (B.add b acc (B.mul b v v))) vs;
+         B.emit b acc;
+         B.halt b))
+
+let test_arch_form () =
+  let prog = B.program ~entry:"main" in
+  pressure_build 30 prog;
+  let c = rc_compile prog in
+  let ifile, ffile = Rc_harness.Pipeline.files c.Rc_harness.Pipeline.opts in
+  check_bool "architectural form" true
+    (Rc_codegen.Rc_lower.check_arch_form ~ifile ~ffile c.Rc_harness.Pipeline.mcode);
+  check_bool "connects inserted" true (c.Rc_harness.Pipeline.connects_inserted > 0)
+
+let test_rc_output_matches () =
+  let expected =
+    let prog = B.program ~entry:"main" in
+    pressure_build 30 prog;
+    (Rc_interp.Interp.run prog).Rc_interp.Interp.output
+  in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun combine ->
+          let prog = B.program ~entry:"main" in
+          pressure_build 30 prog;
+          let c = rc_compile ~model ~combine prog in
+          let r = Rc_harness.Pipeline.simulate c in
+          Alcotest.(check (list int64))
+            (Fmt.str "rc output (%a, combine=%b)" Rc_core.Model.pp model combine)
+            expected r.Rc_machine.Machine.output)
+        [ true; false ])
+    Rc_core.Model.all
+
+let test_combined_connects_exist () =
+  let prog = B.program ~entry:"main" in
+  pressure_build 30 prog;
+  let c = rc_compile ~combine:true prog in
+  let combined = ref false in
+  Mcode.iter_insns c.Rc_harness.Pipeline.mcode (fun i ->
+      if Insn.is_connect i && Array.length i.Insn.connects = 2 then combined := true);
+  check_bool "multiple-connect instructions used" true !combined
+
+let test_single_connects_only () =
+  let prog = B.program ~entry:"main" in
+  pressure_build 30 prog;
+  let c = rc_compile ~combine:false prog in
+  Mcode.iter_insns c.Rc_harness.Pipeline.mcode (fun i ->
+      if Insn.is_connect i then
+        check "single update" 1 (Array.length i.Insn.connects))
+
+let test_no_rc_has_no_connects () =
+  let prog = B.program ~entry:"main" in
+  pressure_build 30 prog;
+  let c = compile ~rc:false ~core_int:16 prog in
+  check "no connects without RC" 0 c.Rc_harness.Pipeline.connects_inserted;
+  Mcode.iter_insns c.Rc_harness.Pipeline.mcode (fun i ->
+      check_bool "no connect opcode" false (Insn.is_connect i))
+
+let test_steering_invariant () =
+  (* replay each block's connects through a mapping table: at every
+     ordinary control transfer the table must equal the entry state the
+     successor expects (home everywhere except that block's pins, which
+     we cannot observe here — so check the weaker invariant used before
+     pinning regions: jsr/rts resets plus explicit connects never leave
+     an operand resolving outside the file). *)
+  let prog = B.program ~entry:"main" in
+  pressure_build 40 prog;
+  let c = rc_compile ~core_int:10 prog in
+  let ifile, ffile = Rc_harness.Pipeline.files c.Rc_harness.Pipeline.opts in
+  (* the strongest cheap check: simulation equals the interpreter, on a
+     second configuration with a different model *)
+  ignore (Rc_harness.Pipeline.simulate c);
+  check_bool "arch form under small core" true
+    (Rc_codegen.Rc_lower.check_arch_form ~ifile ~ffile c.Rc_harness.Pipeline.mcode)
+
+let test_pinned_loop_reduces_connects () =
+  (* a hot loop over many loop-invariant extended values: region pinning
+     must remove most per-iteration connect-uses *)
+  let build prog =
+    ignore
+      (B.define prog "main" ~params:[] (fun b _ ->
+           let ks = List.init 10 (fun k -> B.cint b (k + 2)) in
+           let acc = B.cint b 0 in
+           B.for_n b ~start:0 ~stop:200 (fun i ->
+               List.iter (fun k -> B.assign b acc (B.add b acc (B.mul b k i))) ks);
+           B.emit b acc;
+           B.halt b))
+  in
+  let dyn_connects pin_loops =
+    let prog = B.program ~entry:"main" in
+    build prog;
+    Rc_opt.Pass.apply Rc_opt.Pass.Classical prog;
+    Rc_codegen.Legalize.run prog;
+    let outcome = Rc_interp.Interp.run prog in
+    let ifile = Reg.file ~core:16 ~total:64 and ffile = Reg.core_only 8 in
+    let alloc =
+      Rc_regalloc.Alloc.run ~ifile ~ffile prog outcome.Rc_interp.Interp.profile
+    in
+    let m = Rc_codegen.Lower.run prog alloc outcome.Rc_interp.Interp.profile in
+    ignore
+      (Rc_codegen.Rc_lower.run
+         (Rc_codegen.Rc_lower.config ~pin_loops ~ifile ~ffile ())
+         m);
+    let img = Image.assemble m in
+    let mcfg = Rc_machine.Config.v ~issue:4 ~ifile ~ffile () in
+    let r = Rc_machine.Machine.run mcfg img in
+    Alcotest.(check (list int64))
+      "pinned run output" outcome.Rc_interp.Interp.output
+      r.Rc_machine.Machine.output;
+    r.Rc_machine.Machine.connects
+  in
+  let without = dyn_connects false in
+  let with_pins = dyn_connects true in
+  check_bool
+    (Fmt.str "pinning reduces connects (%d -> %d)" without with_pins)
+    true
+    (with_pins < without)
+
+let test_hoisting_separates_connects () =
+  (* with hoisting, not every connect is immediately before its consumer *)
+  let prog = B.program ~entry:"main" in
+  pressure_build 40 prog;
+  let c = rc_compile ~core_int:10 prog in
+  let adjacent = ref 0 and total = ref 0 in
+  List.iter
+    (fun (f : Mcode.func) ->
+      List.iter
+        (fun (b : Mcode.block) ->
+          let arr = Array.of_list b.Mcode.insns in
+          Array.iteri
+            (fun k i ->
+              if Insn.is_connect i then begin
+                incr total;
+                if k + 1 < Array.length arr && not (Insn.is_connect arr.(k + 1))
+                then begin
+                  (* consumer adjacency: next insn touches a connected index *)
+                  let touches =
+                    Array.exists
+                      (fun (c' : Insn.connect) ->
+                        Array.exists
+                          (fun (o : Insn.operand) ->
+                            Reg.equal_cls o.Insn.cls c'.Insn.ccls
+                            && o.Insn.r = c'.Insn.ri)
+                          arr.(k + 1).Insn.srcs)
+                      i.Insn.connects
+                  in
+                  if touches then incr adjacent
+                end
+              end)
+            arr)
+        f.Mcode.blocks)
+    c.Rc_harness.Pipeline.mcode.Mcode.funcs;
+  check_bool "some connects hoisted away from consumers" true
+    (!total = 0 || !adjacent < !total)
+
+let test_xsave_generated_for_extended_across_calls () =
+  (* an extended-register value live across a call must be saved and
+     restored by the caller (tag Xsave), and the program still runs *)
+  let build prog =
+    let _leaf =
+      B.define prog "leaf" ~params:[] ~ret:Reg.Int (fun b _ ->
+          (* burn registers so the callee clobbers freely *)
+          let vs = List.init 10 (fun k -> B.cint b k) in
+          let s = List.fold_left (fun a v -> B.add b a v) (B.cint b 0) vs in
+          B.ret b (Some s))
+    in
+    Rc_workloads.Wutil.global_words prog "xs"
+      (Array.init 20 (fun k -> Int64.of_int (k * 3)));
+    ignore
+      (B.define prog "main" ~params:[] (fun b _ ->
+           let p = B.addr b "xs" in
+           let vs = List.init 20 (fun k -> B.load b ~off:(8 * k) p) in
+           let y = B.call_i b "leaf" [] in
+           let acc = B.fresh b Reg.Int in
+           B.mov b ~dst:acc ~src:y;
+           List.iter (fun v -> B.assign b acc (B.add b acc v)) vs;
+           B.emit b acc;
+           B.halt b))
+  in
+  let prog = B.program ~entry:"main" in
+  build prog;
+  let c = rc_compile ~core_int:8 prog in
+  let r = Rc_harness.Pipeline.simulate c in
+  let expected = 45 + (3 * (19 * 20 / 2)) in
+  Alcotest.(check (list int64)) "output" [ Int64.of_int expected ]
+    r.Rc_machine.Machine.output;
+  check_bool "xsave emitted" true (c.Rc_harness.Pipeline.breakdown.Mcode.xsave > 0)
+
+let test_workloads_all_configs () =
+  (* the cornerstone differential test: every workload, multiple
+     register configurations, with and without RC, against the
+     interpreter *)
+  List.iter
+    (fun (bench : Rc_workloads.Wutil.bench) ->
+      List.iter
+        (fun (rc, core_int, core_float) ->
+          let opts =
+            Rc_harness.Pipeline.options ~rc ~core_int ~core_float
+              ~total_int:(max 256 core_int) ~total_float:(max 128 core_float) ()
+          in
+          let prog = bench.Rc_workloads.Wutil.build 1 in
+          let c = Rc_harness.Pipeline.compile opts prog in
+          (* simulate verifies against the interpreter internally *)
+          ignore (Rc_harness.Pipeline.simulate c))
+        [
+          (false, 16, 16); (true, 16, 16); (true, 8, 8); (false, 64, 32);
+        ])
+    (Rc_workloads.Registry.all ())
+
+let suite =
+  [
+    ("legalize swaps commutative", `Quick, test_legalize_swaps_commutative);
+    ("legalize materialises", `Quick, test_legalize_materialises_noncommutative);
+    ("simple program", `Quick, test_simple_program);
+    ("integer arguments", `Quick, test_calls_and_args);
+    ("float arguments and return", `Quick, test_float_args_and_ret);
+    ("nested calls preserve ra", `Quick, test_nested_calls_preserve_ra);
+    ("deep recursion", `Quick, test_recursion_deep);
+    ("spill correctness", `Quick, test_spill_correctness);
+    ("spilled parameters", `Quick, test_spilled_params);
+    ("architectural form", `Quick, test_arch_form);
+    ("RC output equals interpreter (all models)", `Quick, test_rc_output_matches);
+    ("combined connects", `Quick, test_combined_connects_exist);
+    ("single connects", `Quick, test_single_connects_only);
+    ("no connects without RC", `Quick, test_no_rc_has_no_connects);
+    ("steering under small core", `Quick, test_steering_invariant);
+    ("loop pinning reduces connects", `Quick, test_pinned_loop_reduces_connects);
+    ("connect hoisting", `Quick, test_hoisting_separates_connects);
+    ("extended save/restore across calls", `Quick, test_xsave_generated_for_extended_across_calls);
+    ("all workloads, all configs", `Slow, test_workloads_all_configs);
+  ]

@@ -1,0 +1,231 @@
+(* Tests for rc_dataflow: liveness, dominators, natural/simple loops and
+   interference graphs. *)
+
+open Rc_isa
+open Rc_ir
+open Rc_dataflow
+module B = Builder
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A diamond with a loop:
+   main: x=1; y=2; while (i < 10) { i = i + x }; emit y+i *)
+let loopy_func () =
+  let prog = B.program ~entry:"main" in
+  let holder = ref None in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.cint b 2 in
+        let i = B.cint b 0 in
+        let n = B.cint b 10 in
+        B.while_ b
+          ~cond:(fun () -> (Opcode.Lt, i, n))
+          ~body:(fun () -> B.assign b i (B.add b i x));
+        B.emit b (B.add b y i);
+        B.halt b;
+        holder := Some (x, y, i, n))
+  in
+  (f, Option.get !holder)
+
+let test_liveness_basic () =
+  let f, (x, y, i, n) = loopy_func () in
+  let live = Liveness.compute f in
+  let header =
+    List.find
+      (fun (b : Block.t) ->
+        match b.Block.term with Op.Br _ -> true | _ -> false)
+      f.Func.blocks
+  in
+  let live_in = Liveness.live_in live header.Block.id in
+  check_bool "i live at header" true (Vreg.Set.mem i live_in);
+  check_bool "n live at header" true (Vreg.Set.mem n live_in);
+  check_bool "x live at header (used in body)" true (Vreg.Set.mem x live_in);
+  check_bool "y live through loop" true (Vreg.Set.mem y live_in);
+  (* nothing is live into the entry block *)
+  check "entry live-in empty" 0
+    (Vreg.Set.cardinal (Liveness.live_in live (Func.entry f).Block.id))
+
+let test_liveness_dead_def () =
+  let prog = B.program ~entry:"main" in
+  let dead = ref None in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let d = B.cint b 42 in
+        dead := Some d;
+        let u = B.cint b 1 in
+        B.emit b u;
+        B.halt b)
+  in
+  let live = Liveness.compute f in
+  let entry = Func.entry f in
+  (* walk to the point after the dead def: it is never live *)
+  let seen_live = ref false in
+  Liveness.fold_block_backward live entry ~init:() ~f:(fun () _op after ->
+      if Vreg.Set.mem (Option.get !dead) after then seen_live := true);
+  check_bool "dead def never live" false !seen_live
+
+let test_dominators () =
+  let f, _ = loopy_func () in
+  let doms = Dominators.compute f in
+  let entry = (Func.entry f).Block.id in
+  List.iter
+    (fun (b : Block.t) ->
+      check_bool "entry dominates all" true
+        (Dominators.dominates doms entry b.Block.id);
+      check_bool "self dominance" true
+        (Dominators.dominates doms b.Block.id b.Block.id))
+    f.Func.blocks;
+  check_bool "entry has no idom" true (Dominators.idom doms entry = None)
+
+let test_natural_loops () =
+  let f, _ = loopy_func () in
+  match Loops.natural_loops f with
+  | [ l ] ->
+      check "loop body size" 2 (Loops.IntSet.cardinal l.Loops.body);
+      check "one back edge" 1 (List.length l.Loops.back_edges);
+      let depth = Loops.depths f in
+      check "header depth" 1 (depth l.Loops.head);
+      check "entry depth" 0 (depth (Func.entry f).Block.id)
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls)
+
+let test_simple_loop_recognition () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:8 (fun i -> B.assign b acc (B.add b acc i));
+        B.emit b acc;
+        B.halt b)
+  in
+  match Loops.find_simple f with
+  | [ s ] ->
+      Alcotest.(check int64) "step" 1L s.Loops.step;
+      check_bool "cond lt" true (s.Loops.cond = Opcode.Lt);
+      check_bool "header has empty ops" true (s.Loops.header.Block.ops = [])
+  | ls -> Alcotest.failf "expected 1 simple loop, got %d" (List.length ls)
+
+let test_simple_loop_rejects_variant_bound () =
+  (* a loop whose bound changes inside the body is not "simple" *)
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let i = B.cint b 0 in
+        let n = B.cint b 10 in
+        B.while_ b
+          ~cond:(fun () -> (Opcode.Lt, i, n))
+          ~body:(fun () ->
+            B.assign b i (B.addi b i 1L);
+            B.assign b n (B.subi b n 1L));
+        B.emit b i;
+        B.halt b)
+  in
+  check "no simple loops" 0 (List.length (Loops.find_simple f))
+
+let test_interference () =
+  let prog = B.program ~entry:"main" in
+  let vs = ref None in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.cint b 2 in
+        let s = B.add b x y in
+        (* x dead after the add; s and y both live here *)
+        let t = B.add b s y in
+        B.emit b t;
+        B.halt b;
+        vs := Some (x, y, s, t))
+  in
+  let x, y, s, _t = Option.get !vs in
+  let live = Liveness.compute f in
+  let g = Interference.build f live in
+  check_bool "x-y interfere" true (Interference.interferes g x y);
+  check_bool "s-y interfere" true (Interference.interferes g s y);
+  check_bool "x-s do not interfere" false (Interference.interferes g x s);
+  check_bool "degree y >= 2" true (Interference.degree g y >= 2)
+
+let test_interference_classes () =
+  let prog = B.program ~entry:"main" in
+  let vs = ref None in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let fx = B.itof b x in
+        let fy = B.fadd b fx fx in
+        B.femit b fy;
+        B.emit b x;
+        B.halt b;
+        vs := Some (x, fx))
+  in
+  let x, fx = Option.get !vs in
+  let live = Liveness.compute f in
+  let g = Interference.build f live in
+  check_bool "no cross-class edges" false (Interference.interferes g x fx)
+
+let test_move_relatedness () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.fresh b Reg.Int in
+        B.mov b ~dst:y ~src:x;
+        B.emit b y;
+        B.emit b x;
+        B.halt b)
+  in
+  let live = Liveness.compute f in
+  let g = Interference.build f live in
+  check "one move pair" 1 (List.length g.Interference.moves)
+
+let test_max_pressure () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let a = B.cint b 1 in
+        let c = B.cint b 2 in
+        let d = B.cint b 3 in
+        let e = B.cint b 4 in
+        let s = B.add b (B.add b a c) (B.add b d e) in
+        B.emit b s;
+        B.halt b)
+  in
+  let live = Liveness.compute f in
+  check_bool "pressure at least 4" true
+    (Interference.max_pressure f live Reg.Int >= 4);
+  check "no float pressure" 0 (Interference.max_pressure f live Reg.Float)
+
+let test_live_across_calls () =
+  let prog = B.program ~entry:"main" in
+  let kept = ref None in
+  let _leaf =
+    B.define prog "leaf" ~params:[] ~ret:Reg.Int (fun b _ ->
+        B.ret b (Some (B.cint b 7)))
+  in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 5 in
+        kept := Some x;
+        let y = B.call_i b "leaf" [] in
+        B.emit b (B.add b x y);
+        B.halt b)
+  in
+  let live = Liveness.compute f in
+  let across = Liveness.live_across_calls f live in
+  check_bool "x lives across the call" true (Vreg.Set.mem (Option.get !kept) across);
+  check "only x" 1 (Vreg.Set.cardinal across)
+
+let suite =
+  [
+    ("liveness over a loop", `Quick, test_liveness_basic);
+    ("dead definitions not live", `Quick, test_liveness_dead_def);
+    ("dominators", `Quick, test_dominators);
+    ("natural loops", `Quick, test_natural_loops);
+    ("simple loop recognition", `Quick, test_simple_loop_recognition);
+    ("variant bound rejected", `Quick, test_simple_loop_rejects_variant_bound);
+    ("interference edges", `Quick, test_interference);
+    ("interference class separation", `Quick, test_interference_classes);
+    ("move relatedness", `Quick, test_move_relatedness);
+    ("max pressure", `Quick, test_max_pressure);
+    ("live across calls", `Quick, test_live_across_calls);
+  ]

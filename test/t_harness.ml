@@ -1,0 +1,174 @@
+(* Tests for rc_harness: pipeline verification, experiment plumbing,
+   speedup definitions, and the headline qualitative results of the
+   paper that the repository claims to reproduce. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ctx = lazy (Rc_harness.Experiments.create ~scale:1 ())
+
+let test_pipeline_verifies () =
+  let b = Rc_workloads.Registry.find "cmp" in
+  let opts = Rc_harness.Pipeline.options ~rc:true ~core_int:16 () in
+  let c = Rc_harness.Pipeline.compile opts (b.Rc_workloads.Wutil.build 1) in
+  let r = Rc_harness.Pipeline.simulate c in
+  check_bool "cycles positive" true (r.Rc_machine.Machine.cycles > 0);
+  check_bool "verified output" true
+    (r.Rc_machine.Machine.output = c.Rc_harness.Pipeline.expected.Rc_interp.Interp.output)
+
+let test_base_is_speedup_one () =
+  (* the base configuration's speedup is 1 by definition *)
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "cmp" in
+  let base_opts =
+    Rc_harness.Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1
+      ~mem_channels:2 ~core_int:Rc_harness.Experiments.unlimited
+      ~core_float:Rc_harness.Experiments.unlimited ()
+  in
+  Alcotest.(check (float 1e-9))
+    "speedup of base" 1.0
+    (Rc_harness.Experiments.speedup ctx b base_opts)
+
+let test_memoisation () =
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "cmp" in
+  let opts = Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true () in
+  let s1 = Rc_harness.Experiments.speedup ctx b opts in
+  let s2 = Rc_harness.Experiments.speedup ctx b opts in
+  Alcotest.(check (float 0.0)) "memoised identical" s1 s2
+
+let test_geomean () =
+  let t =
+    {
+      Rc_harness.Experiments.id = "x";
+      title = "";
+      columns = [ "a" ];
+      rows = [ ("p", [ 2.0 ]); ("q", [ 8.0 ]) ];
+      note = "";
+    }
+  in
+  match Rc_harness.Experiments.with_geomean t with
+  | { Rc_harness.Experiments.rows = [ _; _; ("geomean", [ g ]) ]; _ } ->
+      Alcotest.(check (float 1e-9)) "geometric mean" 4.0 g
+  | _ -> Alcotest.fail "geomean row missing"
+
+let test_table1_shape () =
+  let t = Rc_harness.Experiments.table1 () in
+  check "ten latencies" 10 (List.length t.Rc_harness.Experiments.rows);
+  check_bool "div is 10" true
+    (List.assoc "INT divide" t.Rc_harness.Experiments.rows = [ 10.0; 10.0 ])
+
+(* --- the paper's headline qualitative claims, on two benchmarks -------------- *)
+
+let speedup_of bench ~label ~rc =
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find bench in
+  Rc_harness.Experiments.speedup ctx b
+    (Rc_harness.Experiments.reg_opts b ~label ~rc ())
+
+let test_rc_wins_at_small_cores () =
+  (* paper: "All benchmarks run with a small number of core registers
+     demonstrate a large performance advantage using the with-RC
+     model" *)
+  List.iter
+    (fun bench ->
+      let no = speedup_of bench ~label:8 ~rc:false in
+      let rc = speedup_of bench ~label:8 ~rc:true in
+      check_bool (bench ^ ": RC wins at 8 registers") true (rc > 1.5 *. no))
+    [ "eqn"; "lex"; "espresso" ]
+
+let test_models_converge_at_large_cores () =
+  (* paper: at 64 registers both models perform alike *)
+  List.iter
+    (fun bench ->
+      let no = speedup_of bench ~label:64 ~rc:false in
+      let rc = speedup_of bench ~label:64 ~rc:true in
+      check_bool
+        (Fmt.str "%s: models converge at 64 (%.2f vs %.2f)" bench no rc)
+        true
+        (Float.abs (no -. rc) /. no < 0.15))
+    [ "eqn"; "cmp"; "yacc" ]
+
+let test_without_rc_degrades () =
+  (* degradation of the without-RC model as registers shrink *)
+  List.iter
+    (fun bench ->
+      let s64 = speedup_of bench ~label:64 ~rc:false in
+      let s8 = speedup_of bench ~label:8 ~rc:false in
+      check_bool (bench ^ ": severe degradation at 8") true (s8 < 0.6 *. s64))
+    [ "eqn"; "lex"; "grep" ]
+
+let test_rc_benefit_grows_with_issue_rate () =
+  (* paper: "The performance improvement due to the RC method is more
+     significant for higher issue rates" (geometric mean over a sample) *)
+  let ctx = Lazy.force ctx in
+  let ratio issue =
+    let benches = [ "eqn"; "espresso"; "lex" ] in
+    let prod op =
+      List.fold_left
+        (fun acc bench ->
+          let b = Rc_workloads.Registry.find bench in
+          acc
+          *. Rc_harness.Experiments.speedup ctx b
+               (Rc_harness.Experiments.reg_opts b
+                  ~label:(Rc_harness.Experiments.small_label b) ~rc:op ~issue ()))
+        1.0 benches
+    in
+    prod true /. prod false
+  in
+  check_bool "benefit grows 1 -> 4 issue" true (ratio 4 > ratio 1)
+
+let test_fig9_rc_code_larger_but_faster () =
+  (* paper: "Although the code size increase of the with-RC model is
+     significantly more than the without-RC model, the with-RC model
+     achieves higher performance." *)
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "eqn" in
+  let o_no = Rc_harness.Experiments.reg_opts b ~label:16 ~rc:false () in
+  let o_rc = Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true () in
+  let _, bk_no, _ = Rc_harness.Experiments.run ctx b o_no in
+  let _, bk_rc, _ = Rc_harness.Experiments.run ctx b o_rc in
+  check_bool "rc code larger" true
+    (Rc_harness.Experiments.size_increase bk_rc
+    > Rc_harness.Experiments.size_increase bk_no);
+  check_bool "rc still faster" true
+    (Rc_harness.Experiments.speedup ctx b o_rc
+    > Rc_harness.Experiments.speedup ctx b o_no)
+
+let test_fig12_extra_stage_cheap () =
+  (* paper: "very little performance loss when the RC method cannot be
+     implemented within an existing pipeline" (extra-stage case) *)
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "lex" in
+  let fast = Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true () in
+  let deep =
+    Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true ~extra_stage:true ()
+  in
+  let s_fast = Rc_harness.Experiments.speedup ctx b fast in
+  let s_deep = Rc_harness.Experiments.speedup ctx b deep in
+  check_bool "within 5%" true (s_deep > 0.95 *. s_fast)
+
+let test_experiment_ids_resolve () =
+  let ctx = Rc_harness.Experiments.create ~scale:1 () in
+  List.iter
+    (fun id ->
+      check_bool (id ^ " resolves") true
+        (Rc_harness.Experiments.by_id ctx id <> None))
+    [ "table1" ];
+  check_bool "unknown id" true (Rc_harness.Experiments.by_id ctx "nope" = None)
+
+let suite =
+  [
+    ("pipeline verifies output", `Quick, test_pipeline_verifies);
+    ("base speedup is 1", `Slow, test_base_is_speedup_one);
+    ("memoisation", `Slow, test_memoisation);
+    ("geomean", `Quick, test_geomean);
+    ("table 1 shape", `Quick, test_table1_shape);
+    ("RC wins at small cores", `Slow, test_rc_wins_at_small_cores);
+    ("models converge at 64", `Slow, test_models_converge_at_large_cores);
+    ("without-RC degrades", `Slow, test_without_rc_degrades);
+    ("RC benefit grows with issue rate", `Slow, test_rc_benefit_grows_with_issue_rate);
+    ("fig 9: larger but faster", `Slow, test_fig9_rc_code_larger_but_faster);
+    ("fig 12: extra stage cheap", `Slow, test_fig12_extra_stage_cheap);
+    ("experiment ids resolve", `Quick, test_experiment_ids_resolve);
+  ]

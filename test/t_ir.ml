@@ -1,0 +1,181 @@
+(* Tests for rc_ir: operations, CFG structure and the builder DSL. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_op_uses_defs () =
+  let v k cls = { Vreg.id = k; cls } in
+  let a = v 0 Reg.Int and b = v 1 Reg.Int and c = v 2 Reg.Int in
+  let f1 = v 3 Reg.Float and f2 = v 4 Reg.Float in
+  check "alu uses" 2 (List.length (Op.uses (Op.Alu (Opcode.Add, c, Op.V a, Op.V b))));
+  check "alui uses" 1 (List.length (Op.uses (Op.Alu (Opcode.Add, c, Op.V a, Op.C 3L))));
+  check_bool "alu def" true (Op.def (Op.Alu (Opcode.Add, c, Op.V a, Op.V b)) = Some c);
+  check_bool "store no def" true (Op.def (Op.St (Opcode.W8, a, b, 0)) = None);
+  check "store uses" 2 (List.length (Op.uses (Op.St (Opcode.W8, a, b, 0))));
+  check "fpu unary uses" 1 (List.length (Op.uses (Op.Fpu (Opcode.Fneg, f1, f2, None))));
+  check "call uses args" 2
+    (List.length (Op.uses (Op.Call { dst = Some c; callee = "f"; args = [ a; b ] })));
+  check_bool "emit side effect" true (Op.has_side_effect (Op.Emit a));
+  check_bool "alu pure" false (Op.has_side_effect (Op.Alu (Opcode.Add, c, Op.V a, Op.V b)))
+
+let test_map_uses () =
+  let v k = { Vreg.id = k; cls = Reg.Int } in
+  let a = v 0 and b = v 1 and c = v 2 and z = v 9 in
+  let subst x = if Vreg.equal x a then z else x in
+  (match Op.map_uses subst (Op.Alu (Opcode.Add, c, Op.V a, Op.V b)) with
+  | Op.Alu (_, d, Op.V x, Op.V y) ->
+      check_bool "dst untouched" true (Vreg.equal d c);
+      check_bool "first use substituted" true (Vreg.equal x z);
+      check_bool "second use kept" true (Vreg.equal y b)
+  | _ -> Alcotest.fail "unexpected rewrite");
+  match Op.map_def (fun _ -> z) (Op.Li (a, 5L)) with
+  | Op.Li (d, 5L) -> check_bool "def substituted" true (Vreg.equal d z)
+  | _ -> Alcotest.fail "unexpected def rewrite"
+
+let test_term_successors () =
+  check "ret" 0 (List.length (Op.successors (Op.Ret None)));
+  check "jmp" 1 (List.length (Op.successors (Op.Jmp 3)));
+  let v k = { Vreg.id = k; cls = Reg.Int } in
+  check "br" 2 (List.length (Op.successors (Op.Br (Opcode.Lt, v 0, v 1, 3, 4))));
+  check "br same target" 1
+    (List.length (Op.successors (Op.Br (Opcode.Lt, v 0, v 1, 3, 3))))
+
+let test_builder_structure () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.cint b 2 in
+        let s = B.add b x y in
+        B.emit b s;
+        B.halt b)
+  in
+  check "one block" 1 (List.length f.Func.blocks);
+  check "four ops" 4 (List.length (Func.entry f).Block.ops);
+  check_bool "halt term" true ((Func.entry f).Block.term = Op.Halt)
+
+let test_builder_if () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 5 in
+        let y = B.cint b 3 in
+        let r = B.fresh b Reg.Int in
+        B.if_ b Opcode.Gt x y
+          ~then_:(fun () -> B.seti b r 1L)
+          ~else_:(fun () -> B.seti b r 0L)
+          ();
+        B.emit b r;
+        B.halt b)
+  in
+  (* entry, then, else, join *)
+  check "four blocks" 4 (List.length f.Func.blocks);
+  let entry = Func.entry f in
+  match entry.Block.term with
+  | Op.Br (Opcode.Gt, _, _, t, e) ->
+      check_bool "then and else differ" true (t <> e);
+      let preds = Func.predecessors f in
+      let join =
+        List.find
+          (fun (b : Block.t) -> List.length (preds b.Block.id) = 2)
+          f.Func.blocks
+      in
+      check "join has 2 preds" 2 (List.length (preds join.Block.id))
+  | _ -> Alcotest.fail "expected branch terminator"
+
+let test_builder_while () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let i = B.cint b 0 in
+        let n = B.cint b 10 in
+        B.while_ b
+          ~cond:(fun () -> (Opcode.Lt, i, n))
+          ~body:(fun () -> B.assign b i (B.addi b i 1L));
+        B.emit b i;
+        B.halt b)
+  in
+  (* entry, header, body, exit *)
+  check "four blocks" 4 (List.length f.Func.blocks);
+  let loops = Rc_dataflow.Loops.natural_loops f in
+  check "one loop" 1 (List.length loops)
+
+let test_builder_for_interp () =
+  let prog = B.program ~entry:"main" in
+  let _ =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:10 (fun i -> B.assign b acc (B.add b acc i));
+        B.emit b acc;
+        (* downward loop *)
+        let acc2 = B.cint b 0 in
+        B.for_ b ~step:(-2L) ~start:(Op.C 10L) ~stop:(Op.C 0L) (fun i ->
+            B.assign b acc2 (B.add b acc2 i));
+        B.emit b acc2;
+        B.halt b)
+  in
+  let out = Rc_interp.Interp.run prog in
+  Alcotest.(check (list int64)) "loop sums" [ 45L; 30L ] out.Rc_interp.Interp.output
+
+let test_builder_call () =
+  let prog = B.program ~entry:"main" in
+  let _double =
+    B.define prog "double" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+        let x = List.hd params in
+        B.ret b (Some (B.muli b x 2L)))
+  in
+  let _ =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 21 in
+        let y = B.call_i b "double" [ x ] in
+        B.emit b y;
+        B.halt b)
+  in
+  let out = Rc_interp.Interp.run prog in
+  Alcotest.(check (list int64)) "call result" [ 42L ] out.Rc_interp.Interp.output
+
+let test_builder_errors () =
+  let prog = B.program ~entry:"main" in
+  Alcotest.check_raises "terminated block"
+    (Invalid_argument "Builder: emitting into a terminated block") (fun () ->
+      ignore
+        (B.define prog "main" ~params:[] (fun b _ ->
+             B.halt b;
+             ignore (B.cint b 1))))
+
+let test_prog_duplicate_global () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:8 ();
+  Alcotest.check_raises "duplicate global"
+    (Invalid_argument "Prog.add_global: duplicate g") (fun () ->
+      B.global prog "g" ~bytes:8 ())
+
+let test_func_all_vregs () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.addi b x 1L in
+        B.emit b y;
+        B.halt b)
+  in
+  check "two vregs" 2 (Vreg.Set.cardinal (Func.all_vregs f))
+
+let suite =
+  [
+    ("op uses and defs", `Quick, test_op_uses_defs);
+    ("map_uses / map_def", `Quick, test_map_uses);
+    ("terminator successors", `Quick, test_term_successors);
+    ("builder straight line", `Quick, test_builder_structure);
+    ("builder if/else", `Quick, test_builder_if);
+    ("builder while", `Quick, test_builder_while);
+    ("builder for loops run", `Quick, test_builder_for_interp);
+    ("builder calls run", `Quick, test_builder_call);
+    ("builder misuse", `Quick, test_builder_errors);
+    ("duplicate globals", `Quick, test_prog_duplicate_global);
+    ("all_vregs", `Quick, test_func_all_vregs);
+  ]

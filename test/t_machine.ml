@@ -1,0 +1,609 @@
+(* Tests for rc_machine: functional semantics, cycle-accurate timing
+   (latencies, issue width, memory channels, branch penalties, connect
+   latency), and the upward-compatibility behaviours of paper section 4
+   (jsr/rts map reset, trap map bypass, context switching). *)
+
+open Rc_isa
+open Rc_core
+module M = Rc_machine.Machine
+module C = Rc_machine.Config
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(** Assemble one block of instructions as the whole program. *)
+let image_of ?(globals = []) insns =
+  let m = Mcode.create ~entry:"main" in
+  List.iter (Mcode.add_global m) globals;
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks = [ { Mcode.label = 0; insns } ];
+    };
+  Image.assemble m
+
+let run ?(cfg = C.v ()) ?globals insns = M.run cfg (image_of ?globals insns)
+
+let cfg1 = C.v ~issue:1 ~ifile:(Reg.core_only 32) ~ffile:(Reg.core_only 16) ()
+let cfg4 = C.v ~issue:4 ~ifile:(Reg.core_only 32) ~ffile:(Reg.core_only 16) ()
+
+(* --- functional behaviour --------------------------------------------------- *)
+
+let test_functional_alu () =
+  let r =
+    run ~cfg:cfg1
+      [
+        Insn.li ~dst:8 6L;
+        Insn.li ~dst:9 7L;
+        Insn.alu Opcode.Mul ~dst:10 ~s1:8 ~s2:9;
+        Insn.emit ~src:10;
+        Insn.alui Opcode.Sub ~dst:11 ~s1:10 ~imm:2L;
+        Insn.emit ~src:11;
+        Insn.halt ();
+      ]
+  in
+  Alcotest.(check (list int64)) "alu output" [ 42L; 40L ] r.M.output
+
+let test_functional_memory () =
+  let g = Mcode.global ~name:"buf" ~bytes:32 ~init:(Mcode.Words [| 5L |]) () in
+  let addr = Image.data_base in
+  let r =
+    run ~cfg:cfg1 ~globals:[ g ]
+      [
+        Insn.li ~dst:8 (Int64.of_int addr);
+        Insn.ld ~dst:9 ~base:8 ~off:0 ();
+        Insn.emit ~src:9;
+        Insn.st ~src:9 ~base:8 ~off:8 ();
+        Insn.ld ~dst:10 ~base:8 ~off:8 ();
+        Insn.emit ~src:10;
+        Insn.ld ~width:Opcode.W1 ~dst:11 ~base:8 ~off:0 ();
+        Insn.emit ~src:11;
+        Insn.halt ();
+      ]
+  in
+  Alcotest.(check (list int64)) "memory" [ 5L; 5L; 5L ] r.M.output
+
+let test_zero_register () =
+  let r =
+    run ~cfg:cfg1
+      [
+        Insn.li ~dst:Reg.zero 99L (* write discarded *);
+        Insn.emit ~src:Reg.zero;
+        Insn.halt ();
+      ]
+  in
+  Alcotest.(check (list int64)) "zero stays zero" [ 0L ] r.M.output
+
+(* --- timing ------------------------------------------------------------------ *)
+
+let cycles ?(cfg = cfg1) insns = (run ~cfg insns).M.cycles
+
+let test_single_issue_ipc () =
+  (* independent single-cycle ops at 1-issue: one per cycle (+halt) *)
+  let insns = List.init 10 (fun k -> Insn.li ~dst:(8 + k) 1L) @ [ Insn.halt () ] in
+  check "10 lis + halt" 11 (cycles insns)
+
+let test_wide_issue () =
+  (* the same ops at 4-issue *)
+  let insns = List.init 8 (fun k -> Insn.li ~dst:(8 + k) 1L) @ [ Insn.halt () ] in
+  check "8 lis in 2 cycles + halt" 3 (cycles ~cfg:cfg4 insns)
+
+let test_alu_latency_chain () =
+  (* chain of n dependent adds: n cycles even at 4-issue *)
+  let insns =
+    Insn.li ~dst:8 0L
+    :: List.init 6 (fun _ -> Insn.alui Opcode.Add ~dst:8 ~s1:8 ~imm:1L)
+    @ [ Insn.halt () ]
+  in
+  (* li in c0; adds at c1..c6; halt in c6's group? halt depends on nothing
+     but issues in order after the last add, same cycle *)
+  check "dependent adds serialise" 7 (cycles ~cfg:cfg4 insns)
+
+let test_mul_latency () =
+  let insns =
+    [
+      Insn.li ~dst:8 3L;
+      Insn.alu Opcode.Mul ~dst:9 ~s1:8 ~s2:8 (* issues c1, ready c4 *);
+      Insn.alui Opcode.Add ~dst:10 ~s1:9 ~imm:1L (* issues c4 *);
+      Insn.halt ();
+    ]
+  in
+  check "mul consumer waits 3" 5 (cycles ~cfg:cfg4 insns)
+
+let test_load_latency_config () =
+  let prog off_lat =
+    [
+      Insn.li ~dst:8 (Int64.of_int Image.data_base);
+      Insn.ld ~dst:9 ~base:8 ~off:0 ();
+      Insn.alui Opcode.Add ~dst:10 ~s1:9 ~imm:1L;
+      Insn.halt ();
+    ]
+    |> fun insns ->
+    let cfg =
+      C.v ~issue:1 ~lat:(Latency.v ~load:off_lat ())
+        ~ifile:(Reg.core_only 32) ~ffile:(Reg.core_only 16) ()
+    in
+    cycles ~cfg insns
+  in
+  check "2-cycle load" 5 (prog 2);
+  check "4-cycle load" 7 (prog 4)
+
+let test_memory_channels () =
+  let loads n =
+    Insn.li ~dst:8 (Int64.of_int Image.data_base)
+    :: List.init n (fun k -> Insn.ld ~dst:(9 + k) ~base:8 ~off:(8 * k) ())
+    @ [ Insn.halt () ]
+  in
+  let with_channels ch =
+    let cfg =
+      C.v ~issue:8 ~mem_channels:ch ~ifile:(Reg.core_only 32)
+        ~ffile:(Reg.core_only 16) ()
+    in
+    cycles ~cfg (loads 8)
+  in
+  check_bool "4 channels faster than 2" true (with_channels 4 < with_channels 2);
+  (* 8 independent loads, 2 channels: 4 cycles of loads *)
+  check "2 channels" 5 (with_channels 2);
+  check "4 channels" 3 (with_channels 4)
+
+let test_waw_interlock () =
+  (* CRAY-1 interlock: overwriting an in-flight destination stalls *)
+  let insns =
+    [
+      Insn.li ~dst:8 3L;
+      Insn.alu Opcode.Mul ~dst:9 ~s1:8 ~s2:8 (* r9 busy until c4 *);
+      Insn.li ~dst:9 0L (* WAW: must wait *);
+      Insn.halt ();
+    ]
+  in
+  check "waw stall" 5 (cycles ~cfg:cfg4 insns)
+
+let test_branch_prediction () =
+  (* a correctly predicted taken branch costs no extra penalty cycles *)
+  let body hint =
+    [
+      Insn.li ~dst:8 0L;
+      Insn.li ~dst:9 1L;
+      Insn.br Opcode.Lt ~s1:8 ~s2:9 ~target:1 ~hint (* -> label 1 *);
+    ]
+  in
+  let make hint =
+    let m = Mcode.create ~entry:"main" in
+    Mcode.add_func m
+      {
+        Mcode.name = "main";
+        entry_label = 0;
+        blocks =
+          [
+            { Mcode.label = 0; insns = body hint };
+            { Mcode.label = 1; insns = [ Insn.halt () ] };
+          ];
+      };
+    M.run cfg1 (Image.assemble m)
+  in
+  let good = make true and bad = make false in
+  check "no mispredicts when hinted" 0 good.M.mispredicts;
+  check "mispredict counted" 1 bad.M.mispredicts;
+  check "penalty paid" (good.M.cycles + C.mispredict_penalty cfg1) bad.M.cycles
+
+let test_extra_stage_penalty () =
+  let cfg_fast = C.v ~issue:1 ~ifile:(Reg.core_only 32) () in
+  let cfg_deep = C.v ~issue:1 ~extra_stage:true ~ifile:(Reg.core_only 32) () in
+  check "penalty 1" 1 (C.mispredict_penalty cfg_fast);
+  check "penalty 2 with extra stage" 2 (C.mispredict_penalty cfg_deep)
+
+(* --- connects ------------------------------------------------------------------ *)
+
+let rc_file = Reg.file ~core:8 ~total:32
+let rc_file16 = Reg.file ~core:16 ~total:32
+
+let rc_cfg ?(connect = 0) ?connect_dispatch () =
+  C.v ~issue:4 ~lat:(Latency.v ~connect ()) ~ifile:rc_file
+    ~ffile:(Reg.core_only 8) ?connect_dispatch ()
+
+let rc_cfg16 ?(connect = 0) ?connect_dispatch () =
+  C.v ~issue:4 ~lat:(Latency.v ~connect ()) ~ifile:rc_file16
+    ~ffile:(Reg.core_only 8) ?connect_dispatch ()
+
+let connect_prog =
+  [
+    Insn.li ~dst:7 5L (* rv holds 5 *);
+    (* send it to extended register 20 via a def connect *)
+    Insn.connect_def ~cls:Reg.Int ~ri:7 ~rp:20 ();
+    Insn.alui Opcode.Add ~dst:7 ~s1:7 ~imm:1L (* writes Rp20 := 6 *);
+    (* model 3: read map of r7 now points at Rp20 *)
+    Insn.emit ~src:7;
+    (* r7's write map snapped home, so this writes the core register *)
+    Insn.li ~dst:7 100L;
+    Insn.emit ~src:7 (* model 3: reads Rp7 = 100 *);
+    Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:20 ();
+    Insn.emit ~src:7 (* back to Rp20 = 6 *);
+    Insn.halt ();
+  ]
+
+let test_connect_functional_model3 () =
+  let r = M.run (rc_cfg ()) (image_of connect_prog) in
+  Alcotest.(check (list int64)) "model 3 semantics" [ 6L; 100L; 6L ] r.M.output;
+  check "dynamic connects" 2 r.M.connects
+
+let test_connect_zero_vs_one_cycle () =
+  (* connect in the same cycle as its consumer: free at 0 cycles
+     (dispatch forwarding), a stall at 1 cycle *)
+  let insns =
+    [
+      Insn.li ~dst:8 1L;
+      Insn.li ~dst:9 2L;
+      (* filler so the consumer's operands are ready in the connect's
+         cycle *)
+      Insn.alu Opcode.Add ~dst:12 ~s1:8 ~s2:8;
+      Insn.connect_use ~cls:Reg.Int ~ri:10 ~rp:9 ();
+      Insn.alu Opcode.Add ~dst:11 ~s1:10 ~s2:8 (* reads via idx 10 *);
+      Insn.emit ~src:11;
+      Insn.halt ();
+    ]
+  in
+  let c0 = (M.run (rc_cfg16 ~connect:0 ()) (image_of insns)).M.cycles in
+  let c1 = (M.run (rc_cfg16 ~connect:1 ()) (image_of insns)).M.cycles in
+  check_bool "1-cycle connect costs a stall" true (c1 > c0);
+  let r = M.run (rc_cfg16 ~connect:1 ()) (image_of insns) in
+  Alcotest.(check (list int64)) "same result" [ 3L ] r.M.output;
+  check_bool "map stall recorded" true (r.M.map_stalls > 0)
+
+let test_connect_dispatch_budget () =
+  (* real work interleaved with connects: with [`Shared] dispatch the
+     connects compete for issue slots and the program slows down *)
+  let insns =
+    List.concat
+      (List.init 4 (fun k ->
+           [
+             Insn.li ~dst:(8 + k) (Int64.of_int k);
+             Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:(20 + k) ();
+           ]))
+    @ [ Insn.halt () ]
+  in
+  let extra = (M.run (rc_cfg16 ()) (image_of insns)).M.cycles in
+  let shared =
+    (M.run (rc_cfg16 ~connect_dispatch:`Shared ()) (image_of insns)).M.cycles
+  in
+  check_bool
+    (Fmt.str "shared dispatch is slower (%d > %d)" shared extra)
+    true (shared > extra)
+
+(* --- jsr / rts map reset (section 4.1) -------------------------------------------- *)
+
+let test_jsr_resets_map () =
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              [
+                Insn.li ~dst:7 1L;
+                (* connect r7 reads to extended 20 holding 77 *)
+                Insn.connect_def ~cls:Reg.Int ~ri:5 ~rp:20 ();
+                Insn.li ~dst:5 77L (* Rp20 := 77 *);
+                Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:20 ();
+                Insn.emit ~src:7 (* 77 via the map *);
+                Insn.jsr 1 (* hardware resets the map *);
+                Insn.emit ~src:7 (* now the core register: 1 *);
+                Insn.halt ();
+              ];
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "callee";
+      entry_label = 1;
+      blocks =
+        [
+          {
+            Mcode.label = 1;
+            insns =
+              [
+                (* callee reads r7: must see the CORE register (jsr
+                   reset), not extended 20 *)
+                Insn.emit ~src:7;
+                Insn.rts ();
+              ];
+          };
+        ];
+    };
+  let r = M.run (rc_cfg ()) (Image.assemble m) in
+  Alcotest.(check (list int64)) "jsr/rts reset" [ 77L; 1L; 1L ] r.M.output
+
+(* --- traps and interrupts (section 4.3) --------------------------------------------- *)
+
+let trap_image () =
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              [
+                Insn.li ~dst:7 11L (* core r7 = 11 *);
+                Insn.connect_def ~cls:Reg.Int ~ri:5 ~rp:20 ();
+                Insn.li ~dst:5 99L (* extended Rp20 = 99 *);
+                Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:20 ();
+                Insn.emit ~src:7 (* 99 through the map *);
+                Insn.trap () (* enter handler, map disabled *);
+                Insn.emit ~src:7 (* map restored by rfe: 99 again *);
+                Insn.halt ();
+              ];
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "handler";
+      entry_label = 1;
+      blocks =
+        [
+          {
+            Mcode.label = 1;
+            insns =
+              [
+                (* map-enable cleared: r7 reads the CORE register *)
+                Insn.emit ~src:7;
+                Insn.rfe ();
+              ];
+          };
+        ];
+    };
+  Image.assemble m
+
+let test_trap_bypasses_map () =
+  let cfg =
+    C.v ~issue:1 ~ifile:rc_file ~ffile:(Reg.core_only 8)
+      ~trap_handler:"handler" ()
+  in
+  let r = M.run cfg (trap_image ()) in
+  Alcotest.(check (list int64)) "trap map bypass" [ 99L; 11L; 99L ] r.M.output
+
+let test_interrupt_injection () =
+  let cfg =
+    C.v ~issue:1 ~ifile:rc_file16 ~ffile:(Reg.core_only 8)
+      ~trap_handler:"handler" ()
+  in
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              (List.init 20 (fun k -> Insn.li ~dst:8 (Int64.of_int k))
+              @ [ Insn.li ~dst:7 5L; Insn.emit ~src:7; Insn.halt () ]);
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "handler";
+      entry_label = 1;
+      blocks = [ { Mcode.label = 1; insns = [ Insn.emit ~src:Reg.zero; Insn.rfe () ] } ];
+    };
+  let t = M.create cfg (Image.assemble m) in
+  M.run_cycle t;
+  M.run_cycle t;
+  M.inject_interrupt t;
+  let r = M.run_machine t in
+  (* the handler ran exactly once (emitted 0), main still completed *)
+  Alcotest.(check (list int64)) "interrupted run" [ 0L; 5L ] r.M.output
+
+let test_extended_handler_protocol () =
+  (* Section 4.3, second half: a handler that needs more than the core
+     registers re-enables the map, but must save, reuse and restore the
+     map entries it touches so the interrupted program's connections
+     survive. *)
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              [
+                Insn.li ~dst:7 11L;
+                Insn.connect_def ~cls:Reg.Int ~ri:5 ~rp:20 ();
+                Insn.li ~dst:5 99L (* extended Rp20 = 99 *);
+                Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:20 ();
+                Insn.emit ~src:7 (* 99 *);
+                Insn.trap ();
+                Insn.emit ~src:7 (* still 99: the handler restored r7's map *);
+                Insn.halt ();
+              ];
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "handler";
+      entry_label = 1;
+      blocks =
+        [
+          {
+            Mcode.label = 1;
+            insns =
+              [
+                (* save the map entry we are about to reuse (works with
+                   the map disabled) *)
+                Insn.mfmap Opcode.Read ~dst:2 ~idx:7;
+                (* the handler needs extended registers: re-enable *)
+                Insn.mapen true;
+                Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:21 ();
+                Insn.emit ~src:7 (* the handler's own extended value: 0 *);
+                (* restore the saved entry before returning *)
+                Insn.mtmap Opcode.Read ~src:2 ~idx:7;
+                Insn.rfe ();
+              ];
+          };
+        ];
+    };
+  let cfg =
+    C.v ~issue:1 ~ifile:rc_file ~ffile:(Reg.core_only 8)
+      ~trap_handler:"handler" ()
+  in
+  let r = M.run cfg (Image.assemble m) in
+  Alcotest.(check (list int64)) "extended handler protocol" [ 99L; 0L; 99L ]
+    r.M.output
+
+let test_mfmap_mtmap_roundtrip () =
+  let insns =
+    [
+      Insn.connect_use ~cls:Reg.Int ~ri:4 ~rp:25 ();
+      Insn.mfmap Opcode.Read ~dst:7 ~idx:4;
+      Insn.emit ~src:7 (* 25 *);
+      Insn.mfmap Opcode.Write ~dst:7 ~idx:4;
+      Insn.emit ~src:7 (* 4: write map still home *);
+      Insn.li ~dst:7 30L;
+      Insn.mtmap Opcode.Write ~src:7 ~idx:4;
+      Insn.mfmap Opcode.Write ~dst:7 ~idx:4;
+      Insn.emit ~src:7 (* 30 *);
+      Insn.halt ();
+    ]
+  in
+  let r = M.run (rc_cfg ()) (image_of insns) in
+  Alcotest.(check (list int64)) "map roundtrip" [ 25L; 4L; 30L ] r.M.output
+
+let test_mapen_instruction () =
+  let insns =
+    [
+      Insn.li ~dst:7 1L;
+      Insn.connect_use ~cls:Reg.Int ~ri:7 ~rp:20 ();
+      Insn.mapen false (* bypass the table *);
+      Insn.emit ~src:7 (* core register *);
+      Insn.mapen true;
+      Insn.emit ~src:7 (* extended again (0) *);
+      Insn.halt ();
+    ]
+  in
+  let r = M.run (rc_cfg ()) (image_of insns) in
+  Alcotest.(check (list int64)) "mapen" [ 1L; 0L ] r.M.output
+
+(* --- context switching (section 4.2) -------------------------------------------------- *)
+
+let test_context_switch_roundtrip () =
+  let cfg = rc_cfg () in
+  let insns =
+    [
+      Insn.li ~dst:7 123L;
+      Insn.connect_use ~cls:Reg.Int ~ri:5 ~rp:25 ();
+      Insn.halt ();
+    ]
+  in
+  let t = M.create cfg (image_of insns) in
+  ignore (M.run_machine t);
+  let view = M.context_view t in
+  let saved = Context.save view in
+  (* another process tramples the state *)
+  Array.fill view.Context.iregs 0 32 0L;
+  Map_table.reset view.Context.imap;
+  Context.restore view saved;
+  Alcotest.(check int64) "register restored" 123L view.Context.iregs.(7);
+  check "connection restored" 25 (Map_table.read view.Context.imap 5)
+
+(* --- error handling --------------------------------------------------------------------- *)
+
+let test_fuel_exhaustion () =
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks = [ { Mcode.label = 0; insns = [ Insn.jmp 0 ] } ];
+    };
+  let cfg = C.v ~issue:1 ~ifile:(Reg.core_only 32) ~fuel:100 () in
+  check_bool "infinite loop detected" true
+    (try
+       ignore (M.run cfg (Image.assemble m));
+       false
+     with M.Simulation_error _ -> true)
+
+let test_bad_memory_access () =
+  let insns =
+    [ Insn.li ~dst:8 (-64L); Insn.ld ~dst:9 ~base:8 ~off:0 (); Insn.halt () ]
+  in
+  check_bool "bad address" true
+    (try
+       ignore (run ~cfg:cfg1 insns);
+       false
+     with M.Simulation_error _ -> true)
+
+(* qcheck: n independent single-cycle ops at width w issue in
+   ceil(n/w) cycles (+1 for halt when it does not fit the last group) *)
+let prop_issue_width =
+  QCheck.Test.make ~count:200 ~name:"independent ops fill the issue width"
+    QCheck.(pair (int_range 0 40) (int_range 1 8))
+    (fun (n, w) ->
+      let insns =
+        List.init n (fun k -> Insn.li ~dst:(8 + (k mod 20)) (Int64.of_int k))
+        @ [ Insn.halt () ]
+      in
+      (* avoid WAW reuse stalls: distinct destinations per group *)
+      QCheck.assume (n <= 20);
+      let cfg = C.v ~issue:w ~ifile:(Reg.core_only 32) ~ffile:(Reg.core_only 8) () in
+      let r = M.run cfg (image_of insns) in
+      let groups = (n + w - 1) / w in
+      let expected = if n mod w = 0 then groups + 1 else groups in
+      r.M.cycles = max 1 expected)
+
+(* qcheck: a dependent chain of k adds takes k cycles after the seed *)
+let prop_chain_latency =
+  QCheck.Test.make ~count:100 ~name:"dependent chain takes chain-length cycles"
+    QCheck.(int_range 1 30)
+    (fun k ->
+      let insns =
+        Insn.li ~dst:8 0L
+        :: List.init k (fun _ -> Insn.alui Opcode.Add ~dst:8 ~s1:8 ~imm:1L)
+        @ [ Insn.emit ~src:8; Insn.halt () ]
+      in
+      let r = M.run cfg4 (image_of insns) in
+      r.M.cycles = k + 2 && r.M.output = [ Int64.of_int k ])
+
+let suite =
+  [
+    ("functional alu", `Quick, test_functional_alu);
+    ("functional memory", `Quick, test_functional_memory);
+    ("zero register", `Quick, test_zero_register);
+    ("single-issue ipc", `Quick, test_single_issue_ipc);
+    ("wide issue", `Quick, test_wide_issue);
+    ("alu latency chain", `Quick, test_alu_latency_chain);
+    ("mul latency", `Quick, test_mul_latency);
+    ("load latency 2 vs 4", `Quick, test_load_latency_config);
+    ("memory channels", `Quick, test_memory_channels);
+    ("WAW interlock", `Quick, test_waw_interlock);
+    ("branch prediction and penalty", `Quick, test_branch_prediction);
+    ("extra pipeline stage penalty", `Quick, test_extra_stage_penalty);
+    ("connect semantics (model 3)", `Quick, test_connect_functional_model3);
+    ("connect 0 vs 1 cycle", `Quick, test_connect_zero_vs_one_cycle);
+    ("connect dispatch budget", `Quick, test_connect_dispatch_budget);
+    ("jsr/rts reset the map", `Quick, test_jsr_resets_map);
+    ("trap bypasses the map", `Quick, test_trap_bypasses_map);
+    ("interrupt injection", `Quick, test_interrupt_injection);
+    ("mapen instruction", `Quick, test_mapen_instruction);
+    ("extended handler protocol (sec 4.3)", `Quick, test_extended_handler_protocol);
+    ("mfmap/mtmap roundtrip", `Quick, test_mfmap_mtmap_roundtrip);
+    ("context switch roundtrip", `Quick, test_context_switch_roundtrip);
+    ("fuel exhaustion", `Quick, test_fuel_exhaustion);
+    ("bad memory access", `Quick, test_bad_memory_access);
+    QCheck_alcotest.to_alcotest prop_issue_width;
+    QCheck_alcotest.to_alcotest prop_chain_latency;
+  ]

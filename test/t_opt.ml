@@ -1,0 +1,375 @@
+(* Tests for rc_opt: each pass individually (transformation happened) and
+   semantics preservation against the reference interpreter. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let output_of prog = (Rc_interp.Interp.run prog).Rc_interp.Interp.output
+
+(** Build the same program twice; optimise one; outputs must agree. *)
+let preserves build pass =
+  let reference = output_of (build ()) in
+  let optimised = build () in
+  pass optimised;
+  Alcotest.(check (list int64)) "semantics preserved" reference (output_of optimised)
+
+let op_count (f : Func.t) =
+  List.fold_left (fun n (b : Block.t) -> n + List.length b.Block.ops) 0 f.Func.blocks
+
+(* --- LVN ---------------------------------------------------------------- *)
+
+let test_lvn_constant_folding () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 6 in
+        let y = B.cint b 7 in
+        let p = B.mul b x y in
+        B.emit b p;
+        B.halt b)
+  in
+  Rc_opt.Lvn.run prog;
+  let has_li42 =
+    List.exists
+      (fun op -> match op with Op.Li (_, 42L) -> true | _ -> false)
+      (Func.entry f).Block.ops
+  in
+  check_bool "6*7 folded to li 42" true has_li42
+
+let test_lvn_cse () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:8 ();
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        (* an unknown value, so constant folding cannot intervene *)
+        let x = B.load b (B.addr b "g") in
+        let y = B.fresh b Reg.Int in
+        B.emit_op b (Op.Alu (Opcode.Add, y, Op.V x, Op.V x));
+        let z = B.fresh b Reg.Int in
+        B.emit_op b (Op.Alu (Opcode.Add, z, Op.V x, Op.V x));
+        B.emit b y;
+        B.emit b z;
+        B.halt b)
+  in
+  Rc_opt.Lvn.run prog;
+  let movs =
+    List.length
+      (List.filter
+         (fun op -> match op with Op.Mov _ -> true | _ -> false)
+         (Func.entry f).Block.ops)
+  in
+  check_bool "second add became a move" true (movs >= 1)
+
+let test_lvn_redundant_load () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:16 ();
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let p = B.addr b "g" in
+        let a = B.load b p in
+        let bb = B.load b p in
+        B.emit b (B.add b a bb);
+        B.halt b)
+  in
+  Rc_opt.Lvn.run prog;
+  let loads =
+    List.length
+      (List.filter
+         (fun op -> match op with Op.Ld _ -> true | _ -> false)
+         (Func.entry f).Block.ops)
+  in
+  check "one load remains" 1 loads
+
+let test_lvn_load_invalidation () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:16 ();
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let p = B.addr b "g" in
+        let a = B.load b p in
+        B.store b ~src:(B.addi b a 1L) p;
+        let c = B.load b p in
+        B.emit b c;
+        B.halt b)
+  in
+  Rc_opt.Lvn.run prog;
+  let loads =
+    List.length
+      (List.filter
+         (fun op -> match op with Op.Ld _ -> true | _ -> false)
+         (Func.entry f).Block.ops)
+  in
+  check "store invalidates the load" 2 loads
+
+let test_lvn_branch_folding () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 1 in
+        let y = B.cint b 2 in
+        B.if_ b Opcode.Lt x y
+          ~then_:(fun () -> B.emit b (B.cint b 111))
+          ~else_:(fun () -> B.emit b (B.cint b 222))
+          ();
+        B.halt b)
+  in
+  Rc_opt.Lvn.run prog;
+  let folded =
+    match (Func.entry f).Block.term with Op.Jmp _ -> true | _ -> false
+  in
+  check_bool "constant branch folded to jmp" true folded
+
+let test_lvn_preserves () =
+  preserves
+    (fun () ->
+      let prog = B.program ~entry:"main" in
+      B.global prog "g" ~bytes:64 ();
+      let _ =
+        B.define prog "main" ~params:[] (fun b _ ->
+            let p = B.addr b "g" in
+            let acc = B.cint b 0 in
+            B.for_n b ~start:0 ~stop:6 (fun i ->
+                let x = B.mul b i i in
+                let y = B.mul b i i in
+                B.store b ~src:(B.add b x y) (B.elem8 b p i);
+                B.assign b acc (B.add b acc (B.load b (B.elem8 b p i))));
+            B.emit b acc;
+            B.halt b)
+      in
+      prog)
+    Rc_opt.Lvn.run
+
+(* --- DCE ----------------------------------------------------------------- *)
+
+let test_dce_removes_dead () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let _dead1 = B.cint b 1 in
+        let dead2 = B.cint b 2 in
+        let _dead3 = B.addi b dead2 5L in
+        let live = B.cint b 3 in
+        B.emit b live;
+        B.halt b)
+  in
+  Rc_opt.Dce.run prog;
+  check "only live chain remains" 2 (op_count f) (* li + emit *)
+
+let test_dce_keeps_stores () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:8 ();
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let p = B.addr b "g" in
+        let x = B.cint b 5 in
+        B.store b ~src:x p;
+        B.halt b)
+  in
+  Rc_opt.Dce.run prog;
+  check "store chain kept" 3 (op_count f)
+
+(* --- copy propagation ------------------------------------------------------ *)
+
+let test_copyprop () =
+  let prog = B.program ~entry:"main" in
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let x = B.cint b 4 in
+        let y = B.fresh b Reg.Int in
+        B.mov b ~dst:y ~src:x;
+        B.emit b (B.addi b y 1L);
+        B.halt b)
+  in
+  Rc_opt.Copyprop.run prog;
+  Rc_opt.Dce.run prog;
+  let movs =
+    List.length
+      (List.filter
+         (fun op -> match op with Op.Mov _ -> true | _ -> false)
+         (Func.entry f).Block.ops)
+  in
+  check "copy eliminated" 0 movs
+
+let test_copyprop_stops_at_redefinition () =
+  preserves
+    (fun () ->
+      let prog = B.program ~entry:"main" in
+      let _ =
+        B.define prog "main" ~params:[] (fun b _ ->
+            let x = B.cint b 4 in
+            let y = B.fresh b Reg.Int in
+            B.mov b ~dst:y ~src:x;
+            B.seti b x 99L (* x redefined: y must keep the old value *);
+            B.emit b y;
+            B.emit b x;
+            B.halt b)
+      in
+      prog)
+    (fun p ->
+      Rc_opt.Copyprop.run p;
+      Rc_opt.Dce.run p)
+
+(* --- LICM ------------------------------------------------------------------ *)
+
+let licm_prog () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:64 ();
+  let _ =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let k = B.cint b 21 in
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:8 (fun i ->
+            let inv = B.muli b k 2L (* loop invariant *) in
+            B.assign b acc (B.add b acc (B.add b inv i)));
+        B.emit b acc;
+        B.halt b)
+  in
+  prog
+
+let test_licm_hoists () =
+  let prog = licm_prog () in
+  let f = Prog.find_func prog "main" in
+  let before =
+    match Rc_dataflow.Loops.find_simple f with
+    | [ s ] -> List.length s.Rc_dataflow.Loops.body_blk.Block.ops
+    | _ -> Alcotest.fail "no simple loop"
+  in
+  Rc_opt.Licm.run prog;
+  match Rc_dataflow.Loops.find_simple f with
+  | [ s ] ->
+      check_bool "body shrank" true
+        (List.length s.Rc_dataflow.Loops.body_blk.Block.ops < before)
+  | _ -> Alcotest.fail "loop destroyed"
+
+let test_licm_preserves () = preserves licm_prog Rc_opt.Licm.run
+
+let test_licm_does_not_hoist_stores () =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:8 ();
+  let f =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let p = B.addr b "g" in
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:4 (fun i ->
+            B.store b ~src:i p;
+            (* load is NOT invariant: the store changes g *)
+            B.assign b acc (B.add b acc (B.load b p)));
+        B.emit b acc;
+        B.halt b)
+  in
+  let loads_in_body () =
+    match Rc_dataflow.Loops.find_simple f with
+    | [ s ] ->
+        List.length
+          (List.filter
+             (fun op -> match op with Op.Ld _ -> true | _ -> false)
+             s.Rc_dataflow.Loops.body_blk.Block.ops)
+    | _ -> -1
+  in
+  let before = loads_in_body () in
+  Rc_opt.Licm.run prog;
+  check "loads stay in body" before (loads_in_body ())
+
+(* --- unrolling ---------------------------------------------------------------- *)
+
+let unroll_prog n =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:(8 * 64) ();
+  let _ =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let p = B.addr b "g" in
+        let acc = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:n (fun i ->
+            let x = B.mul b i i in
+            B.store b ~src:x (B.elem8 b p (B.andi b i 63L));
+            B.assign b acc (B.add b acc x));
+        B.emit b acc;
+        let fold = B.cint b 0 in
+        B.for_n b ~start:0 ~stop:64 (fun i ->
+            B.assign b fold (B.add b fold (B.load b (B.elem8 b p i))));
+        B.emit b fold;
+        B.halt b)
+  in
+  prog
+
+let test_unroll_creates_big_block () =
+  let prog = unroll_prog 40 in
+  let f = Prog.find_func prog "main" in
+  let biggest () =
+    List.fold_left
+      (fun m (b : Block.t) -> max m (List.length b.Block.ops))
+      0 f.Func.blocks
+  in
+  let before = biggest () in
+  Rc_opt.Unroll.run ~factor:4 prog;
+  check_bool "unrolled block bigger" true (biggest () > 3 * before)
+
+(* unrolling must be exact for trip counts that hit every residue class *)
+let test_unroll_preserves_trip_counts () =
+  List.iter
+    (fun n -> preserves (fun () -> unroll_prog n) (Rc_opt.Unroll.run ~factor:4))
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 15; 16; 17 ]
+
+let test_unroll_factor_one_noop () =
+  let prog = unroll_prog 10 in
+  let before = Prog.op_count prog in
+  Rc_opt.Unroll.run ~factor:1 prog;
+  check "factor 1 does nothing" before (Prog.op_count prog)
+
+(* --- full pipelines -------------------------------------------------------------- *)
+
+let test_pipelines_preserve_workloads () =
+  (* classical and ILP pipelines preserve the semantics of every
+     workload kernel *)
+  List.iter
+    (fun (bench : Rc_workloads.Wutil.bench) ->
+      let reference = output_of (bench.Rc_workloads.Wutil.build 1) in
+      List.iter
+        (fun level ->
+          let prog = bench.Rc_workloads.Wutil.build 1 in
+          Rc_opt.Pass.apply level prog;
+          Alcotest.(check (list int64))
+            (bench.Rc_workloads.Wutil.name ^ " under "
+           ^ Rc_opt.Pass.level_to_string level)
+            reference (output_of prog))
+        [ Rc_opt.Pass.Classical; Rc_opt.Pass.Ilp 2; Rc_opt.Pass.Ilp 4 ])
+    [
+      Rc_workloads.W_cmp.bench;
+      Rc_workloads.W_eqn.bench;
+      Rc_workloads.W_yacc.bench;
+      Rc_workloads.W_tomcatv.bench;
+    ]
+
+let test_ilp_reduces_dynamic_ops () =
+  (* cleanup passes should never increase the dynamic op count *)
+  let prog = unroll_prog 64 in
+  let before = (Rc_interp.Interp.run (unroll_prog 64)).Rc_interp.Interp.dyn_ops in
+  Rc_opt.Pass.classical prog;
+  let after = (Rc_interp.Interp.run prog).Rc_interp.Interp.dyn_ops in
+  check_bool "classical opt not slower" true (after <= before)
+
+let suite =
+  [
+    ("lvn constant folding", `Quick, test_lvn_constant_folding);
+    ("lvn cse", `Quick, test_lvn_cse);
+    ("lvn redundant load", `Quick, test_lvn_redundant_load);
+    ("lvn store invalidates loads", `Quick, test_lvn_load_invalidation);
+    ("lvn folds constant branches", `Quick, test_lvn_branch_folding);
+    ("lvn preserves semantics", `Quick, test_lvn_preserves);
+    ("dce removes dead chains", `Quick, test_dce_removes_dead);
+    ("dce keeps stores", `Quick, test_dce_keeps_stores);
+    ("copy propagation", `Quick, test_copyprop);
+    ("copyprop stops at redefinition", `Quick, test_copyprop_stops_at_redefinition);
+    ("licm hoists invariants", `Quick, test_licm_hoists);
+    ("licm preserves semantics", `Quick, test_licm_preserves);
+    ("licm respects stores", `Quick, test_licm_does_not_hoist_stores);
+    ("unroll grows blocks", `Quick, test_unroll_creates_big_block);
+    ("unroll exact for all trip counts", `Quick, test_unroll_preserves_trip_counts);
+    ("unroll factor 1 no-op", `Quick, test_unroll_factor_one_noop);
+    ("pipelines preserve workloads", `Quick, test_pipelines_preserve_workloads);
+    ("classical opt not slower", `Quick, test_ilp_reduces_dynamic_ops);
+  ]

@@ -1,0 +1,203 @@
+(* End-to-end property tests: randomly generated IR programs must
+   produce identical output streams under
+
+   - the reference interpreter,
+   - the compiled program without RC,
+   - the compiled program with RC under every automatic-reset model,
+     with and without combined connects, and with 1-cycle connects.
+
+   This exercises the whole stack: optimisation, legalisation,
+   allocation, spilling, scheduling, connect insertion, assembly and
+   simulation. *)
+
+open Rc_isa
+open Rc_ir
+module B = Builder
+module G = QCheck.Gen
+
+(* --- random program generation --------------------------------------------- *)
+
+type rexpr =
+  | Const of int
+  | Bin of Opcode.alu * rexpr * rexpr
+  | LoadG of rexpr  (** g[(e & 31)] *)
+
+type rstmt =
+  | Assign of int * rexpr  (** variable slot <- expr *)
+  | StoreG of rexpr * rexpr  (** g[(e1 & 31)] <- e2 *)
+  | EmitVar of int
+  | If of Opcode.cond * int * int * rstmt list * rstmt list
+  | Loop of int * rstmt list  (** bounded counted loop *)
+  | CallAcc of int  (** v <- helper(v) *)
+
+let n_vars = 6
+
+let expr_gen =
+  G.sized_size (G.int_range 0 3) @@ G.fix (fun self n ->
+      if n = 0 then G.map (fun c -> Const c) (G.int_range (-20) 20)
+      else
+        G.frequency
+          [
+            (2, G.map (fun c -> Const c) (G.int_range (-20) 20));
+            ( 3,
+              G.map3
+                (fun op a b -> Bin (op, a, b))
+                (G.oneofl
+                   Opcode.
+                     [ Add; Sub; Mul; And; Or; Xor; Slt; Seq; Div; Rem; Sll ])
+                (self (n / 2)) (self (n / 2)) );
+            (1, G.map (fun e -> LoadG e) (self (n / 2)));
+          ])
+
+let stmt_gen =
+  G.sized_size (G.int_range 1 12) @@ G.fix (fun self n ->
+      let leaf =
+        G.frequency
+          [
+            ( 4,
+              G.map2 (fun v e -> Assign (v, e)) (G.int_range 0 (n_vars - 1))
+                expr_gen );
+            (2, G.map2 (fun a e -> StoreG (a, e)) expr_gen expr_gen);
+            (2, G.map (fun v -> EmitVar v) (G.int_range 0 (n_vars - 1)));
+            (1, G.map (fun v -> CallAcc v) (G.int_range 0 (n_vars - 1)));
+          ]
+      in
+      if n <= 1 then G.map (fun s -> [ s ]) leaf
+      else
+        G.frequency
+          [
+            (4, G.map2 (fun s rest -> s :: rest) leaf (self (n - 1)));
+            ( 1,
+              G.map3
+                (fun (c, a, b) t e -> [ If (c, a, b, t, e) ])
+                (G.triple
+                   (G.oneofl Opcode.[ Eq; Ne; Lt; Le; Gt; Ge ])
+                   (G.int_range 0 (n_vars - 1))
+                   (G.int_range 0 (n_vars - 1)))
+                (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              G.map2
+                (fun trip body -> [ Loop (trip, body) ])
+                (G.int_range 0 6) (self (n / 2)) );
+          ])
+
+(* Convert a random program into IR, building the expression tree with
+   vregs for the variable slots. *)
+let build_program stmts =
+  let prog = B.program ~entry:"main" in
+  B.global prog "g" ~bytes:(8 * 32) ();
+  let _helper =
+    B.define prog "helper" ~params:[ Reg.Int ] ~ret:Reg.Int (fun b params ->
+        let x = List.hd params in
+        B.ret b (Some (B.addi b (B.muli b x 3L) 1L)))
+  in
+  let _main =
+    B.define prog "main" ~params:[] (fun b _ ->
+        let vars = Array.init n_vars (fun k -> B.cint b k) in
+        let gp = B.addr b "g" in
+        let rec expr = function
+          | Const c -> B.cint b c
+          | Bin (op, a, b') -> B.alu2 b op (expr a) (expr b')
+          | LoadG e -> B.load b (B.elem8 b gp (B.andi b (expr e) 31L))
+        in
+        let rec stmt = function
+          | Assign (v, e) -> B.assign b vars.(v) (expr e)
+          | StoreG (a, e) ->
+              let value = expr e in
+              B.store b ~src:value (B.elem8 b gp (B.andi b (expr a) 31L))
+          | EmitVar v -> B.emit b vars.(v)
+          | If (c, x, y, t, e) ->
+              B.if_ b c vars.(x) vars.(y)
+                ~then_:(fun () -> List.iter stmt t)
+                ~else_:(fun () -> List.iter stmt e)
+                ()
+          | Loop (trip, body) ->
+              B.for_n b ~start:0 ~stop:trip (fun i ->
+                  B.assign b vars.(0) (B.add b vars.(0) i);
+                  List.iter stmt body)
+          | CallAcc v -> B.assign b vars.(v) (B.call_i b "helper" [ vars.(v) ])
+        in
+        List.iter stmt stmts;
+        Array.iter (fun v -> B.emit b v) vars;
+        B.halt b)
+  in
+  prog
+
+(* --- the differential property ----------------------------------------------- *)
+
+let configs =
+  [
+    ("noRC-16", Rc_harness.Pipeline.options ~rc:false ~core_int:16 ~core_float:8 ());
+    ("noRC-8", Rc_harness.Pipeline.options ~rc:false ~core_int:8 ~core_float:8 ());
+    ( "RC-16",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:16 ~core_float:8
+        ~total_int:64 ~total_float:8 () );
+    ( "RC-8-m1",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:8 ~core_float:8
+        ~total_int:64 ~total_float:8 ~model:Rc_core.Model.No_reset () );
+    ( "RC-8-m2-single",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:8 ~core_float:8
+        ~total_int:64 ~total_float:8 ~model:Rc_core.Model.Write_reset
+        ~combine:false () );
+    ( "RC-8-m4",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:8 ~core_float:8
+        ~total_int:64 ~total_float:8 ~model:Rc_core.Model.Read_write_reset () );
+    ( "RC-16-1cyc",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:16 ~core_float:8
+        ~total_int:64 ~total_float:8 ~lat:(Latency.v ~connect:1 ()) () );
+    ( "RC-16-2issue",
+      Rc_harness.Pipeline.options ~rc:true ~core_int:16 ~core_float:8
+        ~total_int:64 ~total_float:8 ~issue:2 () );
+  ]
+
+let differential_prop stmts =
+  let reference = Rc_interp.Interp.run (build_program stmts) in
+  List.for_all
+    (fun (name, opts) ->
+      let prog = build_program stmts in
+      let c = Rc_harness.Pipeline.compile opts prog in
+      let r = Rc_harness.Pipeline.simulate ~verify:false c in
+      let ok = r.Rc_machine.Machine.output = reference.Rc_interp.Interp.output in
+      if not ok then
+        Fmt.epr "MISMATCH under %s: %d vs %d values@." name
+          (List.length r.Rc_machine.Machine.output)
+          (List.length reference.Rc_interp.Interp.output);
+      ok)
+    configs
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make ~count:60 ~name:"compiled output = interpreted output"
+    (QCheck.make stmt_gen) differential_prop
+
+(* a few fixed regression seeds exercising corner shapes *)
+let fixed_cases =
+  [
+    [];
+    [ EmitVar 0 ];
+    [ Loop (0, [ EmitVar 1 ]) ];
+    [ Loop (6, [ Assign (1, Bin (Opcode.Mul, Const 3, Const (-2))) ]) ];
+    [
+      If (Opcode.Lt, 0, 1, [ CallAcc 2 ], [ StoreG (Const 3, Const 9) ]);
+      EmitVar 2;
+    ];
+    [
+      Loop (4, [ If (Opcode.Eq, 0, 0, [ CallAcc 0 ], []) ]);
+      Assign (5, LoadG (Const 3));
+    ];
+    [ Assign (0, Bin (Opcode.Div, Const 10, Const 0)) ];
+    [ Assign (2, Bin (Opcode.Sll, Const 1, Const 40)); EmitVar 2 ];
+  ]
+
+let test_fixed_cases () =
+  List.iteri
+    (fun k stmts ->
+      Alcotest.(check bool)
+        (Fmt.str "fixed case %d" k)
+        true (differential_prop stmts))
+    fixed_cases
+
+let suite =
+  [
+    ("fixed differential cases", `Quick, test_fixed_cases);
+    QCheck_alcotest.to_alcotest prop_compiled_equals_interpreted;
+  ]

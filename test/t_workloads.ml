@@ -1,0 +1,145 @@
+(* Tests for rc_workloads: determinism, expected reference checksums
+   (guarding against accidental workload changes that would invalidate
+   recorded experiments), scaling, and benchmark-class registry. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Reference checksums of every workload at scale 1, computed by the
+   reference interpreter.  If a workload definition changes, these
+   change, and EXPERIMENTS.md must be regenerated. *)
+let expected_checksums =
+  [
+    ("cccp", -5226925762109024150L);
+    ("cmp", 4144748105872016170L);
+    ("compress", -2916747785064102938L);
+    ("eqn", 7080663636798434074L);
+    ("eqntott", -1317334475654552113L);
+    ("espresso", -1365820905616143305L);
+    ("grep", 8352739536030422235L);
+    ("lex", 8357945458248445275L);
+    ("yacc", -5067928664444303060L);
+    ("matrix300", 4372332034701390325L);
+    ("nasa7", 7279419609228510834L);
+    ("tomcatv", 4194347976021508460L);
+  ]
+
+let test_registry_complete () =
+  check "twelve benchmarks" 12 (List.length (Rc_workloads.Registry.all ()));
+  check "nine integer" 9 (List.length (Rc_workloads.Registry.integer ()));
+  check "three floating-point" 3 (List.length (Rc_workloads.Registry.floating ()));
+  Alcotest.(check (list string))
+    "paper order"
+    [
+      "cccp"; "cmp"; "compress"; "eqn"; "eqntott"; "espresso"; "grep"; "lex";
+      "yacc"; "matrix300"; "nasa7"; "tomcatv";
+    ]
+    (Rc_workloads.Registry.names ())
+
+let test_find () =
+  let b = Rc_workloads.Registry.find "grep" in
+  Alcotest.(check string) "found" "grep" b.Rc_workloads.Wutil.name;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Registry.find: unknown benchmark nope") (fun () ->
+      ignore (Rc_workloads.Registry.find "nope"))
+
+let test_reference_checksums () =
+  List.iter
+    (fun (name, expected) ->
+      let b = Rc_workloads.Registry.find name in
+      let out = Rc_interp.Interp.run (b.Rc_workloads.Wutil.build 1) in
+      Alcotest.(check int64) (name ^ " checksum") expected
+        out.Rc_interp.Interp.checksum)
+    expected_checksums
+
+let test_determinism () =
+  List.iter
+    (fun (b : Rc_workloads.Wutil.bench) ->
+      let o1 = Rc_interp.Interp.run (b.Rc_workloads.Wutil.build 1) in
+      let o2 = Rc_interp.Interp.run (b.Rc_workloads.Wutil.build 1) in
+      Alcotest.(check int64)
+        (b.Rc_workloads.Wutil.name ^ " deterministic")
+        o1.Rc_interp.Interp.checksum o2.Rc_interp.Interp.checksum)
+    (Rc_workloads.Registry.all ())
+
+let test_scaling () =
+  (* scale 2 must run more operations than scale 1 *)
+  List.iter
+    (fun name ->
+      let b = Rc_workloads.Registry.find name in
+      let o1 = Rc_interp.Interp.run (b.Rc_workloads.Wutil.build 1) in
+      let o2 = Rc_interp.Interp.run (b.Rc_workloads.Wutil.build 2) in
+      check_bool (name ^ " scales") true
+        (o2.Rc_interp.Interp.dyn_ops > o1.Rc_interp.Interp.dyn_ops))
+    [ "cmp"; "eqn"; "matrix300" ]
+
+let test_rng_determinism () =
+  let r1 = Rc_workloads.Wutil.rng 42L and r2 = Rc_workloads.Wutil.rng 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rc_workloads.Wutil.next r1)
+      (Rc_workloads.Wutil.next r2)
+  done;
+  let r3 = Rc_workloads.Wutil.rng 43L in
+  check_bool "different seed differs" true
+    (Rc_workloads.Wutil.next (Rc_workloads.Wutil.rng 42L)
+    <> Rc_workloads.Wutil.next r3)
+
+let test_rng_bounds () =
+  let r = Rc_workloads.Wutil.rng 7L in
+  for _ = 1 to 1000 do
+    let v = Rc_workloads.Wutil.next_int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let f = Rc_workloads.Wutil.next_float r in
+    check_bool "float in (0,1)" true (f > 0.0 && f < 1.0)
+  done
+
+let test_int_benchmarks_emit_pressure () =
+  (* every integer benchmark must show high register pressure after ILP
+     optimisation (the premise of the whole evaluation) *)
+  List.iter
+    (fun (b : Rc_workloads.Wutil.bench) ->
+      let prog = b.Rc_workloads.Wutil.build 1 in
+      Rc_opt.Pass.ilp prog;
+      let pressures =
+        List.map
+          (fun (f : Rc_ir.Func.t) ->
+            let live = Rc_dataflow.Liveness.compute f in
+            Rc_dataflow.Interference.max_pressure f live Rc_isa.Reg.Int)
+          prog.Rc_ir.Prog.funcs
+      in
+      check_bool
+        (b.Rc_workloads.Wutil.name ^ " has pressure > 8")
+        true
+        (List.exists (fun p -> p > 8) pressures))
+    (Rc_workloads.Registry.integer ())
+
+let test_fp_benchmarks_emit_fp_pressure () =
+  List.iter
+    (fun (b : Rc_workloads.Wutil.bench) ->
+      let prog = b.Rc_workloads.Wutil.build 1 in
+      Rc_opt.Pass.ilp prog;
+      let pressures =
+        List.map
+          (fun (f : Rc_ir.Func.t) ->
+            let live = Rc_dataflow.Liveness.compute f in
+            Rc_dataflow.Interference.max_pressure f live Rc_isa.Reg.Float)
+          prog.Rc_ir.Prog.funcs
+      in
+      check_bool
+        (b.Rc_workloads.Wutil.name ^ " has fp pressure > 5")
+        true
+        (List.exists (fun p -> p > 5) pressures))
+    (Rc_workloads.Registry.floating ())
+
+let suite =
+  [
+    ("registry complete", `Quick, test_registry_complete);
+    ("registry find", `Quick, test_find);
+    ("reference checksums", `Slow, test_reference_checksums);
+    ("determinism", `Slow, test_determinism);
+    ("scaling", `Slow, test_scaling);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("integer pressure", `Slow, test_int_benchmarks_emit_pressure);
+    ("fp pressure", `Slow, test_fp_benchmarks_emit_fp_pressure);
+  ]

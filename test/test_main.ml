@@ -1,0 +1,19 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "register-connection"
+    [
+      ("isa", T_isa.suite);
+      ("core", T_core.suite);
+      ("ir", T_ir.suite);
+      ("dataflow", T_dataflow.suite);
+      ("interp", T_interp.suite);
+      ("opt", T_opt.suite);
+      ("regalloc", T_regalloc.suite);
+      ("sched", T_sched.suite);
+      ("codegen", T_codegen.suite);
+      ("machine", T_machine.suite);
+      ("workloads", T_workloads.suite);
+      ("harness", T_harness.suite);
+      ("properties", T_props.suite);
+    ]
