@@ -1,0 +1,23 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full regeneration of every table and figure.
+bench:
+	dune exec bench/main.exe -- all
+
+# Quick end-to-end check of the parallel experiment engine:
+# two domains, one macro figure, one static table.
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

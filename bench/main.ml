@@ -2,11 +2,16 @@
    evaluation section, plus the two ablations described in DESIGN.md.
 
    Usage:
-     main.exe                 print every experiment (scale 1)
-     main.exe fig8 fig12      print selected experiments
-     main.exe --scale 2 all   larger workload inputs
-     main.exe bechamel        Bechamel micro-timings, one Test.make per
-                              experiment (times the regeneration code)
+     main.exe                  print every experiment (scale 1)
+     main.exe fig8 fig12       print selected experiments
+     main.exe --scale 2 all    larger workload inputs
+     main.exe --jobs 4 all     compute each table's cells on 4 domains
+     main.exe bechamel         Bechamel micro-timings, one Test.make per
+                               experiment (times the regeneration code)
+
+   --scale/--jobs may appear anywhere relative to the experiment ids.
+   Tables are byte-identical for every --jobs value (the fan-out is
+   deterministic and every cell is a memoised pure computation).
 
    Speedups follow the paper: base = 1-issue processor with unlimited
    registers and conventional scalar optimisation. *)
@@ -101,31 +106,77 @@ let run_bechamel () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Fmt.pr "@.== Bechamel micro-timings (ns per regeneration cell) ==@.";
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) -> Fmt.pr "%-36s %12.0f ns/run@." name est
-      | _ -> Fmt.pr "%-36s (no estimate)@." name)
-    results
+  (* Hashtbl.iter order is hash order: sort by test name so runs are
+     comparable (and diffable) across invocations. *)
+  Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some (est :: _) -> Fmt.pr "%-36s %12.0f ns/run@." name est
+         | _ -> Fmt.pr "%-36s (no estimate)@." name)
 
 (* --- entry -------------------------------------------------------------- *)
+
+let usage () =
+  Fmt.epr
+    "usage: main.exe [--scale N] [--jobs N] [all | bechamel | <id>...]@.";
+  Fmt.epr "experiments: %s@." (String.concat " " ids);
+  exit 1
+
+(** [int_flag flag arg]: a positive integer argument, or a usage error —
+    never a bare [int_of_string] exception. *)
+let int_flag flag = function
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Fmt.epr "%s expects a positive integer, got %S@." flag s;
+          usage ())
+  | None ->
+      Fmt.epr "%s needs an argument@." flag;
+      usage ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  (* Flags may appear before, between or after the experiment ids. *)
   let rec parse acc = function
-    | "--scale" :: n :: rest ->
-        scale := int_of_string n;
+    | "--scale" :: rest ->
+        let n, rest =
+          match rest with
+          | v :: tl -> (int_flag "--scale" (Some v), tl)
+          | [] -> (int_flag "--scale" None, [])
+        in
+        scale := n;
         parse acc rest
+    | "--jobs" :: rest ->
+        let n, rest =
+          match rest with
+          | v :: tl -> (int_flag "--jobs" (Some v), tl)
+          | [] -> (int_flag "--jobs" None, [])
+        in
+        jobs := n;
+        parse acc rest
+    | x :: _ when String.length x > 1 && x.[0] = '-' ->
+        Fmt.epr "unknown option %s@." x;
+        usage ()
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
   in
   let selected = parse [] args in
   match selected with
   | [ "bechamel" ] -> run_bechamel ()
-  | [] | [ "all" ] ->
-      let ctx = Rc_harness.Experiments.create ~scale:!scale () in
-      List.iter (print_experiment ctx) ids
   | sel ->
-      let ctx = Rc_harness.Experiments.create ~scale:!scale () in
-      List.iter (print_experiment ctx) sel
+      let sel = match sel with [] | [ "all" ] -> ids | sel -> sel in
+      (match List.filter (fun id -> not (List.mem id ids)) sel with
+      | [] -> ()
+      | unknown ->
+          Fmt.epr "unknown experiment%s: %s@."
+            (if List.length unknown > 1 then "s" else "")
+            (String.concat " " unknown);
+          usage ());
+      let ctx = Rc_harness.Experiments.create ~scale:!scale ~jobs:!jobs () in
+      Fun.protect
+        ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
+        (fun () -> List.iter (print_experiment ctx) sel)

@@ -68,6 +68,15 @@ let scale =
   let doc = "Workload input scale factor." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for multi-configuration subcommands (compare)."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs" ] ~docv:"N" ~doc)
+
 let no_unroll =
   let doc = "Disable the ILP loop unrolling (classical optimisation only)." in
   Arg.(value & flag & info [ "no-unroll" ] ~doc)
@@ -146,36 +155,60 @@ let run_cmd =
       $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll)
 
 let compare_cmd =
-  let run bench issue core_int core_float load scale =
+  let run bench issue core_int core_float load scale jobs =
     let lat = Rc_isa.Latency.v ~load () in
     let base_opts =
       Rc_harness.Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1
         ~mem_channels:2 ~core_int:2048 ~core_float:2048 ()
     in
-    let base = Rc_harness.Pipeline.simulate (compile_one bench base_opts scale) in
-    let base_cycles = float_of_int base.Rc_machine.Machine.cycles in
-    let show name opts =
-      let c = compile_one bench opts scale in
-      let r = Rc_harness.Pipeline.simulate c in
-      Fmt.pr "%-28s cycles %-9d speedup %.2f  connects %-7d spills %d@." name
-        r.Rc_machine.Machine.cycles
-        (base_cycles /. float_of_int r.Rc_machine.Machine.cycles)
-        r.Rc_machine.Machine.connects c.Rc_harness.Pipeline.spills
+    let configs =
+      [
+        ("base", base_opts);
+        ( "without RC",
+          Rc_harness.Pipeline.options ~rc:false ~issue ~core_int ~core_float
+            ~lat () );
+        ( "with RC (256 regs)",
+          Rc_harness.Pipeline.options ~rc:true ~issue ~core_int ~core_float
+            ~lat () );
+        ( "unlimited registers",
+          Rc_harness.Pipeline.options ~issue ~core_int:2048 ~core_float:2048
+            ~lat () );
+      ]
+    in
+    (* All four configurations compile and simulate in parallel on the
+       pool; results come back in declaration order. *)
+    let results =
+      Rc_par.Pool.with_pool ~jobs (fun pool ->
+          Rc_par.Pool.map_cells pool
+            (fun (name, opts) ->
+              let c = compile_one bench opts scale in
+              let r = Rc_harness.Pipeline.simulate c in
+              (name, c, r))
+            configs)
+    in
+    let base_cycles =
+      match results with
+      | (_, _, base) :: _ -> float_of_int base.Rc_machine.Machine.cycles
+      | [] -> assert false
     in
     Fmt.pr "== %s: base = 1-issue, unlimited registers, classical opt ==@."
       bench;
-    show "without RC"
-      (Rc_harness.Pipeline.options ~rc:false ~issue ~core_int ~core_float ~lat ());
-    show "with RC (256 regs)"
-      (Rc_harness.Pipeline.options ~rc:true ~issue ~core_int ~core_float ~lat ());
-    show "unlimited registers"
-      (Rc_harness.Pipeline.options ~issue ~core_int:2048 ~core_float:2048 ~lat ());
+    List.iter
+      (fun (name, c, r) ->
+        if name <> "base" then
+          Fmt.pr "%-28s cycles %-9d speedup %.2f  connects %-7d spills %d@."
+            name r.Rc_machine.Machine.cycles
+            (base_cycles /. float_of_int r.Rc_machine.Machine.cycles)
+            r.Rc_machine.Machine.connects c.Rc_harness.Pipeline.spills)
+      results;
     0
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare without-RC, with-RC and unlimited register files")
-    Term.(const run $ bench_arg $ issue $ core_int $ core_float $ load_lat $ scale)
+    Term.(
+      const run $ bench_arg $ issue $ core_int $ core_float $ load_lat $ scale
+      $ jobs)
 
 let dump_cmd =
   let run bench issue core_int core_float rc model scale =

@@ -18,21 +18,30 @@ open Rc_workloads
 
 type ctx = {
   scale : int;
-  prepared : (string * string, Rc_ir.Prog.t * Rc_interp.Interp.outcome) Hashtbl.t;
+  pool : Rc_par.Pool.t;
+  (* Domain-safe single-flight memo tables: any worker may ask for any
+     cell, but each program is compiled and each configuration simulated
+     exactly once. *)
+  prepared :
+    (string * string, Rc_ir.Prog.t * Rc_interp.Interp.outcome) Rc_par.Memo.t;
   runs :
     ( string,
       Rc_machine.Machine.result * Rc_isa.Mcode.size_breakdown * int )
-    Hashtbl.t;
-  base_cycles : (string, float) Hashtbl.t;
+    Rc_par.Memo.t;
+  base_cycles : (string, float) Rc_par.Memo.t;
 }
 
-let create ?(scale = 1) () =
+let create ?(scale = 1) ?(jobs = 1) () =
   {
     scale;
-    prepared = Hashtbl.create 32;
-    runs = Hashtbl.create 256;
-    base_cycles = Hashtbl.create 16;
+    pool = Rc_par.Pool.create ~jobs;
+    prepared = Rc_par.Memo.create 32;
+    runs = Rc_par.Memo.create 256;
+    base_cycles = Rc_par.Memo.create 16;
   }
+
+let jobs ctx = Rc_par.Pool.jobs ctx.pool
+let shutdown ctx = Rc_par.Pool.shutdown ctx.pool
 
 let level_key = function
   | Rc_opt.Pass.Classical -> "classical"
@@ -40,12 +49,8 @@ let level_key = function
 
 let prepared ctx (b : Wutil.bench) level =
   let key = (b.Wutil.name, level_key level) in
-  match Hashtbl.find_opt ctx.prepared key with
-  | Some p -> p
-  | None ->
-      let p = Pipeline.prepare ~opt:level (b.Wutil.build ctx.scale) in
-      Hashtbl.replace ctx.prepared key p;
-      p
+  Rc_par.Memo.find_or_compute ctx.prepared key (fun () ->
+      Pipeline.prepare ~opt:level (b.Wutil.build ctx.scale))
 
 let opts_key (o : Pipeline.options) =
   Fmt.str "%s/rc=%b/%d.%d.%d.%d/%a/c=%b/i=%d/m=%d/l=%d.%d/x=%b"
@@ -59,30 +64,24 @@ let opts_key (o : Pipeline.options) =
     (memoised). *)
 let run ctx (b : Wutil.bench) (opts : Pipeline.options) =
   let key = b.Wutil.name ^ "#" ^ opts_key opts in
-  match Hashtbl.find_opt ctx.runs key with
-  | Some r -> r
-  | None ->
-      let c = Pipeline.compile_prepared opts (prepared ctx b opts.Pipeline.opt) in
+  Rc_par.Memo.find_or_compute ctx.runs key (fun () ->
+      let c =
+        Pipeline.compile_prepared opts (prepared ctx b opts.Pipeline.opt)
+      in
       let r = Pipeline.simulate c in
-      let v = (r, c.Pipeline.breakdown, c.Pipeline.spills) in
-      Hashtbl.replace ctx.runs key v;
-      v
+      (r, c.Pipeline.breakdown, c.Pipeline.spills))
 
 let unlimited = 2048
 
 (** The paper's base configuration (section 5.3). *)
 let base_cycles ctx (b : Wutil.bench) =
-  match Hashtbl.find_opt ctx.base_cycles b.Wutil.name with
-  | Some c -> c
-  | None ->
+  Rc_par.Memo.find_or_compute ctx.base_cycles b.Wutil.name (fun () ->
       let opts =
         Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1 ~mem_channels:2
           ~core_int:unlimited ~core_float:unlimited ()
       in
       let r, _, _ = run ctx b opts in
-      let c = float_of_int r.Rc_machine.Machine.cycles in
-      Hashtbl.replace ctx.base_cycles b.Wutil.name c;
-      c
+      float_of_int r.Rc_machine.Machine.cycles)
 
 let speedup ctx b opts =
   let r, _, _ = run ctx b opts in
@@ -124,6 +123,35 @@ let unlimited_opts ?(issue = 4) ?mem_channels ?(lat = Rc_isa.Latency.default)
     registers for floating-point benchmarks. *)
 let small_label (b : Wutil.bench) =
   match b.Wutil.kind with Wutil.Int_bench -> 16 | Wutil.Float_bench -> 32
+
+(* --- parallel fan-out --------------------------------------------------- *)
+
+(** Evaluate one table's cells on the context's pool.  Each row is a
+    list of cell thunks, each producing a slice of that row's column
+    values; the whole table's cells are flattened, fanned out in
+    declaration order and reassembled, so the resulting rows are
+    identical for every jobs count (cell values are memoised pure
+    computations, and {!Rc_par.Pool.map_cells} collects by index). *)
+let par_rows ctx (rows : (string * (unit -> float list) list) list) :
+    (string * float list) list =
+  let chunks =
+    Rc_par.Pool.map_cells ctx.pool (fun f -> f ()) (List.concat_map snd rows)
+  in
+  let rest = ref chunks in
+  List.map
+    (fun (name, cells) ->
+      let vs =
+        List.map
+          (fun _ ->
+            match !rest with
+            | chunk :: tl ->
+                rest := tl;
+                chunk
+            | [] -> invalid_arg "Experiments.par_rows: cell count mismatch")
+          cells
+      in
+      (name, List.concat vs))
+    rows
 
 (* --- tables ------------------------------------------------------------ *)
 
@@ -186,12 +214,14 @@ let issue_rates = [ 1; 2; 4; 8 ]
 let fig7 ctx =
   let columns = List.map (fun i -> Fmt.str "%d-issue" i) issue_rates in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        ( b.Wutil.name,
-          List.map (fun issue -> speedup ctx b (unlimited_opts ~issue ()))
-            issue_rates ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           ( b.Wutil.name,
+             List.map
+               (fun issue () -> [ speedup ctx b (unlimited_opts ~issue ()) ])
+               issue_rates ))
+         (Registry.all ()))
   in
   with_geomean
     {
@@ -209,18 +239,19 @@ let int_labels = [ 8; 16; 24; 32; 64 ]
 let fp_labels = [ 16; 32; 64; 128 ]
 
 let fig8_rows ctx benches labels =
-  List.map
-    (fun (b : Wutil.bench) ->
-      ( b.Wutil.name,
-        List.concat_map
-          (fun label ->
-            [
-              speedup ctx b (reg_opts b ~label ~rc:false ());
-              speedup ctx b (reg_opts b ~label ~rc:true ());
-            ])
-          labels
-        @ [ speedup ctx b (unlimited_opts ()) ] ))
-    benches
+  par_rows ctx
+    (List.map
+       (fun (b : Wutil.bench) ->
+         ( b.Wutil.name,
+           List.map
+             (fun label () ->
+               [
+                 speedup ctx b (reg_opts b ~label ~rc:false ());
+                 speedup ctx b (reg_opts b ~label ~rc:true ());
+               ])
+             labels
+           @ [ (fun () -> [ speedup ctx b (unlimited_opts ()) ]) ] ))
+       benches)
 
 let fig8_columns labels =
   List.concat_map (fun l -> [ Fmt.str "no%d" l; Fmt.str "rc%d" l ]) labels
@@ -265,16 +296,19 @@ let xsave_increase (bk : Rc_isa.Mcode.size_breakdown) =
   100.0 *. float_of_int bk.xsave /. ideal
 
 let fig9_rows ctx benches labels =
-  List.map
-    (fun (b : Wutil.bench) ->
-      ( b.Wutil.name,
-        List.concat_map
-          (fun label ->
-            let _, bk_no, _ = run ctx b (reg_opts b ~label ~rc:false ()) in
-            let _, bk_rc, _ = run ctx b (reg_opts b ~label ~rc:true ()) in
-            [ size_increase bk_no; size_increase bk_rc; xsave_increase bk_rc ])
-          labels ))
-    benches
+  par_rows ctx
+    (List.map
+       (fun (b : Wutil.bench) ->
+         ( b.Wutil.name,
+           List.map
+             (fun label () ->
+               let _, bk_no, _ = run ctx b (reg_opts b ~label ~rc:false ()) in
+               let _, bk_rc, _ = run ctx b (reg_opts b ~label ~rc:true ()) in
+               [
+                 size_increase bk_no; size_increase bk_rc; xsave_increase bk_rc;
+               ])
+             labels ))
+       benches)
 
 let fig9_columns labels =
   List.concat_map
@@ -311,19 +345,20 @@ let fig10_11 ctx ~load ~id =
       issue_rates
   in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        let label = small_label b in
-        ( b.Wutil.name,
-          List.concat_map
-            (fun issue ->
-              [
-                speedup ctx b (reg_opts b ~label ~rc:false ~issue ~lat ());
-                speedup ctx b (reg_opts b ~label ~rc:true ~issue ~lat ());
-                speedup ctx b (unlimited_opts ~issue ~lat ());
-              ])
-            issue_rates ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           let label = small_label b in
+           ( b.Wutil.name,
+             List.map
+               (fun issue () ->
+                 [
+                   speedup ctx b (reg_opts b ~label ~rc:false ~issue ~lat ());
+                   speedup ctx b (reg_opts b ~label ~rc:true ~issue ~lat ());
+                   speedup ctx b (unlimited_opts ~issue ~lat ());
+                 ])
+               issue_rates ))
+         (Registry.all ()))
   in
   with_geomean
     {
@@ -353,17 +388,21 @@ let fig12 ctx =
   in
   let columns = "noRC" :: List.map (fun (n, _, _) -> n) scenarios in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        let label = small_label b in
-        ( b.Wutil.name,
-          speedup ctx b (reg_opts b ~label ~rc:false ())
-          :: List.map
-               (fun (_, connect, extra_stage) ->
-                 let lat = Rc_isa.Latency.v ~connect () in
-                 speedup ctx b (reg_opts b ~label ~rc:true ~lat ~extra_stage ()))
-               scenarios ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           let label = small_label b in
+           ( b.Wutil.name,
+             (fun () -> [ speedup ctx b (reg_opts b ~label ~rc:false ()) ])
+             :: List.map
+                  (fun (_, connect, extra_stage) () ->
+                    let lat = Rc_isa.Latency.v ~connect () in
+                    [
+                      speedup ctx b
+                        (reg_opts b ~label ~rc:true ~lat ~extra_stage ());
+                    ])
+                  scenarios ))
+         (Registry.all ()))
   in
   with_geomean
     {
@@ -389,24 +428,25 @@ let fig13 ctx =
       [ 2; 4 ]
   in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        let label = small_label b in
-        ( b.Wutil.name,
-          List.concat_map
-            (fun load ->
-              let lat = Rc_isa.Latency.v ~load () in
-              List.concat_map
-                (fun mem_channels ->
-                  [
-                    speedup ctx b
-                      (reg_opts b ~label ~rc:false ~mem_channels ~lat ());
-                    speedup ctx b
-                      (reg_opts b ~label ~rc:true ~mem_channels ~lat ());
-                  ])
-                [ 2; 4 ])
-            [ 2; 4 ] ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           let label = small_label b in
+           ( b.Wutil.name,
+             List.concat_map
+               (fun load ->
+                 let lat = Rc_isa.Latency.v ~load () in
+                 List.map
+                   (fun mem_channels () ->
+                     [
+                       speedup ctx b
+                         (reg_opts b ~label ~rc:false ~mem_channels ~lat ());
+                       speedup ctx b
+                         (reg_opts b ~label ~rc:true ~mem_channels ~lat ());
+                     ])
+                   [ 2; 4 ])
+               [ 2; 4 ] ))
+         (Registry.all ()))
   in
   with_geomean
     {
@@ -426,14 +466,16 @@ let ablation_models ctx =
     List.map (fun m -> Fmt.str "m%d" (Rc_core.Model.number m)) Rc_core.Model.all
   in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        let label = small_label b in
-        ( b.Wutil.name,
-          List.map
-            (fun model -> speedup ctx b (reg_opts b ~label ~rc:true ~model ()))
-            Rc_core.Model.all ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           let label = small_label b in
+           ( b.Wutil.name,
+             List.map
+               (fun model () ->
+                 [ speedup ctx b (reg_opts b ~label ~rc:true ~model ()) ])
+               Rc_core.Model.all ))
+         (Registry.all ()))
   in
   with_geomean
     {
@@ -449,21 +491,25 @@ let ablation_models ctx =
 let ablation_combine ctx =
   let columns = [ "single"; "combined"; "sgl-size"; "cmb-size" ] in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        let label = small_label b in
-        let o_single = reg_opts b ~label ~rc:true ~combine:false () in
-        let o_comb = reg_opts b ~label ~rc:true ~combine:true () in
-        let _, bk_s, _ = run ctx b o_single in
-        let _, bk_c, _ = run ctx b o_comb in
-        ( b.Wutil.name,
-          [
-            speedup ctx b o_single;
-            speedup ctx b o_comb;
-            size_increase bk_s;
-            size_increase bk_c;
-          ] ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           ( b.Wutil.name,
+             [
+               (fun () ->
+                 let label = small_label b in
+                 let o_single = reg_opts b ~label ~rc:true ~combine:false () in
+                 let o_comb = reg_opts b ~label ~rc:true ~combine:true () in
+                 let _, bk_s, _ = run ctx b o_single in
+                 let _, bk_c, _ = run ctx b o_comb in
+                 [
+                   speedup ctx b o_single;
+                   speedup ctx b o_comb;
+                   size_increase bk_s;
+                   size_increase bk_c;
+                 ]);
+             ] ))
+         (Registry.all ()))
   in
   {
     id = "ablation-combine";
@@ -486,18 +532,19 @@ let ablation_unroll ctx =
       factors
   in
   let rows =
-    List.map
-      (fun (b : Wutil.bench) ->
-        ( b.Wutil.name,
-          List.concat_map
-            (fun factor ->
-              let opt = Rc_opt.Pass.Ilp factor in
-              [
-                speedup ctx b (reg_opts b ~label:32 ~rc:false ~opt ());
-                speedup ctx b (reg_opts b ~label:32 ~rc:true ~opt ());
-              ])
-            factors ))
-      (Registry.all ())
+    par_rows ctx
+      (List.map
+         (fun (b : Wutil.bench) ->
+           ( b.Wutil.name,
+             List.map
+               (fun factor () ->
+                 let opt = Rc_opt.Pass.Ilp factor in
+                 [
+                   speedup ctx b (reg_opts b ~label:32 ~rc:false ~opt ());
+                   speedup ctx b (reg_opts b ~label:32 ~rc:true ~opt ());
+                 ])
+               factors ))
+         (Registry.all ()))
   in
   with_geomean
     {

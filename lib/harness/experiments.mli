@@ -10,10 +10,21 @@
 open Rc_workloads
 
 (** Memoising context: programs are prepared once per optimisation
-    level and every (benchmark, configuration) simulation runs once. *)
+    level and every (benchmark, configuration) simulation runs once.
+    With [jobs > 1] the context owns a {!Rc_par.Pool} of that many
+    domains and every table's cells are computed in parallel; the memo
+    tables are domain-safe and single-flight, and tables are
+    byte-identical for every jobs count. *)
 type ctx
 
-val create : ?scale:int -> unit -> ctx
+val create : ?scale:int -> ?jobs:int -> unit -> ctx
+
+(** Number of computing domains of the context's pool. *)
+val jobs : ctx -> int
+
+(** Join the context's worker domains.  The context must not be used
+    afterwards. *)
+val shutdown : ctx -> unit
 
 (** Compile and simulate one benchmark under one configuration
     (memoised).  Returns the machine result, the static code-size

@@ -43,6 +43,8 @@ type stats = {
 type t = {
   cfg : Config.t;
   image : Image.t;
+  pre : Dins.t array;
+      (** [image.code] predecoded once under [cfg.lat] (see {!Rc_isa.Dins}) *)
   iregs : int64 array;
   fregs : float array;
   iready : int array;
@@ -68,6 +70,7 @@ let create (cfg : Config.t) (image : Image.t) =
     {
       cfg;
       image;
+      pre = Dins.decode ~lat:cfg.Config.lat image.Image.code;
       iregs = Array.make cfg.ifile.Reg.total 0L;
       fregs = Array.make cfg.ffile.Reg.total 0.0;
       iready = Array.make cfg.ifile.Reg.total 0;
@@ -110,25 +113,29 @@ let context_view t =
 
 (* --- register access through the mapping table ------------------------ *)
 
-let read_phys t (o : Insn.operand) =
-  if not t.psw.Psw.map_enable then o.Insn.r
-  else
-    match o.Insn.cls with
-    | Reg.Int -> Map_table.read t.imap o.Insn.r
-    | Reg.Float -> Map_table.read t.fmap o.Insn.r
+(* [map_on] is the PSW map-enable flag read once per instruction: when
+   it is clear the architectural index IS the physical register and the
+   [Map_table] indirection is skipped entirely (the hoisted fast path). *)
 
-let write_phys t (o : Insn.operand) =
-  if not t.psw.Psw.map_enable then o.Insn.r
+let[@inline] resolve_read t ~map_on (cls : Reg.cls) r =
+  if not map_on then r
   else
-    match o.Insn.cls with
-    | Reg.Int -> Map_table.write t.imap o.Insn.r
-    | Reg.Float -> Map_table.write t.fmap o.Insn.r
+    match cls with
+    | Reg.Int -> Map_table.read t.imap r
+    | Reg.Float -> Map_table.read t.fmap r
 
-let note_write t (o : Insn.operand) =
-  if t.psw.Psw.map_enable then
-    match o.Insn.cls with
-    | Reg.Int -> Map_table.note_write t.imap o.Insn.r
-    | Reg.Float -> Map_table.note_write t.fmap o.Insn.r
+let[@inline] resolve_write t ~map_on (cls : Reg.cls) r =
+  if not map_on then r
+  else
+    match cls with
+    | Reg.Int -> Map_table.write t.imap r
+    | Reg.Float -> Map_table.write t.fmap r
+
+(* Only called when the map is enabled. *)
+let[@inline] note_write t (cls : Reg.cls) r =
+  match cls with
+  | Reg.Int -> Map_table.note_write t.imap r
+  | Reg.Float -> Map_table.note_write t.fmap r
 
 let get_i t p = if p = Reg.zero then 0L else t.iregs.(p)
 let get_f t p = t.fregs.(p)
@@ -188,6 +195,37 @@ type issue_blocker = Data | Map | Channel
 
 exception Group_end of issue_blocker option
 
+(* Mapping-table entries touched by connects issued this cycle, for the
+   1-cycle connect latency model.  A hand-written scan instead of
+   [List.mem] so the (rare) check allocates no comparison tuple. *)
+let rec pending_mem cls (kind : Insn.map_kind) r = function
+  | [] -> false
+  | (c, k, i) :: rest ->
+      (Reg.equal_cls c cls && k = kind && i = r) || pending_mem cls kind r rest
+
+let src_blocked pending (d : Dins.t) =
+  (d.Dins.nsrcs > 0 && pending_mem d.Dins.s0c Insn.Read d.Dins.s0 pending)
+  || (d.Dins.nsrcs > 1 && pending_mem d.Dins.s1c Insn.Read d.Dins.s1 pending)
+  || (d.Dins.d >= 0 && pending_mem d.Dins.dc Insn.Write d.Dins.d pending)
+
+let[@inline] reg_ready t cycle (cls : Reg.cls) p =
+  match cls with
+  | Reg.Int -> t.iready.(p) <= cycle
+  | Reg.Float -> t.fready.(p) <= cycle
+
+(* Destination writes of the execute arms.  [dp] is the resolved
+   physical destination, [-1] when the instruction has none. *)
+
+let set_int t ~map_on (d : Dins.t) dp v done_at =
+  if dp < 0 then fail "missing destination at pc %d" t.pc;
+  set_i t dp v done_at;
+  if map_on then note_write t d.Dins.dc d.Dins.d
+
+let set_float t ~map_on (d : Dins.t) dp v done_at =
+  if dp < 0 then fail "missing destination at pc %d" t.pc;
+  set_f t dp v done_at;
+  if map_on then note_write t d.Dins.dc d.Dins.d
+
 let run_cycle t =
   let cycle = t.stats.cycles in
   if t.pending_interrupt then begin
@@ -205,109 +243,95 @@ let run_cycle t =
       | `Extra n -> n)
   in
   let shared_connects = t.cfg.Config.connect_dispatch = `Shared in
+  let connect_lat = t.cfg.Config.lat.Latency.connect in
   let mem_free = ref t.cfg.Config.mem_channels in
-  (* Mapping-table entries touched by connects issued this cycle, for the
-     1-cycle connect latency model. *)
   let pending_maps : (Reg.cls * Insn.map_kind * int) list ref = ref [] in
-  let src_blocked (i : Insn.t) =
-    Array.exists
-      (fun (o : Insn.operand) ->
-        List.mem (o.Insn.cls, Insn.Read, o.Insn.r) !pending_maps)
-      i.Insn.srcs
-    ||
-    match i.Insn.dst with
-    | Some o -> List.mem (o.Insn.cls, Insn.Write, o.Insn.r) !pending_maps
-    | None -> false
-  in
-  let ready (o : Insn.operand) p =
-    match o.Insn.cls with
-    | Reg.Int -> t.iready.(p) <= cycle
-    | Reg.Float -> t.fready.(p) <= cycle
-  in
+  let code_len = Array.length t.pre in
+  let next_pc = ref 0 in
+  let end_group = ref false in
   (try
      while (!slots > 0 || !connect_slots > 0) && not t.halted do
-       if t.pc < 0 || t.pc >= Array.length t.image.Image.code then
-         fail "pc %d out of code" t.pc;
-       let i = t.image.Image.code.(t.pc) in
+       if t.pc < 0 || t.pc >= code_len then fail "pc %d out of code" t.pc;
+       let d = t.pre.(t.pc) in
+       let map_on = t.psw.Psw.map_enable in
        (* --- can it issue this cycle? --- *)
        if
-         t.cfg.Config.lat.Latency.connect > 0
-         && t.psw.Psw.map_enable && src_blocked i
+         connect_lat > 0 && map_on
+         && (match !pending_maps with [] -> false | p -> src_blocked p d)
        then raise (Group_end (Some Map));
-       if Insn.is_mem i && !mem_free <= 0 then raise (Group_end (Some Channel));
-       (if Insn.is_connect i && not shared_connects then begin
+       if d.Dins.is_mem && !mem_free <= 0 then raise (Group_end (Some Channel));
+       (if d.Dins.is_connect && not shared_connects then begin
           if !connect_slots <= 0 then raise (Group_end (Some Map))
         end
         else if !slots <= 0 then raise (Group_end None));
-       let src_phys = Array.map (fun o -> read_phys t o) i.Insn.srcs in
-       let ok_srcs =
-         let ok = ref true in
-         Array.iteri
-           (fun k o -> if not (ready o src_phys.(k)) then ok := false)
-           i.Insn.srcs;
-         !ok
+       let sp0 =
+         if d.Dins.nsrcs > 0 then resolve_read t ~map_on d.Dins.s0c d.Dins.s0
+         else -1
        in
-       let dst_phys = Option.map (fun o -> write_phys t o) i.Insn.dst in
-       let ok_dst =
-         match (i.Insn.dst, dst_phys) with
-         | Some o, Some p -> ready o p
-         | _ -> true
+       let sp1 =
+         if d.Dins.nsrcs > 1 then resolve_read t ~map_on d.Dins.s1c d.Dins.s1
+         else -1
        in
-       if not (ok_srcs && ok_dst) then raise (Group_end (Some Data));
+       let dp =
+         if d.Dins.d >= 0 then resolve_write t ~map_on d.Dins.dc d.Dins.d
+         else -1
+       in
+       let ok =
+         (d.Dins.nsrcs < 1 || reg_ready t cycle d.Dins.s0c sp0)
+         && (d.Dins.nsrcs < 2 || reg_ready t cycle d.Dins.s1c sp1)
+         && (d.Dins.d < 0 || reg_ready t cycle d.Dins.dc dp)
+       in
+       if not ok then raise (Group_end (Some Data));
        (* --- issue --- *)
-       if Insn.is_connect i && not shared_connects then decr connect_slots
+       if d.Dins.is_connect && not shared_connects then decr connect_slots
        else decr slots;
        t.stats.issued <- t.stats.issued + 1;
-       if Insn.is_mem i then begin
+       if d.Dins.is_mem then begin
          decr mem_free;
          t.stats.mem_ops <- t.stats.mem_ops + 1
        end;
-       let lat = Latency.of_opcode t.cfg.Config.lat i.Insn.op in
-       let done_at = cycle + max 1 lat in
-       let iv k = get_i t src_phys.(k) in
-       let fv k = get_f t src_phys.(k) in
-       let set_int v =
-         match dst_phys with
-         | Some p ->
-             set_i t p v done_at;
-             note_write t (Option.get i.Insn.dst)
-         | None -> fail "missing destination at pc %d" t.pc
-       in
-       let set_float v =
-         match dst_phys with
-         | Some p ->
-             set_f t p v done_at;
-             note_write t (Option.get i.Insn.dst)
-         | None -> fail "missing destination at pc %d" t.pc
-       in
-       let next_pc = ref (t.pc + 1) in
-       let end_group = ref false in
-       (match i.Insn.op with
-       | Opcode.Alu a -> set_int (Opcode.eval_alu a (iv 0) (iv 1))
-       | Opcode.Alui a -> set_int (Opcode.eval_alu a (iv 0) i.Insn.imm)
-       | Opcode.Li -> set_int i.Insn.imm
-       | Opcode.Move -> set_int (iv 0)
-       | Opcode.Fli -> set_float i.Insn.fimm
-       | Opcode.Fmove -> set_float (fv 0)
+       let done_at = cycle + d.Dins.lat in
+       next_pc := t.pc + 1;
+       end_group := false;
+       (match d.Dins.op with
+       | Opcode.Alu a ->
+           set_int t ~map_on d dp
+             (Opcode.eval_alu a (get_i t sp0) (get_i t sp1))
+             done_at
+       | Opcode.Alui a ->
+           set_int t ~map_on d dp
+             (Opcode.eval_alu a (get_i t sp0) d.Dins.imm)
+             done_at
+       | Opcode.Li -> set_int t ~map_on d dp d.Dins.imm done_at
+       | Opcode.Move -> set_int t ~map_on d dp (get_i t sp0) done_at
+       | Opcode.Fli -> set_float t ~map_on d dp d.Dins.fimm done_at
+       | Opcode.Fmove -> set_float t ~map_on d dp (get_f t sp0) done_at
        | Opcode.Fpu f ->
-           let b = if Array.length i.Insn.srcs > 1 then fv 1 else 0.0 in
-           set_float (Opcode.eval_fpu f (fv 0) b)
-       | Opcode.Itof -> set_float (Int64.to_float (iv 0))
-       | Opcode.Ftoi -> set_int (Int64.of_float (fv 0))
+           let b = if d.Dins.nsrcs > 1 then get_f t sp1 else 0.0 in
+           set_float t ~map_on d dp (Opcode.eval_fpu f (get_f t sp0) b) done_at
+       | Opcode.Itof ->
+           set_float t ~map_on d dp (Int64.to_float (get_i t sp0)) done_at
+       | Opcode.Ftoi ->
+           set_int t ~map_on d dp (Int64.of_float (get_f t sp0)) done_at
        | Opcode.Fcmp c ->
-           set_int (if Opcode.eval_fcond c (fv 0) (fv 1) then 1L else 0L)
+           set_int t ~map_on d dp
+             (if Opcode.eval_fcond c (get_f t sp0) (get_f t sp1) then 1L
+              else 0L)
+             done_at
        | Opcode.Ld w ->
-           let a = Int64.to_int (iv 0) + Int64.to_int i.Insn.imm in
-           set_int (load_mem t w a)
+           let a = Int64.to_int (get_i t sp0) + Int64.to_int d.Dins.imm in
+           set_int t ~map_on d dp (load_mem t w a) done_at
        | Opcode.St w ->
-           let a = Int64.to_int (iv 1) + Int64.to_int i.Insn.imm in
-           store_mem t w a (iv 0)
+           let a = Int64.to_int (get_i t sp1) + Int64.to_int d.Dins.imm in
+           store_mem t w a (get_i t sp0)
        | Opcode.Fld ->
-           let a = Int64.to_int (iv 0) + Int64.to_int i.Insn.imm in
-           set_float (Int64.float_of_bits (load_mem t Opcode.W8 a))
+           let a = Int64.to_int (get_i t sp0) + Int64.to_int d.Dins.imm in
+           set_float t ~map_on d dp
+             (Int64.float_of_bits (load_mem t Opcode.W8 a))
+             done_at
        | Opcode.Fst ->
-           let a = Int64.to_int (iv 1) + Int64.to_int i.Insn.imm in
-           store_mem t Opcode.W8 a (Int64.bits_of_float (fv 0))
+           let a = Int64.to_int (get_i t sp1) + Int64.to_int d.Dins.imm in
+           store_mem t Opcode.W8 a (Int64.bits_of_float (get_f t sp0))
        (* The front end follows correctly predicted control transfers
           within an issue group ("all combinations of instruction
           patterns are allowed to be executed in parallel", section
@@ -315,9 +339,9 @@ let run_cycle t =
           penalty. *)
        | Opcode.Br c ->
            t.stats.branches <- t.stats.branches + 1;
-           let taken = Opcode.eval_cond c (iv 0) (iv 1) in
-           if taken then next_pc := i.Insn.target;
-           if taken <> i.Insn.hint then begin
+           let taken = Opcode.eval_cond c (get_i t sp0) (get_i t sp1) in
+           if taken then next_pc := d.Dins.target;
+           if taken <> d.Dins.hint then begin
              t.stats.mispredicts <- t.stats.mispredicts + 1;
              t.stats.cycles <-
                t.stats.cycles + Config.mispredict_penalty t.cfg;
@@ -325,7 +349,7 @@ let run_cycle t =
            end
        | Opcode.Jmp ->
            t.stats.branches <- t.stats.branches + 1;
-           next_pc := i.Insn.target
+           next_pc := d.Dins.target
        | Opcode.Jsr ->
            t.stats.branches <- t.stats.branches + 1;
            (* Reset the map, then write RA to its home location
@@ -333,27 +357,28 @@ let run_cycle t =
            Map_table.reset t.imap;
            Map_table.reset t.fmap;
            set_i t Reg.ra (Int64.of_int (t.pc + 1)) done_at;
-           next_pc := i.Insn.target
+           next_pc := d.Dins.target
        | Opcode.Rts ->
            t.stats.branches <- t.stats.branches + 1;
-           let ra = Int64.to_int (iv 0) in
+           let ra = Int64.to_int (get_i t sp0) in
            Map_table.reset t.imap;
            Map_table.reset t.fmap;
            next_pc := ra
        | Opcode.Connect ->
            t.stats.connects <- t.stats.connects + 1;
-           if t.psw.Psw.map_enable then
+           if map_on then
              Array.iter
                (fun (c : Insn.connect) ->
                  (match c.Insn.ccls with
                  | Reg.Int -> Map_table.apply t.imap c
                  | Reg.Float -> Map_table.apply t.fmap c);
-                 if t.cfg.Config.lat.Latency.connect > 0 then
+                 if connect_lat > 0 then
                    pending_maps :=
                      (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: !pending_maps)
-               i.Insn.connects
-       | Opcode.Emit -> t.out_rev <- iv 0 :: t.out_rev
-       | Opcode.Femit -> t.out_rev <- Int64.bits_of_float (fv 0) :: t.out_rev
+               d.Dins.connects
+       | Opcode.Emit -> t.out_rev <- get_i t sp0 :: t.out_rev
+       | Opcode.Femit ->
+           t.out_rev <- Int64.bits_of_float (get_f t sp0) :: t.out_rev
        | Opcode.Trap ->
            enter_trap t ~return_to:(t.pc + 1);
            next_pc := t.pc;
@@ -367,24 +392,23 @@ let run_cycle t =
            next_pc := t.epc;
            end_group := true
        | Opcode.Mapen ->
-           t.psw.Psw.map_enable <- not (Int64.equal i.Insn.imm 0L)
+           t.psw.Psw.map_enable <- not (Int64.equal d.Dins.imm 0L)
        (* Privileged map access (section 4.3): reads and writes the
           integer mapping table directly, regardless of the PSW
           map-enable flag, so handlers can save and restore connection
           state. *)
        | Opcode.Mfmap kind ->
-           let idx = Int64.to_int i.Insn.imm in
+           let idx = Int64.to_int d.Dins.imm in
            let v =
              match kind with
              | Opcode.Read -> Map_table.read t.imap idx
              | Opcode.Write -> Map_table.write t.imap idx
            in
-           (match dst_phys with
-           | Some p -> set_i t p (Int64.of_int v) done_at
-           | None -> fail "mfmap needs a destination at pc %d" t.pc)
+           if dp < 0 then fail "mfmap needs a destination at pc %d" t.pc;
+           set_i t dp (Int64.of_int v) done_at
        | Opcode.Mtmap kind -> (
-           let idx = Int64.to_int i.Insn.imm in
-           let v = Int64.to_int (iv 0) in
+           let idx = Int64.to_int d.Dins.imm in
+           let v = Int64.to_int (get_i t sp0) in
            match kind with
            | Opcode.Read -> Map_table.connect_use t.imap ~ri:idx ~rp:v
            | Opcode.Write -> Map_table.connect_def t.imap ~ri:idx ~rp:v)
@@ -392,7 +416,7 @@ let run_cycle t =
            t.halted <- true;
            end_group := true
        | Opcode.Nop -> ());
-       (match i.Insn.op with
+       (match d.Dins.op with
        | Opcode.Trap -> () (* pc already set by enter_trap *)
        | _ -> t.pc <- !next_pc);
        if !end_group then raise (Group_end None)

@@ -40,6 +40,10 @@ type stats = {
 type t = {
   cfg : Config.t;
   image : Image.t;
+  pre : Dins.t array;
+      (** [image.code] predecoded once under [cfg.lat] (see
+          {!Rc_isa.Dins}): the issue loop reads flat scalar fields
+          instead of re-matching [Insn.t] and allocating per operand *)
   iregs : int64 array;
   fregs : float array;
   iready : int array;

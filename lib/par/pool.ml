@@ -1,0 +1,136 @@
+(** A fixed-size domain pool with a hand-rolled Mutex/Condition task
+    queue.
+
+    [create ~jobs] spawns [jobs - 1] worker domains; the domain that
+    calls {!map_cells} participates in draining the queue, so exactly
+    [jobs] domains compute at any time.  With [jobs = 1] no domain is
+    ever spawned and every cell runs inline in the caller — the
+    degenerate pool is just [List.map].
+
+    {!map_cells} is deterministic: results are collected by cell index,
+    so the output order is the input order regardless of which domain
+    ran which cell.  The caller helping to drain the queue also makes
+    nested fan-outs safe: a cell that itself calls [map_cells] executes
+    other cells while it waits instead of deadlocking the pool. *)
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  has_work : Condition.t;  (** signalled when a task is queued or on close *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some task -> Mutex.unlock t.lock; Some task
+    | None ->
+        if t.closing then begin Mutex.unlock t.lock; None end
+        else begin Condition.wait t.has_work t.lock; next () end
+  in
+  match next () with
+  | None -> ()
+  | Some task -> task (); worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(** One fan-out's completion state, shared by its cells. *)
+type 'b batch = {
+  results : 'b option array;
+  error : (exn * Printexc.raw_backtrace) option array;
+      (** per-cell so the lowest-index failure is reported
+          deterministically *)
+  mutable pending : int;
+  all_done : Condition.t;
+}
+
+let run_cell batch f k x =
+  (match f x with
+  | v -> batch.results.(k) <- Some v
+  | exception e ->
+      batch.error.(k) <- Some (e, Printexc.get_raw_backtrace ()))
+
+let map_cells t f xs =
+  match xs with
+  | [] -> []
+  | xs when t.jobs = 1 -> List.map f xs
+  | xs ->
+      let cells = Array.of_list xs in
+      let n = Array.length cells in
+      let batch =
+        {
+          results = Array.make n None;
+          error = Array.make n None;
+          pending = n;
+          all_done = Condition.create ();
+        }
+      in
+      Mutex.lock t.lock;
+      Array.iteri
+        (fun k x ->
+          Queue.add
+            (fun () ->
+              run_cell batch f k x;
+              Mutex.lock t.lock;
+              batch.pending <- batch.pending - 1;
+              if batch.pending = 0 then Condition.broadcast batch.all_done;
+              Mutex.unlock t.lock)
+            t.queue)
+        cells;
+      Condition.broadcast t.has_work;
+      (* Help drain the queue; wait only when it is empty (another
+         domain is finishing the last cells). *)
+      let rec drain () =
+        if batch.pending > 0 then
+          match Queue.take_opt t.queue with
+          | Some task ->
+              Mutex.unlock t.lock;
+              task ();
+              Mutex.lock t.lock;
+              drain ()
+          | None ->
+              Condition.wait batch.all_done t.lock;
+              drain ()
+      in
+      drain ();
+      Mutex.unlock t.lock;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+        batch.error;
+      Array.to_list
+        (Array.map
+           (function
+             | Some v -> v
+             | None -> invalid_arg "Pool.map_cells: missing result")
+           batch.results)
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,30 @@
+(** A fixed-size domain pool with a hand-rolled Mutex/Condition task
+    queue and a deterministic fan-out.
+
+    [create ~jobs] spawns [jobs - 1] worker domains; the caller of
+    {!map_cells} helps drain the queue, so exactly [jobs] domains
+    compute.  With [jobs = 1] no domain is spawned and cells run inline
+    (the pool degenerates to [List.map]). *)
+
+type t
+
+(** [create ~jobs] makes a pool of [max 1 jobs] computing domains. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** [map_cells t f xs] evaluates [f] over every cell of [xs] on the
+    pool and returns the results in the order of [xs], regardless of
+    which domain ran which cell.  If cells raise, every cell still
+    runs, and the exception of the lowest-index failing cell is
+    re-raised with its backtrace.  Nested calls from inside a cell are
+    safe: the waiting domain keeps draining the queue. *)
+val map_cells : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stop the workers and join them.  The pool must not be used after
+    [shutdown]; shutting down twice is harmless. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] over a fresh pool and always shuts it
+    down. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -148,6 +148,26 @@ let test_fig12_extra_stage_cheap () =
   let s_deep = Rc_harness.Experiments.speedup ctx b deep in
   check_bool "within 5%" true (s_deep > 0.95 *. s_fast)
 
+let render_table t =
+  Fmt.str "%a" Rc_harness.Experiments.print_table t
+
+let test_parallel_tables_identical () =
+  (* every table of the full grid must be byte-identical between a
+     sequential and a 4-domain context *)
+  let render jobs =
+    let ctx = Rc_harness.Experiments.create ~scale:1 ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
+      (fun () ->
+        List.map render_table (Rc_harness.Experiments.all_figures ctx))
+  in
+  let seq = render 1 and par = render 4 in
+  check "same table count" (List.length seq) (List.length par);
+  List.iter2
+    (fun s p ->
+      Alcotest.(check string) "table identical across jobs counts" s p)
+    seq par
+
 let test_experiment_ids_resolve () =
   let ctx = Rc_harness.Experiments.create ~scale:1 () in
   List.iter
@@ -170,5 +190,6 @@ let suite =
     ("RC benefit grows with issue rate", `Slow, test_rc_benefit_grows_with_issue_rate);
     ("fig 9: larger but faster", `Slow, test_fig9_rc_code_larger_but_faster);
     ("fig 12: extra stage cheap", `Slow, test_fig12_extra_stage_cheap);
+    ("parallel tables identical", `Slow, test_parallel_tables_identical);
     ("experiment ids resolve", `Quick, test_experiment_ids_resolve);
   ]

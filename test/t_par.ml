@@ -1,0 +1,107 @@
+(* Tests for rc_par: the domain pool's deterministic fan-out, exception
+   propagation, the jobs=1 degeneracy, and the single-flight memo. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+exception Boom of int
+
+let squares n = List.init n (fun k -> k * k)
+
+let test_ordering () =
+  Rc_par.Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results in input order" (squares 100)
+        (Rc_par.Pool.map_cells pool (fun x -> x * x) xs))
+
+let test_jobs_one_degeneracy () =
+  Rc_par.Pool.with_pool ~jobs:1 (fun pool ->
+      check "clamped to one domain" 1 (Rc_par.Pool.jobs pool);
+      Alcotest.(check (list int))
+        "jobs=1 is List.map" (squares 10)
+        (Rc_par.Pool.map_cells pool (fun x -> x * x) (List.init 10 Fun.id));
+      Alcotest.(check (list int))
+        "empty input" []
+        (Rc_par.Pool.map_cells pool (fun x -> x) []))
+
+let test_jobs_clamped () =
+  Rc_par.Pool.with_pool ~jobs:(-3) (fun pool ->
+      check "negative jobs clamped" 1 (Rc_par.Pool.jobs pool))
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      Rc_par.Pool.with_pool ~jobs (fun pool ->
+          check_bool
+            (Fmt.str "raises at jobs=%d" jobs)
+            true
+            (try
+               ignore
+                 (Rc_par.Pool.map_cells pool
+                    (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+                    (List.init 50 Fun.id));
+               false
+             with Boom x ->
+               (* the lowest-index failing cell wins, deterministically *)
+               x = 3)))
+    [ 1; 4 ]
+
+let test_nested_fanout () =
+  (* a cell may fan out again: the waiting domain helps drain the
+     queue instead of deadlocking the pool *)
+  Rc_par.Pool.with_pool ~jobs:2 (fun pool ->
+      let vss =
+        Rc_par.Pool.map_cells pool
+          (fun x ->
+            Rc_par.Pool.map_cells pool (fun y -> (10 * x) + y) [ 1; 2; 3 ])
+          [ 1; 2 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] vss)
+
+let test_memo_single_flight () =
+  Rc_par.Pool.with_pool ~jobs:4 (fun pool ->
+      let memo = Rc_par.Memo.create 8 in
+      let computed = Atomic.make 0 in
+      let vs =
+        Rc_par.Pool.map_cells pool
+          (fun _ ->
+            Rc_par.Memo.find_or_compute memo "key" (fun () ->
+                Atomic.incr computed;
+                (* widen the in-flight window so concurrent callers
+                   actually hit the Running state *)
+                ignore (Sys.opaque_identity (List.init 1000 Fun.id));
+                42))
+          (List.init 64 Fun.id)
+      in
+      check "computed exactly once" 1 (Atomic.get computed);
+      check_bool "every caller sees the value" true
+        (List.for_all (fun v -> v = 42) vs))
+
+let test_memo_failure_cached () =
+  let memo = Rc_par.Memo.create 8 in
+  let computed = ref 0 in
+  let attempt () =
+    try
+      ignore
+        (Rc_par.Memo.find_or_compute memo "k" (fun () ->
+             incr computed;
+             raise (Boom 1)));
+      false
+    with Boom 1 -> true
+  in
+  check_bool "first call raises" true (attempt ());
+  check_bool "second call raises too" true (attempt ());
+  check "compute ran once" 1 !computed
+
+let suite =
+  [
+    ("fan-out preserves order", `Quick, test_ordering);
+    ("jobs=1 degeneracy", `Quick, test_jobs_one_degeneracy);
+    ("jobs clamped to >= 1", `Quick, test_jobs_clamped);
+    ("exception propagation", `Quick, test_exception_propagation);
+    ("nested fan-out", `Quick, test_nested_fanout);
+    ("memo is single-flight", `Quick, test_memo_single_flight);
+    ("memo caches failures", `Quick, test_memo_failure_cached);
+  ]

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "register-connection"
     [
+      ("par", T_par.suite);
       ("isa", T_isa.suite);
       ("core", T_core.suite);
       ("ir", T_ir.suite);
