@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke trace-smoke clean
 
 all: build
 
@@ -18,6 +18,11 @@ bench:
 # two domains, one macro figure, one static table.
 bench-smoke:
 	dune build @bench-smoke
+
+# End-to-end check of the telemetry sinks: trace one kernel with the
+# JSONL and Chrome exporters and validate that both outputs parse.
+trace-smoke:
+	dune build @trace-smoke
 
 clean:
 	dune clean

@@ -6,10 +6,12 @@
      main.exe fig8 fig12       print selected experiments
      main.exe --scale 2 all    larger workload inputs
      main.exe --jobs 4 all     compute each table's cells on 4 domains
+     main.exe --metrics m.json also dump per-cell telemetry (stall
+                               attribution, pass metrics, pool stats)
      main.exe bechamel         Bechamel micro-timings, one Test.make per
                                experiment (times the regeneration code)
 
-   --scale/--jobs may appear anywhere relative to the experiment ids.
+   Flags may appear anywhere relative to the experiment ids.
    Tables are byte-identical for every --jobs value (the fan-out is
    deterministic and every cell is a memoised pure computation).
 
@@ -119,7 +121,8 @@ let run_bechamel () =
 
 let usage () =
   Fmt.epr
-    "usage: main.exe [--scale N] [--jobs N] [all | bechamel | <id>...]@.";
+    "usage: main.exe [--scale N] [--jobs N] [--metrics FILE] [all | bechamel \
+     | <id>...]@.";
   Fmt.epr "experiments: %s@." (String.concat " " ids);
   exit 1
 
@@ -140,6 +143,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let metrics = ref None in
   (* Flags may appear before, between or after the experiment ids. *)
   let rec parse acc = function
     | "--scale" :: rest ->
@@ -158,6 +162,14 @@ let () =
         in
         jobs := n;
         parse acc rest
+    | "--metrics" :: rest -> (
+        match rest with
+        | v :: tl ->
+            metrics := Some v;
+            parse acc tl
+        | [] ->
+            Fmt.epr "--metrics needs an argument@.";
+            usage ())
     | x :: _ when String.length x > 1 && x.[0] = '-' ->
         Fmt.epr "unknown option %s@." x;
         usage ()
@@ -179,4 +191,19 @@ let () =
       let ctx = Rc_harness.Experiments.create ~scale:!scale ~jobs:!jobs () in
       Fun.protect
         ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
-        (fun () -> List.iter (print_experiment ctx) sel)
+        (fun () ->
+          List.iter (print_experiment ctx) sel;
+          (* Dump the telemetry while the pool is still alive so its
+             per-domain stats are included. *)
+          match !metrics with
+          | None -> ()
+          | Some path ->
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc
+                    (Rc_obs.Json.to_string
+                       (Rc_harness.Experiments.metrics_json ctx));
+                  output_char oc '\n');
+              Fmt.epr "metrics written to %s@." path)

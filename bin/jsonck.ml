@@ -1,0 +1,87 @@
+(* jsonck — shape validator for the telemetry sinks, used by the
+   trace-smoke alias and usable by hand:
+
+     jsonck <chrome-trace.json> [<events.jsonl>]
+
+   Checks that the Chrome file is valid trace-event JSON Perfetto will
+   load — a traceEvents array whose entries carry name/ph/pid, with at
+   least one complete ("X", the compile passes) and one counter ("C",
+   the machine cycles) event — and that every JSONL line parses to an
+   object with a type discriminant.  Exits non-zero with a message on
+   the first violation. *)
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_field path i obj name =
+  match Rc_obs.Json.member name obj with
+  | Some v -> v
+  | None -> fail "%s: traceEvents[%d] lacks %S" path i name
+
+let check_chrome path =
+  let j =
+    match Rc_obs.Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error m -> fail "%s: not valid JSON: %s" path m
+  in
+  let events =
+    match Rc_obs.Json.member "traceEvents" j with
+    | Some (Rc_obs.Json.List evs) -> evs
+    | Some _ -> fail "%s: traceEvents is not an array" path
+    | None -> fail "%s: no traceEvents field" path
+  in
+  let phases = Hashtbl.create 8 in
+  List.iteri
+    (fun i ev ->
+      (match check_field path i ev "name" with
+      | Rc_obs.Json.Str _ -> ()
+      | _ -> fail "%s: traceEvents[%d] name is not a string" path i);
+      (match check_field path i ev "pid" with
+      | Rc_obs.Json.Int _ -> ()
+      | _ -> fail "%s: traceEvents[%d] pid is not an integer" path i);
+      match check_field path i ev "ph" with
+      | Rc_obs.Json.Str ph ->
+          Hashtbl.replace phases ph ();
+          if ph <> "M" then (
+            match Rc_obs.Json.member "ts" ev with
+            | Some (Rc_obs.Json.Float _ | Rc_obs.Json.Int _) -> ()
+            | _ -> fail "%s: traceEvents[%d] (%s) lacks a numeric ts" path i ph)
+      | _ -> fail "%s: traceEvents[%d] ph is not a string" path i)
+    events;
+  List.iter
+    (fun (ph, what) ->
+      if not (Hashtbl.mem phases ph) then
+        fail "%s: no %s (%S) events — %s track missing" path what ph what)
+    [ ("X", "complete"); ("C", "counter") ];
+  Printf.printf "%s: ok (%d trace events)\n" path (List.length events)
+
+let check_jsonl path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s: empty JSONL stream" path;
+  List.iteri
+    (fun i line ->
+      match Rc_obs.Json.of_string line with
+      | Error m -> fail "%s:%d: not valid JSON: %s" path (i + 1) m
+      | Ok j -> (
+          match Rc_obs.Json.member "type" j with
+          | Some (Rc_obs.Json.Str _) -> ()
+          | _ -> fail "%s:%d: no type discriminant" path (i + 1)))
+    lines;
+  Printf.printf "%s: ok (%d events)\n" path (List.length lines)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: chrome :: rest ->
+      check_chrome chrome;
+      List.iter check_jsonl rest
+  | _ ->
+      prerr_endline "usage: jsonck <chrome-trace.json> [<events.jsonl>...]";
+      exit 2

@@ -6,6 +6,11 @@
      run <bench> [options]       compile one kernel and simulate it
      compare <bench> [options]   without-RC vs with-RC vs unlimited
      dump <bench> [options]      print the generated machine code
+     trace <bench> [options]     structured trace (JSONL or Chrome JSON)
+
+   run and compare take --json for machine-readable output with stable
+   key names; trace emits compile-pass spans and a windowed per-cycle
+   machine track loadable in Perfetto (--format chrome).
 *)
 
 open Cmdliner
@@ -81,6 +86,13 @@ let no_unroll =
   let doc = "Disable the ILP loop unrolling (classical optimisation only)." in
   Arg.(value & flag & info [ "no-unroll" ] ~doc)
 
+let json_flag =
+  let doc =
+    "Machine-readable JSON output (stable key names, one object per \
+     configuration) instead of the formatted text."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
     ~extra_stage ~model ~no_unroll =
   Rc_harness.Pipeline.options
@@ -125,6 +137,18 @@ let print_result (c : Rc_harness.Pipeline.compiled) (r : Rc_machine.Machine.resu
   Fmt.pr "stalls        %d data, %d map, %d channel@."
     r.Rc_machine.Machine.data_stalls r.Rc_machine.Machine.map_stalls
     r.Rc_machine.Machine.channel_stalls;
+  let issue_slots = r.Rc_machine.Machine.cycles * c.Rc_harness.Pipeline.opts.Rc_harness.Pipeline.issue in
+  Fmt.pr
+    "lost slots    %d of %d (%.1f%%): %d data, %d map, %d channel, %d branch, \
+     %d fetch@."
+    (Rc_machine.Machine.lost_slots r)
+    issue_slots
+    (100.0
+    *. float_of_int (Rc_machine.Machine.lost_slots r)
+    /. float_of_int (max 1 issue_slots))
+    r.Rc_machine.Machine.lost_data r.Rc_machine.Machine.lost_map
+    r.Rc_machine.Machine.lost_channel r.Rc_machine.Machine.lost_branch
+    r.Rc_machine.Machine.lost_fetch;
   Fmt.pr
     "code size     %d insns (%d normal, %d spill, %d save, %d xsave, %d connect)@."
     (bk.Rc_isa.Mcode.normal + bk.Rc_isa.Mcode.spill + bk.Rc_isa.Mcode.save
@@ -135,31 +159,92 @@ let print_result (c : Rc_harness.Pipeline.compiled) (r : Rc_machine.Machine.resu
   Fmt.pr "checksum      %Ld (verified against the reference interpreter)@."
     r.Rc_machine.Machine.checksum
 
+(* --- JSON output ---------------------------------------------------------- *)
+
+let config_json (o : Rc_harness.Pipeline.options) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ( "opt",
+        Str
+          (match o.Rc_harness.Pipeline.opt with
+          | Rc_opt.Pass.Classical -> "classical"
+          | Rc_opt.Pass.Ilp f -> "ilp" ^ string_of_int f) );
+      ("rc", Bool o.Rc_harness.Pipeline.rc);
+      ("core_int", Int o.Rc_harness.Pipeline.core_int);
+      ("core_float", Int o.Rc_harness.Pipeline.core_float);
+      ("total_int", Int o.Rc_harness.Pipeline.total_int);
+      ("total_float", Int o.Rc_harness.Pipeline.total_float);
+      ("model", Str (Fmt.str "%a" Rc_core.Model.pp o.Rc_harness.Pipeline.model));
+      ("combine", Bool o.Rc_harness.Pipeline.combine);
+      ("issue", Int o.Rc_harness.Pipeline.issue);
+      ("mem_channels", Int o.Rc_harness.Pipeline.mem_channels);
+      ("load_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.load);
+      ("connect_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.connect);
+      ("extra_stage", Bool o.Rc_harness.Pipeline.extra_stage);
+    ]
+
+(** One configuration's full record: config, machine counters (slot
+    attribution included), static code size, per-pass compile metrics. *)
+let config_result_json ?name ?speedup (c : Rc_harness.Pipeline.compiled)
+    (r : Rc_machine.Machine.result) =
+  let open Rc_obs.Json in
+  Obj
+    ((match name with Some n -> [ ("name", Str n) ] | None -> [])
+    @ [
+        ("config", config_json c.Rc_harness.Pipeline.opts);
+        ("machine", Rc_harness.Experiments.result_json r);
+        ( "code_size",
+          Rc_harness.Experiments.breakdown_json c.Rc_harness.Pipeline.breakdown
+        );
+        ("spills", Int c.Rc_harness.Pipeline.spills);
+        ( "passes",
+          List
+            (List.map Rc_harness.Experiments.pass_json
+               c.Rc_harness.Pipeline.passes) );
+      ]
+    @ match speedup with Some s -> [ ("speedup", Float s) ] | None -> [])
+
 let run_cmd =
   let run bench issue core_int core_float rc load connect mem_channels
-      extra_stage model scale no_unroll =
+      extra_stage model scale no_unroll json =
     let opts =
       options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
         ~extra_stage ~model ~no_unroll
     in
     let c = compile_one bench opts scale in
     let r = Rc_harness.Pipeline.simulate c in
-    Fmt.pr "== %s ==@." bench;
-    print_result c r;
+    if json then
+      Fmt.pr "%s@."
+        (Rc_obs.Json.to_string
+           (Rc_obs.Json.Obj
+              [
+                ("bench", Rc_obs.Json.Str bench);
+                ("scale", Rc_obs.Json.Int scale);
+                ("result", config_result_json c r);
+              ]))
+    else begin
+      Fmt.pr "== %s ==@." bench;
+      print_result c r
+    end;
     0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile one kernel and simulate it")
     Term.(
       const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
-      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll)
+      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
+      $ json_flag)
 
 let compare_cmd =
-  let run bench issue core_int core_float load scale jobs =
+  let run bench issue core_int core_float load scale jobs json =
     let lat = Rc_isa.Latency.v ~load () in
+    (* The base configuration shares the sweep's memory latency: with
+       --load 4 every variant, the baseline included, pays 4-cycle
+       loads, as in the paper's Figure 11. *)
     let base_opts =
       Rc_harness.Pipeline.options ~opt:Rc_opt.Pass.Classical ~issue:1
-        ~mem_channels:2 ~core_int:2048 ~core_float:2048 ()
+        ~mem_channels:2 ~core_int:2048 ~core_float:2048 ~lat ()
     in
     let configs =
       [
@@ -191,16 +276,35 @@ let compare_cmd =
       | (_, _, base) :: _ -> float_of_int base.Rc_machine.Machine.cycles
       | [] -> assert false
     in
-    Fmt.pr "== %s: base = 1-issue, unlimited registers, classical opt ==@."
-      bench;
-    List.iter
-      (fun (name, c, r) ->
-        if name <> "base" then
-          Fmt.pr "%-28s cycles %-9d speedup %.2f  connects %-7d spills %d@."
-            name r.Rc_machine.Machine.cycles
-            (base_cycles /. float_of_int r.Rc_machine.Machine.cycles)
-            r.Rc_machine.Machine.connects c.Rc_harness.Pipeline.spills)
-      results;
+    let speedup (r : Rc_machine.Machine.result) =
+      base_cycles /. float_of_int r.Rc_machine.Machine.cycles
+    in
+    if json then
+      Fmt.pr "%s@."
+        (Rc_obs.Json.to_string
+           (Rc_obs.Json.Obj
+              [
+                ("bench", Rc_obs.Json.Str bench);
+                ("scale", Rc_obs.Json.Int scale);
+                ("base_cycles", Rc_obs.Json.Float base_cycles);
+                ( "configs",
+                  Rc_obs.Json.List
+                    (List.map
+                       (fun (name, c, r) ->
+                         config_result_json ~name ~speedup:(speedup r) c r)
+                       results) );
+              ]))
+    else begin
+      Fmt.pr "== %s: base = 1-issue, unlimited registers, classical opt ==@."
+        bench;
+      List.iter
+        (fun (name, c, r) ->
+          if name <> "base" then
+            Fmt.pr "%-28s cycles %-9d speedup %.2f  connects %-7d spills %d@."
+              name r.Rc_machine.Machine.cycles (speedup r)
+              r.Rc_machine.Machine.connects c.Rc_harness.Pipeline.spills)
+        results
+    end;
     0
   in
   Cmd.v
@@ -208,7 +312,106 @@ let compare_cmd =
        ~doc:"Compare without-RC, with-RC and unlimited register files")
     Term.(
       const run $ bench_arg $ issue $ core_int $ core_float $ load_lat $ scale
-      $ jobs)
+      $ jobs $ json_flag)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_format =
+  let doc = "Trace format: $(b,jsonl) (one event per line) or $(b,chrome) \
+             (trace-event JSON loadable in Perfetto)." in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Chrome
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let cycle_window =
+  let doc =
+    "Per-cycle machine-trace window $(i,LO:HI) (cycles, half-open).  The \
+     compile-pass track is always complete; only machine cycles inside the \
+     window are recorded, so traces of billion-cycle runs stay loadable."
+  in
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when 0 <= lo && lo < hi -> Ok (lo, hi)
+        | _ -> Error (`Msg (Fmt.str "bad cycle window %S (want LO:HI)" s)))
+    | _ -> Error (`Msg (Fmt.str "bad cycle window %S (want LO:HI)" s))
+  in
+  let print ppf (lo, hi) = Fmt.pf ppf "%d:%d" lo hi in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (0, 10_000)
+    & info [ "cycles" ] ~docv:"LO:HI" ~doc)
+
+(** Record the compile passes as spans on a "compile" track (timeline
+    rebased to the first pass) and the windowed machine cycles as
+    counter samples on a "machine" track (1 cycle = 1 us of trace
+    time). *)
+let build_trace (c : Rc_harness.Pipeline.compiled) ~window:(lo, hi) =
+  let tr = Rc_obs.Trace.create () in
+  let passes = c.Rc_harness.Pipeline.passes in
+  let t0 =
+    List.fold_left
+      (fun acc (p : Rc_harness.Pipeline.pass_metric) ->
+        Float.min acc p.Rc_harness.Pipeline.p_start_s)
+      infinity passes
+  in
+  List.iter
+    (fun (p : Rc_harness.Pipeline.pass_metric) ->
+      Rc_obs.Trace.span tr ~track:"compile" ~name:p.Rc_harness.Pipeline.p_name
+        ~ts_us:((p.Rc_harness.Pipeline.p_start_s -. t0) *. 1e6)
+        ~dur_us:(p.Rc_harness.Pipeline.p_wall_s *. 1e6)
+        ~args:
+          [
+            ("size_in", Rc_obs.Json.Int p.Rc_harness.Pipeline.p_size_in);
+            ("size_out", Rc_obs.Json.Int p.Rc_harness.Pipeline.p_size_out);
+            ("spills", Rc_obs.Json.Int p.Rc_harness.Pipeline.p_spills);
+            ("connects", Rc_obs.Json.Int p.Rc_harness.Pipeline.p_connects);
+          ]
+        ())
+    passes;
+  let observer (s : Rc_machine.Machine.cycle_sample) =
+    if s.Rc_machine.Machine.s_cycle >= lo && s.Rc_machine.Machine.s_cycle < hi
+    then
+      Rc_obs.Trace.counter tr ~track:"machine" ~name:"slots"
+        ~ts_us:(float_of_int s.Rc_machine.Machine.s_cycle)
+        [
+          ("issued", float_of_int s.Rc_machine.Machine.s_issued);
+          ("lost_data", float_of_int s.Rc_machine.Machine.s_lost_data);
+          ("lost_map", float_of_int s.Rc_machine.Machine.s_lost_map);
+          ("lost_channel", float_of_int s.Rc_machine.Machine.s_lost_channel);
+          ("lost_branch", float_of_int s.Rc_machine.Machine.s_lost_branch);
+          ("lost_fetch", float_of_int s.Rc_machine.Machine.s_lost_fetch);
+        ]
+  in
+  let r = Rc_harness.Pipeline.simulate ~observer c in
+  (tr, r)
+
+let trace_cmd =
+  let run bench issue core_int core_float rc load connect mem_channels
+      extra_stage model scale no_unroll format window =
+    let opts =
+      options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
+        ~extra_stage ~model ~no_unroll
+    in
+    let c = compile_one bench opts scale in
+    let tr, _ = build_trace c ~window in
+    (match format with
+    | `Chrome -> print_string (Rc_obs.Trace.chrome_string tr)
+    | `Jsonl -> print_string (Rc_obs.Trace.to_jsonl tr));
+    print_newline ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Structured trace: compile-pass spans plus a windowed per-cycle \
+          machine track (JSONL or Chrome trace-event JSON)")
+    Term.(
+      const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
+      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
+      $ trace_format $ cycle_window)
 
 let dump_cmd =
   let run bench issue core_int core_float rc model scale =
@@ -228,6 +431,6 @@ let dump_cmd =
 let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
   Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; compare_cmd; dump_cmd ]
+    [ list_cmd; run_cmd; compare_cmd; trace_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

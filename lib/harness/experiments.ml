@@ -16,18 +16,24 @@ open Rc_workloads
 
 (* --- memoising context ------------------------------------------------- *)
 
+(** Everything the harness keeps about one simulated cell: the machine
+    result (with its slot-level stall attribution) plus the compile-side
+    telemetry. *)
+type cell = {
+  c_result : Rc_machine.Machine.result;
+  c_breakdown : Rc_isa.Mcode.size_breakdown;
+  c_spills : int;
+  c_passes : Pipeline.pass_metric list;
+}
+
 type ctx = {
   scale : int;
   pool : Rc_par.Pool.t;
   (* Domain-safe single-flight memo tables: any worker may ask for any
      cell, but each program is compiled and each configuration simulated
      exactly once. *)
-  prepared :
-    (string * string, Rc_ir.Prog.t * Rc_interp.Interp.outcome) Rc_par.Memo.t;
-  runs :
-    ( string,
-      Rc_machine.Machine.result * Rc_isa.Mcode.size_breakdown * int )
-    Rc_par.Memo.t;
+  prepared : (string * string, Pipeline.prepared) Rc_par.Memo.t;
+  runs : (string, cell) Rc_par.Memo.t;
   base_cycles : (string, float) Rc_par.Memo.t;
 }
 
@@ -61,15 +67,26 @@ let opts_key (o : Pipeline.options) =
     o.Pipeline.lat.Rc_isa.Latency.connect o.Pipeline.extra_stage
 
 (** Compile and simulate one benchmark under one configuration
-    (memoised). *)
-let run ctx (b : Wutil.bench) (opts : Pipeline.options) =
+    (memoised), returning the full telemetry cell. *)
+let run_cell ctx (b : Wutil.bench) (opts : Pipeline.options) =
   let key = b.Wutil.name ^ "#" ^ opts_key opts in
   Rc_par.Memo.find_or_compute ctx.runs key (fun () ->
       let c =
         Pipeline.compile_prepared opts (prepared ctx b opts.Pipeline.opt)
       in
       let r = Pipeline.simulate c in
-      (r, c.Pipeline.breakdown, c.Pipeline.spills))
+      {
+        c_result = r;
+        c_breakdown = c.Pipeline.breakdown;
+        c_spills = c.Pipeline.spills;
+        c_passes = c.Pipeline.passes;
+      })
+
+(** Compile and simulate one benchmark under one configuration
+    (memoised). *)
+let run ctx b opts =
+  let c = run_cell ctx b opts in
+  (c.c_result, c.c_breakdown, c.c_spills)
 
 let unlimited = 2048
 
@@ -558,6 +575,100 @@ let ablation_unroll ctx =
          conclusion predicts the rc/no gap at 32 registers to widen as \
          compilers parallelize more aggressively.";
     }
+
+(* --- telemetry collection ------------------------------------------------ *)
+
+(** Every cell simulated so far, merged deterministically: the memo
+    snapshot is sorted by cell key, so the view is identical for every
+    [--jobs] count (each cell is a memoised pure computation; only the
+    wall-clock fields vary run to run). *)
+let cells ctx =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Rc_par.Memo.bindings ctx.runs)
+
+let pool_stats ctx = Rc_par.Pool.stats ctx.pool
+
+let result_json (r : Rc_machine.Machine.result) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("cycles", Int r.Rc_machine.Machine.cycles);
+      ("issued", Int r.Rc_machine.Machine.issued);
+      ("connects", Int r.Rc_machine.Machine.connects);
+      ("extra_connects", Int r.Rc_machine.Machine.extra_connects);
+      ("mem_ops", Int r.Rc_machine.Machine.mem_ops);
+      ("branches", Int r.Rc_machine.Machine.branches);
+      ("mispredicts", Int r.Rc_machine.Machine.mispredicts);
+      ("data_stalls", Int r.Rc_machine.Machine.data_stalls);
+      ("map_stalls", Int r.Rc_machine.Machine.map_stalls);
+      ("channel_stalls", Int r.Rc_machine.Machine.channel_stalls);
+      ("lost_data", Int r.Rc_machine.Machine.lost_data);
+      ("lost_map", Int r.Rc_machine.Machine.lost_map);
+      ("lost_channel", Int r.Rc_machine.Machine.lost_channel);
+      ("lost_branch", Int r.Rc_machine.Machine.lost_branch);
+      ("lost_fetch", Int r.Rc_machine.Machine.lost_fetch);
+      ("checksum", Str (Int64.to_string r.Rc_machine.Machine.checksum));
+    ]
+
+let pass_json (p : Pipeline.pass_metric) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("pass", Str p.Pipeline.p_name);
+      ("wall_s", Float p.Pipeline.p_wall_s);
+      ("size_in", Int p.Pipeline.p_size_in);
+      ("size_out", Int p.Pipeline.p_size_out);
+      ("spills", Int p.Pipeline.p_spills);
+      ("connects", Int p.Pipeline.p_connects);
+    ]
+
+let breakdown_json (bk : Rc_isa.Mcode.size_breakdown) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("normal", Int bk.Rc_isa.Mcode.normal);
+      ("spill", Int bk.Rc_isa.Mcode.spill);
+      ("save", Int bk.Rc_isa.Mcode.save);
+      ("xsave", Int bk.Rc_isa.Mcode.xsave);
+      ("connects", Int bk.Rc_isa.Mcode.connects);
+    ]
+
+let cell_json (key, c) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("key", Str key);
+      ("machine", result_json c.c_result);
+      ("code_size", breakdown_json c.c_breakdown);
+      ("spills", Int c.c_spills);
+      ("passes", List (List.map pass_json c.c_passes));
+    ]
+
+(** Machine-readable dump of everything the context measured: one
+    object per simulated cell (stall attribution, code size, per-pass
+    compile metrics) plus the pool's per-domain telemetry. *)
+let metrics_json ctx =
+  let open Rc_obs.Json in
+  let pool =
+    List.map
+      (fun (d : Rc_par.Pool.domain_stats) ->
+        Obj
+          [
+            ("domain", Int d.Rc_par.Pool.d_slot);
+            ("tasks", Int d.Rc_par.Pool.d_tasks);
+            ("busy_s", Float d.Rc_par.Pool.d_busy_s);
+            ("wait_s", Float d.Rc_par.Pool.d_wait_s);
+          ])
+      (pool_stats ctx)
+  in
+  Obj
+    [
+      ("scale", Int ctx.scale);
+      ("jobs", Int (Rc_par.Pool.jobs ctx.pool));
+      ("cells", List (List.map cell_json (cells ctx)));
+      ("pool", List pool);
+    ]
 
 (* --- registry ------------------------------------------------------------ *)
 

@@ -26,6 +26,20 @@ val jobs : ctx -> int
     afterwards. *)
 val shutdown : ctx -> unit
 
+(** Everything the harness keeps about one simulated cell: the machine
+    result (with its slot-level stall attribution) plus the compile-side
+    telemetry. *)
+type cell = {
+  c_result : Rc_machine.Machine.result;
+  c_breakdown : Rc_isa.Mcode.size_breakdown;
+  c_spills : int;
+  c_passes : Pipeline.pass_metric list;
+}
+
+(** Compile and simulate one benchmark under one configuration
+    (memoised), returning the full telemetry cell. *)
+val run_cell : ctx -> Wutil.bench -> Pipeline.options -> cell
+
 (** Compile and simulate one benchmark under one configuration
     (memoised).  Returns the machine result, the static code-size
     breakdown and the spilled-register count. *)
@@ -34,6 +48,28 @@ val run :
   Wutil.bench ->
   Pipeline.options ->
   Rc_machine.Machine.result * Rc_isa.Mcode.size_breakdown * int
+
+(** Every cell simulated so far, sorted by cell key — a deterministic
+    merge of the per-domain work regardless of the jobs count (only the
+    wall-clock fields vary run to run). *)
+val cells : ctx -> (string * cell) list
+
+(** Per-domain telemetry of the context's pool. *)
+val pool_stats : ctx -> Rc_par.Pool.domain_stats list
+
+(** Machine-readable dump of everything the context measured: one
+    object per simulated cell (stall attribution, code size, per-pass
+    compile metrics) plus the pool's per-domain telemetry. *)
+val metrics_json : ctx -> Rc_obs.Json.t
+
+(** The machine counters of one result as a stable-keyed JSON object. *)
+val result_json : Rc_machine.Machine.result -> Rc_obs.Json.t
+
+(** One pipeline stage's metrics as a stable-keyed JSON object. *)
+val pass_json : Pipeline.pass_metric -> Rc_obs.Json.t
+
+(** A static code-size breakdown as a stable-keyed JSON object. *)
+val breakdown_json : Rc_isa.Mcode.size_breakdown -> Rc_obs.Json.t
 
 (** Stand-in core size for "unlimited registers". *)
 val unlimited : int

@@ -7,7 +7,12 @@
        --list scheduling--> machine code (physical form, packed)
        --connect insertion (RC only)--> architectural form
        --assembly--> image --simulation--> cycles
-    v} *)
+    v}
+
+    Every stage is timed and its representation-size delta recorded
+    (see {!pass_metric}); the per-pass metrics ride along in
+    {!compiled} so regressions in any stage are visible without
+    re-instrumenting callers. *)
 
 open Rc_isa
 open Rc_ir
@@ -65,6 +70,46 @@ let files opts =
       Reg.file ~core:opts.core_float ~total:opts.total_float )
   else (Reg.core_only opts.core_int, Reg.core_only opts.core_float)
 
+(* --- per-pass metrics ---------------------------------------------------- *)
+
+type pass_metric = {
+  p_name : string;
+      (** "classical-opt" / "ilp-opt", "legalize", "profile", "regalloc",
+          "lower", "schedule", "rc-lower", "assemble" *)
+  p_start_s : float;  (** epoch seconds when the stage started *)
+  p_wall_s : float;  (** wall time of the stage *)
+  p_size_in : int;  (** representation size (ops / instructions) before *)
+  p_size_out : int;  (** representation size after *)
+  p_spills : int;  (** spilled vregs ("regalloc" only, else 0) *)
+  p_connects : int;  (** connects inserted ("rc-lower" only, else 0) *)
+}
+
+(** Runs one stage, timing it and recording the size transition
+    [size_in -> size f's result].  [size] is evaluated after [f]. *)
+let staged acc ~name ~size_in ?(spills = fun _ -> 0)
+    ?(connects = fun _ -> 0) ~size f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let t1 = Unix.gettimeofday () in
+  acc :=
+    {
+      p_name = name;
+      p_start_s = t0;
+      p_wall_s = t1 -. t0;
+      p_size_in = size_in;
+      p_size_out = size v;
+      p_spills = spills v;
+      p_connects = connects v;
+    }
+    :: !acc;
+  v
+
+type prepared = {
+  prog : Prog.t;
+  outcome : Rc_interp.Interp.outcome;  (** reference run of the optimised IR *)
+  prep_passes : pass_metric list;  (** opt, legalize, profile *)
+}
+
 type compiled = {
   opts : options;
   mcode : Mcode.t;
@@ -73,46 +118,87 @@ type compiled = {
   spills : int;
   connects_inserted : int;
   expected : Rc_interp.Interp.outcome;  (** reference run of the optimised IR *)
+  passes : pass_metric list;
+      (** every stage in pipeline order, preparation included *)
 }
 
 (** Optimise, legalise and profile a freshly built program.  The result
     can be shared by every register configuration at the same
     optimisation level. *)
 let prepare ~opt (prog : Prog.t) =
-  Rc_opt.Pass.apply opt prog;
-  Rc_codegen.Legalize.run prog;
-  let outcome = Rc_interp.Interp.run prog in
-  (prog, outcome)
+  let acc = ref [] in
+  let opt_name =
+    match opt with
+    | Rc_opt.Pass.Classical -> "classical-opt"
+    | Rc_opt.Pass.Ilp _ -> "ilp-opt"
+  in
+  let size0 = Prog.op_count prog in
+  staged acc ~name:opt_name ~size_in:size0
+    ~size:(fun () -> Prog.op_count prog)
+    (fun () -> Rc_opt.Pass.apply opt prog);
+  let size1 = Prog.op_count prog in
+  staged acc ~name:"legalize" ~size_in:size1
+    ~size:(fun () -> Prog.op_count prog)
+    (fun () -> Rc_codegen.Legalize.run prog);
+  let size2 = Prog.op_count prog in
+  let outcome =
+    staged acc ~name:"profile" ~size_in:size2
+      ~size:(fun _ -> size2)
+      (fun () -> Rc_interp.Interp.run prog)
+  in
+  { prog; outcome; prep_passes = List.rev !acc }
 
 (** Compile a prepared program under [opts]. *)
-let compile_prepared opts ((prog : Prog.t), (expected : Rc_interp.Interp.outcome)) =
+let compile_prepared opts { prog; outcome = expected; prep_passes } =
+  let acc = ref [] in
   let ifile, ffile = files opts in
+  let ir_size = Prog.op_count prog in
   let alloc =
     (* A compiler targeting 1-cycle connects avoids leaning on the
        extended section for short-lived values: without zero-cycle
        forwarding every adjacent connect/consumer pair would split
        across cycles. *)
-    Rc_regalloc.Alloc.run
-      ~aggressive_extended:(opts.lat.Latency.connect = 0)
-      ~ifile ~ffile prog expected.Rc_interp.Interp.profile
+    staged acc ~name:"regalloc" ~size_in:ir_size
+      ~size:(fun _ -> ir_size)
+      ~spills:Rc_regalloc.Alloc.total_spills
+      (fun () ->
+        Rc_regalloc.Alloc.run
+          ~aggressive_extended:(opts.lat.Latency.connect = 0)
+          ~ifile ~ffile prog expected.Rc_interp.Interp.profile)
   in
-  let mcode = Rc_codegen.Lower.run prog alloc expected.Rc_interp.Interp.profile in
-  let sched_cfg =
-    Rc_sched.List_sched.config ~width:opts.issue ~mem_channels:opts.mem_channels
-      ~lat:opts.lat ()
+  let mcode =
+    staged acc ~name:"lower" ~size_in:ir_size ~size:Mcode.insn_count
+      (fun () ->
+        Rc_codegen.Lower.run prog alloc expected.Rc_interp.Interp.profile)
   in
-  Rc_sched.List_sched.run sched_cfg mcode;
+  let mc_size = Mcode.insn_count mcode in
+  staged acc ~name:"schedule" ~size_in:mc_size
+    ~size:(fun () -> Mcode.insn_count mcode)
+    (fun () ->
+      let sched_cfg =
+        Rc_sched.List_sched.config ~width:opts.issue
+          ~mem_channels:opts.mem_channels ~lat:opts.lat ()
+      in
+      Rc_sched.List_sched.run sched_cfg mcode);
   let connects_inserted =
-    if opts.rc then
-      Rc_codegen.Rc_lower.run
-        (Rc_codegen.Rc_lower.config ~model:opts.model ~combine:opts.combine
-           ~ifile ~ffile ())
-        mcode
-    else 0
+    staged acc ~name:"rc-lower" ~size_in:(Mcode.insn_count mcode)
+      ~size:(fun _ -> Mcode.insn_count mcode)
+      ~connects:(fun n -> n)
+      (fun () ->
+        if opts.rc then
+          Rc_codegen.Rc_lower.run
+            (Rc_codegen.Rc_lower.config ~model:opts.model ~combine:opts.combine
+               ~ifile ~ffile ())
+            mcode
+        else 0)
   in
   if not (Rc_codegen.Rc_lower.check_arch_form ~ifile ~ffile mcode) then
     invalid_arg "Pipeline: generated code is not in architectural form";
-  let image = Image.assemble mcode in
+  let image =
+    staged acc ~name:"assemble" ~size_in:(Mcode.insn_count mcode)
+      ~size:(fun (i : Image.t) -> Array.length i.Image.code)
+      (fun () -> Image.assemble mcode)
+  in
   {
     opts;
     mcode;
@@ -121,6 +207,7 @@ let compile_prepared opts ((prog : Prog.t), (expected : Rc_interp.Interp.outcome
     spills = Rc_regalloc.Alloc.total_spills alloc;
     connects_inserted;
     expected;
+    passes = prep_passes @ List.rev !acc;
   }
 
 let compile opts (prog : Prog.t) =
@@ -128,7 +215,7 @@ let compile opts (prog : Prog.t) =
 
 (** Simulate compiled code, checking the output stream against the
     reference interpreter run. *)
-let simulate ?(verify = true) (c : compiled) =
+let simulate ?(verify = true) ?observer (c : compiled) =
   let ifile, ffile = files c.opts in
   let mcfg =
     Rc_machine.Config.v ~issue:c.opts.issue ~mem_channels:c.opts.mem_channels
@@ -136,7 +223,11 @@ let simulate ?(verify = true) (c : compiled) =
       ?connect_dispatch:c.opts.connect_dispatch
       ~extra_stage:c.opts.extra_stage ()
   in
-  let r = Rc_machine.Machine.run mcfg c.image in
+  let m = Rc_machine.Machine.create mcfg c.image in
+  (match observer with
+  | None -> ()
+  | Some _ -> Rc_machine.Machine.set_observer m observer);
+  let r = Rc_machine.Machine.run_machine m in
   if verify && r.Rc_machine.Machine.output <> c.expected.Rc_interp.Interp.output then
     invalid_arg "Pipeline.simulate: simulated output differs from reference";
   r

@@ -52,6 +52,27 @@ val options :
     RC). *)
 val files : options -> Reg.file * Reg.file
 
+(** Telemetry for one pipeline stage: wall time, representation-size
+    delta, and the stage-specific counters (spills for "regalloc",
+    connects inserted for "rc-lower"). *)
+type pass_metric = {
+  p_name : string;
+      (** "classical-opt" / "ilp-opt", "legalize", "profile", "regalloc",
+          "lower", "schedule", "rc-lower", "assemble" *)
+  p_start_s : float;  (** epoch seconds when the stage started *)
+  p_wall_s : float;  (** wall time of the stage *)
+  p_size_in : int;  (** representation size (ops / instructions) before *)
+  p_size_out : int;  (** representation size after *)
+  p_spills : int;  (** spilled vregs ("regalloc" only, else 0) *)
+  p_connects : int;  (** connects inserted ("rc-lower" only, else 0) *)
+}
+
+type prepared = {
+  prog : Rc_ir.Prog.t;
+  outcome : Rc_interp.Interp.outcome;  (** reference run of the optimised IR *)
+  prep_passes : pass_metric list;  (** opt, legalize, profile *)
+}
+
 type compiled = {
   opts : options;
   mcode : Mcode.t;
@@ -61,28 +82,32 @@ type compiled = {
   connects_inserted : int;
   expected : Rc_interp.Interp.outcome;
       (** reference run of the optimised IR *)
+  passes : pass_metric list;
+      (** every stage in pipeline order, preparation included *)
 }
 
 (** Optimise, legalise and profile a freshly built program.  The result
     can be shared by every register configuration at the same
     optimisation level. *)
-val prepare :
-  opt:Rc_opt.Pass.level ->
-  Rc_ir.Prog.t ->
-  Rc_ir.Prog.t * Rc_interp.Interp.outcome
+val prepare : opt:Rc_opt.Pass.level -> Rc_ir.Prog.t -> prepared
 
 (** Compile a prepared program under [opts].
     @raise Invalid_argument if the generated code fails the
     architectural-form check. *)
-val compile_prepared :
-  options -> Rc_ir.Prog.t * Rc_interp.Interp.outcome -> compiled
+val compile_prepared : options -> prepared -> compiled
 
 val compile : options -> Rc_ir.Prog.t -> compiled
 
 (** Simulate compiled code; when [verify] (default), check the output
-    stream against the reference interpreter run.
+    stream against the reference interpreter run.  [observer] is
+    attached to the machine for per-cycle telemetry (see
+    {!Rc_machine.Machine.cycle_sample}).
     @raise Invalid_argument on a verification mismatch. *)
-val simulate : ?verify:bool -> compiled -> Rc_machine.Machine.result
+val simulate :
+  ?verify:bool ->
+  ?observer:(Rc_machine.Machine.cycle_sample -> unit) ->
+  compiled ->
+  Rc_machine.Machine.result
 
 (** [compile] followed by [simulate]. *)
 val run : options -> Rc_ir.Prog.t -> Rc_machine.Machine.result

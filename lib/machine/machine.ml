@@ -32,12 +32,40 @@ type stats = {
   mutable cycles : int;
   mutable issued : int;  (** dynamic instructions, connects included *)
   mutable connects : int;
+  mutable extra_connects : int;
+      (** connects dispatched through the extra connect budget — they do
+          not consume regular issue slots (section 2.4) *)
   mutable mem_ops : int;
   mutable branches : int;
   mutable mispredicts : int;
   mutable data_stalls : int;  (** group-ending operand-not-ready events *)
   mutable map_stalls : int;  (** 1-cycle-connect same-group conflicts *)
   mutable channel_stalls : int;
+  (* Slot-level stall attribution: every issue slot a cycle leaves
+     unused is charged to exactly one reason, maintaining
+     [cycles * issue = (issued - extra_connects) + sum of lost_*]. *)
+  mutable lost_data : int;  (** operand interlock *)
+  mutable lost_map : int;  (** mapping-table conflict / connect budget *)
+  mutable lost_channel : int;  (** memory channel busy *)
+  mutable lost_branch : int;  (** control redirect (mispredict, trap, rfe) *)
+  mutable lost_fetch : int;  (** fetch exhausted (halt) *)
+}
+
+(** Per-cycle observation delivered to an attached observer: the slots
+    issued and lost during one {!run_cycle} (a mispredicted branch's
+    redirect bubbles are folded into the sample of the cycle that issued
+    it). *)
+type cycle_sample = {
+  s_cycle : int;  (** index of the first cycle covered by the sample *)
+  s_cycles : int;  (** cycles covered: 1 + any redirect bubbles *)
+  s_pc : int;  (** pc at the start of the cycle *)
+  s_issued : int;  (** instructions issued, connects included *)
+  s_connects : int;
+  s_lost_data : int;
+  s_lost_map : int;
+  s_lost_channel : int;
+  s_lost_branch : int;
+  s_lost_fetch : int;
 }
 
 type t = {
@@ -61,6 +89,9 @@ type t = {
   mutable epc : int;
   mutable saved_psw : Psw.t option;
   mutable pending_interrupt : bool;
+  mutable observer : (cycle_sample -> unit) option;
+      (** when set, called once per {!run_cycle} with that cycle's slot
+          accounting; [None] costs one untaken branch per cycle *)
 }
 
 let create (cfg : Config.t) (image : Image.t) =
@@ -87,16 +118,23 @@ let create (cfg : Config.t) (image : Image.t) =
           cycles = 0;
           issued = 0;
           connects = 0;
+          extra_connects = 0;
           mem_ops = 0;
           branches = 0;
           mispredicts = 0;
           data_stalls = 0;
           map_stalls = 0;
           channel_stalls = 0;
+          lost_data = 0;
+          lost_map = 0;
+          lost_channel = 0;
+          lost_branch = 0;
+          lost_fetch = 0;
         };
       epc = 0;
       saved_psw = None;
       pending_interrupt = false;
+      observer = None;
     }
   in
   t.iregs.(Reg.sp) <- Int64.of_int image.Image.stack_top;
@@ -189,9 +227,15 @@ let enter_trap t ~return_to =
 (** Request an external interrupt; taken at the next cycle boundary. *)
 let inject_interrupt t = t.pending_interrupt <- true
 
+(** Attach (or clear) the per-cycle observer. *)
+let set_observer t obs = t.observer <- obs
+
 (* --- one cycle ----------------------------------------------------------- *)
 
-type issue_blocker = Data | Map | Channel
+(** Why an issue group ended with slots to spare: the three structural
+    blockers plus the two control reasons used only for slot
+    attribution. *)
+type issue_blocker = Data | Map | Channel | Redirect | Fetch
 
 exception Group_end of issue_blocker option
 
@@ -226,7 +270,7 @@ let set_float t ~map_on (d : Dins.t) dp v done_at =
   set_f t dp v done_at;
   if map_on then note_write t d.Dins.dc d.Dins.d
 
-let run_cycle t =
+let run_cycle_raw t =
   let cycle = t.stats.cycles in
   if t.pending_interrupt then begin
     t.pending_interrupt <- false;
@@ -249,6 +293,11 @@ let run_cycle t =
   let code_len = Array.length t.pre in
   let next_pc = ref 0 in
   let end_group = ref false in
+  (* Why the group ended when [end_group] is set by an execute arm, and
+     why it ended when a blocker raised — the unused slots of this cycle
+     are charged to this reason. *)
+  let end_cause = ref None in
+  let blocked = ref None in
   (try
      while (!slots > 0 || !connect_slots > 0) && not t.halted do
        if t.pc < 0 || t.pc >= code_len then fail "pc %d out of code" t.pc;
@@ -283,7 +332,10 @@ let run_cycle t =
        in
        if not ok then raise (Group_end (Some Data));
        (* --- issue --- *)
-       if d.Dins.is_connect && not shared_connects then decr connect_slots
+       if d.Dins.is_connect && not shared_connects then begin
+         decr connect_slots;
+         t.stats.extra_connects <- t.stats.extra_connects + 1
+       end
        else decr slots;
        t.stats.issued <- t.stats.issued + 1;
        if d.Dins.is_mem then begin
@@ -343,9 +395,14 @@ let run_cycle t =
            if taken then next_pc := d.Dins.target;
            if taken <> d.Dins.hint then begin
              t.stats.mispredicts <- t.stats.mispredicts + 1;
-             t.stats.cycles <-
-               t.stats.cycles + Config.mispredict_penalty t.cfg;
-             end_group := true
+             let penalty = Config.mispredict_penalty t.cfg in
+             t.stats.cycles <- t.stats.cycles + penalty;
+             (* the redirect bubbles issue nothing: every slot of the
+                penalty cycles is lost to the branch *)
+             t.stats.lost_branch <-
+               t.stats.lost_branch + (penalty * t.cfg.Config.issue);
+             end_group := true;
+             end_cause := Some Redirect
            end
        | Opcode.Jmp ->
            t.stats.branches <- t.stats.branches + 1;
@@ -382,7 +439,8 @@ let run_cycle t =
        | Opcode.Trap ->
            enter_trap t ~return_to:(t.pc + 1);
            next_pc := t.pc;
-           end_group := true
+           end_group := true;
+           end_cause := Some Redirect
        | Opcode.Rfe ->
            (match t.saved_psw with
            | Some saved ->
@@ -390,7 +448,8 @@ let run_cycle t =
                t.saved_psw <- None
            | None -> fail "rfe without saved PSW");
            next_pc := t.epc;
-           end_group := true
+           end_group := true;
+           end_cause := Some Redirect
        | Opcode.Mapen ->
            t.psw.Psw.map_enable <- not (Int64.equal d.Dins.imm 0L)
        (* Privileged map access (section 4.3): reads and writes the
@@ -414,34 +473,94 @@ let run_cycle t =
            | Opcode.Write -> Map_table.connect_def t.imap ~ri:idx ~rp:v)
        | Opcode.Halt ->
            t.halted <- true;
-           end_group := true
+           end_group := true;
+           end_cause := Some Fetch
        | Opcode.Nop -> ());
        (match d.Dins.op with
        | Opcode.Trap -> () (* pc already set by enter_trap *)
        | _ -> t.pc <- !next_pc);
-       if !end_group then raise (Group_end None)
+       if !end_group then raise (Group_end !end_cause)
      done
    with Group_end reason ->
+     blocked := reason;
      (match reason with
      | Some Data -> t.stats.data_stalls <- t.stats.data_stalls + 1
      | Some Map -> t.stats.map_stalls <- t.stats.map_stalls + 1
      | Some Channel -> t.stats.channel_stalls <- t.stats.channel_stalls + 1
-     | None -> ()));
+     | Some Redirect | Some Fetch | None -> ()));
+  (* Charge the issue slots this cycle left unused to the reason the
+     group ended.  A natural exit (slots exhausted) leaves zero; an
+     already-halted machine charges the whole cycle to fetch. *)
+  let lost = !slots in
+  if lost > 0 then begin
+    let s = t.stats in
+    match !blocked with
+    | Some Data -> s.lost_data <- s.lost_data + lost
+    | Some Map -> s.lost_map <- s.lost_map + lost
+    | Some Channel -> s.lost_channel <- s.lost_channel + lost
+    | Some Redirect -> s.lost_branch <- s.lost_branch + lost
+    | Some Fetch | None -> s.lost_fetch <- s.lost_fetch + lost
+  end;
   t.stats.cycles <- t.stats.cycles + 1
+
+let run_cycle t =
+  match t.observer with
+  | None -> run_cycle_raw t
+  | Some f ->
+      let s = t.stats in
+      let cycle0 = s.cycles
+      and pc0 = t.pc
+      and issued0 = s.issued
+      and connects0 = s.connects
+      and ld0 = s.lost_data
+      and lm0 = s.lost_map
+      and lc0 = s.lost_channel
+      and lb0 = s.lost_branch
+      and lf0 = s.lost_fetch in
+      run_cycle_raw t;
+      f
+        {
+          s_cycle = cycle0;
+          s_cycles = s.cycles - cycle0;
+          s_pc = pc0;
+          s_issued = s.issued - issued0;
+          s_connects = s.connects - connects0;
+          s_lost_data = s.lost_data - ld0;
+          s_lost_map = s.lost_map - lm0;
+          s_lost_channel = s.lost_channel - lc0;
+          s_lost_branch = s.lost_branch - lb0;
+          s_lost_fetch = s.lost_fetch - lf0;
+        }
 
 type result = {
   cycles : int;
   issued : int;
   connects : int;
+  extra_connects : int;
   mem_ops : int;
   branches : int;
   mispredicts : int;
   data_stalls : int;
   map_stalls : int;
   channel_stalls : int;
+  lost_data : int;
+  lost_map : int;
+  lost_channel : int;
+  lost_branch : int;
+  lost_fetch : int;
   output : int64 list;
   checksum : int64;
 }
+
+let lost_slots r =
+  r.lost_data + r.lost_map + r.lost_channel + r.lost_branch + r.lost_fetch
+
+(** The accounting identity the attribution maintains:
+    [cycles * issue = slot-consuming issues + every lost slot].
+    Connects dispatched through the extra budget do not consume issue
+    slots and are excluded from the left-hand total. *)
+let slot_invariant_holds ~issue r =
+  (r.cycles * issue) = r.issued - r.extra_connects + lost_slots r
 
 let checksum_of_output output =
   List.fold_left
@@ -454,12 +573,18 @@ let finish t =
     cycles = t.stats.cycles;
     issued = t.stats.issued;
     connects = t.stats.connects;
+    extra_connects = t.stats.extra_connects;
     mem_ops = t.stats.mem_ops;
     branches = t.stats.branches;
     mispredicts = t.stats.mispredicts;
     data_stalls = t.stats.data_stalls;
     map_stalls = t.stats.map_stalls;
     channel_stalls = t.stats.channel_stalls;
+    lost_data = t.stats.lost_data;
+    lost_map = t.stats.lost_map;
+    lost_channel = t.stats.lost_channel;
+    lost_branch = t.stats.lost_branch;
+    lost_fetch = t.stats.lost_fetch;
     output;
     checksum = checksum_of_output output;
   }

@@ -29,12 +29,40 @@ type stats = {
   mutable cycles : int;
   mutable issued : int;  (** dynamic instructions, connects included *)
   mutable connects : int;
+  mutable extra_connects : int;
+      (** connects dispatched through the extra connect budget — they do
+          not consume regular issue slots (section 2.4) *)
   mutable mem_ops : int;
   mutable branches : int;
   mutable mispredicts : int;
   mutable data_stalls : int;  (** group-ending operand-not-ready events *)
   mutable map_stalls : int;  (** 1-cycle-connect same-group conflicts *)
   mutable channel_stalls : int;
+  mutable lost_data : int;  (** slots lost to operand interlock *)
+  mutable lost_map : int;
+      (** slots lost to mapping-table conflicts / connect budget *)
+  mutable lost_channel : int;  (** slots lost to busy memory channels *)
+  mutable lost_branch : int;
+      (** slots lost to control redirects (mispredict, trap, rfe),
+          redirect bubbles included *)
+  mutable lost_fetch : int;  (** slots lost to fetch exhaustion (halt) *)
+}
+
+(** Per-cycle observation delivered to an attached observer: the slots
+    issued and lost during one {!run_cycle} (a mispredicted branch's
+    redirect bubbles are folded into the sample of the cycle that
+    issued it, so [s_cycles > 1] there). *)
+type cycle_sample = {
+  s_cycle : int;  (** index of the first cycle covered by the sample *)
+  s_cycles : int;  (** cycles covered: 1 + any redirect bubbles *)
+  s_pc : int;  (** pc at the start of the cycle *)
+  s_issued : int;  (** instructions issued, connects included *)
+  s_connects : int;
+  s_lost_data : int;
+  s_lost_map : int;
+  s_lost_channel : int;
+  s_lost_branch : int;
+  s_lost_fetch : int;
 }
 
 type t = {
@@ -59,6 +87,10 @@ type t = {
   mutable epc : int;
   mutable saved_psw : Rc_core.Psw.t option;
   mutable pending_interrupt : bool;
+  mutable observer : (cycle_sample -> unit) option;
+      (** when set, called once per {!run_cycle} with that cycle's slot
+          accounting; [None] (the default) costs one untaken branch per
+          cycle *)
 }
 
 (** A fresh machine with data initialised, SP at the stack top and PC at
@@ -72,6 +104,9 @@ val context_view : t -> Rc_core.Context.machine_view
 (** Request an external interrupt; taken at the next cycle boundary. *)
 val inject_interrupt : t -> unit
 
+(** Attach (or clear) the per-cycle observer. *)
+val set_observer : t -> (cycle_sample -> unit) option -> unit
+
 (** Simulate one cycle (issue one in-order group). *)
 val run_cycle : t -> unit
 
@@ -79,15 +114,30 @@ type result = {
   cycles : int;
   issued : int;
   connects : int;
+  extra_connects : int;
   mem_ops : int;
   branches : int;
   mispredicts : int;
   data_stalls : int;
   map_stalls : int;
   channel_stalls : int;
+  lost_data : int;
+  lost_map : int;
+  lost_channel : int;
+  lost_branch : int;
+  lost_fetch : int;
   output : int64 list;
   checksum : int64;
 }
+
+(** Sum of the five slot-attribution counters. *)
+val lost_slots : result -> int
+
+(** The accounting identity the attribution maintains on every
+    configuration: [cycles * issue = (issued - extra_connects) +
+    lost_slots].  Connects dispatched through the extra budget do not
+    consume issue slots and are excluded. *)
+val slot_invariant_holds : issue:int -> result -> bool
 
 (** Same fold as {!Rc_interp.Interp.checksum_of_output}. *)
 val checksum_of_output : int64 list -> int64

@@ -1,0 +1,29 @@
+(** A minimal JSON tree: just enough for the telemetry sinks (emission
+    with correct string escaping and finite-number handling) and for
+    the smoke validators (a strict parser).  No external dependency —
+    the toolchain image has no yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering.  Non-finite floats become [null]
+    — JSON has no NaN/infinity literals. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Strict parser: the whole input must be one JSON value (trailing
+    whitespace allowed).  Numbers without [.], [e] or [E] parse as
+    [Int]; everything else as [Float].  Returns a message with an
+    offset on malformed input. *)
+val of_string : string -> (t, string) result
+
+(** [member k j] is the value of field [k] when [j] is an object that
+    has it. *)
+val member : string -> t -> t option

@@ -1,0 +1,179 @@
+(** Telemetry event recorder and structured sinks (see the interface
+    for the model). *)
+
+type event =
+  | Span of {
+      track : string;
+      name : string;
+      ts_us : float;
+      dur_us : float;
+      args : (string * Json.t) list;
+    }
+  | Counter of {
+      track : string;
+      name : string;
+      ts_us : float;
+      values : (string * float) list;
+    }
+  | Instant of {
+      track : string;
+      name : string;
+      ts_us : float;
+      args : (string * Json.t) list;
+    }
+
+type t = { enabled : bool; mutable rev : event list }
+
+let null = { enabled = false; rev = [] }
+let create () = { enabled = true; rev = [] }
+let enabled t = t.enabled
+
+let span t ~track ~name ~ts_us ~dur_us ?(args = []) () =
+  if t.enabled then t.rev <- Span { track; name; ts_us; dur_us; args } :: t.rev
+
+let counter t ~track ~name ~ts_us values =
+  if t.enabled then t.rev <- Counter { track; name; ts_us; values } :: t.rev
+
+let instant t ~track ~name ~ts_us ?(args = []) () =
+  if t.enabled then t.rev <- Instant { track; name; ts_us; args } :: t.rev
+
+let events t = List.rev t.rev
+
+(* --- JSONL --------------------------------------------------------------- *)
+
+let event_json = function
+  | Span { track; name; ts_us; dur_us; args } ->
+      Json.Obj
+        ([
+           ("type", Json.Str "span");
+           ("track", Json.Str track);
+           ("name", Json.Str name);
+           ("ts_us", Json.Float ts_us);
+           ("dur_us", Json.Float dur_us);
+         ]
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  | Counter { track; name; ts_us; values } ->
+      Json.Obj
+        [
+          ("type", Json.Str "counter");
+          ("track", Json.Str track);
+          ("name", Json.Str name);
+          ("ts_us", Json.Float ts_us);
+          ( "values",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values) );
+        ]
+  | Instant { track; name; ts_us; args } ->
+      Json.Obj
+        ([
+           ("type", Json.Str "instant");
+           ("track", Json.Str track);
+           ("name", Json.Str name);
+           ("ts_us", Json.Float ts_us);
+         ]
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+(* --- Chrome trace-event JSON --------------------------------------------- *)
+
+let track_of = function
+  | Span { track; _ } | Counter { track; _ } | Instant { track; _ } -> track
+
+(** Process ids by track, in order of first appearance (deterministic). *)
+let track_pids evs =
+  List.fold_left
+    (fun acc e ->
+      let tr = track_of e in
+      if List.mem_assoc tr acc then acc else acc @ [ (tr, List.length acc + 1) ])
+    [] evs
+
+let to_chrome t =
+  let evs = events t in
+  let pids = track_pids evs in
+  let pid tr = List.assoc tr pids in
+  let meta =
+    List.map
+      (fun (tr, p) ->
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int p);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.Str tr) ]);
+          ])
+      pids
+  in
+  let one = function
+    | Span { track; name; ts_us; dur_us; args } ->
+        Json.Obj
+          ([
+             ("name", Json.Str name);
+             ("cat", Json.Str track);
+             ("ph", Json.Str "X");
+             ("ts", Json.Float ts_us);
+             ("dur", Json.Float dur_us);
+             ("pid", Json.Int (pid track));
+             ("tid", Json.Int 0);
+           ]
+          @ if args = [] then [] else [ ("args", Json.Obj args) ])
+    | Counter { track; name; ts_us; values } ->
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("cat", Json.Str track);
+            ("ph", Json.Str "C");
+            ("ts", Json.Float ts_us);
+            ("pid", Json.Int (pid track));
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values) );
+          ]
+    | Instant { track; name; ts_us; args } ->
+        Json.Obj
+          ([
+             ("name", Json.Str name);
+             ("cat", Json.Str track);
+             ("ph", Json.Str "i");
+             ("ts", Json.Float ts_us);
+             ("pid", Json.Int (pid track));
+             ("tid", Json.Int 0);
+             ("s", Json.Str "p");
+           ]
+          @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map one evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let chrome_string t = Json.to_string (to_chrome t)
+
+(* --- counters-only summary ----------------------------------------------- *)
+
+let summary t =
+  let acc : (string * string * string * int * float) list ref = ref [] in
+  List.iter
+    (function
+      | Counter { track; name; values; _ } ->
+          List.iter
+            (fun (series, v) ->
+              let rec update = function
+                | [] -> [ (track, name, series, 1, v) ]
+                | (tr, n, s, count, _) :: rest
+                  when tr = track && n = name && s = series ->
+                    (tr, n, s, count + 1, v) :: rest
+                | row :: rest -> row :: update rest
+              in
+              acc := update !acc)
+            values
+      | Span _ | Instant _ -> ())
+    (events t);
+  !acc

@@ -1,0 +1,94 @@
+(** Telemetry event recorder and structured sinks.
+
+    A {!t} is either the no-op {!null} recorder or an in-memory event
+    buffer created with {!create}.  Every recording function starts with
+    one immediate [enabled] flag check, so instrumented code pays a
+    single untaken branch when telemetry is off — the overhead guarantee
+    the sweep benchmarks rely on.
+
+    Events live on named {e tracks} ("compile", "machine", ...).  Three
+    exports are provided:
+
+    - {!summary}: counters only, the last value of every counter series;
+    - {!to_jsonl}: one self-describing JSON object per event, one per
+      line, in recording order;
+    - {!to_chrome}: Chrome trace-event JSON (the
+      [{"traceEvents": [...]}] envelope) loadable in Perfetto — tracks
+      become processes named by metadata events, spans become ["X"]
+      complete events and counter samples become ["C"] events. *)
+
+type event =
+  | Span of {
+      track : string;
+      name : string;
+      ts_us : float;  (** start, microseconds on the track's timeline *)
+      dur_us : float;
+      args : (string * Json.t) list;
+    }
+  | Counter of {
+      track : string;
+      name : string;
+      ts_us : float;
+      values : (string * float) list;  (** series name, sample value *)
+    }
+  | Instant of {
+      track : string;
+      name : string;
+      ts_us : float;
+      args : (string * Json.t) list;
+    }
+
+type t
+
+(** The disabled recorder: recording functions return after one flag
+    check and allocate nothing. *)
+val null : t
+
+(** A fresh enabled in-memory recorder. *)
+val create : unit -> t
+
+val enabled : t -> bool
+
+val span :
+  t ->
+  track:string ->
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+val counter :
+  t -> track:string -> name:string -> ts_us:float -> (string * float) list -> unit
+
+val instant :
+  t ->
+  track:string ->
+  name:string ->
+  ts_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+(** Events in recording order ([] for {!null}). *)
+val events : t -> event list
+
+(** One event as a self-describing JSON object (the JSONL row shape:
+    a ["type"] discriminant plus the event's fields). *)
+val event_json : event -> Json.t
+
+(** One JSON object per line, in recording order, trailing newline. *)
+val to_jsonl : t -> string
+
+(** Chrome trace-event JSON.  Tracks are numbered as process ids in
+    order of first appearance and named with [process_name] metadata
+    events, so the export is deterministic for a deterministic event
+    stream. *)
+val to_chrome : t -> Json.t
+
+val chrome_string : t -> string
+
+(** Counters-only summary: for every [(track, counter, series)] the
+    number of samples and the last value, in first-appearance order. *)
+val summary : t -> (string * string * string * int * float) list

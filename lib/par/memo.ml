@@ -66,3 +66,13 @@ let length t =
   let n = Hashtbl.length t.tbl in
   Mutex.unlock t.lock;
   n
+
+let bindings t =
+  Mutex.lock t.lock;
+  let rows =
+    Hashtbl.fold
+      (fun k v acc -> match v with Done v -> (k, v) :: acc | _ -> acc)
+      t.tbl []
+  in
+  Mutex.unlock t.lock;
+  rows

@@ -16,3 +16,7 @@ val find_opt : ('k, 'v) t -> 'k -> 'v option
 
 (** Number of keys present (computed, failed or in flight). *)
 val length : ('k, 'v) t -> int
+
+(** Snapshot of the successfully computed bindings, in no particular
+    order (hash order) — sort by key for a deterministic view. *)
+val bindings : ('k, 'v) t -> ('k * 'v) list

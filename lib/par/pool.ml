@@ -13,6 +13,22 @@
     nested fan-outs safe: a cell that itself calls [map_cells] executes
     other cells while it waits instead of deadlocking the pool. *)
 
+(** Mutable per-domain telemetry; slot 0 belongs to the calling domain,
+    slots 1..jobs-1 to the spawned workers.  Written only with the pool
+    lock held (task bookkeeping) or by the owning domain. *)
+type slot = {
+  mutable s_tasks : int;
+  mutable s_busy : float;
+  mutable s_wait : float;
+}
+
+type domain_stats = {
+  d_slot : int;  (** 0 = the calling domain, 1.. = spawned workers *)
+  d_tasks : int;  (** cells this domain executed *)
+  d_busy_s : float;  (** wall time spent inside cells *)
+  d_wait_s : float;  (** wall time spent blocked waiting for work *)
+}
+
 type t = {
   jobs : int;
   lock : Mutex.t;
@@ -20,9 +36,30 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closing : bool;
   mutable domains : unit Domain.t list;
+  slots : slot array;  (** length [jobs]; telemetry, see {!stats} *)
 }
 
 let jobs t = t.jobs
+let now () = Unix.gettimeofday ()
+
+(* Which telemetry slot the current domain charges its work to: workers
+   set their 1-based slot index on startup, every other domain (the pool
+   creator, or an outsider draining the queue) charges slot 0. *)
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+let my_slot t =
+  let k = Domain.DLS.get slot_key in
+  if k >= 0 && k < Array.length t.slots then k else 0
+
+(* Charges [dt] of [kind] to the calling domain's slot.  The pool lock
+   must be held. *)
+let charge t kind dt =
+  let s = t.slots.(my_slot t) in
+  match kind with
+  | `Busy ->
+      s.s_tasks <- s.s_tasks + 1;
+      s.s_busy <- s.s_busy +. dt
+  | `Wait -> s.s_wait <- s.s_wait +. dt
 
 let rec worker_loop t =
   Mutex.lock t.lock;
@@ -31,7 +68,12 @@ let rec worker_loop t =
     | Some task -> Mutex.unlock t.lock; Some task
     | None ->
         if t.closing then begin Mutex.unlock t.lock; None end
-        else begin Condition.wait t.has_work t.lock; next () end
+        else begin
+          let t0 = now () in
+          Condition.wait t.has_work t.lock;
+          charge t `Wait (now () -. t0);
+          next ()
+        end
   in
   match next () with
   | None -> ()
@@ -47,10 +89,27 @@ let create ~jobs =
       queue = Queue.create ();
       closing = false;
       domains = [];
+      slots = Array.init jobs (fun _ -> { s_tasks = 0; s_busy = 0.0; s_wait = 0.0 });
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set slot_key (i + 1);
+            worker_loop t));
   t
+
+let stats t =
+  Mutex.lock t.lock;
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           { d_slot = i; d_tasks = s.s_tasks; d_busy_s = s.s_busy; d_wait_s = s.s_wait })
+         t.slots)
+  in
+  Mutex.unlock t.lock;
+  rows
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -79,7 +138,18 @@ let run_cell batch f k x =
 let map_cells t f xs =
   match xs with
   | [] -> []
-  | xs when t.jobs = 1 -> List.map f xs
+  | xs when t.jobs = 1 ->
+      (* degenerate pool: inline, but still attribute the work *)
+      List.map
+        (fun x ->
+          let t0 = now () in
+          let v = f x in
+          let dt = now () -. t0 in
+          let s = t.slots.(0) in
+          s.s_tasks <- s.s_tasks + 1;
+          s.s_busy <- s.s_busy +. dt;
+          v)
+        xs
   | xs ->
       let cells = Array.of_list xs in
       let n = Array.length cells in
@@ -96,8 +166,11 @@ let map_cells t f xs =
         (fun k x ->
           Queue.add
             (fun () ->
+              let t0 = now () in
               run_cell batch f k x;
+              let dt = now () -. t0 in
               Mutex.lock t.lock;
+              charge t `Busy dt;
               batch.pending <- batch.pending - 1;
               if batch.pending = 0 then Condition.broadcast batch.all_done;
               Mutex.unlock t.lock)
@@ -115,7 +188,9 @@ let map_cells t f xs =
               Mutex.lock t.lock;
               drain ()
           | None ->
+              let t0 = now () in
               Condition.wait batch.all_done t.lock;
+              charge t `Wait (now () -. t0);
               drain ()
       in
       drain ();

@@ -13,6 +13,21 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+(** Per-domain telemetry, so [--jobs] scaling loss is attributable:
+    cells executed, wall time inside cells, and wall time blocked
+    waiting for work. *)
+type domain_stats = {
+  d_slot : int;  (** 0 = the calling domain, 1.. = spawned workers *)
+  d_tasks : int;  (** cells this domain executed *)
+  d_busy_s : float;  (** wall time spent inside cells *)
+  d_wait_s : float;  (** wall time spent blocked waiting for work *)
+}
+
+(** One row per domain, slot order.  Nested fan-outs from a worker
+    domain are charged to that worker's slot; external domains draining
+    the queue are charged to slot 0. *)
+val stats : t -> domain_stats list
+
 (** [map_cells t f xs] evaluates [f] over every cell of [xs] on the
     pool and returns the results in the order of [xs], regardless of
     which domain ran which cell.  If cells raise, every cell still

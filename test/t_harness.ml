@@ -148,6 +148,92 @@ let test_fig12_extra_stage_cheap () =
   let s_deep = Rc_harness.Experiments.speedup ctx b deep in
   check_bool "within 5%" true (s_deep > 0.95 *. s_fast)
 
+(* --- telemetry ---------------------------------------------------------------- *)
+
+let test_registry_slot_invariant () =
+  (* the slot-accounting identity must hold on real compiled code, not
+     just micro-programs: one registry workload across issue rates, both
+     connect latencies, RC on and off *)
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "cmp" in
+  List.iter
+    (fun issue ->
+      List.iter
+        (fun connect ->
+          List.iter
+            (fun rc ->
+              let lat = Rc_isa.Latency.v ~connect () in
+              let opts =
+                Rc_harness.Experiments.reg_opts b ~label:16 ~rc ~issue ~lat ()
+              in
+              let r, _, _ = Rc_harness.Experiments.run ctx b opts in
+              check_bool
+                (Fmt.str "cmp i=%d c=%d rc=%b balances" issue connect rc)
+                true
+                (Rc_machine.Machine.slot_invariant_holds ~issue r))
+            [ false; true ])
+        [ 0; 1 ])
+    [ 1; 2; 4; 8 ]
+
+let test_pass_metrics () =
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "cmp" in
+  let opts = Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true () in
+  let cell = Rc_harness.Experiments.run_cell ctx b opts in
+  let names =
+    List.map (fun p -> p.Rc_harness.Pipeline.p_name) cell.Rc_harness.Experiments.c_passes
+  in
+  Alcotest.(check (list string))
+    "stages in pipeline order"
+    [
+      "ilp-opt"; "legalize"; "profile"; "regalloc"; "lower"; "schedule";
+      "rc-lower"; "assemble";
+    ]
+    names;
+  List.iter
+    (fun p ->
+      let open Rc_harness.Pipeline in
+      check_bool (p.p_name ^ " wall >= 0") true (p.p_wall_s >= 0.);
+      check_bool (p.p_name ^ " sizes positive") true
+        (p.p_size_in > 0 && p.p_size_out > 0))
+    cell.Rc_harness.Experiments.c_passes;
+  let find n =
+    List.find (fun p -> p.Rc_harness.Pipeline.p_name = n)
+      cell.Rc_harness.Experiments.c_passes
+  in
+  check "spills live on regalloc"
+    cell.Rc_harness.Experiments.c_spills
+    (find "regalloc").Rc_harness.Pipeline.p_spills;
+  check_bool "rc-lower inserted connects" true
+    ((find "rc-lower").Rc_harness.Pipeline.p_connects > 0)
+
+let test_metrics_json_shape () =
+  let ctx = Lazy.force ctx in
+  let b = Rc_workloads.Registry.find "cmp" in
+  ignore
+    (Rc_harness.Experiments.run ctx b
+       (Rc_harness.Experiments.reg_opts b ~label:16 ~rc:true ()));
+  let j = Rc_harness.Experiments.metrics_json ctx in
+  (* the dump must be valid JSON carrying every simulated cell *)
+  match Rc_obs.Json.of_string (Rc_obs.Json.to_string j) with
+  | Error m -> Alcotest.failf "metrics_json does not roundtrip: %s" m
+  | Ok j' -> (
+      match Rc_obs.Json.member "cells" j' with
+      | Some (Rc_obs.Json.List cells) ->
+          check_bool "at least one cell" true (cells <> []);
+          List.iter
+            (fun c ->
+              check_bool "cell has key" true (Rc_obs.Json.member "key" c <> None);
+              match Rc_obs.Json.member "machine" c with
+              | Some m ->
+                  check_bool "cycles present" true
+                    (Rc_obs.Json.member "cycles" m <> None);
+                  check_bool "lost_data present" true
+                    (Rc_obs.Json.member "lost_data" m <> None)
+              | None -> Alcotest.fail "cell lacks machine counters")
+            cells
+      | _ -> Alcotest.fail "no cells array")
+
 let render_table t =
   Fmt.str "%a" Rc_harness.Experiments.print_table t
 
@@ -192,4 +278,7 @@ let suite =
     ("fig 12: extra stage cheap", `Slow, test_fig12_extra_stage_cheap);
     ("parallel tables identical", `Slow, test_parallel_tables_identical);
     ("experiment ids resolve", `Quick, test_experiment_ids_resolve);
+    ("registry slot invariant matrix", `Slow, test_registry_slot_invariant);
+    ("per-pass pipeline metrics", `Slow, test_pass_metrics);
+    ("metrics json shape", `Slow, test_metrics_json_shape);
   ]

@@ -520,6 +520,170 @@ let test_context_switch_roundtrip () =
   Alcotest.(check int64) "register restored" 123L view.Context.iregs.(7);
   check "connection restored" 25 (Map_table.read view.Context.imap 5)
 
+(* --- slot accounting (stall attribution) ------------------------------------------------ *)
+
+(* Every unused issue slot must be charged to exactly one loss reason:
+   cycles * issue = (issued - extra_connects) + lost slots.  Checked over
+   a matrix of micro-programs crossing issue width, connect latency and
+   RC on/off. *)
+
+let micro_programs =
+  [
+    ( "alu chain",
+      Insn.li ~dst:8 0L
+      :: List.init 6 (fun _ -> Insn.alui Opcode.Add ~dst:8 ~s1:8 ~imm:1L)
+      @ [ Insn.halt () ] );
+    ( "independent lis",
+      (* destinations within the 16-register RC core file *)
+      List.init 8 (fun k -> Insn.li ~dst:(8 + k) 1L) @ [ Insn.halt () ] );
+    ( "loads",
+      Insn.li ~dst:8 (Int64.of_int Image.data_base)
+      :: List.init 6 (fun k -> Insn.ld ~dst:(9 + k) ~base:8 ~off:(8 * k) ())
+      @ [ Insn.halt () ] );
+    ( "mul consumers",
+      [
+        Insn.li ~dst:8 3L;
+        Insn.alu Opcode.Mul ~dst:9 ~s1:8 ~s2:8;
+        Insn.alui Opcode.Add ~dst:10 ~s1:9 ~imm:1L;
+        Insn.alu Opcode.Mul ~dst:11 ~s1:10 ~s2:9;
+        Insn.emit ~src:11;
+        Insn.halt ();
+      ] );
+    ("connects", connect_prog);
+  ]
+
+(* A mispredicted branch exercises the Redirect attribution. *)
+let mispredict_image () =
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              [
+                Insn.li ~dst:8 0L;
+                Insn.li ~dst:9 1L;
+                Insn.br Opcode.Lt ~s1:8 ~s2:9 ~target:1 ~hint:false;
+              ];
+          };
+          { Mcode.label = 1; insns = [ Insn.emit ~src:9; Insn.halt () ] };
+        ];
+    };
+  Image.assemble m
+
+let check_invariant name ~issue (r : M.result) =
+  check_bool
+    (Fmt.str "%s: %d*%d = (%d - %d) + %d" name r.M.cycles issue r.M.issued
+       r.M.extra_connects (M.lost_slots r))
+    true
+    (M.slot_invariant_holds ~issue r)
+
+let test_slot_invariant_matrix () =
+  List.iter
+    (fun issue ->
+      List.iter
+        (fun connect ->
+          List.iter
+            (fun rc ->
+              let ifile =
+                if rc then Reg.file ~core:16 ~total:32 else Reg.core_only 32
+              in
+              let cfg =
+                C.v ~issue ~lat:(Latency.v ~connect ()) ~ifile
+                  ~ffile:(Reg.core_only 8) ()
+              in
+              List.iter
+                (fun (name, insns) ->
+                  (* connect micro-programs need the map table *)
+                  if rc || name <> "connects" then
+                    let r = M.run cfg (image_of insns) in
+                    check_invariant
+                      (Fmt.str "%s i=%d c=%d rc=%b" name issue connect rc)
+                      ~issue r)
+                micro_programs;
+              let r = M.run cfg (mispredict_image ()) in
+              check_invariant
+                (Fmt.str "mispredict i=%d c=%d rc=%b" issue connect rc)
+                ~issue r;
+              check_bool "redirect slots lost" true (r.M.lost_branch > 0))
+            [ false; true ])
+        [ 0; 1 ])
+    [ 1; 2; 4; 8 ]
+
+let test_slot_invariant_shared_dispatch () =
+  (* `Shared dispatch: connects consume regular slots, extra_connects
+     stays 0 and the invariant still balances *)
+  let r =
+    M.run (rc_cfg16 ~connect_dispatch:`Shared ()) (image_of connect_prog)
+  in
+  check "no extra-slot connects under shared dispatch" 0 r.M.extra_connects;
+  check_invariant "shared dispatch" ~issue:4 r
+
+let test_observer_samples () =
+  (* the per-cycle observer stream must tile the run: samples'
+     s_cycles/s_issued/losses sum to the final counters, and each
+     sample satisfies the per-cycle invariant *)
+  let cfg = rc_cfg16 ~connect:1 () in
+  let t = M.create cfg (image_of connect_prog) in
+  let samples = ref [] in
+  M.set_observer t (Some (fun s -> samples := s :: !samples));
+  let r = M.run_machine t in
+  let samples = List.rev !samples in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 samples in
+  check "cycles covered" r.M.cycles (sum (fun s -> s.M.s_cycles));
+  check "issued covered" r.M.issued (sum (fun s -> s.M.s_issued));
+  check "data losses covered" r.M.lost_data (sum (fun s -> s.M.s_lost_data));
+  check "map losses covered" r.M.lost_map (sum (fun s -> s.M.s_lost_map));
+  check "branch losses covered" r.M.lost_branch
+    (sum (fun s -> s.M.s_lost_branch));
+  check "fetch losses covered" r.M.lost_fetch
+    (sum (fun s -> s.M.s_lost_fetch));
+  List.iter
+    (fun s ->
+      let lost =
+        s.M.s_lost_data + s.M.s_lost_map + s.M.s_lost_channel
+        + s.M.s_lost_branch + s.M.s_lost_fetch
+      in
+      (* connects may dispatch through the extra budget, beyond the
+         regular slots *)
+      check_bool
+        (Fmt.str "cycle %d sample balances" s.M.s_cycle)
+        true
+        ((s.M.s_cycles * 4) + s.M.s_connects >= s.M.s_issued + lost))
+    samples
+
+let test_observer_absent_same_result () =
+  (* telemetry must not perturb the simulation *)
+  let run_with obs =
+    let t = M.create (rc_cfg16 ~connect:1 ()) (image_of connect_prog) in
+    M.set_observer t obs;
+    M.run_machine t
+  in
+  let a = run_with None and b = run_with (Some (fun _ -> ())) in
+  check "same cycles" a.M.cycles b.M.cycles;
+  check "same issued" a.M.issued b.M.issued;
+  Alcotest.(check (list int64)) "same output" a.M.output b.M.output
+
+(* qcheck: the invariant holds for random independent-op programs at
+   random widths *)
+let prop_slot_invariant =
+  QCheck.Test.make ~count:200 ~name:"slot accounting balances"
+    QCheck.(pair (int_range 0 30) (int_range 1 8))
+    (fun (n, w) ->
+      let insns =
+        List.init n (fun k -> Insn.li ~dst:(8 + (k mod 20)) (Int64.of_int k))
+        @ [ Insn.halt () ]
+      in
+      let cfg =
+        C.v ~issue:w ~ifile:(Reg.core_only 32) ~ffile:(Reg.core_only 8) ()
+      in
+      let r = M.run cfg (image_of insns) in
+      M.slot_invariant_holds ~issue:w r)
+
 (* --- error handling --------------------------------------------------------------------- *)
 
 let test_fuel_exhaustion () =
@@ -602,8 +766,13 @@ let suite =
     ("extended handler protocol (sec 4.3)", `Quick, test_extended_handler_protocol);
     ("mfmap/mtmap roundtrip", `Quick, test_mfmap_mtmap_roundtrip);
     ("context switch roundtrip", `Quick, test_context_switch_roundtrip);
+    ("slot invariant matrix", `Quick, test_slot_invariant_matrix);
+    ("slot invariant, shared dispatch", `Quick, test_slot_invariant_shared_dispatch);
+    ("observer samples tile the run", `Quick, test_observer_samples);
+    ("observer does not perturb", `Quick, test_observer_absent_same_result);
     ("fuel exhaustion", `Quick, test_fuel_exhaustion);
     ("bad memory access", `Quick, test_bad_memory_access);
     QCheck_alcotest.to_alcotest prop_issue_width;
     QCheck_alcotest.to_alcotest prop_chain_latency;
+    QCheck_alcotest.to_alcotest prop_slot_invariant;
   ]

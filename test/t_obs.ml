@@ -1,0 +1,190 @@
+(* Tests for rc_obs: the JSON emitter/parser and the trace recorder's
+   three sinks, including a golden test for the Chrome trace-event
+   shape. *)
+
+module J = Rc_obs.Json
+module T = Rc_obs.Trace
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Json ------------------------------------------------------------------ *)
+
+let test_json_render () =
+  check "scalar mix"
+    {json|{"a":1,"b":-2.5,"c":"x\"y\n","d":[true,false,null],"e":{}}|json}
+    (J.to_string
+       (J.Obj
+          [
+            ("a", J.Int 1);
+            ("b", J.Float (-2.5));
+            ("c", J.Str "x\"y\n");
+            ("d", J.List [ J.Bool true; J.Bool false; J.Null ]);
+            ("e", J.Obj []);
+          ]));
+  check "control chars escaped" {json|"\u0001\t\\"|json}
+    (J.to_string (J.Str "\x01\t\\"));
+  check "non-finite floats are null" "[null,null]"
+    (J.to_string (J.List [ J.Float nan; J.Float infinity ]))
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 1.5;
+      J.Float 1e-3;
+      J.Str "he\"llo\n\t\x02 λ";
+      J.List [ J.Int 1; J.List []; J.Obj [ ("k", J.Null) ] ];
+      J.Obj [ ("x", J.Float 0.1); ("y", J.Str "") ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match J.of_string (J.to_string j) with
+      | Ok j' ->
+          check (J.to_string j) (J.to_string j) (J.to_string j');
+          check_bool "structurally equal" true (j = j')
+      | Error m -> Alcotest.failf "roundtrip failed on %s: %s" (J.to_string j) m)
+    samples
+
+let test_json_parser_rejects () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok j -> Alcotest.failf "parsed %S as %s" s (J.to_string j)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let test_json_member () =
+  let j = J.Obj [ ("a", J.Int 1); ("b", J.Null) ] in
+  check_bool "present" true (J.member "a" j = Some (J.Int 1));
+  check_bool "null field present" true (J.member "b" j = Some J.Null);
+  check_bool "absent" true (J.member "c" j = None);
+  check_bool "non-object" true (J.member "a" (J.Int 1) = None)
+
+(* qcheck: printing then parsing any string value is the identity *)
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json string escaping roundtrips"
+    QCheck.string (fun s ->
+      match J.of_string (J.to_string (J.Str s)) with
+      | Ok (J.Str s') -> s = s'
+      | _ -> false)
+
+(* --- Trace ----------------------------------------------------------------- *)
+
+(* A tiny deterministic recording used by the golden tests. *)
+let recording () =
+  let t = T.create () in
+  T.span t ~track:"compile" ~name:"regalloc" ~ts_us:10. ~dur_us:250.
+    ~args:[ ("spills", J.Int 3) ] ();
+  T.counter t ~track:"machine" ~name:"slots" ~ts_us:0.
+    [ ("issued", 4.); ("lost_data", 0.) ];
+  T.counter t ~track:"machine" ~name:"slots" ~ts_us:1.
+    [ ("issued", 2.); ("lost_data", 2.) ];
+  T.instant t ~track:"compile" ~name:"done" ~ts_us:300. ();
+  t
+
+let test_null_records_nothing () =
+  T.span T.null ~track:"x" ~name:"y" ~ts_us:0. ~dur_us:1. ();
+  T.counter T.null ~track:"x" ~name:"y" ~ts_us:0. [ ("v", 1.) ];
+  T.instant T.null ~track:"x" ~name:"y" ~ts_us:0. ();
+  check_bool "null disabled" false (T.enabled T.null);
+  check_int "null holds no events" 0 (List.length (T.events T.null))
+
+let test_event_order () =
+  let t = recording () in
+  check_bool "enabled" true (T.enabled t);
+  Alcotest.(check (list string))
+    "recording order"
+    [ "regalloc"; "slots"; "slots"; "done" ]
+    (List.map
+       (function
+         | T.Span { name; _ } | T.Counter { name; _ } | T.Instant { name; _ }
+           ->
+             name)
+       (T.events t))
+
+(* Golden: the exact Chrome export of the fixed recording.  Guards the
+   envelope, the metadata naming, pid assignment by first appearance
+   and the event field set — the shape Perfetto loads. *)
+let test_chrome_golden () =
+  let expected =
+    String.concat ""
+      [
+        {json|{"traceEvents":[|json};
+        {json|{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"compile"}},|json};
+        {json|{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"machine"}},|json};
+        {json|{"name":"regalloc","cat":"compile","ph":"X","ts":10,"dur":250,"pid":1,"tid":0,"args":{"spills":3}},|json};
+        {json|{"name":"slots","cat":"machine","ph":"C","ts":0,"pid":2,"args":{"issued":4,"lost_data":0}},|json};
+        {json|{"name":"slots","cat":"machine","ph":"C","ts":1,"pid":2,"args":{"issued":2,"lost_data":2}},|json};
+        {json|{"name":"done","cat":"compile","ph":"i","ts":300,"pid":1,"tid":0,"s":"p"}|json};
+        {json|],"displayTimeUnit":"ms"}|json};
+      ]
+  in
+  check "chrome golden" expected (T.chrome_string (recording ()))
+
+let test_chrome_parses () =
+  let s = T.chrome_string (recording ()) in
+  match J.of_string s with
+  | Error m -> Alcotest.failf "chrome export is not valid JSON: %s" m
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.List evs) ->
+          check_int "metadata + 4 events" 6 (List.length evs);
+          List.iter
+            (fun ev ->
+              check_bool "has ph" true (J.member "ph" ev <> None);
+              check_bool "has pid" true (J.member "pid" ev <> None))
+            evs
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_jsonl_shape () =
+  let lines =
+    String.split_on_char '\n' (T.to_jsonl (recording ()))
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | Error m -> Alcotest.failf "bad JSONL line %S: %s" line m
+      | Ok j ->
+          check_bool "has type" true
+            (match J.member "type" j with
+            | Some (J.Str ("span" | "counter" | "instant")) -> true
+            | _ -> false);
+          check_bool "has track" true (J.member "track" j <> None))
+    lines
+
+let test_summary () =
+  let t = recording () in
+  (* counters only; two samples of the same series collapse to count +
+     last value *)
+  Alcotest.(check (list (pair string (float 0.0))))
+    "summary series"
+    [ ("issued", 2.); ("lost_data", 2.) ]
+    (List.filter_map
+       (fun (track, name, series, n, last) ->
+         if track = "machine" && name = "slots" then (
+           check_int "two samples" 2 n;
+           Some (series, last))
+         else None)
+       (T.summary t))
+
+let suite =
+  [
+    ("json rendering", `Quick, test_json_render);
+    ("json roundtrip", `Quick, test_json_roundtrip);
+    ("json parser rejects malformed input", `Quick, test_json_parser_rejects);
+    ("json member", `Quick, test_json_member);
+    ("null trace records nothing", `Quick, test_null_records_nothing);
+    ("trace event order", `Quick, test_event_order);
+    ("chrome export golden", `Quick, test_chrome_golden);
+    ("chrome export parses", `Quick, test_chrome_parses);
+    ("jsonl shape", `Quick, test_jsonl_shape);
+    ("counter summary", `Quick, test_summary);
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+  ]

@@ -95,6 +95,32 @@ let test_memo_failure_cached () =
   check_bool "second call raises too" true (attempt ());
   check "compute ran once" 1 !computed
 
+let test_pool_stats () =
+  Rc_par.Pool.with_pool ~jobs:3 (fun pool ->
+      ignore
+        (Rc_par.Pool.map_cells pool
+           (fun x -> ignore (Sys.opaque_identity (List.init 2000 Fun.id)); x)
+           (List.init 40 Fun.id));
+      let stats = Rc_par.Pool.stats pool in
+      check "one stats row per domain" 3 (List.length stats);
+      let total_tasks =
+        List.fold_left (fun a s -> a + s.Rc_par.Pool.d_tasks) 0 stats
+      in
+      check "every task attributed to a domain" 40 total_tasks;
+      List.iter
+        (fun s ->
+          check_bool "busy time non-negative" true (s.Rc_par.Pool.d_busy_s >= 0.);
+          check_bool "wait time non-negative" true (s.Rc_par.Pool.d_wait_s >= 0.))
+        stats)
+
+let test_pool_stats_jobs_one () =
+  (* the jobs=1 inline path still attributes work to the single slot *)
+  Rc_par.Pool.with_pool ~jobs:1 (fun pool ->
+      ignore (Rc_par.Pool.map_cells pool (fun x -> x) (List.init 7 Fun.id));
+      match Rc_par.Pool.stats pool with
+      | [ s ] -> check "inline tasks counted" 7 s.Rc_par.Pool.d_tasks
+      | l -> Alcotest.failf "expected 1 stats row, got %d" (List.length l))
+
 let suite =
   [
     ("fan-out preserves order", `Quick, test_ordering);
@@ -104,4 +130,6 @@ let suite =
     ("nested fan-out", `Quick, test_nested_fanout);
     ("memo is single-flight", `Quick, test_memo_single_flight);
     ("memo caches failures", `Quick, test_memo_failure_cached);
+    ("pool per-domain stats", `Quick, test_pool_stats);
+    ("pool stats at jobs=1", `Quick, test_pool_stats_jobs_one);
   ]

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "register-connection"
     [
       ("par", T_par.suite);
+      ("obs", T_obs.suite);
       ("isa", T_isa.suite);
       ("core", T_core.suite);
       ("ir", T_ir.suite);
