@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke trace-smoke clean
+.PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke clean
 
 all: build
 
@@ -23,6 +23,11 @@ bench-smoke:
 # JSONL and Chrome exporters and validate that both outputs parse.
 trace-smoke:
 	dune build @trace-smoke
+
+# Differential-oracle fuzz, smoke slice: 200 fixed-seed programs over
+# the full (model x issue x connect) grid, shrunk reports on failure.
+fuzz-smoke:
+	dune build @fuzz-smoke
 
 clean:
 	dune clean

@@ -7,10 +7,14 @@
      compare <bench> [options]   without-RC vs with-RC vs unlimited
      dump <bench> [options]      print the generated machine code
      trace <bench> [options]     structured trace (JSONL or Chrome JSON)
+     check <bench> [options]     pass-level oracle + machine-vs-oracle lockstep
+     fuzz [options]              random programs over the configuration grid
 
    run and compare take --json for machine-readable output with stable
    key names; trace emits compile-pass spans and a windowed per-cycle
-   machine track loadable in Perfetto (--format chrome).
+   machine track loadable in Perfetto (--format chrome).  check and
+   fuzz exit non-zero on the first divergence and print the report
+   (JSON with --json).
 *)
 
 open Cmdliner
@@ -331,12 +335,9 @@ let cycle_window =
      window are recorded, so traces of billion-cycle runs stay loadable."
   in
   let parse s =
-    match String.split_on_char ':' s with
-    | [ lo; hi ] -> (
-        match (int_of_string_opt lo, int_of_string_opt hi) with
-        | Some lo, Some hi when 0 <= lo && lo < hi -> Ok (lo, hi)
-        | _ -> Error (`Msg (Fmt.str "bad cycle window %S (want LO:HI)" s)))
-    | _ -> Error (`Msg (Fmt.str "bad cycle window %S (want LO:HI)" s))
+    match Rc_check.Args.cycle_window s with
+    | Ok w -> Ok w
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf (lo, hi) = Fmt.pf ppf "%d:%d" lo hi in
   Arg.(
@@ -413,6 +414,128 @@ let trace_cmd =
       $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
       $ trace_format $ cycle_window)
 
+(* --- check / fuzz ----------------------------------------------------------- *)
+
+let check_cmd =
+  let run bench issue core_int core_float rc load connect mem_channels
+      extra_stage model scale no_unroll json =
+    let opts =
+      options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
+        ~extra_stage ~model ~no_unroll
+    in
+    let prog = (Rc_workloads.Registry.find bench).Rc_workloads.Wutil.build scale in
+    let fail (r : Rc_check.Report.t) =
+      if json then
+        Fmt.pr "%s@." (Rc_obs.Json.to_string (Rc_check.Report.to_json r))
+      else Fmt.pr "%a@." Rc_check.Report.pp r;
+      1
+    in
+    match Rc_check.Oracle.prepare_checked ~opt:opts.Rc_harness.Pipeline.opt prog with
+    | Error r -> fail r
+    | Ok prep -> (
+        match Rc_check.Oracle.compile_checked opts prep with
+        | Error r -> fail r
+        | Ok compiled -> (
+            match
+              Rc_check.Lockstep.run
+                (Rc_check.Oracle.config_of_options opts)
+                compiled.Rc_harness.Pipeline.image
+            with
+            | Rc_check.Lockstep.Diverged r -> fail r
+            | Rc_check.Lockstep.Agree { cycles; steps } ->
+                if json then
+                  Fmt.pr "%s@."
+                    (Rc_obs.Json.to_string
+                       (Rc_obs.Json.Obj
+                          [
+                            ("bench", Rc_obs.Json.Str bench);
+                            ("agree", Rc_obs.Json.Bool true);
+                            ("cycles", Rc_obs.Json.Int cycles);
+                            ("instructions", Rc_obs.Json.Int steps);
+                          ]))
+                else
+                  Fmt.pr
+                    "%s: every pass preserves semantics; machine and oracle \
+                     agree over %d cycles (%d instructions)@."
+                    bench cycles steps;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Re-execute after every compiler pass and run the cycle-accurate \
+          machine in lockstep against the sequential oracle; report the \
+          first divergence with its pass, basic block and disassembly")
+    Term.(
+      const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
+      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
+      $ json_flag)
+
+let seed_arg =
+  let doc = "PRNG seed for program generation (non-negative)." in
+  let parse s =
+    match Rc_check.Args.seed s with Ok n -> Ok n | Error m -> Error (`Msg m)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.int)) 0
+    & info [ "seed" ] ~docv:"N" ~doc)
+
+let count_arg =
+  let doc = "Number of programs to generate (at least 1)." in
+  let parse s =
+    match Rc_check.Args.count s with Ok n -> Ok n | Error m -> Error (`Msg m)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.int)) 100
+    & info [ "count" ] ~docv:"K" ~doc)
+
+let shrink_flag =
+  let doc = "Greedily shrink every failing program to a minimal repro." in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
+
+let corpus_arg =
+  let doc =
+    "Directory to persist failing cases into (one JSON file per \
+     divergence, shrunk when $(b,--shrink))."
+  in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+
+let fuzz_cmd =
+  let run seed count shrink out jobs json =
+    let s = Rc_check.Fuzz.run ~jobs ~shrink ?corpus_dir:out ~seed ~count () in
+    if json then
+      Fmt.pr "%s@." (Rc_obs.Json.to_string (Rc_check.Fuzz.summary_to_json s))
+    else begin
+      Fmt.pr "fuzz: %d programs x %d grid points, %d divergence(s) in %.1fs@."
+        s.Rc_check.Fuzz.programs s.Rc_check.Fuzz.points_per_program
+        (List.length s.Rc_check.Fuzz.cases)
+        s.Rc_check.Fuzz.wall_s;
+      List.iter
+        (fun (c : Rc_check.Fuzz.case) ->
+          Fmt.pr "@.program %d (seed %d, %s%s):@.%a@." c.Rc_check.Fuzz.program
+            c.Rc_check.Fuzz.pseed
+            (if c.Rc_check.Fuzz.classical then "classical" else "ilp")
+            (match c.Rc_check.Fuzz.point with
+            | Some p -> ", " ^ Rc_check.Fuzz.point_name p
+            | None -> "")
+            Rc_check.Report.pp c.Rc_check.Fuzz.report)
+        s.Rc_check.Fuzz.cases
+    end;
+    if s.Rc_check.Fuzz.cases = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate seeded random programs, push each through the full \
+          pipeline at every (model x issue x connect-latency x RC) grid \
+          point with the pass-level oracle and lockstep checking, and \
+          shrink failures to minimal repros")
+    Term.(
+      const run $ seed_arg $ count_arg $ shrink_flag $ corpus_arg $ jobs
+      $ json_flag)
+
 let dump_cmd =
   let run bench issue core_int core_float rc model scale =
     let opts =
@@ -431,6 +554,6 @@ let dump_cmd =
 let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
   Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; compare_cmd; trace_cmd; dump_cmd ]
+    [ list_cmd; run_cmd; compare_cmd; trace_cmd; dump_cmd; check_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

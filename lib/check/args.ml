@@ -1,0 +1,40 @@
+(** Validation of user-facing numeric CLI arguments, shared by
+    `rcc trace` and `rcc fuzz` and unit-tested directly.  Each parser
+    returns a distinct, actionable message for each way an input can be
+    wrong, instead of a silently-empty window or a garbage run. *)
+
+(** "LO:HI", a half-open cycle window: both bounds non-negative
+    integers, LO < HI. *)
+let cycle_window s =
+  match String.split_on_char ':' s with
+  | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | None, _ | _, None ->
+          Error (Fmt.str "bad cycle window %S: bounds must be integers" s)
+      | Some lo, Some hi when lo < 0 || hi < 0 ->
+          Error
+            (Fmt.str "bad cycle window %S: bounds must be non-negative" s)
+      | Some lo, Some hi when lo >= hi ->
+          Error
+            (Fmt.str
+               "bad cycle window %S: LO must be below HI (the window is \
+                half-open)"
+               s)
+      | Some lo, Some hi -> Ok (lo, hi))
+  | _ -> Error (Fmt.str "bad cycle window %S: expected LO:HI" s)
+
+(** A non-negative integer (e.g. `--seed`). *)
+let seed s =
+  match int_of_string_opt s with
+  | None -> Error (Fmt.str "bad seed %S: expected an integer" s)
+  | Some n when n < 0 -> Error (Fmt.str "bad seed %d: must be non-negative" n)
+  | Some n -> Ok n
+
+(** A positive integer (e.g. `--count`, `--jobs`). *)
+let positive ~what s =
+  match int_of_string_opt s with
+  | None -> Error (Fmt.str "bad %s %S: expected an integer" what s)
+  | Some n when n < 1 -> Error (Fmt.str "bad %s %d: must be at least 1" what n)
+  | Some n -> Ok n
+
+let count = positive ~what:"count"

@@ -1,0 +1,257 @@
+(** The fuzzing driver: generated programs through the full pipeline
+    over the whole configuration grid, failures shrunk to minimal
+    repros and persisted as a regression corpus.
+
+    Per program: one shared checked preparation (per optimisation
+    level), then every grid point runs the pass-level oracle
+    ({!Oracle.compile_checked}) followed by machine-vs-oracle lockstep
+    ({!Lockstep.run}).  Programs are independent, so the fleet
+    parallelises over programs with {!Rc_par.Pool}. *)
+
+open Rc_core
+open Rc_harness
+module J = Rc_obs.Json
+
+(* --- the configuration grid ----------------------------------------------- *)
+
+type point = {
+  rc : bool;
+  model : Model.t;
+  issue : int;
+  connect : int;  (** connect latency, 0 or 1 *)
+}
+
+(** Every (model x issue x connect) RC point plus non-RC baselines at
+    both issue rates: 18 points. *)
+let grid =
+  let base =
+    List.map
+      (fun issue -> { rc = false; model = Model.default; issue; connect = 0 })
+      [ 1; 4 ]
+  in
+  let rc_points =
+    List.concat_map
+      (fun model ->
+        List.concat_map
+          (fun issue ->
+            List.map (fun connect -> { rc = true; model; issue; connect })
+              [ 0; 1 ])
+          [ 1; 4 ])
+      Model.all
+  in
+  base @ rc_points
+
+let point_name p =
+  if p.rc then
+    Fmt.str "rc-m%d-i%d-c%d" (Model.number p.model) p.issue p.connect
+  else Fmt.str "base-i%d" p.issue
+
+(* Small core sections so generated programs actually spill into the
+   extended section and exercise connects; non-RC runs the same core
+   size so both sides of every comparison see real pressure. *)
+let options_of_point ~opt p =
+  if p.rc then
+    Pipeline.options ~opt ~rc:true ~core_int:12 ~core_float:8 ~total_int:64
+      ~total_float:32 ~model:p.model ~issue:p.issue
+      ~lat:(Rc_isa.Latency.v ~load:2 ~connect:p.connect ())
+      ()
+  else
+    Pipeline.options ~opt ~rc:false ~core_int:12 ~core_float:8 ~issue:p.issue
+      ()
+
+let point_to_json p =
+  J.Obj
+    [
+      ("rc", J.Bool p.rc);
+      ("model", J.Int (Model.number p.model));
+      ("issue", J.Int p.issue);
+      ("connect", J.Int p.connect);
+    ]
+
+let point_of_json j =
+  let int k = match J.member k j with Some (J.Int n) -> n | _ -> 0 in
+  {
+    rc = (match J.member "rc" j with Some (J.Bool b) -> b | _ -> false);
+    model =
+      (match Model.of_string (string_of_int (int "model")) with
+      | Some m -> m
+      | None -> Model.default);
+    issue = max 1 (int "issue");
+    connect = int "connect";
+  }
+
+(* --- checking one spec ---------------------------------------------------- *)
+
+let opt_of_index index =
+  if index mod 2 = 0 then Rc_opt.Pass.Ilp Rc_opt.Pass.default_unroll
+  else Rc_opt.Pass.Classical
+
+(** Check [spec] at one grid point ([None] = preparation stages only).
+    Returns the first divergence report, or [None] when everything
+    agrees.  This one function is the fuzzing predicate, the shrinking
+    predicate and the corpus replay check. *)
+let check_spec ~opt ?point (spec : Gen.spec) =
+  match Oracle.prepare_checked ~opt (Gen.render spec) with
+  | Error r -> Some r
+  | Ok prep -> (
+      match point with
+      | None -> None
+      | Some p -> (
+          let opts = options_of_point ~opt p in
+          match Oracle.compile_checked opts prep with
+          | Error r -> Some r
+          | Ok compiled -> (
+              match
+                Lockstep.run (Oracle.config_of_options opts)
+                  compiled.Pipeline.image
+              with
+              | Lockstep.Diverged r -> Some r
+              | Lockstep.Agree _ -> None)))
+
+(* --- failure cases -------------------------------------------------------- *)
+
+type case = {
+  program : int;  (** index within the run *)
+  pseed : int;  (** the spec's own derived seed *)
+  classical : bool;  (** optimisation level the case was found at *)
+  point : point option;  (** [None]: failed during shared preparation *)
+  report : Report.t;
+  spec : Gen.spec;
+  shrunk : Gen.spec option;
+  shrink_evals : int;
+}
+
+type summary = {
+  programs : int;
+  points_per_program : int;
+  cases : case list;
+  wall_s : float;
+}
+
+let case_to_json c =
+  J.Obj
+    [
+      ("program", J.Int c.program);
+      ("pseed", J.Int c.pseed);
+      ("opt", J.Str (if c.classical then "classical" else "ilp"));
+      ("point", match c.point with Some p -> point_to_json p | None -> J.Null);
+      ("report", Report.to_json c.report);
+      ("spec", Gen.to_json c.spec);
+      ( "shrunk",
+        match c.shrunk with Some s -> Gen.to_json s | None -> J.Null );
+      ("shrink_evals", J.Int c.shrink_evals);
+    ]
+
+let summary_to_json s =
+  J.Obj
+    [
+      ("programs", J.Int s.programs);
+      ("points_per_program", J.Int s.points_per_program);
+      ("divergences", J.Int (List.length s.cases));
+      ("wall_s", J.Float s.wall_s);
+      ("cases", J.List (List.map case_to_json s.cases));
+    ]
+
+(** The spec to replay from a persisted case: the shrunk repro when one
+    was recorded, else the original. *)
+let case_spec_of_json j =
+  let spec =
+    match (J.member "shrunk" j, J.member "spec" j) with
+    | Some (J.Obj _ as s), _ -> Gen.of_json s
+    | _, Some s -> Gen.of_json s
+    | _ -> raise (Gen.Bad_spec "case without spec")
+  in
+  let point =
+    match J.member "point" j with
+    | Some (J.Obj _ as p) -> Some (point_of_json p)
+    | _ -> None
+  in
+  let classical =
+    match J.member "opt" j with Some (J.Str "classical") -> true | _ -> false
+  in
+  (spec, point, classical)
+
+(* --- the driver ----------------------------------------------------------- *)
+
+(* A failure is shrunk under "same stage and kind at the same point":
+   the minimal program must still break the same pass the original
+   broke, not merely break something. *)
+let shrink_case ~opt ~point report spec =
+  let reproduces candidate =
+    match check_spec ~opt ?point candidate with
+    | Some r ->
+        r.Report.stage = report.Report.stage
+        && r.Report.kind = report.Report.kind
+    | None -> false
+  in
+  Shrink.shrink ~reproduces spec
+
+let check_program ~seed ~shrink index =
+  let pseed = (seed * 1_000_003) + index in
+  let spec = Gen.generate pseed in
+  let opt = opt_of_index index in
+  let classical = opt = Rc_opt.Pass.Classical in
+  let case ?point report =
+    let shrunk, shrink_evals =
+      if shrink then
+        let s, evals = shrink_case ~opt ~point report spec in
+        (Some s, evals)
+      else (None, 0)
+    in
+    { program = index; pseed; classical; point; report; spec; shrunk;
+      shrink_evals }
+  in
+  match Oracle.prepare_checked ~opt (Gen.render spec) with
+  | Error r -> [ case r ]
+  | Ok prep ->
+      List.filter_map
+        (fun p ->
+          let opts = options_of_point ~opt p in
+          match Oracle.compile_checked opts prep with
+          | Error r -> Some (case ~point:p r)
+          | Ok compiled -> (
+              match
+                Lockstep.run (Oracle.config_of_options opts)
+                  compiled.Pipeline.image
+              with
+              | Lockstep.Diverged r -> Some (case ~point:p r)
+              | Lockstep.Agree _ -> None))
+        grid
+
+let write_corpus_case dir c =
+  let name =
+    Fmt.str "div-%d-%s.json" c.pseed
+      (match c.point with Some p -> point_name p | None -> "prep")
+  in
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc (J.to_string (case_to_json c));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(** Fuzz [count] programs derived from [seed] over the full grid.
+    [jobs] parallelises over programs; [shrink] minimises each failure
+    before reporting; [corpus_dir] persists every (shrunk) failure as
+    one JSON case file. *)
+let run ?(jobs = 1) ?(shrink = true) ?corpus_dir ~seed ~count () =
+  let t0 = Unix.gettimeofday () in
+  let indices = List.init count (fun i -> i) in
+  let cases =
+    if jobs <= 1 then List.concat_map (check_program ~seed ~shrink) indices
+    else
+      Rc_par.Pool.with_pool ~jobs (fun pool ->
+          List.concat
+            (Rc_par.Pool.map_cells pool (check_program ~seed ~shrink) indices))
+  in
+  (match corpus_dir with
+  | Some dir when cases <> [] ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter (fun c -> ignore (write_corpus_case dir c)) cases
+  | _ -> ());
+  {
+    programs = count;
+    points_per_program = List.length grid;
+    cases;
+    wall_s = Unix.gettimeofday () -. t0;
+  }

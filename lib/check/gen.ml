@@ -1,0 +1,470 @@
+(** Seeded random IR program generator.
+
+    Programs are generated as a pure-data {e spec} AST and only then
+    rendered through {!Rc_ir.Builder}.  The split is what makes
+    shrinking tractable: the shrinker edits specs (drop a statement,
+    unwrap a loop, collapse an expression) and re-renders, and the
+    renderer is {e total} — any structurally well-formed spec, however
+    mutilated, renders to a program the pipeline accepts:
+
+    - variable ids are taken modulo the function's variable count and
+      every variable is zero-initialised at entry, so no shrink can
+      create a use of an undefined register;
+    - global-slot indices are taken modulo the global's slot count;
+    - a call to a dropped helper renders as [dst := 0];
+    - loops have constant trip counts, so every program terminates.
+
+    The generator aims at the pressure points of the RC pipeline: deep
+    expressions and many simultaneously-live variables (to force spills
+    and extended-section allocation, hence connects), loops with
+    carried dependences (model-3 read-map updates), calls (jsr/rts
+    home-reset), mixed int/float traffic (both map tables), and stores
+    and loads through the one global array (memory channels). *)
+
+open Rc_ir
+
+type expr =
+  | Const of int64
+  | Var of int  (** integer variable, id mod nvars *)
+  | Bin of Rc_isa.Opcode.alu * expr * expr
+  | Fcmp of Rc_isa.Opcode.cond * fexpr * fexpr
+  | Ftoi of fexpr
+
+and fexpr =
+  | FConst of float
+  | FVar of int  (** float variable, id mod nfvars *)
+  | FBin of Rc_isa.Opcode.fpu * fexpr * fexpr
+  | Itof of expr
+
+type stmt =
+  | Set of int * expr  (** var := expr *)
+  | FSet of int * fexpr
+  | Emit of expr
+  | FEmit of fexpr
+  | Store of int * expr  (** g[slot mod slots] := expr *)
+  | Load of int * int  (** var := g[slot mod slots] *)
+  | If of Rc_isa.Opcode.cond * expr * expr * stmt list * stmt list
+  | Loop of int * int * stmt list
+      (** [Loop (v, n, body)]: for i = 0 to n-1, with var [v] := i at
+          the top of each iteration *)
+  | Call of int * int * expr list
+      (** [Call (dst, callee, args)]: var [dst] := helper [callee]
+          applied to [args]; helpers are numbered 1.. and may only be
+          called by lower-numbered functions (0 = main), so the call
+          graph is a DAG *)
+
+type func_spec = {
+  arity : int;  (** integer parameters, bound to the first variables *)
+  nvars : int;  (** >= max 1 (arity) *)
+  nfvars : int;  (** >= 1 *)
+  body : stmt list;
+}
+
+type spec = {
+  seed : int;
+  slots : int;  (** 8-byte cells of the global array, >= 1 *)
+  funcs : func_spec array;  (** [funcs.(0)] is main; the rest helpers *)
+}
+
+(* --- sizes ---------------------------------------------------------------- *)
+
+let rec expr_size = function
+  | Const _ | Var _ -> 1
+  | Bin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Fcmp (_, a, b) -> 1 + fexpr_size a + fexpr_size b
+  | Ftoi a -> 1 + fexpr_size a
+
+and fexpr_size = function
+  | FConst _ | FVar _ -> 1
+  | FBin (_, a, b) -> 1 + fexpr_size a + fexpr_size b
+  | Itof a -> 1 + expr_size a
+
+let rec stmt_size = function
+  | Set (_, e) | Emit e | Store (_, e) -> 1 + expr_size e
+  | FSet (_, e) | FEmit e -> 1 + fexpr_size e
+  | Load _ -> 1
+  | If (_, a, b, t, e) ->
+      1 + expr_size a + expr_size b + body_size t + body_size e
+  | Loop (_, _, body) -> 1 + body_size body
+  | Call (_, _, args) -> 1 + List.fold_left (fun s a -> s + expr_size a) 0 args
+
+and body_size body = List.fold_left (fun s st -> s + stmt_size st) 0 body
+
+(** Total spec size, the measure greedy shrinking decreases. *)
+let size s = Array.fold_left (fun acc f -> acc + 1 + body_size f.body) 0 s.funcs
+
+(* --- generation ----------------------------------------------------------- *)
+
+let alus =
+  [|
+    Rc_isa.Opcode.Add; Sub; Mul; Div; Rem; And; Or; Xor; Sll; Srl; Sra; Slt;
+    Seq;
+  |]
+
+let fpus = [| Rc_isa.Opcode.Fadd; Fsub; Fmul; Fdiv; Fneg; Fabs |]
+let conds = [| Rc_isa.Opcode.Eq; Ne; Lt; Le; Gt; Ge |]
+let pick rs a = a.(Random.State.int rs (Array.length a))
+
+let rec gen_expr rs ~depth ~nvars =
+  if depth <= 0 || Random.State.int rs 3 = 0 then
+    if Random.State.bool rs then Var (Random.State.int rs nvars)
+    else Const (Int64.of_int (Random.State.int rs 201 - 100))
+  else
+    match Random.State.int rs 10 with
+    | 8 ->
+        Fcmp
+          ( pick rs conds,
+            gen_fexpr rs ~depth:(depth - 1) ~nvars,
+            gen_fexpr rs ~depth:(depth - 1) ~nvars )
+    | 9 -> Ftoi (gen_fexpr rs ~depth:(depth - 1) ~nvars)
+    | _ ->
+        Bin
+          ( pick rs alus,
+            gen_expr rs ~depth:(depth - 1) ~nvars,
+            gen_expr rs ~depth:(depth - 1) ~nvars )
+
+and gen_fexpr rs ~depth ~nvars =
+  if depth <= 0 || Random.State.int rs 3 = 0 then
+    if Random.State.bool rs then FVar (Random.State.int rs 8)
+    else FConst (float_of_int (Random.State.int rs 41 - 20) /. 4.0)
+  else
+    match Random.State.int rs 8 with
+    | 7 -> Itof (gen_expr rs ~depth:(depth - 1) ~nvars)
+    | _ ->
+        FBin
+          ( pick rs fpus,
+            gen_fexpr rs ~depth:(depth - 1) ~nvars,
+            gen_fexpr rs ~depth:(depth - 1) ~nvars )
+
+(* [callees]: indices of helpers this function may call (empty for the
+   last helper).  [in_loop] keeps calls out of the deepest nests so run
+   time stays bounded. *)
+let rec gen_stmt rs ~depth ~nvars ~callees =
+  let e ?(d = 3) () = gen_expr rs ~depth:d ~nvars in
+  match Random.State.int rs 14 with
+  | 0 | 1 | 2 -> Set (Random.State.int rs nvars, e ~d:4 ())
+  | 3 -> FSet (Random.State.int rs 8, gen_fexpr rs ~depth:3 ~nvars)
+  | 4 -> Emit (e ())
+  | 5 -> FEmit (gen_fexpr rs ~depth:2 ~nvars)
+  | 6 -> Store (Random.State.int rs 64, e ())
+  | 7 -> Load (Random.State.int rs nvars, Random.State.int rs 64)
+  | 8 | 9 when depth > 0 ->
+      If
+        ( pick rs conds,
+          e ~d:2 (),
+          e ~d:2 (),
+          gen_body rs ~depth:(depth - 1) ~nvars ~callees
+            ~len:(1 + Random.State.int rs 3),
+          if Random.State.bool rs then []
+          else
+            gen_body rs ~depth:(depth - 1) ~nvars ~callees
+              ~len:(1 + Random.State.int rs 2) )
+  | 10 | 11 when depth > 0 ->
+      (* Trip counts stay small: nested loops multiply, and every
+         dynamic instruction here is executed ~100 times across the
+         grid's oracle runs. *)
+      Loop
+        ( Random.State.int rs nvars,
+          1 + Random.State.int rs 4,
+          gen_body rs ~depth:(depth - 1) ~nvars ~callees
+            ~len:(1 + Random.State.int rs 4) )
+  | 12 | 13 when callees <> [] ->
+      let callee = List.nth callees (Random.State.int rs (List.length callees)) in
+      let nargs = Random.State.int rs 4 in
+      Call
+        ( Random.State.int rs nvars,
+          callee,
+          List.init nargs (fun _ -> e ~d:2 ()) )
+  | _ -> Set (Random.State.int rs nvars, e ~d:4 ())
+
+and gen_body rs ~depth ~nvars ~callees ~len =
+  List.init len (fun _ -> gen_stmt rs ~depth ~nvars ~callees)
+
+(** Generate one program spec, fully determined by [seed].  [nfuncs]
+    functions (main + helpers), bodies sized by [len]. *)
+let generate ?(nfuncs = 3) ?(len = 11) seed =
+  let rs = Random.State.make [| 0x5ca1e; seed |] in
+  let nfuncs = max 1 nfuncs in
+  let funcs =
+    Array.init nfuncs (fun i ->
+        (* Only higher-numbered helpers are callable: a DAG, no
+           recursion.  Helper bodies are shorter than main's. *)
+        let callees =
+          List.init (nfuncs - i - 1) (fun k -> i + 1 + k)
+        in
+        let arity = if i = 0 then 0 else Random.State.int rs 4 in
+        (* Enough simultaneously-live variables to overflow a small
+           core section and force spills + extended-section use. *)
+        let nvars = max (arity + 1) (12 + Random.State.int rs 12) in
+        let body_len = if i = 0 then len else max 3 (len / 2) in
+        {
+          arity;
+          nvars;
+          nfvars = 8;
+          body = gen_body rs ~depth:2 ~nvars ~callees ~len:body_len;
+        })
+  in
+  { seed; slots = 64; funcs }
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let fname i = if i = 0 then "main" else Fmt.str "helper%d" i
+
+(* Rendering environment for one function body. *)
+type env = {
+  b : Builder.t;
+  vars : Vreg.t array;
+  fvars : Vreg.t array;
+  g : Vreg.t;  (** address of the global array *)
+  slots : int;
+  nfuncs : int;
+  funcs : func_spec array;
+}
+
+let var env i = env.vars.(i mod Array.length env.vars)
+let fvar env i = env.fvars.(i mod Array.length env.fvars)
+
+let rec rx env = function
+  | Const n -> Builder.ci env.b n
+  | Var i -> var env i
+  | Bin (op, a, b) -> Builder.alu2 env.b op (rx env a) (rx env b)
+  | Fcmp (c, a, b) -> Builder.fcmp env.b c (rfx env a) (rfx env b)
+  | Ftoi a -> Builder.ftoi env.b (rfx env a)
+
+and rfx env = function
+  | FConst x -> Builder.cf env.b x
+  | FVar i -> fvar env i
+  | FBin (op, a, b) -> Builder.fpu2 env.b op (rfx env a) (rfx env b)
+  | Itof a -> Builder.itof env.b (rx env a)
+
+let rec rstmt env = function
+  | Set (v, e) -> Builder.assign env.b (var env v) (rx env e)
+  | FSet (v, e) -> Builder.assign env.b (fvar env v) (rfx env e)
+  | Emit e -> Builder.emit env.b (rx env e)
+  | FEmit e -> Builder.femit env.b (rfx env e)
+  | Store (slot, e) ->
+      Builder.store env.b ~off:(8 * (slot mod env.slots)) ~src:(rx env e) env.g
+  | Load (v, slot) ->
+      Builder.assign env.b (var env v)
+        (Builder.load env.b ~off:(8 * (slot mod env.slots)) env.g)
+  | If (c, a, b, then_, else_) ->
+      Builder.if_ env.b c (rx env a) (rx env b)
+        ~then_:(fun () -> List.iter (rstmt env) then_)
+        ~else_:(fun () -> List.iter (rstmt env) else_)
+        ()
+  | Loop (v, n, body) ->
+      Builder.for_n env.b ~start:0 ~stop:(max 0 n) (fun i ->
+          Builder.assign env.b (var env v) i;
+          List.iter (rstmt env) body)
+  | Call (dst, callee, args) ->
+      if callee <= 0 || callee >= env.nfuncs then
+        (* the shrinker dropped the helper: the call collapses *)
+        Builder.seti env.b (var env dst) 0L
+      else begin
+        let arity = env.funcs.(callee).arity in
+        let args = List.map (rx env) args in
+        (* match the callee's arity exactly, padding with zeros *)
+        let rec fit n = function
+          | _ when n = 0 -> []
+          | a :: rest -> a :: fit (n - 1) rest
+          | [] -> Builder.cint env.b 0 :: fit (n - 1) []
+        in
+        Builder.assign env.b (var env dst)
+          (Builder.call_i env.b (fname callee) (fit arity args))
+      end
+
+(** Render a spec to a fresh IR program.  Total: never raises on any
+    structurally well-formed spec. *)
+let render (s : spec) : Prog.t =
+  let prog = Builder.program ~entry:"main" in
+  let slots = max 1 s.slots in
+  Builder.global prog "g" ~bytes:(8 * slots) ();
+  let nfuncs = Array.length s.funcs in
+  Array.iteri
+    (fun i (f : func_spec) ->
+      let params = List.init f.arity (fun _ -> Rc_isa.Reg.Int) in
+      ignore
+        (Builder.define prog (fname i) ~params
+           ?ret:(if i = 0 then None else Some Rc_isa.Reg.Int)
+           (fun b ps ->
+             let nvars = max (max 1 f.arity) f.nvars in
+             let vars =
+               Array.init nvars (fun v ->
+                   match List.nth_opt ps v with
+                   | Some p -> p
+                   | None -> Builder.cint b 0)
+             in
+             let fvars =
+               Array.init (max 1 f.nfvars) (fun _ -> Builder.cf b 0.0)
+             in
+             let env =
+               { b; vars; fvars; g = Builder.addr b "g"; slots; nfuncs;
+                 funcs = s.funcs }
+             in
+             List.iter (rstmt env) f.body;
+             if i = 0 then begin
+               (* Keep every variable live to the end and observable:
+                  maximum pressure, and any clobber anywhere shows up
+                  in the output stream. *)
+               Array.iter (fun v -> Builder.emit b v) vars;
+               Array.iter (fun v -> Builder.femit b v) fvars;
+               Builder.halt b
+             end
+             else Builder.ret b (Some vars.(0)))))
+    s.funcs;
+  prog
+
+(* --- spec (de)serialisation, for the regression corpus -------------------- *)
+
+module J = Rc_obs.Json
+
+let alu_name a = Rc_isa.Opcode.string_of_alu a
+let fpu_name f = Rc_isa.Opcode.string_of_fpu f
+let cond_name c = Rc_isa.Opcode.string_of_cond c
+
+let of_name name table fallback =
+  match Array.find_opt (fun x -> snd x = name) table with
+  | Some (x, _) -> x
+  | None -> fallback
+
+let alu_table = Array.map (fun a -> (a, alu_name a)) alus
+let fpu_table = Array.map (fun f -> (f, fpu_name f)) fpus
+let cond_table = Array.map (fun c -> (c, cond_name c)) conds
+
+let rec expr_to_json = function
+  | Const n -> J.List [ J.Str "const"; J.Str (Int64.to_string n) ]
+  | Var i -> J.List [ J.Str "var"; J.Int i ]
+  | Bin (op, a, b) ->
+      J.List [ J.Str "bin"; J.Str (alu_name op); expr_to_json a; expr_to_json b ]
+  | Fcmp (c, a, b) ->
+      J.List
+        [ J.Str "fcmp"; J.Str (cond_name c); fexpr_to_json a; fexpr_to_json b ]
+  | Ftoi a -> J.List [ J.Str "ftoi"; fexpr_to_json a ]
+
+and fexpr_to_json = function
+  | FConst x -> J.List [ J.Str "fconst"; J.Float x ]
+  | FVar i -> J.List [ J.Str "fvar"; J.Int i ]
+  | FBin (op, a, b) ->
+      J.List
+        [ J.Str "fbin"; J.Str (fpu_name op); fexpr_to_json a; fexpr_to_json b ]
+  | Itof a -> J.List [ J.Str "itof"; expr_to_json a ]
+
+let rec stmt_to_json = function
+  | Set (v, e) -> J.List [ J.Str "set"; J.Int v; expr_to_json e ]
+  | FSet (v, e) -> J.List [ J.Str "fset"; J.Int v; fexpr_to_json e ]
+  | Emit e -> J.List [ J.Str "emit"; expr_to_json e ]
+  | FEmit e -> J.List [ J.Str "femit"; fexpr_to_json e ]
+  | Store (s, e) -> J.List [ J.Str "store"; J.Int s; expr_to_json e ]
+  | Load (v, s) -> J.List [ J.Str "load"; J.Int v; J.Int s ]
+  | If (c, a, b, t, e) ->
+      J.List
+        [
+          J.Str "if"; J.Str (cond_name c); expr_to_json a; expr_to_json b;
+          J.List (List.map stmt_to_json t); J.List (List.map stmt_to_json e);
+        ]
+  | Loop (v, n, body) ->
+      J.List
+        [ J.Str "loop"; J.Int v; J.Int n; J.List (List.map stmt_to_json body) ]
+  | Call (d, c, args) ->
+      J.List
+        [ J.Str "call"; J.Int d; J.Int c; J.List (List.map expr_to_json args) ]
+
+let to_json (s : spec) =
+  J.Obj
+    [
+      ("seed", J.Int s.seed);
+      ("slots", J.Int s.slots);
+      ( "funcs",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun f ->
+                  J.Obj
+                    [
+                      ("arity", J.Int f.arity);
+                      ("nvars", J.Int f.nvars);
+                      ("nfvars", J.Int f.nfvars);
+                      ("body", J.List (List.map stmt_to_json f.body));
+                    ])
+                s.funcs)) );
+    ]
+
+exception Bad_spec of string
+
+let jint = function J.Int n -> n | _ -> raise (Bad_spec "expected int")
+
+let rec expr_of_json = function
+  | J.List (J.Str "const" :: J.Str n :: _) -> Const (Int64.of_string n)
+  | J.List (J.Str "var" :: i :: _) -> Var (jint i)
+  | J.List [ J.Str "bin"; J.Str op; a; b ] ->
+      Bin
+        ( of_name op alu_table Rc_isa.Opcode.Add,
+          expr_of_json a,
+          expr_of_json b )
+  | J.List [ J.Str "fcmp"; J.Str c; a; b ] ->
+      Fcmp
+        ( of_name c cond_table Rc_isa.Opcode.Eq,
+          fexpr_of_json a,
+          fexpr_of_json b )
+  | J.List [ J.Str "ftoi"; a ] -> Ftoi (fexpr_of_json a)
+  | _ -> raise (Bad_spec "bad expr")
+
+and fexpr_of_json = function
+  | J.List (J.Str "fconst" :: J.Float x :: _) -> FConst x
+  | J.List (J.Str "fconst" :: J.Int x :: _) -> FConst (float_of_int x)
+  | J.List (J.Str "fvar" :: i :: _) -> FVar (jint i)
+  | J.List [ J.Str "fbin"; J.Str op; a; b ] ->
+      FBin
+        ( of_name op fpu_table Rc_isa.Opcode.Fadd,
+          fexpr_of_json a,
+          fexpr_of_json b )
+  | J.List [ J.Str "itof"; a ] -> Itof (expr_of_json a)
+  | _ -> raise (Bad_spec "bad fexpr")
+
+let rec stmt_of_json = function
+  | J.List [ J.Str "set"; v; e ] -> Set (jint v, expr_of_json e)
+  | J.List [ J.Str "fset"; v; e ] -> FSet (jint v, fexpr_of_json e)
+  | J.List [ J.Str "emit"; e ] -> Emit (expr_of_json e)
+  | J.List [ J.Str "femit"; e ] -> FEmit (fexpr_of_json e)
+  | J.List [ J.Str "store"; s; e ] -> Store (jint s, expr_of_json e)
+  | J.List [ J.Str "load"; v; s ] -> Load (jint v, jint s)
+  | J.List [ J.Str "if"; J.Str c; a; b; J.List t; J.List e ] ->
+      If
+        ( of_name c cond_table Rc_isa.Opcode.Eq,
+          expr_of_json a,
+          expr_of_json b,
+          List.map stmt_of_json t,
+          List.map stmt_of_json e )
+  | J.List [ J.Str "loop"; v; n; J.List body ] ->
+      Loop (jint v, jint n, List.map stmt_of_json body)
+  | J.List [ J.Str "call"; d; c; J.List args ] ->
+      Call (jint d, jint c, List.map expr_of_json args)
+  | _ -> raise (Bad_spec "bad stmt")
+
+(** @raise Bad_spec on a malformed document. *)
+let of_json j =
+  let get k = match J.member k j with Some v -> v | None -> raise (Bad_spec k) in
+  let funcs =
+    match get "funcs" with
+    | J.List fs ->
+        Array.of_list
+          (List.map
+             (fun f ->
+               let g k =
+                 match J.member k f with
+                 | Some v -> v
+                 | None -> raise (Bad_spec k)
+               in
+               {
+                 arity = jint (g "arity");
+                 nvars = jint (g "nvars");
+                 nfvars = jint (g "nfvars");
+                 body =
+                   (match g "body" with
+                   | J.List ss -> List.map stmt_of_json ss
+                   | _ -> raise (Bad_spec "body"));
+               })
+             fs)
+    | _ -> raise (Bad_spec "funcs")
+  in
+  { seed = jint (get "seed"); slots = jint (get "slots"); funcs }

@@ -1,0 +1,206 @@
+(** Lockstep co-simulation: the cycle-accurate machine against the
+    sequential {!Rc_interp.Iexec} oracle on the same image.
+
+    The machine executes functionally at issue, so after every cycle
+    its architectural state (registers, maps, PSW, memory, output) must
+    equal the oracle's state after the same number of dynamic
+    instructions.  We therefore step the oracle by each cycle's issue
+    count and compare the complete state at every cycle boundary — a
+    strictly stronger check than the basic-block granularity the
+    divergence is reported at, for the same price.
+
+    The first disagreement stops the run and is reported with the
+    faulting address, enclosing function and block, and a disassembled
+    window — not a final-checksum mismatch. *)
+
+open Rc_isa
+open Rc_core
+module Machine = Rc_machine.Machine
+module Iexec = Rc_interp.Iexec
+
+type result =
+  | Agree of { cycles : int; steps : int }
+  | Diverged of Report.t
+
+(* --- state comparison ----------------------------------------------------- *)
+
+(* Floats compare as bit patterns so NaNs and signed zeros count as
+   what they are. *)
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let find_reg_mismatch (m : Machine.t) (o : Iexec.t) =
+  let bad = ref None in
+  Array.iteri
+    (fun p v ->
+      if !bad = None && not (Int64.equal v o.Iexec.iregs.(p)) then
+        bad :=
+          Some
+            ( "ireg",
+              Fmt.str "r%d: machine %Ld, oracle %Ld" p v o.Iexec.iregs.(p) ))
+    m.Machine.iregs;
+  Array.iteri
+    (fun p v ->
+      if !bad = None && not (float_eq v o.Iexec.fregs.(p)) then
+        bad :=
+          Some
+            ( "freg",
+              Fmt.str "f%d: machine %h, oracle %h" p v o.Iexec.fregs.(p) ))
+    m.Machine.fregs;
+  !bad
+
+(* Entry-by-entry, not [Map_table.equal]: the oracle may deliberately
+   run a different reset model ([?oracle_model]), and the question is
+   whether the architectural mapping state itself diverged. *)
+let map_mismatch name (a : Map_table.t) (b : Map_table.t) =
+  let bad = ref None in
+  for i = Map_table.entries a - 1 downto 0 do
+    if
+      a.Map_table.read_map.(i) <> b.Map_table.read_map.(i)
+      || a.Map_table.write_map.(i) <> b.Map_table.write_map.(i)
+    then
+      bad :=
+        Some
+          ( name,
+            Fmt.str "%s[%d]: machine r->%d w->%d, oracle r->%d w->%d" name i
+              a.Map_table.read_map.(i)
+              a.Map_table.write_map.(i)
+              b.Map_table.read_map.(i)
+              b.Map_table.write_map.(i) )
+  done;
+  !bad
+
+(* Output streams are built in reverse; compare the machine's against
+   the oracle's without re-reversing every cycle. *)
+let output_mismatch (m : Machine.t) (o : Iexec.t) =
+  let a = m.Machine.out_rev and b = o.Iexec.out_rev in
+  if List.length a <> List.length b then
+    Some
+      (Fmt.str "machine emitted %d values, oracle %d" (List.length a)
+         (List.length b))
+  else if List.for_all2 Int64.equal a b then None
+  else
+    let ra = List.rev a and rb = List.rev b in
+    let rec first i = function
+      | va :: ta, vb :: tb ->
+          if Int64.equal va vb then first (i + 1) (ta, tb)
+          else Fmt.str "output[%d]: machine %Ld, oracle %Ld" i va vb
+      | _ -> "output mismatch"
+    in
+    Some (first 0 (ra, rb))
+
+let compare_state (m : Machine.t) (o : Iexec.t) =
+  if m.Machine.halted <> o.Iexec.halted then
+    Some
+      ( "halted",
+        Fmt.str "machine %shalted, oracle %shalted"
+          (if m.Machine.halted then "" else "not ")
+          (if o.Iexec.halted then "" else "not ") )
+  else if m.Machine.pc <> o.Iexec.pc && not m.Machine.halted then
+    Some ("pc", Fmt.str "machine pc %d, oracle pc %d" m.Machine.pc o.Iexec.pc)
+  else
+    match output_mismatch m o with
+    | Some d -> Some ("output", d)
+    | None -> (
+        match find_reg_mismatch m o with
+        | Some bad -> Some bad
+        | None -> (
+            match map_mismatch "imap" m.Machine.imap o.Iexec.imap with
+            | Some bad -> Some bad
+            | None -> (
+                match map_mismatch "fmap" m.Machine.fmap o.Iexec.fmap with
+                | Some bad -> Some bad
+                | None ->
+                    if
+                      m.Machine.psw.Psw.map_enable
+                      <> o.Iexec.psw.Psw.map_enable
+                    then
+                      Some
+                        ( "psw",
+                          Fmt.str "map_enable: machine %b, oracle %b"
+                            m.Machine.psw.Psw.map_enable
+                            o.Iexec.psw.Psw.map_enable )
+                    else None)))
+
+let mem_mismatch (m : Machine.t) (o : Iexec.t) =
+  let n = min (Bytes.length m.Machine.mem) (Bytes.length o.Iexec.mem) in
+  let bad = ref None in
+  let i = ref 0 in
+  while !bad = None && !i < n do
+    if Bytes.get m.Machine.mem !i <> Bytes.get o.Iexec.mem !i then
+      bad :=
+        Some
+          (Fmt.str "mem[0x%x]: machine %d, oracle %d" !i
+             (Char.code (Bytes.get m.Machine.mem !i))
+             (Char.code (Bytes.get o.Iexec.mem !i)));
+    incr i
+  done;
+  !bad
+
+(* --- the lockstep loop ---------------------------------------------------- *)
+
+(** Run [image] to completion on both sides.  [oracle_model] overrides
+    the oracle's auto-reset model (used by tests to inject a
+    model-semantics divergence on purpose); it defaults to the
+    machine's.  [fuel_cycles] bounds the machine run. *)
+let run ?oracle_model ?(fuel_cycles = 100_000_000) (cfg : Rc_machine.Config.t)
+    (image : Image.t) =
+  let m = Machine.create cfg image in
+  let o =
+    Iexec.create ~arch:true
+      ~model:(Option.value oracle_model ~default:cfg.Rc_machine.Config.model)
+      ?trap_handler:cfg.Rc_machine.Config.trap_handler
+      ~ifile:cfg.Rc_machine.Config.ifile ~ffile:cfg.Rc_machine.Config.ffile
+      image
+  in
+  let diverged = ref None in
+  (try
+     while !diverged = None && not m.Machine.halted do
+       if m.Machine.stats.Machine.cycles > fuel_cycles then
+         failwith "lockstep: machine out of fuel";
+       let issued0 = m.Machine.stats.Machine.issued in
+       let pc0 = m.Machine.pc in
+       Machine.run_cycle m;
+       let delta = m.Machine.stats.Machine.issued - issued0 in
+       for _ = 1 to delta do
+         Iexec.step o
+       done;
+       match compare_state m o with
+       | None -> ()
+       | Some (field, detail) ->
+           (* The faulting instruction is inside the group issued this
+              cycle; point the report at the group's start. *)
+           diverged :=
+             Some
+               (Report.locate image
+                  (Report.v ~kind:"lockstep" ~field ~pc:pc0
+                     ~cycle:m.Machine.stats.Machine.cycles detail))
+     done
+   with
+  | Machine.Simulation_error msg ->
+      diverged :=
+        Some
+          (Report.locate image
+             (Report.v ~kind:"exec-error" ~field:"machine" ~pc:m.Machine.pc
+                ~cycle:m.Machine.stats.Machine.cycles
+                ("machine raised: " ^ msg)))
+  | Iexec.Exec_error msg ->
+      diverged :=
+        Some
+          (Report.locate image
+             (Report.v ~kind:"exec-error" ~field:"oracle" ~pc:o.Iexec.pc
+                ~cycle:m.Machine.stats.Machine.cycles
+                ("oracle raised: " ^ msg))));
+  match !diverged with
+  | Some r -> Diverged r
+  | None -> (
+      match mem_mismatch m o with
+      | Some detail ->
+          Diverged
+            (Report.v ~kind:"lockstep" ~field:"memory"
+               ~cycle:m.Machine.stats.Machine.cycles detail)
+      | None ->
+          Agree
+            {
+              cycles = m.Machine.stats.Machine.cycles;
+              steps = o.Iexec.steps;
+            })

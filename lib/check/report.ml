@@ -1,0 +1,145 @@
+(** Machine-readable divergence reports.
+
+    Every oracle in this library reports failures through this one
+    record, so `rcc check`, `rcc fuzz` and the CI artifact all speak
+    the same schema (documented in DESIGN.md section 13):
+
+    {v
+    { "kind":    "lockstep" | "pass-oracle" | "exec-error",
+      "stage":   pipeline pass name, or "simulate" for lockstep,
+      "field":   what disagreed ("output", "ireg", "fmap", ...),
+      "detail":  human-readable one-liner,
+      "pc":      faulting instruction address (-1 when unknown),
+      "cycle":   machine cycle of first divergence (-1 when unknown),
+      "func":    enclosing function,
+      "block":   enclosing basic-block label,
+      "window":  disassembly around pc, ">" marks the fault }
+    v} *)
+
+open Rc_isa
+
+type t = {
+  kind : string;
+  stage : string;
+  field : string;
+  detail : string;
+  pc : int;  (** faulting instruction address; [-1] when unknown *)
+  cycle : int;  (** machine cycle of first divergence; [-1] when unknown *)
+  func : string;
+  block : string;
+  window : string list;
+      (** disassembly around [pc]; the faulting line is marked [">"] *)
+}
+
+let v ?(stage = "simulate") ?(field = "") ?(pc = -1) ?(cycle = -1)
+    ?(func = "") ?(block = "") ?(window = []) ~kind detail =
+  { kind; stage; field; detail; pc; cycle; func; block; window }
+
+(* --- source attribution --------------------------------------------------- *)
+
+(* The assembler flattens functions contiguously, so the enclosing
+   function of an address is the one with the greatest start not past
+   it; likewise for block labels. *)
+let enclosing_func (image : Image.t) pc =
+  List.fold_left
+    (fun best (name, addr) ->
+      match best with
+      | Some (_, b) when b >= addr -> best
+      | _ when addr <= pc -> Some (name, addr)
+      | _ -> best)
+    None image.Image.func_addr
+
+let enclosing_block (image : Image.t) pc =
+  Hashtbl.fold
+    (fun label addr best ->
+      match best with
+      | Some (_, b) when b >= addr -> best
+      | _ when addr <= pc -> Some (label, addr)
+      | _ -> best)
+    image.Image.label_addr None
+
+(** "name+off" of the function enclosing [pc], "" when unknown. *)
+let func_at image pc =
+  match enclosing_func image pc with
+  | Some (name, addr) -> Fmt.str "%s+%d" name (pc - addr)
+  | None -> ""
+
+(** "L<label>" of the basic block enclosing [pc], "" when unknown. *)
+let block_at image pc =
+  match enclosing_block image pc with
+  | Some (label, _) -> Fmt.str "L%d" label
+  | None -> ""
+
+(** Disassembly of the instructions around [pc] ([radius] each way),
+    the line at [pc] marked with [">"]. *)
+let window_at ?(radius = 4) (image : Image.t) pc =
+  let code = image.Image.code in
+  let lo = max 0 (pc - radius) and hi = min (Array.length code - 1) (pc + radius) in
+  if lo > hi then []
+  else
+    List.init
+      (hi - lo + 1)
+      (fun k ->
+        let a = lo + k in
+        Fmt.str "%c %4d: %a" (if a = pc then '>' else ' ') a Insn.pp code.(a))
+
+(** Fill [func]/[block]/[window] of a report from its [pc]. *)
+let locate image r =
+  if r.pc < 0 then r
+  else
+    {
+      r with
+      func = func_at image r.pc;
+      block = block_at image r.pc;
+      window = window_at image r.pc;
+    }
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let to_json r =
+  Rc_obs.Json.(
+    Obj
+      [
+        ("kind", Str r.kind);
+        ("stage", Str r.stage);
+        ("field", Str r.field);
+        ("detail", Str r.detail);
+        ("pc", Int r.pc);
+        ("cycle", Int r.cycle);
+        ("func", Str r.func);
+        ("block", Str r.block);
+        ("window", List (List.map (fun l -> Str l) r.window));
+      ])
+
+let of_json j =
+  let str k = match Rc_obs.Json.member k j with Some (Str s) -> s | _ -> "" in
+  let int k = match Rc_obs.Json.member k j with Some (Int n) -> n | _ -> -1 in
+  let window =
+    match Rc_obs.Json.member "window" j with
+    | Some (List ls) ->
+        List.filter_map
+          (function Rc_obs.Json.Str s -> Some s | _ -> None)
+          ls
+    | _ -> []
+  in
+  {
+    kind = str "kind";
+    stage = str "stage";
+    field = str "field";
+    detail = str "detail";
+    pc = int "pc";
+    cycle = int "cycle";
+    func = str "func";
+    block = str "block";
+    window;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%s divergence in %s: %s%s@,  %s@]" r.kind r.stage
+    (if r.field = "" then "" else r.field ^ " — ")
+    r.detail
+    (match (r.func, r.block) with
+    | "", "" -> Fmt.str "pc=%d cycle=%d" r.pc r.cycle
+    | f, b -> Fmt.str "at %s (block %s), pc=%d cycle=%d" f b r.pc r.cycle);
+  if r.window <> [] then
+    Fmt.pf ppf "@,@[<v>%a@]" Fmt.(list ~sep:cut string) r.window

@@ -1,0 +1,170 @@
+(** Greedy spec shrinking.
+
+    Given a failing {!Gen.spec} and a predicate that re-runs the
+    failure, repeatedly apply the first single-step reduction that
+    still reproduces, until no reduction does.  Reductions are ordered
+    coarse-to-fine — drop half a body, drop a statement, unwrap a
+    loop, inline an [If] arm, collapse a call, simplify an expression
+    — so the minimum is usually reached in few (expensive) predicate
+    evaluations.
+
+    All reductions preserve the renderer's invariants by construction:
+    they only remove or simplify nodes, never renumber functions or
+    variables, so every candidate renders and terminates
+    (see {!Gen.render}). *)
+
+open Gen
+
+(* Lazy sequence helpers: candidates are generated on demand because
+   evaluating the predicate dominates the cost. *)
+let ( @: ) = Seq.cons
+let seq_map_nth xs i f = List.mapi (fun k x -> if k = i then f x else x) xs
+
+let rec expr_shrinks (e : expr) : expr Seq.t =
+  match e with
+  | Const 0L -> Seq.empty
+  | Const _ -> Seq.return (Const 0L)
+  | Var _ -> Seq.return (Const 0L)
+  | Bin (op, a, b) ->
+      a @: b
+      @: Seq.append
+           (Seq.map (fun a' -> Bin (op, a', b)) (expr_shrinks a))
+           (Seq.map (fun b' -> Bin (op, a, b')) (expr_shrinks b))
+  | Fcmp (_, _, _) -> Seq.return (Const 0L)
+  | Ftoi f -> Const 0L @: Seq.map (fun f' -> Ftoi f') (fexpr_shrinks f)
+
+and fexpr_shrinks (e : fexpr) : fexpr Seq.t =
+  match e with
+  | FConst 0.0 -> Seq.empty
+  | FConst _ -> Seq.return (FConst 0.0)
+  | FVar _ -> Seq.return (FConst 0.0)
+  | FBin (op, a, b) ->
+      a @: b
+      @: Seq.append
+           (Seq.map (fun a' -> FBin (op, a', b)) (fexpr_shrinks a))
+           (Seq.map (fun b' -> FBin (op, a, b')) (fexpr_shrinks b))
+  | Itof a -> FConst 0.0 @: Seq.map (fun a' -> Itof a') (expr_shrinks a)
+
+let rec stmt_shrinks (s : stmt) : stmt Seq.t =
+  match s with
+  | Set (v, e) -> Seq.map (fun e' -> Set (v, e')) (expr_shrinks e)
+  | FSet (v, e) -> Seq.map (fun e' -> FSet (v, e')) (fexpr_shrinks e)
+  | Emit e -> Seq.map (fun e' -> Emit e') (expr_shrinks e)
+  | FEmit e -> Seq.map (fun e' -> FEmit e') (fexpr_shrinks e)
+  | Store (slot, e) -> Seq.map (fun e' -> Store (slot, e')) (expr_shrinks e)
+  | Load _ -> Seq.empty
+  | If (c, a, b, then_, else_) ->
+      (* arm-inlining lives in {!body_shrinks}; here: shrink within *)
+      Seq.append
+        (Seq.map (fun t -> If (c, a, b, t, else_)) (body_shrinks then_))
+        (Seq.append
+           (Seq.map (fun e' -> If (c, a, b, then_, e')) (body_shrinks else_))
+           (Seq.append
+              (Seq.map (fun a' -> If (c, a', b, then_, else_))
+                 (expr_shrinks a))
+              (Seq.map (fun b' -> If (c, a, b', then_, else_))
+                 (expr_shrinks b))))
+  | Loop (v, n, body) ->
+      Seq.append
+        (if n > 1 then Seq.return (Loop (v, 1, body)) else Seq.empty)
+        (Seq.map (fun b -> Loop (v, n, b)) (body_shrinks body))
+  | Call (dst, _, _) -> Seq.return (Set (dst, Const 0L))
+
+(* Reductions of a statement list: drop the front/back half, drop one
+   statement, inline one compound statement's body, shrink one
+   statement in place. *)
+and body_shrinks (body : stmt list) : stmt list Seq.t =
+  let n = List.length body in
+  let halves =
+    if n >= 2 then
+      let k = n / 2 in
+      let front = List.filteri (fun i _ -> i < k) body in
+      let back = List.filteri (fun i _ -> i >= k) body in
+      front @: Seq.return back
+    else Seq.empty
+  in
+  let drops =
+    Seq.init n (fun i -> List.filteri (fun k _ -> k <> i) body)
+  in
+  let inlines =
+    Seq.concat
+      (Seq.init n (fun i ->
+           match List.nth body i with
+           | If (_, _, _, t, e) ->
+               Seq.return
+                 (List.concat_map
+                    (fun (k, x) -> if k = i then t @ e else [ x ])
+                    (List.mapi (fun k x -> (k, x)) body))
+           | Loop (_, _, b) ->
+               Seq.return
+                 (List.concat_map
+                    (fun (k, x) -> if k = i then b else [ x ])
+                    (List.mapi (fun k x -> (k, x)) body))
+           | _ -> Seq.empty))
+  in
+  let in_place =
+    Seq.concat
+      (Seq.init n (fun i ->
+           Seq.map
+             (fun s' -> seq_map_nth body i (fun _ -> s'))
+             (stmt_shrinks (List.nth body i))))
+  in
+  Seq.append halves (Seq.append drops (Seq.append inlines in_place))
+
+(** One-step reductions of a whole spec, coarsest first: empty a
+    helper's body (call sites keep working — the helper then just
+    returns its first variable), then reduce each function's body. *)
+let candidates (s : spec) : spec Seq.t =
+  let empty_helpers =
+    Seq.concat
+      (Seq.init (Array.length s.funcs) (fun i ->
+           if i = 0 || s.funcs.(i).body = [] then Seq.empty
+           else
+             Seq.return
+               {
+                 s with
+                 funcs =
+                   Array.mapi
+                     (fun k f -> if k = i then { f with body = [] } else f)
+                     s.funcs;
+               }))
+  in
+  let body_reductions =
+    Seq.concat
+      (Seq.init (Array.length s.funcs) (fun i ->
+           Seq.map
+             (fun b ->
+               {
+                 s with
+                 funcs =
+                   Array.mapi
+                     (fun k f -> if k = i then { f with body = b } else f)
+                     s.funcs;
+               })
+             (body_shrinks s.funcs.(i).body)))
+  in
+  Seq.append empty_helpers body_reductions
+
+(** Greedily minimise [s] under [reproduces] (which must hold for [s]
+    itself).  [max_evals] bounds predicate evaluations, so shrinking a
+    pathological case degrades to a partial shrink, never a hang.
+    Returns the smallest reproducing spec found and the number of
+    predicate evaluations spent. *)
+let shrink ?(max_evals = 400) ~reproduces (s : spec) =
+  let evals = ref 0 in
+  let try_one c =
+    if !evals >= max_evals then None
+    else begin
+      incr evals;
+      if reproduces c then Some c else None
+    end
+  in
+  let rec go current =
+    if !evals >= max_evals then current
+    else
+      match Seq.find_map try_one (candidates current) with
+      | Some smaller -> go smaller
+      | None -> current
+  in
+  let result = go s in
+  (result, !evals)

@@ -82,22 +82,33 @@ let apply t (c : Insn.connect) =
 (** Automatic register connection performed as a side effect of a
     register write through index [i] (paper Figure 3).  Must be called
     {e after} the write's physical destination has been taken from the
-    old write map. *)
+    old write map.  [auto_resets] counts only writes that actually
+    changed a map entry: a reset of an entry already at home (the
+    steady state of core-section traffic) is not an automatic
+    connection. *)
 let note_write t i =
   check_index t i;
   match t.model with
   | Model.No_reset -> ()
   | Model.Write_reset ->
-      t.write_map.(i) <- Reg.home i;
-      t.auto_resets <- t.auto_resets + 1
+      if t.write_map.(i) <> Reg.home i then begin
+        t.write_map.(i) <- Reg.home i;
+        t.auto_resets <- t.auto_resets + 1
+      end
   | Model.Write_reset_read_update ->
-      t.read_map.(i) <- t.write_map.(i);
-      t.write_map.(i) <- Reg.home i;
-      t.auto_resets <- t.auto_resets + 1
+      if t.read_map.(i) <> t.write_map.(i) || t.write_map.(i) <> Reg.home i
+      then begin
+        t.read_map.(i) <- t.write_map.(i);
+        t.write_map.(i) <- Reg.home i;
+        t.auto_resets <- t.auto_resets + 1
+      end
   | Model.Read_write_reset ->
-      t.read_map.(i) <- Reg.home i;
-      t.write_map.(i) <- Reg.home i;
-      t.auto_resets <- t.auto_resets + 1
+      if t.read_map.(i) <> Reg.home i || t.write_map.(i) <> Reg.home i
+      then begin
+        t.read_map.(i) <- Reg.home i;
+        t.write_map.(i) <- Reg.home i;
+        t.auto_resets <- t.auto_resets + 1
+      end
 
 (** Reset every entry to its home location: performed by hardware at
     power-up and by [jsr]/[rts] (paper section 4.1). *)

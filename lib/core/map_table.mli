@@ -51,7 +51,9 @@ val apply : t -> Insn.connect -> unit
 (** Automatic register connection performed as a side effect of a write
     through index [i] (paper Figure 3), according to the table's model.
     Must be called {e after} the write's physical destination has been
-    taken from the old write map. *)
+    taken from the old write map.  [auto_resets] counts only calls that
+    actually changed a map entry; under {!Model.No_reset} the counters
+    are never touched. *)
 val note_write : t -> int -> unit
 
 (** Reset every entry to its home location: performed by hardware at

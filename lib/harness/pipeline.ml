@@ -110,6 +110,15 @@ type prepared = {
   prep_passes : pass_metric list;  (** opt, legalize, profile *)
 }
 
+(** What a stage just produced, handed to the [on_stage] hook so an
+    oracle can re-check semantics after every pass.  The values are the
+    pipeline's own working state, not copies: hooks must not mutate
+    them. *)
+type stage_view =
+  | Ir of Prog.t
+  | Machine_code of Mcode.t
+  | Img of Image.t
+
 type compiled = {
   opts : options;
   mcode : Mcode.t;
@@ -124,8 +133,9 @@ type compiled = {
 
 (** Optimise, legalise and profile a freshly built program.  The result
     can be shared by every register configuration at the same
-    optimisation level. *)
-let prepare ~opt (prog : Prog.t) =
+    optimisation level.  [on_stage] (default: nothing) is called with
+    the stage's name and output after each pass. *)
+let prepare ?(on_stage = fun _ _ -> ()) ~opt (prog : Prog.t) =
   let acc = ref [] in
   let opt_name =
     match opt with
@@ -136,10 +146,12 @@ let prepare ~opt (prog : Prog.t) =
   staged acc ~name:opt_name ~size_in:size0
     ~size:(fun () -> Prog.op_count prog)
     (fun () -> Rc_opt.Pass.apply opt prog);
+  on_stage opt_name (Ir prog);
   let size1 = Prog.op_count prog in
   staged acc ~name:"legalize" ~size_in:size1
     ~size:(fun () -> Prog.op_count prog)
     (fun () -> Rc_codegen.Legalize.run prog);
+  on_stage "legalize" (Ir prog);
   let size2 = Prog.op_count prog in
   let outcome =
     staged acc ~name:"profile" ~size_in:size2
@@ -149,7 +161,8 @@ let prepare ~opt (prog : Prog.t) =
   { prog; outcome; prep_passes = List.rev !acc }
 
 (** Compile a prepared program under [opts]. *)
-let compile_prepared opts { prog; outcome = expected; prep_passes } =
+let compile_prepared ?(on_stage = fun _ _ -> ()) opts
+    { prog; outcome = expected; prep_passes } =
   let acc = ref [] in
   let ifile, ffile = files opts in
   let ir_size = Prog.op_count prog in
@@ -171,6 +184,7 @@ let compile_prepared opts { prog; outcome = expected; prep_passes } =
       (fun () ->
         Rc_codegen.Lower.run prog alloc expected.Rc_interp.Interp.profile)
   in
+  on_stage "lower" (Machine_code mcode);
   let mc_size = Mcode.insn_count mcode in
   staged acc ~name:"schedule" ~size_in:mc_size
     ~size:(fun () -> Mcode.insn_count mcode)
@@ -180,6 +194,7 @@ let compile_prepared opts { prog; outcome = expected; prep_passes } =
           ~mem_channels:opts.mem_channels ~lat:opts.lat ()
       in
       Rc_sched.List_sched.run sched_cfg mcode);
+  on_stage "schedule" (Machine_code mcode);
   let connects_inserted =
     staged acc ~name:"rc-lower" ~size_in:(Mcode.insn_count mcode)
       ~size:(fun _ -> Mcode.insn_count mcode)
@@ -194,11 +209,13 @@ let compile_prepared opts { prog; outcome = expected; prep_passes } =
   in
   if not (Rc_codegen.Rc_lower.check_arch_form ~ifile ~ffile mcode) then
     invalid_arg "Pipeline: generated code is not in architectural form";
+  on_stage "rc-lower" (Machine_code mcode);
   let image =
     staged acc ~name:"assemble" ~size_in:(Mcode.insn_count mcode)
       ~size:(fun (i : Image.t) -> Array.length i.Image.code)
       (fun () -> Image.assemble mcode)
   in
+  on_stage "assemble" (Img image);
   {
     opts;
     mcode;

@@ -73,6 +73,15 @@ type prepared = {
   prep_passes : pass_metric list;  (** opt, legalize, profile *)
 }
 
+(** What a stage just produced, handed to the [on_stage] hook so an
+    oracle can re-check semantics after every pass.  The values are the
+    pipeline's own working state, not copies: hooks must not mutate
+    them. *)
+type stage_view =
+  | Ir of Rc_ir.Prog.t
+  | Machine_code of Mcode.t
+  | Img of Image.t
+
 type compiled = {
   opts : options;
   mcode : Mcode.t;
@@ -88,13 +97,21 @@ type compiled = {
 
 (** Optimise, legalise and profile a freshly built program.  The result
     can be shared by every register configuration at the same
-    optimisation level. *)
-val prepare : opt:Rc_opt.Pass.level -> Rc_ir.Prog.t -> prepared
+    optimisation level.  [on_stage] (default: nothing) is called with
+    the stage's name and output after each transforming pass —
+    "classical-opt"/"ilp-opt" and "legalize" here; "lower", "schedule",
+    "rc-lower" and "assemble" in {!compile_prepared}. *)
+val prepare :
+  ?on_stage:(string -> stage_view -> unit) ->
+  opt:Rc_opt.Pass.level ->
+  Rc_ir.Prog.t ->
+  prepared
 
 (** Compile a prepared program under [opts].
     @raise Invalid_argument if the generated code fails the
     architectural-form check. *)
-val compile_prepared : options -> prepared -> compiled
+val compile_prepared :
+  ?on_stage:(string -> stage_view -> unit) -> options -> prepared -> compiled
 
 val compile : options -> Rc_ir.Prog.t -> compiled
 

@@ -1,0 +1,66 @@
+(** Sequential machine-code oracle.
+
+    Executes an assembled {!Rc_isa.Image.t} one instruction at a time
+    with none of the simulator's timing machinery, so its architectural
+    state after [n] dynamic instructions is the ground truth the
+    cycle-accurate machine is checked against in lockstep.  Written
+    independently of [Rc_machine] so the two can genuinely disagree. *)
+
+open Rc_isa
+open Rc_core
+
+(** Raised on a semantic dead end: pc out of code, bad address, out of
+    fuel, trap with no handler. *)
+exception Exec_error of string
+
+type t = {
+  code : Insn.t array;
+  arch : bool;
+      (** [true]: operands are architectural indices resolved through
+          the mapping tables (when the PSW enables them); [false]:
+          operands are physical registers and the tables are ignored *)
+  model : Model.t;
+  iregs : int64 array;
+  fregs : float array;
+  imap : Map_table.t;
+  fmap : Map_table.t;
+  psw : Psw.t;
+  mem : Bytes.t;
+  trap_handler : int option;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable steps : int;  (** dynamic instructions executed *)
+  mutable out_rev : int64 list;
+  mutable out_pcs_rev : int list;
+      (** pc of the instruction that produced each output element,
+          parallel to [out_rev] *)
+  mutable epc : int;
+  mutable saved_psw : Psw.t option;
+}
+
+(** Fresh executor over [image]: registers zero, globals initialised,
+    [sp] at the stack top, [pc] at the entry point.  [trap_handler]
+    names a function in the image.
+    @raise Image.Undefined_function when that name is unknown. *)
+val create :
+  ?arch:bool ->
+  ?model:Model.t ->
+  ?trap_handler:string ->
+  ifile:Reg.file ->
+  ffile:Reg.file ->
+  Image.t ->
+  t
+
+(** Execute the instruction at [pc].  No-op once halted. *)
+val step : t -> unit
+
+(** Run to [Halt].  [fuel] bounds executed instructions.
+    @raise Exec_error when the bound is hit. *)
+val run : ?fuel:int -> t -> unit
+
+(** Emitted values in order; floats as IEEE bit patterns. *)
+val output : t -> int64 list
+
+(** Address of the emit instruction behind each output element,
+    parallel to {!output}. *)
+val output_pcs : t -> int list

@@ -24,6 +24,8 @@ type outcome = {
   profile : Profile.t;
   dyn_ops : int;  (** IR operations executed (terminators included) *)
   return_value : value option;
+  mem : Bytes.t;  (** final memory; globals live in [data_base, data_end) *)
+  data_end : int;
 }
 
 let checksum_of_output output =
@@ -176,4 +178,6 @@ let run ?(fuel = 200_000_000) (prog : Prog.t) =
     profile = st.profile;
     dyn_ops = st.ops;
     return_value;
+    mem = st.mem;
+    data_end;
   }

@@ -21,6 +21,8 @@ type outcome = {
   profile : Profile.t;
   dyn_ops : int;  (** IR operations executed (terminators included) *)
   return_value : value option;
+  mem : Bytes.t;  (** final memory; globals live in [data_base, data_end) *)
+  data_end : int;
 }
 
 (** The order-sensitive fold over the output stream shared with the

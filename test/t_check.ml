@@ -1,0 +1,241 @@
+(* Tests for rc_check: the differential oracle subsystem.
+
+   The interesting properties are negative ones — a planted miscompile
+   must be caught and attributed, a model-semantics mismatch must
+   surface as a lockstep divergence and survive shrinking — plus the
+   positive property that everything the generator produces sails
+   through the full pipeline with no divergence at all. *)
+
+open Rc_isa
+open Rc_core
+module Gen = Rc_check.Gen
+module Shrink = Rc_check.Shrink
+module Fuzz = Rc_check.Fuzz
+module Oracle = Rc_check.Oracle
+module Lockstep = Rc_check.Lockstep
+module Args = Rc_check.Args
+module Report = Rc_check.Report
+module Pipeline = Rc_harness.Pipeline
+module J = Rc_obs.Json
+
+let model_of_number n =
+  List.find (fun m -> Model.number m = n) Model.all
+
+(* The paper-default RC point: model 3, 4-issue, 1-cycle connects. *)
+let point3 =
+  { Fuzz.rc = true; model = model_of_number 3; issue = 4; connect = 1 }
+
+let ilp = Rc_opt.Pass.Ilp Rc_opt.Pass.default_unroll
+
+(* --- the generator only produces programs the pipeline accepts ------------- *)
+
+let test_generator_accepted () =
+  List.iter
+    (fun seed ->
+      let opt = if seed mod 2 = 0 then ilp else Rc_opt.Pass.Classical in
+      let spec = Gen.generate seed in
+      match Fuzz.check_spec ~opt ~point:point3 spec with
+      | None -> ()
+      | Some r ->
+          Alcotest.failf "seed %d rejected or diverged: %a" seed Report.pp r)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+(* --- spec JSON round-trip -------------------------------------------------- *)
+
+let test_spec_json_roundtrip () =
+  List.iter
+    (fun seed ->
+      let spec = Gen.generate seed in
+      let back = Gen.of_json (Gen.to_json spec) in
+      Alcotest.(check bool)
+        (Fmt.str "seed %d round-trips" seed)
+        true (spec = back))
+    (List.init 20 Fun.id)
+
+(* --- a planted miscompile is caught and attributed ------------------------- *)
+
+(* Replace the first [Connect] of the stage's machine code with a nop:
+   the classic "forgot to steer the map" miscompile. *)
+let nop_first_connect (view : Pipeline.stage_view) =
+  match view with
+  | Pipeline.Machine_code mc ->
+      let planted = ref false in
+      List.iter
+        (fun (f : Mcode.func) ->
+          List.iter
+            (fun (b : Mcode.block) ->
+              b.Mcode.insns <-
+                List.map
+                  (fun i ->
+                    if (not !planted) && Insn.is_connect i then (
+                      planted := true;
+                      Insn.nop ())
+                    else i)
+                  b.Mcode.insns)
+            f.Mcode.blocks)
+        mc.Mcode.funcs;
+      !planted
+  | _ -> false
+
+let test_sabotage_caught () =
+  (* Dropping a connect is only observable when the victim register is
+     later accessed with a live wrong value, so search a few seeds for a
+     program where the plant lands — the search is deterministic. *)
+  let caught =
+    List.find_map
+      (fun seed ->
+        let spec = Gen.generate seed in
+        let planted = ref false in
+        let sabotage =
+          ( "rc-lower",
+            fun view -> if nop_first_connect view then planted := true )
+        in
+        match Oracle.prepare_checked ~opt:ilp (Gen.render spec) with
+        | Error r -> Alcotest.failf "seed %d broken prep: %a" seed Report.pp r
+        | Ok prep -> (
+            let opts = Fuzz.options_of_point ~opt:ilp point3 in
+            match Oracle.compile_checked ~sabotage opts prep with
+            | Error r when !planted -> Some r
+            | Error r ->
+                Alcotest.failf "seed %d failed without a plant: %a" seed
+                  Report.pp r
+            | Ok _ -> None))
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  match caught with
+  | None -> Alcotest.fail "no seed in 0..9 exposed the planted miscompile"
+  | Some r ->
+      Alcotest.(check string) "faulting pass named" "rc-lower" r.Report.stage;
+      Alcotest.(check bool) "basic block named" true (r.Report.block <> "");
+      Alcotest.(check bool) "function named" true (r.Report.func <> "")
+
+(* --- model mismatch diverges in lockstep, and the repro shrinks ------------ *)
+
+(* Run machine (model 3) against an oracle deliberately executing a
+   different auto-reset model: the divergence class of "the hardware
+   skipped the model-3 read-map update". *)
+let lockstep_mismatch ~oracle_model spec =
+  let opts = Fuzz.options_of_point ~opt:ilp point3 in
+  try
+    let prep = Pipeline.prepare ~opt:ilp (Gen.render spec) in
+    let compiled = Pipeline.compile_prepared opts prep in
+    match
+      Lockstep.run ~oracle_model
+        (Oracle.config_of_options opts)
+        compiled.Pipeline.image
+    with
+    | Lockstep.Diverged r -> Some r
+    | Lockstep.Agree _ -> None
+  with _ -> None
+
+let test_model_mismatch_shrinks () =
+  let oracle_model = model_of_number 1 (* No_reset vs the machine's 3 *) in
+  let found =
+    List.find_map
+      (fun seed ->
+        let spec = Gen.generate seed in
+        match lockstep_mismatch ~oracle_model spec with
+        | Some r -> Some (seed, spec, r)
+        | None -> None)
+      (List.init 10 Fun.id)
+  in
+  match found with
+  | None -> Alcotest.fail "no seed in 0..9 exposed the model mismatch"
+  | Some (_, spec, r) ->
+      Alcotest.(check string) "kind" "lockstep" r.Report.kind;
+      let reproduces candidate =
+        match lockstep_mismatch ~oracle_model candidate with
+        | Some r' -> r'.Report.kind = r.Report.kind
+        | None -> false
+      in
+      let shrunk, evals = Shrink.shrink ~max_evals:60 ~reproduces spec in
+      Alcotest.(check bool)
+        "shrunk repro still diverges" true (reproduces shrunk);
+      Alcotest.(check bool)
+        (Fmt.str "no growth (%d -> %d in %d evals)" (Gen.size spec)
+           (Gen.size shrunk) evals)
+        true
+        (Gen.size shrunk <= Gen.size spec)
+
+(* --- CLI argument validation ----------------------------------------------- *)
+
+let test_arg_validation () =
+  let ok = function Ok v -> Some v | Error _ -> None in
+  Alcotest.(check (option (pair int int)))
+    "0:100 accepted"
+    (Some (0, 100))
+    (ok (Args.cycle_window "0:100"));
+  let expect_err name input =
+    match Args.cycle_window input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: %S wrongly accepted" name input
+  in
+  expect_err "inverted" "5:1";
+  expect_err "equal bounds" "7:7";
+  expect_err "negative" "-2:9";
+  expect_err "non-numeric" "abc";
+  expect_err "missing colon" "3";
+  expect_err "too many fields" "1:2:3";
+  Alcotest.(check (option int)) "seed 7" (Some 7) (ok (Args.seed "7"));
+  Alcotest.(check (option int)) "seed 0" (Some 0) (ok (Args.seed "0"));
+  Alcotest.(check (option int)) "seed -1 rejected" None (ok (Args.seed "-1"));
+  Alcotest.(check (option int)) "seed junk rejected" None (ok (Args.seed "x"));
+  Alcotest.(check (option int)) "count 3" (Some 3) (ok (Args.count "3"));
+  Alcotest.(check (option int)) "count 0 rejected" None (ok (Args.count "0"));
+  Alcotest.(check (option int))
+    "count -4 rejected" None
+    (ok (Args.count "-4"))
+
+(* The distinct failure modes produce distinct messages, so a user can
+   tell a typo from an inverted window. *)
+let test_arg_messages_distinct () =
+  let msg input =
+    match Args.cycle_window input with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "%S wrongly accepted" input
+  in
+  let msgs = List.map msg [ "5:1"; "-2:9"; "abc"; "3" ] in
+  let uniq = List.sort_uniq compare msgs in
+  Alcotest.(check int) "four distinct messages" 4 (List.length uniq)
+
+(* --- corpus replay --------------------------------------------------------- *)
+
+(* Every persisted divergence case must stay fixed: replaying its
+   (shrunk) spec through the same pipeline point must be clean.  The
+   corpus directory is empty until the fuzzer finds something. *)
+let test_corpus_replay () =
+  let dir = "corpus" in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun name ->
+        if Filename.check_suffix name ".json" then begin
+          let path = Filename.concat dir name in
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          let json =
+            match J.of_string s with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "corpus case %s unparsable: %s" name e
+          in
+          let spec, point, classical = Fuzz.case_spec_of_json json in
+          let opt = if classical then Rc_opt.Pass.Classical else ilp in
+          match Fuzz.check_spec ~opt ?point spec with
+          | None -> ()
+          | Some r ->
+              Alcotest.failf "corpus case %s still diverges: %a" name
+                Report.pp r
+        end)
+      (Sys.readdir dir)
+
+let suite =
+  [
+    ("generator accepted by pipeline", `Slow, test_generator_accepted);
+    ("spec JSON round-trip", `Quick, test_spec_json_roundtrip);
+    ("planted miscompile caught", `Slow, test_sabotage_caught);
+    ("model mismatch diverges and shrinks", `Slow, test_model_mismatch_shrinks);
+    ("cli argument validation", `Quick, test_arg_validation);
+    ("cli error messages distinct", `Quick, test_arg_messages_distinct);
+    ("corpus replay", `Quick, test_corpus_replay);
+  ]

@@ -112,6 +112,53 @@ let test_model3_paper_example () =
   check "3: reads Rp10 with no connect" 10 (Map_table.read t 7);
   check "write map back home" 7 (Map_table.write t 7)
 
+(* auto_resets must count only writes that actually changed a map
+   entry: with every entry at home (the steady state of core-section
+   traffic) a write performs no automatic connection, and model 1 never
+   touches the counter at all. *)
+
+let test_auto_reset_accounting () =
+  let expect model ~first ~settled =
+    (* writes through a connected entry: [first] changes after the first
+       write, [settled] is the fixpoint once repeated writes stop
+       changing the entry (model 3 takes a second write to carry the
+       home write map into the read map) *)
+    let t = setup_model model in
+    Map_table.note_write t 2;
+    check
+      (Fmt.str "%a: connected entry" Model.pp model)
+      first t.Map_table.auto_resets;
+    Map_table.note_write t 2;
+    Map_table.note_write t 2;
+    check
+      (Fmt.str "%a: repeated writes settle" Model.pp model)
+      settled t.Map_table.auto_resets;
+    (* writes through an entry already at home never count *)
+    let t = Map_table.create ~model file_4_12 in
+    Map_table.note_write t 1;
+    Map_table.note_write t 1;
+    check (Fmt.str "%a: home entry" Model.pp model) 0 t.Map_table.auto_resets
+  in
+  expect Model.No_reset ~first:0 ~settled:0;
+  expect Model.Write_reset ~first:1 ~settled:1;
+  expect Model.Write_reset_read_update ~first:1 ~settled:2;
+  expect Model.Read_write_reset ~first:1 ~settled:1
+
+let test_auto_reset_read_only_connection () =
+  (* model 3 with only the read map diverged (write map home): the write
+     still changes the read map, so it counts; model 2 changes nothing
+     and must not count *)
+  let diverged model =
+    let t = Map_table.create ~model file_4_12 in
+    Map_table.connect_use t ~ri:2 ~rp:10;
+    Map_table.note_write t 2;
+    t.Map_table.auto_resets
+  in
+  check "model 3 counts read-map repair" 1
+    (diverged Model.Write_reset_read_update);
+  check "model 2 ignores read-only divergence" 0 (diverged Model.Write_reset);
+  check "model 4 counts read-map repair" 1 (diverged Model.Read_write_reset)
+
 let test_model_strings () =
   List.iter
     (fun m ->
@@ -433,6 +480,9 @@ let suite =
     ("model 3 write reset + read update", `Quick, test_model3_write_reset_read_update);
     ("model 4 read/write reset", `Quick, test_model4_read_write_reset);
     ("model 3 section-3 example", `Quick, test_model3_paper_example);
+    ("auto-reset accounting per model", `Quick, test_auto_reset_accounting);
+    ("auto-reset accounting, read-only divergence", `Quick,
+      test_auto_reset_read_only_connection);
     ("model names", `Quick, test_model_strings);
     ("reset", `Quick, test_reset);
     ("sec 4.1 callee-save scenario", `Quick, test_callee_save_corruption_scenario);

@@ -318,6 +318,89 @@ let test_jsr_resets_map () =
   let r = M.run (rc_cfg ()) (Image.assemble m) in
   Alcotest.(check (list int64)) "jsr/rts reset" [ 77L; 1L; 1L ] r.M.output
 
+(* Nested jsr/rts with live connects on both sides of every call
+   boundary, checked against the sequential oracle executor (Iexec).
+   Every call edge must reset both maps to home (paper section 4.1):
+   connects made by the caller are invisible to the callee and vice
+   versa, and the machine and the oracle must agree on all of it. *)
+let test_jsr_rts_call_heavy () =
+  let m = Mcode.create ~entry:"main" in
+  Mcode.add_func m
+    {
+      Mcode.name = "main";
+      entry_label = 0;
+      blocks =
+        [
+          {
+            Mcode.label = 0;
+            insns =
+              [
+                Insn.connect_def ~cls:Reg.Int ~ri:4 ~rp:20 ();
+                Insn.li ~dst:4 111L (* Rp20 := 111; model 3 redirects reads *);
+                Insn.emit ~src:4 (* 111 via the read map *);
+                Insn.jsr 1;
+                Insn.emit ~src:4 (* rts reset home: core r4 = 222 *);
+                Insn.halt ();
+              ];
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "middle";
+      entry_label = 1;
+      blocks =
+        [
+          {
+            Mcode.label = 1;
+            insns =
+              [
+                Insn.emit ~src:4 (* jsr reset: core r4 = 0, not 111 *);
+                Insn.li ~dst:4 222L (* maps home: core r4 := 222 *);
+                Insn.connect_use ~cls:Reg.Int ~ri:4 ~rp:21 ();
+                Insn.emit ~src:4 (* extended Rp21 = 0 *);
+                Insn.move ~dst:5 ~src:Reg.ra () (* save ra across call *);
+                Insn.jsr 2;
+                Insn.move ~dst:Reg.ra ~src:5 ();
+                Insn.emit ~src:4 (* rts reset home again: 222 *);
+                Insn.rts ();
+              ];
+          };
+        ];
+    };
+  Mcode.add_func m
+    {
+      Mcode.name = "leaf";
+      entry_label = 2;
+      blocks =
+        [
+          {
+            Mcode.label = 2;
+            insns =
+              [
+                Insn.emit ~src:4 (* caller's connect invisible: 222 *);
+                Insn.connect_use ~cls:Reg.Int ~ri:4 ~rp:22 ();
+                Insn.emit ~src:4 (* extended Rp22 = 0 *);
+                Insn.rts ();
+              ];
+          };
+        ];
+    };
+  let image = Image.assemble m in
+  let expected = [ 111L; 0L; 0L; 222L; 0L; 222L; 222L ] in
+  let r = M.run (rc_cfg ~connect:1 ()) image in
+  Alcotest.(check (list int64)) "machine output" expected r.M.output;
+  let o =
+    Rc_interp.Iexec.create ~ifile:rc_file ~ffile:(Reg.core_only 8) image
+  in
+  Rc_interp.Iexec.run o;
+  Alcotest.(check (list int64))
+    "oracle output" expected
+    (Rc_interp.Iexec.output o);
+  (* the final rts left both of the oracle's tables fully home *)
+  check_bool "int map home" true (Map_table.is_home o.Rc_interp.Iexec.imap);
+  check_bool "float map home" true (Map_table.is_home o.Rc_interp.Iexec.fmap)
+
 (* --- traps and interrupts (section 4.3) --------------------------------------------- *)
 
 let trap_image () =
@@ -760,6 +843,7 @@ let suite =
     ("connect 0 vs 1 cycle", `Quick, test_connect_zero_vs_one_cycle);
     ("connect dispatch budget", `Quick, test_connect_dispatch_budget);
     ("jsr/rts reset the map", `Quick, test_jsr_resets_map);
+    ("call-heavy jsr/rts vs oracle", `Quick, test_jsr_rts_call_heavy);
     ("trap bypasses the map", `Quick, test_trap_bypasses_map);
     ("interrupt injection", `Quick, test_interrupt_injection);
     ("mapen instruction", `Quick, test_mapen_instruction);

@@ -15,6 +15,7 @@ let () =
       ("sched", T_sched.suite);
       ("codegen", T_codegen.suite);
       ("machine", T_machine.suite);
+      ("check", T_check.suite);
       ("workloads", T_workloads.suite);
       ("harness", T_harness.suite);
       ("properties", T_props.suite);
