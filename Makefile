@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke clean
+.PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke clean
 
 all: build
 
@@ -28,6 +28,11 @@ trace-smoke:
 # the full (model x issue x connect) grid, shrunk reports on failure.
 fuzz-smoke:
 	dune build @fuzz-smoke
+
+# Trace-replay engine check: figure tables must be byte-identical
+# between --engine execute, auto and replay, at any jobs count.
+replay-smoke:
+	dune build @replay-smoke
 
 clean:
 	dune clean

@@ -8,6 +8,11 @@
      main.exe --jobs 4 all     compute each table's cells on 4 domains
      main.exe --metrics m.json also dump per-cell telemetry (stall
                                attribution, pass metrics, pool stats)
+     main.exe --engine auto    cell timing engine: execute, replay or
+                               auto (see Experiments.engine)
+     main.exe --save sweep.json  append this run's wall times (per
+                               experiment and total, with the trace-cache
+                               counters) to a machine-readable JSON log
      main.exe bechamel         Bechamel micro-timings, one Test.make per
                                experiment (times the regeneration code)
 
@@ -35,10 +40,68 @@ let ids =
     "ablation-unroll";
   ]
 
+(** Print one experiment and return its wall time, for [--save]. *)
 let print_experiment ctx id =
-  match Rc_harness.Experiments.by_id ctx id with
+  let t0 = Unix.gettimeofday () in
+  (match Rc_harness.Experiments.by_id ctx id with
   | Some t -> Rc_harness.Experiments.print_table Fmt.stdout t
-  | None -> Fmt.epr "unknown experiment %s@." id
+  | None -> Fmt.epr "unknown experiment %s@." id);
+  Unix.gettimeofday () -. t0
+
+(* --- --save: machine-readable sweep wall-time log --------------------- *)
+
+(** Append one run record to the JSON list in [path] (created if absent;
+    an unreadable or non-list file is replaced, with a warning). *)
+let save_sweep path ~scale ~jobs ~engine ~total_s ~timings ~stats =
+  let open Rc_obs.Json in
+  let previous =
+    if not (Sys.file_exists path) then []
+    else
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match of_string text with
+      | Ok (List runs) -> runs
+      | Ok _ | Error _ ->
+          Fmt.epr "%s: not a JSON list of runs, starting a fresh log@." path;
+          []
+  in
+  let run =
+    Obj
+      [
+        ("ts", Float (Unix.gettimeofday ()));
+        ("scale", Int scale);
+        ("jobs", Int jobs);
+        ("engine", Str (Rc_harness.Experiments.engine_name engine));
+        ("total_wall_s", Float total_s);
+        ( "experiments",
+          List
+            (List.map
+               (fun (id, s) -> Obj [ ("id", Str id); ("wall_s", Float s) ])
+               timings) );
+        ( "trace_cache",
+          Obj
+            [
+              ("hits", Int stats.Rc_harness.Experiments.hits);
+              ("misses", Int stats.Rc_harness.Experiments.misses);
+              ("recorded", Int stats.Rc_harness.Experiments.recorded);
+              ("unsafe", Int stats.Rc_harness.Experiments.unsafe);
+              ("bytes", Int stats.Rc_harness.Experiments.bytes);
+            ] );
+      ]
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string (List (previous @ [ run ])));
+      output_char oc '\n');
+  Fmt.epr "sweep timings appended to %s (%d run%s)@." path
+    (List.length previous + 1)
+    (if previous = [] then "" else "s")
 
 (* --- Bechamel: one Test.make per table/figure ------------------------- *)
 
@@ -121,8 +184,8 @@ let run_bechamel () =
 
 let usage () =
   Fmt.epr
-    "usage: main.exe [--scale N] [--jobs N] [--metrics FILE] [all | bechamel \
-     | <id>...]@.";
+    "usage: main.exe [--scale N] [--jobs N] [--engine execute|replay|auto] \
+     [--metrics FILE] [--save FILE] [all | bechamel | <id>...]@.";
   Fmt.epr "experiments: %s@." (String.concat " " ids);
   exit 1
 
@@ -144,6 +207,8 @@ let () =
   let scale = ref 1 in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let metrics = ref None in
+  let engine = ref Rc_harness.Experiments.Auto in
+  let save = ref None in
   (* Flags may appear before, between or after the experiment ids. *)
   let rec parse acc = function
     | "--scale" :: rest ->
@@ -170,6 +235,27 @@ let () =
         | [] ->
             Fmt.epr "--metrics needs an argument@.";
             usage ())
+    | "--engine" :: rest -> (
+        match rest with
+        | v :: tl -> (
+            match Rc_harness.Experiments.engine_of_string v with
+            | Some e ->
+                engine := e;
+                parse acc tl
+            | None ->
+                Fmt.epr "--engine expects execute, replay or auto, got %S@." v;
+                usage ())
+        | [] ->
+            Fmt.epr "--engine needs an argument@.";
+            usage ())
+    | "--save" :: rest -> (
+        match rest with
+        | v :: tl ->
+            save := Some v;
+            parse acc tl
+        | [] ->
+            Fmt.epr "--save needs an argument@.";
+            usage ())
     | x :: _ when String.length x > 1 && x.[0] = '-' ->
         Fmt.epr "unknown option %s@." x;
         usage ()
@@ -188,11 +274,22 @@ let () =
             (if List.length unknown > 1 then "s" else "")
             (String.concat " " unknown);
           usage ());
-      let ctx = Rc_harness.Experiments.create ~scale:!scale ~jobs:!jobs () in
+      let ctx =
+        Rc_harness.Experiments.create ~scale:!scale ~jobs:!jobs ~engine:!engine
+          ()
+      in
       Fun.protect
         ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
         (fun () ->
-          List.iter (print_experiment ctx) sel;
+          let t0 = Unix.gettimeofday () in
+          let timings = List.map (fun id -> (id, print_experiment ctx id)) sel in
+          let total_s = Unix.gettimeofday () -. t0 in
+          (match !save with
+          | None -> ()
+          | Some path ->
+              save_sweep path ~scale:!scale ~jobs:!jobs ~engine:!engine ~total_s
+                ~timings
+                ~stats:(Rc_harness.Experiments.engine_stats ctx));
           (* Dump the telemetry while the pool is still alive so its
              per-domain stats are included. *)
           match !metrics with

@@ -5,6 +5,7 @@
      list                        the twelve benchmark kernels
      run <bench> [options]       compile one kernel and simulate it
      compare <bench> [options]   without-RC vs with-RC vs unlimited
+     figures [ids] [options]     regenerate the paper's tables and figures
      dump <bench> [options]      print the generated machine code
      trace <bench> [options]     structured trace (JSONL or Chrome JSON)
      check <bench> [options]     pass-level oracle + machine-vs-oracle lockstep
@@ -96,6 +97,44 @@ let json_flag =
      configuration) instead of the formatted text."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
+
+let engine_arg =
+  let doc =
+    "Timing engine: $(b,execute) (execution-driven simulation), $(b,replay) \
+     (record the dynamic trace once, re-time by trace replay), or $(b,auto) \
+     (replay whenever a recorded trace for the compiled image is available). \
+     All engines produce identical results."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("execute", Rc_harness.Experiments.Execute);
+             ("replay", Rc_harness.Experiments.Replay);
+             ("auto", Rc_harness.Experiments.Auto);
+           ])
+        Rc_harness.Experiments.Auto
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(** Single-shot engine dispatch for $(b,run): with no cache to hit,
+    [auto] executes; [replay] demonstrates the engine end to end by
+    recording and re-timing the same configuration.  Returns the result
+    and the engine that actually produced it. *)
+let simulate_single engine (c : Rc_harness.Pipeline.compiled) =
+  match engine with
+  | Rc_harness.Experiments.Execute | Rc_harness.Experiments.Auto ->
+      (Rc_harness.Pipeline.simulate c, "execute")
+  | Rc_harness.Experiments.Replay -> (
+      if
+        not
+          (Rc_machine.Trace_replay.replay_safe
+             (Rc_harness.Pipeline.machine_config c.Rc_harness.Pipeline.opts))
+      then (Rc_harness.Pipeline.simulate c, "execute")
+      else
+        match Rc_harness.Pipeline.simulate_recorded c with
+        | r, None -> (r, "execute")
+        | _, Some tr -> (Rc_harness.Pipeline.simulate_replayed c tr, "replay"))
 
 let options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
     ~extra_stage ~model ~no_unroll =
@@ -211,13 +250,13 @@ let config_result_json ?name ?speedup (c : Rc_harness.Pipeline.compiled)
 
 let run_cmd =
   let run bench issue core_int core_float rc load connect mem_channels
-      extra_stage model scale no_unroll json =
+      extra_stage model scale no_unroll engine json =
     let opts =
       options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
         ~extra_stage ~model ~no_unroll
     in
     let c = compile_one bench opts scale in
-    let r = Rc_harness.Pipeline.simulate c in
+    let r, engine_used = simulate_single engine c in
     if json then
       Fmt.pr "%s@."
         (Rc_obs.Json.to_string
@@ -225,11 +264,14 @@ let run_cmd =
               [
                 ("bench", Rc_obs.Json.Str bench);
                 ("scale", Rc_obs.Json.Int scale);
+                ("engine", Rc_obs.Json.Str engine_used);
                 ("result", config_result_json c r);
               ]))
     else begin
       Fmt.pr "== %s ==@." bench;
-      print_result c r
+      print_result c r;
+      if engine_used = "replay" then
+        Fmt.pr "engine        replay (re-timed from the recorded trace)@."
     end;
     0
   in
@@ -238,7 +280,139 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
       $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
-      $ json_flag)
+      $ engine_arg $ json_flag)
+
+(* --- figures ---------------------------------------------------------------- *)
+
+let figures_ids =
+  let doc =
+    "Experiment ids to regenerate (default: every table and figure).  See \
+     $(b,rcc figures --list-ids)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let figures_jobs =
+  let doc = "Worker domains for the sweep (default 1: sequential)." in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let list_ids_flag =
+  let doc = "List the known experiment ids and exit." in
+  Arg.(value & flag & info [ "list-ids" ] ~doc)
+
+let all_figure_ids =
+  [
+    "table1"; "fig7"; "fig8-int"; "fig8-fp"; "fig9-int"; "fig9-fp"; "fig10";
+    "fig11"; "fig12"; "fig13"; "ablation-models"; "ablation-combine";
+    "ablation-unroll";
+  ]
+
+let table_json (t : Rc_harness.Experiments.table) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("id", Str t.Rc_harness.Experiments.id);
+      ("title", Str t.Rc_harness.Experiments.title);
+      ( "columns",
+        List (List.map (fun c -> Str c) t.Rc_harness.Experiments.columns) );
+      ( "rows",
+        List
+          (List.map
+             (fun (name, vs) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ("values", List (List.map (fun v -> Float v) vs));
+                 ])
+             t.Rc_harness.Experiments.rows) );
+      ("note", Str t.Rc_harness.Experiments.note);
+    ]
+
+let engine_stats_json (es : Rc_harness.Experiments.engine_stats) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("hits", Int es.Rc_harness.Experiments.hits);
+      ("misses", Int es.Rc_harness.Experiments.misses);
+      ("recorded", Int es.Rc_harness.Experiments.recorded);
+      ("unsafe", Int es.Rc_harness.Experiments.unsafe);
+      ("bytes", Int es.Rc_harness.Experiments.bytes);
+    ]
+
+let figures_cmd =
+  let run ids scale jobs engine json list_ids =
+    if list_ids then begin
+      List.iter (fun id -> Fmt.pr "%s@." id) all_figure_ids;
+      0
+    end
+    else begin
+      let ids = match ids with [] -> all_figure_ids | ids -> ids in
+      match
+        List.filter (fun id -> not (List.mem id all_figure_ids)) ids
+      with
+      | unknown :: _ ->
+          Fmt.epr "rcc figures: unknown experiment %s@." unknown;
+          2
+      | [] ->
+          let ctx =
+            Rc_harness.Experiments.create ~scale ~jobs ~engine ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
+            (fun () ->
+              let tables =
+                List.map
+                  (fun id ->
+                    match Rc_harness.Experiments.by_id ctx id with
+                    | Some t -> t
+                    | None -> assert false (* ids were validated above *))
+                  ids
+              in
+              let es = Rc_harness.Experiments.engine_stats ctx in
+              if json then
+                Fmt.pr "%s@."
+                  (Rc_obs.Json.to_string
+                     (Rc_obs.Json.Obj
+                        [
+                          ("scale", Rc_obs.Json.Int scale);
+                          ( "jobs",
+                            Rc_obs.Json.Int (Rc_harness.Experiments.jobs ctx)
+                          );
+                          ( "engine",
+                            Rc_obs.Json.Str
+                              (Rc_harness.Experiments.engine_name engine) );
+                          ("trace_cache", engine_stats_json es);
+                          ( "tables",
+                            Rc_obs.Json.List (List.map table_json tables) );
+                        ]))
+              else begin
+                List.iter
+                  (Rc_harness.Experiments.print_table Fmt.stdout)
+                  tables;
+                (* Stderr, so stdout stays byte-comparable across
+                   engines and jobs counts. *)
+                Fmt.epr
+                  "engine %s: %d replayed, %d executed (%d traces recorded, \
+                   %d not replay-safe, %d trace bytes)@."
+                  (Rc_harness.Experiments.engine_name engine)
+                  es.Rc_harness.Experiments.hits
+                  es.Rc_harness.Experiments.misses
+                  es.Rc_harness.Experiments.recorded
+                  es.Rc_harness.Experiments.unsafe
+                  es.Rc_harness.Experiments.bytes
+              end;
+              0)
+    end
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Regenerate the paper's tables and figures.  The timing engine \
+          records each distinct compiled image once and re-times every \
+          other grid point by trace replay; tables are byte-identical for \
+          every engine and jobs count")
+    Term.(
+      const run $ figures_ids $ scale $ figures_jobs $ engine_arg $ json_flag
+      $ list_ids_flag)
 
 let compare_cmd =
   let run bench issue core_int core_float load scale jobs json =
@@ -554,6 +728,9 @@ let dump_cmd =
 let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
   Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; compare_cmd; trace_cmd; dump_cmd; check_cmd; fuzz_cmd ]
+    [
+      list_cmd; run_cmd; compare_cmd; figures_cmd; trace_cmd; dump_cmd;
+      check_cmd; fuzz_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

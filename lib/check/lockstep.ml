@@ -69,24 +69,22 @@ let map_mismatch name (a : Map_table.t) (b : Map_table.t) =
   done;
   !bad
 
-(* Output streams are built in reverse; compare the machine's against
-   the oracle's without re-reversing every cycle. *)
+(* The machine's output is a buffer in emission order; the oracle's is
+   a reversed list.  Walk the oracle list backwards down the buffer. *)
 let output_mismatch (m : Machine.t) (o : Iexec.t) =
-  let a = m.Machine.out_rev and b = o.Iexec.out_rev in
-  if List.length a <> List.length b then
-    Some
-      (Fmt.str "machine emitted %d values, oracle %d" (List.length a)
-         (List.length b))
-  else if List.for_all2 Int64.equal a b then None
+  let n = m.Machine.out_len and b = o.Iexec.out_rev in
+  if n <> List.length b then
+    Some (Fmt.str "machine emitted %d values, oracle %d" n (List.length b))
   else
-    let ra = List.rev a and rb = List.rev b in
-    let rec first i = function
-      | va :: ta, vb :: tb ->
-          if Int64.equal va vb then first (i + 1) (ta, tb)
-          else Fmt.str "output[%d]: machine %Ld, oracle %Ld" i va vb
-      | _ -> "output mismatch"
-    in
-    Some (first 0 (ra, rb))
+    let bad = ref None in
+    List.iteri
+      (fun j vb ->
+        let i = n - 1 - j in
+        let va = m.Machine.out.(i) in
+        if not (Int64.equal va vb) then
+          bad := Some (Fmt.str "output[%d]: machine %Ld, oracle %Ld" i va vb))
+      b;
+    !bad
 
 let compare_state (m : Machine.t) (o : Iexec.t) =
   if m.Machine.halted <> o.Iexec.halted then

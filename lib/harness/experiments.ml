@@ -26,27 +26,95 @@ type cell = {
   c_passes : Pipeline.pass_metric list;
 }
 
+(** How cells are timed.  [Execute] always runs the execution-driven
+    simulator.  [Replay] records a dynamic trace on the first sight of
+    each compiled image and re-times every later sighting by trace
+    replay.  [Auto] (the default) is memory-thriftier: it records only
+    on an image's {e second} sighting, so images simulated once — the
+    common case for a single figure — never hold a trace. *)
+type engine = Execute | Replay | Auto
+
+let engine_name = function
+  | Execute -> "execute"
+  | Replay -> "replay"
+  | Auto -> "auto"
+
+let engine_of_string = function
+  | "execute" -> Some Execute
+  | "replay" -> Some Replay
+  | "auto" -> Some Auto
+  | _ -> None
+
+(** Trace-cache counters: every simulated cell increments exactly one
+    of [hits] (timed by replaying a cached trace), [misses]
+    (replay-eligible but executed) or [unsafe] (not replay-safe, forced
+    execution); [recorded]/[bytes] count the resident traces.  Under
+    [Execute] everything lands in [misses]. *)
+type engine_stats = {
+  hits : int;
+  misses : int;
+  recorded : int;
+  unsafe : int;
+  bytes : int;
+}
+
+type trace_slot = Seen_once | Recorded of Rc_machine.Dtrace.t
+
 type ctx = {
   scale : int;
+  engine : engine;
   pool : Rc_par.Pool.t;
   (* Domain-safe single-flight memo tables: any worker may ask for any
      cell, but each program is compiled and each configuration simulated
      exactly once. *)
   prepared : (string * string, Pipeline.prepared) Rc_par.Memo.t;
+  allocs : (string, Pipeline.allocated) Rc_par.Memo.t;
   runs : (string, cell) Rc_par.Memo.t;
   base_cycles : (string, float) Rc_par.Memo.t;
+  (* The trace cache is mutex-protected but deliberately not
+     single-flight: two workers racing on one fingerprint at worst both
+     execute, and replayed results are exact, so table contents never
+     depend on the race (only the hit/miss split does). *)
+  traces : (string, trace_slot) Hashtbl.t;
+  traces_mu : Mutex.t;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_recorded : int;
+  mutable s_unsafe : int;
+  mutable s_bytes : int;
 }
 
-let create ?(scale = 1) ?(jobs = 1) () =
+let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) () =
   {
     scale;
+    engine;
     pool = Rc_par.Pool.create ~jobs;
     prepared = Rc_par.Memo.create 32;
+    allocs = Rc_par.Memo.create 128;
     runs = Rc_par.Memo.create 256;
     base_cycles = Rc_par.Memo.create 16;
+    traces = Hashtbl.create 256;
+    traces_mu = Mutex.create ();
+    s_hits = 0;
+    s_misses = 0;
+    s_recorded = 0;
+    s_unsafe = 0;
+    s_bytes = 0;
   }
 
 let jobs ctx = Rc_par.Pool.jobs ctx.pool
+let engine ctx = ctx.engine
+
+let engine_stats ctx =
+  Mutex.protect ctx.traces_mu (fun () ->
+      {
+        hits = ctx.s_hits;
+        misses = ctx.s_misses;
+        recorded = ctx.s_recorded;
+        unsafe = ctx.s_unsafe;
+        bytes = ctx.s_bytes;
+      })
+
 let shutdown ctx = Rc_par.Pool.shutdown ctx.pool
 
 let level_key = function
@@ -66,15 +134,97 @@ let opts_key (o : Pipeline.options) =
     o.Pipeline.mem_channels o.Pipeline.lat.Rc_isa.Latency.load
     o.Pipeline.lat.Rc_isa.Latency.connect o.Pipeline.extra_stage
 
+(** Register allocation and lowering shared (memoised) across every
+    configuration with the same {!Pipeline.alloc_key} — the timing axes
+    of the figure sweeps (issue rate, memory channels, load latency,
+    model, combine, extra stage) re-use one allocation. *)
+let allocated ctx (b : Wutil.bench) (opts : Pipeline.options) =
+  let key =
+    Fmt.str "%s#%s#%s" b.Wutil.name
+      (level_key opts.Pipeline.opt)
+      (Pipeline.alloc_key opts)
+  in
+  Rc_par.Memo.find_or_compute ctx.allocs key (fun () ->
+      Pipeline.allocate opts (prepared ctx b opts.Pipeline.opt))
+
+(* The knobs that determine the dynamic instruction stream beyond the
+   image bytes: register resolution (reset model, file shapes).  Part
+   of the trace-cache key; everything else in [opts] is free to vary
+   between recording and replay. *)
+let semantic_key (o : Pipeline.options) =
+  Fmt.str "%a/%b/%d.%d.%d.%d" Rc_core.Model.pp o.Pipeline.model o.Pipeline.rc
+    o.Pipeline.core_int o.Pipeline.core_float o.Pipeline.total_int
+    o.Pipeline.total_float
+
+(** Time one compiled cell under the context's engine: replay a cached
+    trace when the image was seen before, otherwise execute (recording
+    per the engine's policy). *)
+let simulate_engine ctx (c : Pipeline.compiled) =
+  let bump_miss () =
+    Mutex.protect ctx.traces_mu (fun () -> ctx.s_misses <- ctx.s_misses + 1)
+  in
+  match ctx.engine with
+  | Execute ->
+      bump_miss ();
+      Pipeline.simulate c
+  | Replay | Auto ->
+      if
+        not
+          (Rc_machine.Trace_replay.replay_safe
+             (Pipeline.machine_config c.Pipeline.opts))
+      then begin
+        Mutex.protect ctx.traces_mu (fun () ->
+            ctx.s_unsafe <- ctx.s_unsafe + 1);
+        Pipeline.simulate c
+      end
+      else begin
+        let key =
+          Rc_isa.Image.fingerprint c.Pipeline.image
+          ^ "#"
+          ^ semantic_key c.Pipeline.opts
+        in
+        let action =
+          Mutex.protect ctx.traces_mu (fun () ->
+              match Hashtbl.find_opt ctx.traces key with
+              | Some (Recorded tr) ->
+                  ctx.s_hits <- ctx.s_hits + 1;
+                  `Replay tr
+              | Some Seen_once ->
+                  ctx.s_misses <- ctx.s_misses + 1;
+                  `Record
+              | None ->
+                  ctx.s_misses <- ctx.s_misses + 1;
+                  if ctx.engine = Replay then `Record
+                  else begin
+                    Hashtbl.replace ctx.traces key Seen_once;
+                    `Execute
+                  end)
+        in
+        match action with
+        | `Replay tr -> Pipeline.simulate_replayed c tr
+        | `Execute -> Pipeline.simulate c
+        | `Record ->
+            let r, tr = Pipeline.simulate_recorded c in
+            (match tr with
+            | None -> () (* unreplayable after all; keep executing *)
+            | Some tr ->
+                Mutex.protect ctx.traces_mu (fun () ->
+                    match Hashtbl.find_opt ctx.traces key with
+                    | Some (Recorded _) -> () (* a racing worker won *)
+                    | _ ->
+                        Hashtbl.replace ctx.traces key (Recorded tr);
+                        ctx.s_recorded <- ctx.s_recorded + 1;
+                        ctx.s_bytes <- ctx.s_bytes + Rc_machine.Dtrace.bytes tr));
+            r
+      end
+
 (** Compile and simulate one benchmark under one configuration
     (memoised), returning the full telemetry cell. *)
 let run_cell ctx (b : Wutil.bench) (opts : Pipeline.options) =
   let key = b.Wutil.name ^ "#" ^ opts_key opts in
   Rc_par.Memo.find_or_compute ctx.runs key (fun () ->
-      let c =
-        Pipeline.compile_prepared opts (prepared ctx b opts.Pipeline.opt)
-      in
-      let r = Pipeline.simulate c in
+      let c = Pipeline.compile_allocated opts (allocated ctx b opts) in
+      let r = simulate_engine ctx c in
       {
         c_result = r;
         c_breakdown = c.Pipeline.breakdown;
@@ -187,11 +337,15 @@ let geomean xs =
       exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
 
 let with_geomean t =
+  (* One transpose pass instead of [List.nth] per (row, column); the
+     per-column values stay in row order so the float reductions in
+     [geomean] associate exactly as before. *)
   let cols = List.length t.columns in
-  let means =
-    List.init cols (fun k ->
-        geomean (List.map (fun (_, vs) -> List.nth vs k) t.rows))
-  in
+  let acc = Array.make cols [] in
+  List.iter
+    (fun (_, vs) -> List.iteri (fun k v -> acc.(k) <- v :: acc.(k)) vs)
+    t.rows;
+  let means = List.init cols (fun k -> geomean (List.rev acc.(k))) in
   { t with rows = t.rows @ [ ("geomean", means) ] }
 
 let print_table ppf t =
@@ -662,10 +816,21 @@ let metrics_json ctx =
           ])
       (pool_stats ctx)
   in
+  let es = engine_stats ctx in
   Obj
     [
       ("scale", Int ctx.scale);
       ("jobs", Int (Rc_par.Pool.jobs ctx.pool));
+      ("engine", Str (engine_name ctx.engine));
+      ( "trace_cache",
+        Obj
+          [
+            ("hits", Int es.hits);
+            ("misses", Int es.misses);
+            ("recorded", Int es.recorded);
+            ("unsafe", Int es.unsafe);
+            ("bytes", Int es.bytes);
+          ] );
       ("cells", List (List.map cell_json (cells ctx)));
       ("pool", List pool);
     ]

@@ -17,10 +17,41 @@ open Rc_workloads
     byte-identical for every jobs count. *)
 type ctx
 
-val create : ?scale:int -> ?jobs:int -> unit -> ctx
+(** How cells are timed.  [Execute] always runs the execution-driven
+    simulator.  [Replay] records a dynamic trace on the first sight of
+    each compiled image fingerprint and re-times every later sighting
+    by trace replay ({!Rc_machine.Trace_replay}).  [Auto] (the default)
+    records only on an image's {e second} sighting, so images simulated
+    once never hold a trace.  All three produce byte-identical tables:
+    replay reproduces {!Rc_machine.Machine.result} exactly. *)
+type engine = Execute | Replay | Auto
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+(** Trace-cache counters: every simulated cell increments exactly one
+    of [hits] (timed by replaying a cached trace), [misses]
+    (replay-eligible but executed) or [unsafe] (not replay-safe, forced
+    execution); [recorded]/[bytes] count the resident traces.  Under
+    [Execute] everything lands in [misses]. *)
+type engine_stats = {
+  hits : int;
+  misses : int;
+  recorded : int;
+  unsafe : int;
+  bytes : int;
+}
+
+val create : ?scale:int -> ?jobs:int -> ?engine:engine -> unit -> ctx
 
 (** Number of computing domains of the context's pool. *)
 val jobs : ctx -> int
+
+val engine : ctx -> engine
+
+(** Snapshot of the trace-cache counters.  The cell {e results} are
+    engine- and jobs-independent; only this hit/miss split varies. *)
+val engine_stats : ctx -> engine_stats
 
 (** Join the context's worker domains.  The context must not be used
     afterwards. *)

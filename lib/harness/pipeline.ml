@@ -160,8 +160,31 @@ let prepare ?(on_stage = fun _ _ -> ()) ~opt (prog : Prog.t) =
   in
   { prog; outcome; prep_passes = List.rev !acc }
 
-(** Compile a prepared program under [opts]. *)
-let compile_prepared ?(on_stage = fun _ _ -> ()) opts
+type allocated = {
+  a_opts : options;  (** the options [allocate] ran under *)
+  a_mcode : Mcode.t;
+      (** lowered, {e unscheduled} machine code — a template;
+          {!compile_allocated} works on a {!Mcode.copy} *)
+  a_spills : int;
+  a_expected : Rc_interp.Interp.outcome;
+  a_passes : pass_metric list;  (** prep passes, regalloc, lower *)
+}
+
+(** The slice of [options] that register allocation and lowering depend
+    on.  The timing knobs — issue rate, memory channels, load latency,
+    extra stage, connect dispatch — and the connect-insertion knobs
+    (model, combine) do {e not} appear: an {!allocate} result can be
+    shared across all of them.  Connect latency appears only through
+    the allocator's [aggressive_extended] policy switch. *)
+let alloc_key o =
+  Fmt.str "%b/%d.%d.%d.%d/a=%b" o.rc o.core_int o.core_float o.total_int
+    o.total_float
+    (o.lat.Latency.connect = 0)
+
+(** Register-allocate and lower a prepared program: the slow, timing-
+    independent front half of compilation, shareable (keyed by
+    {!alloc_key}) across every timing configuration. *)
+let allocate ?(on_stage = fun _ _ -> ()) opts
     { prog; outcome = expected; prep_passes } =
   let acc = ref [] in
   let ifile, ffile = files opts in
@@ -185,6 +208,25 @@ let compile_prepared ?(on_stage = fun _ _ -> ()) opts
         Rc_codegen.Lower.run prog alloc expected.Rc_interp.Interp.profile)
   in
   on_stage "lower" (Machine_code mcode);
+  {
+    a_opts = opts;
+    a_mcode = mcode;
+    a_spills = Rc_regalloc.Alloc.total_spills alloc;
+    a_expected = expected;
+    a_passes = prep_passes @ List.rev !acc;
+  }
+
+(** Schedule, connect-lower and assemble an allocation under [opts] —
+    the timing-dependent back half.  [opts] may differ from the
+    allocation's in any knob outside {!alloc_key}; the shared template
+    is copied, never mutated. *)
+let compile_allocated ?(on_stage = fun _ _ -> ()) opts
+    { a_opts; a_mcode; a_spills; a_expected = expected; a_passes } =
+  if alloc_key opts <> alloc_key a_opts then
+    invalid_arg "Pipeline.compile_allocated: allocation-relevant knobs differ";
+  let acc = ref [] in
+  let ifile, ffile = files opts in
+  let mcode = Mcode.copy a_mcode in
   let mc_size = Mcode.insn_count mcode in
   staged acc ~name:"schedule" ~size_in:mc_size
     ~size:(fun () -> Mcode.insn_count mcode)
@@ -221,32 +263,57 @@ let compile_prepared ?(on_stage = fun _ _ -> ()) opts
     mcode;
     image;
     breakdown = Mcode.size_breakdown mcode;
-    spills = Rc_regalloc.Alloc.total_spills alloc;
+    spills = a_spills;
     connects_inserted;
     expected;
-    passes = prep_passes @ List.rev !acc;
+    passes = a_passes @ List.rev !acc;
   }
+
+(** Compile a prepared program under [opts]. *)
+let compile_prepared ?(on_stage = fun _ _ -> ()) opts prepared =
+  compile_allocated ~on_stage opts (allocate ~on_stage opts prepared)
 
 let compile opts (prog : Prog.t) =
   compile_prepared opts (prepare ~opt:opts.opt prog)
 
+(** The machine configuration [opts] describes — the one {!simulate}
+    and the trace-replay engine run under. *)
+let machine_config (opts : options) =
+  let ifile, ffile = files opts in
+  Rc_machine.Config.v ~issue:opts.issue ~mem_channels:opts.mem_channels
+    ~lat:opts.lat ~ifile ~ffile ~model:opts.model
+    ?connect_dispatch:opts.connect_dispatch ~extra_stage:opts.extra_stage ()
+
+let check_output name (r : Rc_machine.Machine.result) (c : compiled) =
+  if r.Rc_machine.Machine.output <> c.expected.Rc_interp.Interp.output then
+    invalid_arg (name ^ ": simulated output differs from reference")
+
 (** Simulate compiled code, checking the output stream against the
     reference interpreter run. *)
 let simulate ?(verify = true) ?observer (c : compiled) =
-  let ifile, ffile = files c.opts in
-  let mcfg =
-    Rc_machine.Config.v ~issue:c.opts.issue ~mem_channels:c.opts.mem_channels
-      ~lat:c.opts.lat ~ifile ~ffile ~model:c.opts.model
-      ?connect_dispatch:c.opts.connect_dispatch
-      ~extra_stage:c.opts.extra_stage ()
-  in
-  let m = Rc_machine.Machine.create mcfg c.image in
+  let m = Rc_machine.Machine.create (machine_config c.opts) c.image in
   (match observer with
   | None -> ()
   | Some _ -> Rc_machine.Machine.set_observer m observer);
   let r = Rc_machine.Machine.run_machine m in
-  if verify && r.Rc_machine.Machine.output <> c.expected.Rc_interp.Interp.output then
-    invalid_arg "Pipeline.simulate: simulated output differs from reference";
+  if verify then check_output "Pipeline.simulate" r c;
+  r
+
+(** {!simulate} with a trace recorder attached: the execution-driven
+    result plus the dynamic trace, when the run was replayable (see
+    {!Rc_machine.Trace_replay}). *)
+let simulate_recorded ?(verify = true) (c : compiled) =
+  let r, tr = Rc_machine.Trace_replay.record (machine_config c.opts) c.image in
+  if verify then check_output "Pipeline.simulate_recorded" r c;
+  (r, tr)
+
+(** Re-time a recorded trace under this compilation's configuration
+    instead of executing; byte-identical to {!simulate} when the trace
+    was recorded from an image with the same fingerprint under matching
+    semantics. *)
+let simulate_replayed ?(verify = true) (c : compiled) trace =
+  let r = Rc_machine.Trace_replay.replay (machine_config c.opts) c.image trace in
+  if verify then check_output "Pipeline.simulate_replayed" r c;
   r
 
 (** Convenience: full compile-and-run. *)

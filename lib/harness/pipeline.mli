@@ -107,13 +107,52 @@ val prepare :
   Rc_ir.Prog.t ->
   prepared
 
-(** Compile a prepared program under [opts].
+(** A register-allocated, lowered — but unscheduled — program: the
+    slow, timing-independent front half of compilation, shareable
+    across every configuration with the same {!alloc_key}. *)
+type allocated = {
+  a_opts : options;  (** the options {!allocate} ran under *)
+  a_mcode : Mcode.t;
+      (** lowered, {e unscheduled} machine code — a template;
+          {!compile_allocated} works on a {!Mcode.copy} *)
+  a_spills : int;
+  a_expected : Rc_interp.Interp.outcome;
+  a_passes : pass_metric list;  (** prep passes, regalloc, lower *)
+}
+
+(** The slice of [options] register allocation and lowering depend on:
+    register files and the allocator's connect-latency policy.  Equal
+    keys (for the same prepared program) mean interchangeable
+    {!allocate} results; issue rate, memory channels, load latency,
+    model, combine, extra stage and connect dispatch do not appear. *)
+val alloc_key : options -> string
+
+(** Register-allocate and lower a prepared program (the "regalloc" and
+    "lower" stages). *)
+val allocate :
+  ?on_stage:(string -> stage_view -> unit) -> options -> prepared -> allocated
+
+(** Schedule, connect-lower and assemble an allocation under [opts] —
+    the timing-dependent back half.  [opts] may differ from the
+    allocation's in any knob outside {!alloc_key}; the shared template
+    is copied, never mutated.
+    @raise Invalid_argument if the allocation-relevant knobs differ or
+    the generated code fails the architectural-form check. *)
+val compile_allocated :
+  ?on_stage:(string -> stage_view -> unit) -> options -> allocated -> compiled
+
+(** Compile a prepared program under [opts] ({!allocate} followed by
+    {!compile_allocated}).
     @raise Invalid_argument if the generated code fails the
     architectural-form check. *)
 val compile_prepared :
   ?on_stage:(string -> stage_view -> unit) -> options -> prepared -> compiled
 
 val compile : options -> Rc_ir.Prog.t -> compiled
+
+(** The machine configuration [opts] describes — the one {!simulate}
+    and the trace-replay engine run under. *)
+val machine_config : options -> Rc_machine.Config.t
 
 (** Simulate compiled code; when [verify] (default), check the output
     stream against the reference interpreter run.  [observer] is
@@ -125,6 +164,22 @@ val simulate :
   ?observer:(Rc_machine.Machine.cycle_sample -> unit) ->
   compiled ->
   Rc_machine.Machine.result
+
+(** {!simulate} with a trace recorder attached: the execution-driven
+    result plus the dynamic trace, when the run was replayable (see
+    {!Rc_machine.Trace_replay}). *)
+val simulate_recorded :
+  ?verify:bool ->
+  compiled ->
+  Rc_machine.Machine.result * Rc_machine.Dtrace.t option
+
+(** Re-time a recorded trace under this compilation's configuration
+    instead of executing; byte-identical to {!simulate} when the trace
+    was recorded from an image with the same fingerprint under matching
+    semantics (see DESIGN.md §14).
+    @raise Invalid_argument on a verification mismatch. *)
+val simulate_replayed :
+  ?verify:bool -> compiled -> Rc_machine.Dtrace.t -> Rc_machine.Machine.result
 
 (** [compile] followed by [simulate]. *)
 val run : options -> Rc_ir.Prog.t -> Rc_machine.Machine.result

@@ -124,3 +124,14 @@ let assemble (prog : Mcode.t) =
     mem_size;
     data_image;
   }
+
+(** Content hash of everything that determines an image's execution —
+    the trace-replay engine's cache key.  [Insn.t] carries no closures,
+    so marshalling is total; the address tables are derived from [code]
+    and need not be hashed. *)
+let fingerprint (t : t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.code, t.entry, t.data_image, t.stack_top, t.mem_size)
+          []))

@@ -45,3 +45,10 @@ val layout_globals : Mcode.global list -> (string * int) list * int
     targets and lay out data.
     @raise Undefined_label when a target label is not defined. *)
 val assemble : Mcode.t -> t
+
+(** Content hash of everything that determines an image's execution:
+    code, entry point, initialised data, stack top and memory size.
+    Two images with equal fingerprints produce identical dynamic
+    instruction streams under identical machine semantics — the
+    trace-replay engine's cache key. *)
+val fingerprint : t -> string

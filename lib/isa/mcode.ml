@@ -83,6 +83,24 @@ let size_breakdown t =
     connects = !connects;
   }
 
+(** A structural copy: fresh [func] and [block] records — the scheduler
+    and the connect-insertion pass replace the mutable [blocks]/[insns]
+    lists in place — sharing the [Insn.t] values (immutable after
+    lowering; the assembler patches targets on copies) and the
+    globals. *)
+let copy t =
+  {
+    t with
+    funcs =
+      List.map
+        (fun f ->
+          {
+            f with
+            blocks = List.map (fun b -> { b with insns = b.insns }) f.blocks;
+          })
+        t.funcs;
+  }
+
 let pp_func ppf fn =
   Fmt.pf ppf "%s:@." fn.name;
   List.iter

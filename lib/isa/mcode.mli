@@ -39,6 +39,11 @@ val global : name:string -> bytes:int -> ?init:init -> unit -> global
 val iter_insns : t -> (Insn.t -> unit) -> unit
 val insn_count : t -> int
 
+(** A structural copy that can be scheduled / connect-lowered without
+    disturbing the original: fresh [func] and [block] records, with the
+    [Insn.t] values (immutable after lowering) and globals shared. *)
+val copy : t -> t
+
 (** Static instruction counts per provenance tag plus connects, the raw
     material of Figure 9. *)
 type size_breakdown = {

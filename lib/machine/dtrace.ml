@@ -1,0 +1,115 @@
+(** Compact dynamic-trace records for the trace-replay timing engine.
+
+    On an in-order machine with deterministic latencies, the timing
+    knobs of a {!Config.t} (issue rate, memory channels, load and
+    connect latency, extra pipeline stage, connect dispatch budget)
+    cannot change the dynamic instruction stream — only its timing.  One
+    execution-driven run therefore records, per dynamic instruction, the
+    few facts timing depends on that are not static in the code image:
+
+    - the program counter (static fields — opcode class, latency class,
+      is_mem, connect targets, branch hints — are re-read from the
+      replayer's own {!Rc_isa.Dins} predecode, so a trace recorded under
+      2-cycle loads replays correctly under 4-cycle loads);
+    - the three resolved physical registers (two sources and the
+      destination) the issue logic interlocks on;
+    - the PSW map-enable bit seen at issue (drives the 1-cycle-connect
+      mapping-table conflict check);
+    - the branch outcome (drives mispredict accounting).
+
+    All five facts pack into one OCaml [int] per dynamic instruction;
+    the emitted output stream and its checksum are stored once per
+    trace.  {!Trace_replay} re-runs the issue/scoreboard/channel/
+    redirect accounting from this record under any replay-safe
+    configuration and reproduces {!Machine.result} exactly.
+
+    A trace is only valid for the image it was recorded from (same code,
+    data and entry) under the same functional semantics (reset model,
+    register file shapes, no traps or interrupts) — see
+    {!Trace_replay.replay_safe} and DESIGN.md §14. *)
+
+(* Packed entry layout (low to high):
+   bit  0        branch taken
+   bit  1        PSW map-enable at issue
+   bits 2..13    sp0 + 1  (12 bits; 0 = no source 0)
+   bits 14..25   sp1 + 1
+   bits 26..37   dp  + 1
+   bits 38..59   pc       (22 bits)
+   Physical registers above 4094 or images above 2^22 instructions do
+   not fit; recording marks the builder invalid and the engine falls
+   back to direct execution. *)
+
+let reg_bits = 12
+let reg_mask = (1 lsl reg_bits) - 1
+let pc_bits = 22
+let max_pc = (1 lsl pc_bits) - 1
+let max_reg = reg_mask - 1
+
+type t = {
+  n : int;  (** dynamic instructions recorded *)
+  packed : int array;  (** length [n], one packed entry each *)
+  output : int64 list;  (** the emitted stream, in emission order *)
+  checksum : int64;  (** {!Machine.checksum_of_output} of [output] *)
+}
+
+let[@inline] pack ~pc ~sp0 ~sp1 ~dp ~map_on ~taken =
+  Bool.to_int taken
+  lor (Bool.to_int map_on lsl 1)
+  lor ((sp0 + 1) lsl 2)
+  lor ((sp1 + 1) lsl (2 + reg_bits))
+  lor ((dp + 1) lsl (2 + (2 * reg_bits)))
+  lor (pc lsl (2 + (3 * reg_bits)))
+
+let[@inline] taken e = e land 1 <> 0
+let[@inline] map_on e = e land 2 <> 0
+let[@inline] sp0 e = ((e lsr 2) land reg_mask) - 1
+let[@inline] sp1 e = ((e lsr (2 + reg_bits)) land reg_mask) - 1
+let[@inline] dp e = ((e lsr (2 + (2 * reg_bits))) land reg_mask) - 1
+let[@inline] pc e = e lsr (2 + (3 * reg_bits))
+
+(* --- recording ----------------------------------------------------------- *)
+
+type builder = {
+  mutable buf : int array;
+  mutable len : int;
+  mutable ok : bool;
+      (** cleared when an entry does not fit or an unreplayable event
+          (trap, rfe, interrupt) occurs; {!finish} then returns [None] *)
+}
+
+let builder ?(hint = 4096) () = { buf = Array.make (max 16 hint) 0; len = 0; ok = true }
+
+let invalidate b = b.ok <- false
+
+let[@inline never] grow b =
+  let buf = Array.make (2 * Array.length b.buf) 0 in
+  Array.blit b.buf 0 buf 0 b.len;
+  b.buf <- buf
+
+let[@inline] add b ~pc ~sp0 ~sp1 ~dp ~map_on ~taken =
+  if b.ok then
+    if pc > max_pc || sp0 > max_reg || sp1 > max_reg || dp > max_reg then
+      b.ok <- false
+    else begin
+      if b.len = Array.length b.buf then grow b;
+      b.buf.(b.len) <- pack ~pc ~sp0 ~sp1 ~dp ~map_on ~taken;
+      b.len <- b.len + 1
+    end
+
+(** The finished trace, or [None] when recording hit an unreplayable
+    event.  [output]/[checksum] come from the recording run's result. *)
+let finish b ~output ~checksum =
+  if not b.ok then None
+  else Some { n = b.len; packed = Array.sub b.buf 0 b.len; output; checksum }
+
+(** Approximate heap footprint, for the engine's cache accounting. *)
+let bytes t = 8 * (t.n + (2 * List.length t.output) + 8)
+
+(** A copy with entry [i] replaced — test hook for planting a
+    divergence the equivalence check must catch.
+    @raise Invalid_argument when [i] is out of range. *)
+let sabotage t i entry =
+  if i < 0 || i >= t.n then invalid_arg "Dtrace.sabotage: index out of range";
+  let packed = Array.copy t.packed in
+  packed.(i) <- entry;
+  { t with packed }

@@ -1,0 +1,63 @@
+(** Compact dynamic-trace records for the trace-replay timing engine:
+    one packed [int] per dynamic instruction (pc, resolved physical
+    sources/destination, map-enable bit, branch outcome) plus the
+    output stream recorded once.  See DESIGN.md §14. *)
+
+type t = {
+  n : int;  (** dynamic instructions recorded *)
+  packed : int array;  (** length [n], one packed entry each *)
+  output : int64 list;  (** the emitted stream, in emission order *)
+  checksum : int64;  (** {!Machine.checksum_of_output} of [output] *)
+}
+
+(** {2 Packed-entry accessors} *)
+
+val pack :
+  pc:int -> sp0:int -> sp1:int -> dp:int -> map_on:bool -> taken:bool -> int
+
+val taken : int -> bool
+val map_on : int -> bool
+
+(** Resolved physical source/destination registers; [-1] when absent. *)
+val sp0 : int -> int
+
+val sp1 : int -> int
+val dp : int -> int
+val pc : int -> int
+
+(** Largest pc / physical register number an entry can hold. *)
+val max_pc : int
+
+val max_reg : int
+
+(** {2 Recording} *)
+
+type builder
+
+val builder : ?hint:int -> unit -> builder
+
+(** Mark the recording unreplayable (trap, rfe, interrupt injection);
+    {!finish} will return [None]. *)
+val invalidate : builder -> unit
+
+(** Append one issued instruction; a value that does not fit the packed
+    layout invalidates the builder instead of raising. *)
+val add :
+  builder ->
+  pc:int ->
+  sp0:int ->
+  sp1:int ->
+  dp:int ->
+  map_on:bool ->
+  taken:bool ->
+  unit
+
+val finish : builder -> output:int64 list -> checksum:int64 -> t option
+
+(** Approximate heap footprint in bytes, for cache accounting. *)
+val bytes : t -> int
+
+(** A copy with entry [i] replaced — test hook for planting a
+    divergence the equivalence check must catch.
+    @raise Invalid_argument when [i] is out of range. *)
+val sabotage : t -> int -> int -> t

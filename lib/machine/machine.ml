@@ -83,7 +83,10 @@ type t = {
   mem : Bytes.t;
   mutable pc : int;
   mutable halted : bool;
-  mutable out_rev : int64 list;
+  (* The output stream, a growable buffer in emission order (an [Emit]
+     appends at [out_len]; no final reversal). *)
+  mutable out : int64 array;
+  mutable out_len : int;
   stats : stats;
   (* trap state *)
   mutable epc : int;
@@ -92,6 +95,13 @@ type t = {
   mutable observer : (cycle_sample -> unit) option;
       (** when set, called once per {!run_cycle} with that cycle's slot
           accounting; [None] costs one untaken branch per cycle *)
+  mutable recorder : Dtrace.builder option;
+      (** when set, every issued instruction appends its resolved
+          operands and branch outcome; [None] costs one untaken branch
+          per issued instruction *)
+  mutable rec_taken : bool;
+      (** outcome of the branch currently being issued, for the
+          recorder *)
 }
 
 let create (cfg : Config.t) (image : Image.t) =
@@ -112,7 +122,8 @@ let create (cfg : Config.t) (image : Image.t) =
       mem;
       pc = image.Image.entry;
       halted = false;
-      out_rev = [];
+      out = [||];
+      out_len = 0;
       stats =
         {
           cycles = 0;
@@ -135,6 +146,8 @@ let create (cfg : Config.t) (image : Image.t) =
       saved_psw = None;
       pending_interrupt = false;
       observer = None;
+      recorder = None;
+      rec_taken = false;
     }
   in
   t.iregs.(Reg.sp) <- Int64.of_int image.Image.stack_top;
@@ -188,6 +201,22 @@ let set_f t p v lat_done =
   t.fregs.(p) <- v;
   t.fready.(p) <- lat_done
 
+(* --- output stream ----------------------------------------------------- *)
+
+let[@inline never] grow_out t =
+  let cap = max 64 (2 * Array.length t.out) in
+  let out = Array.make cap 0L in
+  Array.blit t.out 0 out 0 t.out_len;
+  t.out <- out
+
+let[@inline] emit t v =
+  if t.out_len = Array.length t.out then grow_out t;
+  t.out.(t.out_len) <- v;
+  t.out_len <- t.out_len + 1
+
+(** The emitted stream so far, in emission order. *)
+let output_list t = Array.to_list (Array.sub t.out 0 t.out_len)
+
 (* --- memory ------------------------------------------------------------ *)
 
 let check_addr t a width =
@@ -220,15 +249,23 @@ let handler_addr t =
   | None -> fail "trap with no handler configured"
 
 let enter_trap t ~return_to =
+  (* Trap entry changes control flow in a way the pure timing replayer
+     does not model; a recording that sees one is not replayable. *)
+  (match t.recorder with Some b -> Dtrace.invalidate b | None -> ());
   t.saved_psw <- Some (Psw.enter_trap t.psw);
   t.epc <- return_to;
   t.pc <- handler_addr t
 
 (** Request an external interrupt; taken at the next cycle boundary. *)
-let inject_interrupt t = t.pending_interrupt <- true
+let inject_interrupt t =
+  (match t.recorder with Some b -> Dtrace.invalidate b | None -> ());
+  t.pending_interrupt <- true
 
 (** Attach (or clear) the per-cycle observer. *)
 let set_observer t obs = t.observer <- obs
+
+(** Attach (or clear) the dynamic-trace recorder. *)
+let set_recorder t r = t.recorder <- r
 
 (* --- one cycle ----------------------------------------------------------- *)
 
@@ -392,6 +429,7 @@ let run_cycle_raw t =
        | Opcode.Br c ->
            t.stats.branches <- t.stats.branches + 1;
            let taken = Opcode.eval_cond c (get_i t sp0) (get_i t sp1) in
+           t.rec_taken <- taken;
            if taken then next_pc := d.Dins.target;
            if taken <> d.Dins.hint then begin
              t.stats.mispredicts <- t.stats.mispredicts + 1;
@@ -433,15 +471,17 @@ let run_cycle_raw t =
                    pending_maps :=
                      (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: !pending_maps)
                d.Dins.connects
-       | Opcode.Emit -> t.out_rev <- get_i t sp0 :: t.out_rev
-       | Opcode.Femit ->
-           t.out_rev <- Int64.bits_of_float (get_f t sp0) :: t.out_rev
+       | Opcode.Emit -> emit t (get_i t sp0)
+       | Opcode.Femit -> emit t (Int64.bits_of_float (get_f t sp0))
        | Opcode.Trap ->
            enter_trap t ~return_to:(t.pc + 1);
            next_pc := t.pc;
            end_group := true;
            end_cause := Some Redirect
        | Opcode.Rfe ->
+           (match t.recorder with
+           | Some b -> Dtrace.invalidate b
+           | None -> ());
            (match t.saved_psw with
            | Some saved ->
                Psw.return_from_exception t.psw ~saved;
@@ -476,6 +516,15 @@ let run_cycle_raw t =
            end_group := true;
            end_cause := Some Fetch
        | Opcode.Nop -> ());
+       (match t.recorder with
+       | None -> ()
+       | Some b ->
+           (* [t.pc] is still the issued instruction's address here (it
+              advances below, and the Trap arm — which redirected it
+              already — invalidated the recording). *)
+           Dtrace.add b ~pc:t.pc ~sp0 ~sp1 ~dp ~map_on
+             ~taken:
+               (match d.Dins.op with Opcode.Br _ -> t.rec_taken | _ -> false));
        (match d.Dins.op with
        | Opcode.Trap -> () (* pc already set by enter_trap *)
        | _ -> t.pc <- !next_pc);
@@ -568,7 +617,7 @@ let checksum_of_output output =
     0x9E3779B9L output
 
 let finish t =
-  let output = List.rev t.out_rev in
+  let output = output_list t in
   {
     cycles = t.stats.cycles;
     issued = t.stats.issued;

@@ -82,7 +82,10 @@ type t = {
   mem : Bytes.t;
   mutable pc : int;
   mutable halted : bool;
-  mutable out_rev : int64 list;
+  mutable out : int64 array;
+      (** the output stream, a growable buffer in emission order; only
+          [out.(0 .. out_len - 1)] is meaningful *)
+  mutable out_len : int;
   stats : stats;
   mutable epc : int;
   mutable saved_psw : Rc_core.Psw.t option;
@@ -91,6 +94,12 @@ type t = {
       (** when set, called once per {!run_cycle} with that cycle's slot
           accounting; [None] (the default) costs one untaken branch per
           cycle *)
+  mutable recorder : Dtrace.builder option;
+      (** when set, every issued instruction appends its resolved
+          operands and branch outcome to the builder (see
+          {!Rc_machine.Dtrace}); [None] (the default) costs one untaken
+          branch per issued instruction *)
+  mutable rec_taken : bool;  (** recorder scratch: last branch outcome *)
 }
 
 (** A fresh machine with data initialised, SP at the stack top and PC at
@@ -106,6 +115,12 @@ val inject_interrupt : t -> unit
 
 (** Attach (or clear) the per-cycle observer. *)
 val set_observer : t -> (cycle_sample -> unit) option -> unit
+
+(** Attach (or clear) the dynamic-trace recorder (see {!Dtrace}). *)
+val set_recorder : t -> Dtrace.builder option -> unit
+
+(** The emitted stream so far, in emission order. *)
+val output_list : t -> int64 list
 
 (** Simulate one cycle (issue one in-order group). *)
 val run_cycle : t -> unit

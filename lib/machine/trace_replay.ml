@@ -1,0 +1,260 @@
+(** The trace-replay timing engine: re-time a recorded execution under a
+    new configuration without re-executing it.
+
+    {!Machine.run_cycle} interleaves two concerns: functional execution
+    (register values, memory, output) and timing (issue grouping,
+    scoreboard interlocks, channel arbitration, redirect penalties).  On
+    this in-order machine the timing knobs of a {!Config.t} — issue
+    rate, memory channels, load/connect latency, the extra pipeline
+    stage, the connect dispatch budget — cannot change the dynamic
+    instruction stream, only how it packs into cycles.  So the stream is
+    recorded once ({!record}) and {!replay} re-runs only the timing
+    half: the same per-candidate check sequence as [run_cycle_raw]
+    (mapping-table conflict, then memory channel, then issue/connect
+    budget, then operand scoreboard), the same slot attribution, the
+    same mispredict and fuel accounting — against operands read from the
+    trace instead of resolved through live mapping tables.
+
+    Replay reproduces {!Machine.result} {e exactly}: cycles, all five
+    [lost_*] counters, every stall counter, the checksum, and the slot
+    invariant.  The equivalence is enforced by [test/t_replay.ml] across
+    the full figure grids and all reset models.
+
+    A trace is only meaningful for the image it was recorded from, under
+    a configuration whose {e semantic} knobs match the recording (reset
+    model, register file shapes — these change register resolution and
+    hence values and branch outcomes).  Keying and matching is the
+    cache's job ({!Rc_harness.Experiments}); this module checks only
+    {!replay_safe}, the conditions under which recording itself is
+    sound.  See DESIGN.md §14. *)
+
+open Rc_isa
+
+let fail fmt = Fmt.kstr (fun s -> raise (Machine.Simulation_error s)) fmt
+
+(** No trap handler configured: the program cannot trap, and interrupt
+    injection — the other unreplayable event — is driver-initiated and
+    never happens under the harness entry points that use this engine.
+    (A [Trap]/[Rfe] or injected interrupt during recording additionally
+    invalidates the builder, so an unreplayable run can never produce a
+    trace.) *)
+let replay_safe (cfg : Config.t) = Option.is_none cfg.Config.trap_handler
+
+(** Execute [image] under [cfg] with a recorder attached: the ordinary
+    execution-driven result, plus the trace when the run was replayable. *)
+let record (cfg : Config.t) (image : Image.t) =
+  let m = Machine.create cfg image in
+  let b = Dtrace.builder ~hint:(4 * Array.length image.Image.code) () in
+  Machine.set_recorder m (Some b);
+  let r = Machine.run_machine m in
+  let tr =
+    Dtrace.finish b ~output:r.Machine.output ~checksum:r.Machine.checksum
+  in
+  (r, tr)
+
+(* Duplicated from [Machine] (not exported there): the 1-cycle-connect
+   same-group conflict scan over architectural map entries. *)
+let rec pending_mem cls (kind : Insn.map_kind) r = function
+  | [] -> false
+  | (c, k, i) :: rest ->
+      (Reg.equal_cls c cls && k = kind && i = r) || pending_mem cls kind r rest
+
+let src_blocked pending (d : Dins.t) =
+  (d.Dins.nsrcs > 0 && pending_mem d.Dins.s0c Insn.Read d.Dins.s0 pending)
+  || (d.Dins.nsrcs > 1 && pending_mem d.Dins.s1c Insn.Read d.Dins.s1 pending)
+  || (d.Dins.d >= 0 && pending_mem d.Dins.dc Insn.Write d.Dins.d pending)
+
+type issue_blocker = Data | Map | Channel | Redirect | Fetch
+
+exception Group_end of issue_blocker option
+
+(** Re-run the issue/scoreboard/channel/redirect accounting of [tr]
+    under [cfg].  The caller guarantees [tr] was recorded from [image]
+    under matching semantic knobs; [cfg]'s timing knobs are free.
+    @raise Machine.Simulation_error on fuel exhaustion or a trace that
+    could not have come from a replay-safe recording. *)
+let replay (cfg : Config.t) (image : Image.t) (tr : Dtrace.t) =
+  (* Predecoded under the {e replay} configuration's latencies: a trace
+     recorded with 2-cycle loads re-times correctly under 4-cycle
+     loads. *)
+  let pre = Dins.decode ~lat:cfg.Config.lat image.Image.code in
+  let iready = Array.make cfg.Config.ifile.Reg.total 0 in
+  let fready = Array.make cfg.Config.ffile.Reg.total 0 in
+  let stats : Machine.stats =
+    {
+      cycles = 0;
+      issued = 0;
+      connects = 0;
+      extra_connects = 0;
+      mem_ops = 0;
+      branches = 0;
+      mispredicts = 0;
+      data_stalls = 0;
+      map_stalls = 0;
+      channel_stalls = 0;
+      lost_data = 0;
+      lost_map = 0;
+      lost_channel = 0;
+      lost_branch = 0;
+      lost_fetch = 0;
+    }
+  in
+  let packed = tr.Dtrace.packed in
+  let n = tr.Dtrace.n in
+  let idx = ref 0 in
+  let halted = ref false in
+  let shared_connects = cfg.Config.connect_dispatch = `Shared in
+  let connect_budget =
+    match cfg.Config.connect_dispatch with `Shared -> 0 | `Extra b -> b
+  in
+  let connect_lat = cfg.Config.lat.Latency.connect in
+  let issue = cfg.Config.issue in
+  let penalty = Config.mispredict_penalty cfg in
+  let[@inline] reg_ready cycle (cls : Reg.cls) p =
+    match cls with
+    | Reg.Int -> iready.(p) <= cycle
+    | Reg.Float -> fready.(p) <= cycle
+  in
+  (* One cycle: the timing half of [Machine.run_cycle_raw], with the
+     candidate instruction and its resolved operands read from the
+     trace.  Check order (Map, then Channel, then budget/slots, then
+     Data), slot charging and stall counting mirror execution
+     line-for-line — drift here is what [test/t_replay.ml] exists to
+     catch. *)
+  let run_cycle () =
+    let cycle = stats.cycles in
+    let slots = ref issue in
+    let connect_slots = ref connect_budget in
+    let mem_free = ref cfg.Config.mem_channels in
+    let pending_maps : (Reg.cls * Insn.map_kind * int) list ref = ref [] in
+    let end_group = ref false in
+    let end_cause = ref None in
+    let blocked = ref None in
+    (try
+       while (!slots > 0 || !connect_slots > 0) && not !halted do
+         if !idx >= n then fail "replay: trace exhausted before halt";
+         let e = packed.(!idx) in
+         let d = pre.(Dtrace.pc e) in
+         let map_on = Dtrace.map_on e in
+         (* --- can it issue this cycle? --- *)
+         if
+           connect_lat > 0 && map_on
+           && (match !pending_maps with [] -> false | p -> src_blocked p d)
+         then raise (Group_end (Some Map));
+         if d.Dins.is_mem && !mem_free <= 0 then
+           raise (Group_end (Some Channel));
+         (if d.Dins.is_connect && not shared_connects then begin
+            if !connect_slots <= 0 then raise (Group_end (Some Map))
+          end
+          else if !slots <= 0 then raise (Group_end None));
+         let sp0 = Dtrace.sp0 e
+         and sp1 = Dtrace.sp1 e
+         and dp = Dtrace.dp e in
+         let ok =
+           (d.Dins.nsrcs < 1 || reg_ready cycle d.Dins.s0c sp0)
+           && (d.Dins.nsrcs < 2 || reg_ready cycle d.Dins.s1c sp1)
+           && (d.Dins.d < 0 || reg_ready cycle d.Dins.dc dp)
+         in
+         if not ok then raise (Group_end (Some Data));
+         (* --- issue --- *)
+         if d.Dins.is_connect && not shared_connects then begin
+           decr connect_slots;
+           stats.extra_connects <- stats.extra_connects + 1
+         end
+         else decr slots;
+         stats.issued <- stats.issued + 1;
+         if d.Dins.is_mem then begin
+           decr mem_free;
+           stats.mem_ops <- stats.mem_ops + 1
+         end;
+         let done_at = cycle + d.Dins.lat in
+         end_group := false;
+         (match d.Dins.op with
+         | Opcode.Alu _ | Opcode.Alui _ | Opcode.Li | Opcode.Move
+         | Opcode.Ftoi | Opcode.Fcmp _ | Opcode.Ld _ | Opcode.Mfmap _ ->
+             (* [Machine.set_i] skips the hardwired zero *)
+             if dp <> Reg.zero then iready.(dp) <- done_at
+         | Opcode.Fli | Opcode.Fmove | Opcode.Fpu _ | Opcode.Itof
+         | Opcode.Fld ->
+             fready.(dp) <- done_at
+         | Opcode.St _ | Opcode.Fst -> ()
+         | Opcode.Br _ ->
+             stats.branches <- stats.branches + 1;
+             if Dtrace.taken e <> d.Dins.hint then begin
+               stats.mispredicts <- stats.mispredicts + 1;
+               stats.cycles <- stats.cycles + penalty;
+               stats.lost_branch <- stats.lost_branch + (penalty * issue);
+               end_group := true;
+               end_cause := Some Redirect
+             end
+         | Opcode.Jmp -> stats.branches <- stats.branches + 1
+         | Opcode.Jsr ->
+             stats.branches <- stats.branches + 1;
+             (* execution writes RA's readiness at its {e home} physical
+                location (the map was just reset), not at the recorded
+                [dp] *)
+             if Reg.ra <> Reg.zero then iready.(Reg.ra) <- done_at
+         | Opcode.Rts -> stats.branches <- stats.branches + 1
+         | Opcode.Connect ->
+             stats.connects <- stats.connects + 1;
+             if map_on && connect_lat > 0 then
+               Array.iter
+                 (fun (c : Insn.connect) ->
+                   pending_maps :=
+                     (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: !pending_maps)
+                 d.Dins.connects
+         | Opcode.Emit | Opcode.Femit | Opcode.Mapen | Opcode.Mtmap _
+         | Opcode.Nop ->
+             ()
+         | Opcode.Halt ->
+             halted := true;
+             end_group := true;
+             end_cause := Some Fetch
+         | Opcode.Trap | Opcode.Rfe ->
+             fail "replay: unreplayable %s in trace at index %d"
+               (Opcode.to_string d.Dins.op)
+               !idx);
+         incr idx;
+         if !end_group then raise (Group_end !end_cause)
+       done
+     with Group_end reason ->
+       blocked := reason;
+       (match reason with
+       | Some Data -> stats.data_stalls <- stats.data_stalls + 1
+       | Some Map -> stats.map_stalls <- stats.map_stalls + 1
+       | Some Channel -> stats.channel_stalls <- stats.channel_stalls + 1
+       | Some Redirect | Some Fetch | None -> ()));
+    let lost = !slots in
+    if lost > 0 then begin
+      match !blocked with
+      | Some Data -> stats.lost_data <- stats.lost_data + lost
+      | Some Map -> stats.lost_map <- stats.lost_map + lost
+      | Some Channel -> stats.lost_channel <- stats.lost_channel + lost
+      | Some Redirect -> stats.lost_branch <- stats.lost_branch + lost
+      | Some Fetch | None -> stats.lost_fetch <- stats.lost_fetch + lost
+    end;
+    stats.cycles <- stats.cycles + 1
+  in
+  while (not !halted) && stats.cycles < cfg.Config.fuel do
+    run_cycle ()
+  done;
+  if not !halted then fail "out of fuel after %d cycles" stats.cycles;
+  {
+    Machine.cycles = stats.cycles;
+    issued = stats.issued;
+    connects = stats.connects;
+    extra_connects = stats.extra_connects;
+    mem_ops = stats.mem_ops;
+    branches = stats.branches;
+    mispredicts = stats.mispredicts;
+    data_stalls = stats.data_stalls;
+    map_stalls = stats.map_stalls;
+    channel_stalls = stats.channel_stalls;
+    lost_data = stats.lost_data;
+    lost_map = stats.lost_map;
+    lost_channel = stats.lost_channel;
+    lost_branch = stats.lost_branch;
+    lost_fetch = stats.lost_fetch;
+    output = tr.Dtrace.output;
+    checksum = tr.Dtrace.checksum;
+  }

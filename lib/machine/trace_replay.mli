@@ -1,0 +1,25 @@
+(** The trace-replay timing engine: record the dynamic instruction
+    stream once, then re-time it under any configuration whose semantic
+    knobs match — reproducing {!Machine.result} exactly.  See DESIGN.md
+    §14 for the trace format and safety conditions. *)
+
+open Rc_isa
+
+(** Can a recording made under this configuration be replayed?  True
+    when no trap handler is configured (traps, [rfe] and injected
+    interrupts redirect control in ways the pure timing replayer does
+    not model; they also invalidate the recording itself). *)
+val replay_safe : Config.t -> bool
+
+(** Execute the image with a recorder attached: the ordinary
+    execution-driven result plus the finished trace, or [None] when the
+    run hit an unreplayable event or overflowed the packed layout. *)
+val record : Config.t -> Image.t -> Machine.result * Dtrace.t option
+
+(** Re-time [trace] under a configuration.  The caller guarantees the
+    trace was recorded from this image under matching semantic knobs
+    (reset model, register-file shapes, no traps); timing knobs — issue
+    rate, channels, latencies, extra stage, connect dispatch — are free.
+    @raise Machine.Simulation_error on fuel exhaustion or a foreign
+    trace. *)
+val replay : Config.t -> Image.t -> Dtrace.t -> Machine.result

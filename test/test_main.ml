@@ -16,6 +16,7 @@ let () =
       ("codegen", T_codegen.suite);
       ("machine", T_machine.suite);
       ("check", T_check.suite);
+      ("replay", T_replay.suite);
       ("workloads", T_workloads.suite);
       ("harness", T_harness.suite);
       ("properties", T_props.suite);
