@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke clean
+.PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke \
+	json-smoke serve-smoke serve clean
 
 all: build
 
@@ -33,6 +34,21 @@ fuzz-smoke:
 # between --engine execute, auto and replay, at any jobs count.
 replay-smoke:
 	dune build @replay-smoke
+
+# Stdout purity of the --json modes: the captured output must be one
+# JSON document, nothing else (narration belongs on stderr).
+json-smoke:
+	dune build @json-smoke
+
+# End-to-end check of `rcc serve`: /run byte-identical to
+# `rcc run --json`, warm trace-cache replay on the second identical
+# request, graceful SIGTERM drain (see DESIGN.md section 15).
+serve-smoke:
+	dune build @serve-smoke
+
+# Run the simulation service locally.
+serve:
+	dune exec bin/rcc.exe -- serve --port 8080 --jobs 4
 
 clean:
 	dune clean

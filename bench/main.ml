@@ -93,10 +93,11 @@ let save_sweep path ~scale ~jobs ~engine ~total_s ~timings ~stats =
             ] );
       ]
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  (* Atomic replacement: a crash (or ENOSPC) mid-write must never
+     truncate the accumulated sweep log.  [write_atomic] stages the
+     bytes in a temp file in the same directory and renames over the
+     destination only after an error-reporting close. *)
+  Rc_obs.Fsio.write_atomic path (fun oc ->
       output_string oc (to_string (List (previous @ [ run ])));
       output_char oc '\n');
   Fmt.epr "sweep timings appended to %s (%d run%s)@." path
@@ -286,21 +287,26 @@ let () =
           let total_s = Unix.gettimeofday () -. t0 in
           (match !save with
           | None -> ()
-          | Some path ->
-              save_sweep path ~scale:!scale ~jobs:!jobs ~engine:!engine ~total_s
-                ~timings
-                ~stats:(Rc_harness.Experiments.engine_stats ctx));
+          | Some path -> (
+              try
+                save_sweep path ~scale:!scale ~jobs:!jobs ~engine:!engine
+                  ~total_s ~timings
+                  ~stats:(Rc_harness.Experiments.engine_stats ctx)
+              with Sys_error m ->
+                Fmt.epr "bench: cannot save sweep log: %s@." m;
+                exit 1));
           (* Dump the telemetry while the pool is still alive so its
              per-domain stats are included. *)
           match !metrics with
           | None -> ()
-          | Some path ->
-              let oc = open_out_bin path in
-              Fun.protect
-                ~finally:(fun () -> close_out_noerr oc)
-                (fun () ->
-                  output_string oc
-                    (Rc_obs.Json.to_string
-                       (Rc_harness.Experiments.metrics_json ctx));
-                  output_char oc '\n');
-              Fmt.epr "metrics written to %s@." path)
+          | Some path -> (
+              try
+                Rc_obs.Fsio.write_atomic path (fun oc ->
+                    output_string oc
+                      (Rc_obs.Json.to_string
+                         (Rc_harness.Experiments.metrics_json ctx));
+                    output_char oc '\n');
+                Fmt.epr "metrics written to %s@." path
+              with Sys_error m ->
+                Fmt.epr "bench: cannot write metrics: %s@." m;
+                exit 1))

@@ -2,13 +2,20 @@
    trace-smoke alias and usable by hand:
 
      jsonck <chrome-trace.json> [<events.jsonl>]
+     jsonck --pure <doc.json>...
 
    Checks that the Chrome file is valid trace-event JSON Perfetto will
    load — a traceEvents array whose entries carry name/ph/pid, with at
    least one complete ("X", the compile passes) and one counter ("C",
    the machine cycles) event — and that every JSONL line parses to an
    object with a type discriminant.  Exits non-zero with a message on
-   the first violation. *)
+   the first violation.
+
+   [--pure] instead asserts machine-readability of captured stdout:
+   each file must be exactly one JSON object — any narration line
+   leaking onto stdout before or after the document breaks the parse
+   and fails the check (the json-smoke alias pipes `rcc run --json`
+   and `rcc figures --json` through this). *)
 
 let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -77,11 +84,25 @@ let check_jsonl path =
     lines;
   Printf.printf "%s: ok (%d events)\n" path (List.length lines)
 
+let check_pure path =
+  match Rc_obs.Json.of_string (read_file path) with
+  | Ok (Rc_obs.Json.Obj fields) ->
+      Printf.printf "%s: pure (one object, %d top-level fields)\n" path
+        (List.length fields)
+  | Ok _ -> fail "%s: top level is not a JSON object" path
+  | Error m -> fail "%s: stdout is not a single JSON document: %s" path m
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--pure" :: (_ :: _ as files) -> List.iter check_pure files
+  | _ :: "--pure" :: [] ->
+      prerr_endline "usage: jsonck --pure <doc.json>...";
+      exit 2
   | _ :: chrome :: rest ->
       check_chrome chrome;
       List.iter check_jsonl rest
   | _ ->
-      prerr_endline "usage: jsonck <chrome-trace.json> [<events.jsonl>...]";
+      prerr_endline
+        "usage: jsonck <chrome-trace.json> [<events.jsonl>...] | jsonck --pure \
+         <doc.json>...";
       exit 2

@@ -6,6 +6,7 @@
      run <bench> [options]       compile one kernel and simulate it
      compare <bench> [options]   without-RC vs with-RC vs unlimited
      figures [ids] [options]     regenerate the paper's tables and figures
+     serve [options]             persistent HTTP simulation service
      dump <bench> [options]      print the generated machine code
      trace <bench> [options]     structured trace (JSONL or Chrome JSON)
      check <bench> [options]     pass-level oracle + machine-vs-oracle lockstep
@@ -21,6 +22,17 @@
 open Cmdliner
 
 (* --- shared options ------------------------------------------------------ *)
+
+(** Strictly positive integer argument: a zero or negative value is a
+    usage error, never a zero-domain pool or an empty sweep. *)
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Fmt.str "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
 
 let bench_arg =
   let doc = "Benchmark kernel name (see $(b,rcc list))." in
@@ -75,16 +87,20 @@ let model =
     & info [ "model" ] ~docv:"MODEL" ~doc)
 
 let scale =
-  let doc = "Workload input scale factor." in
-  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+  let doc = "Workload input scale factor (positive)." in
+  Arg.(
+    value
+    & opt (pos_int ~what:"--scale") 1
+    & info [ "scale" ] ~docv:"N" ~doc)
 
 let jobs =
   let doc =
-    "Worker domains for multi-configuration subcommands (compare)."
+    "Worker domains for multi-configuration subcommands (compare); \
+     positive."
   in
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    & opt (pos_int ~what:"--jobs") (Domain.recommended_domain_count ())
     & info [ "jobs" ] ~docv:"N" ~doc)
 
 let no_unroll =
@@ -136,13 +152,9 @@ let simulate_single engine (c : Rc_harness.Pipeline.compiled) =
         | r, None -> (r, "execute")
         | _, Some tr -> (Rc_harness.Pipeline.simulate_replayed c tr, "replay"))
 
-let options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
-    ~extra_stage ~model ~no_unroll =
-  Rc_harness.Pipeline.options
-    ~opt:(if no_unroll then Rc_opt.Pass.Classical else Rc_opt.Pass.Ilp 4)
-    ~rc ~core_int ~core_float ~model ~issue ?mem_channels
-    ~lat:(Rc_isa.Latency.v ~load ~connect ())
-    ~extra_stage ()
+(* CLI knobs to pipeline options — shared with the server's /run
+   decoder so both front ends apply identical defaults. *)
+let options_of = Rc_serve.Payload.options_of
 
 (* --- subcommands ------------------------------------------------------------ *)
 
@@ -204,49 +216,9 @@ let print_result (c : Rc_harness.Pipeline.compiled) (r : Rc_machine.Machine.resu
 
 (* --- JSON output ---------------------------------------------------------- *)
 
-let config_json (o : Rc_harness.Pipeline.options) =
-  let open Rc_obs.Json in
-  Obj
-    [
-      ( "opt",
-        Str
-          (match o.Rc_harness.Pipeline.opt with
-          | Rc_opt.Pass.Classical -> "classical"
-          | Rc_opt.Pass.Ilp f -> "ilp" ^ string_of_int f) );
-      ("rc", Bool o.Rc_harness.Pipeline.rc);
-      ("core_int", Int o.Rc_harness.Pipeline.core_int);
-      ("core_float", Int o.Rc_harness.Pipeline.core_float);
-      ("total_int", Int o.Rc_harness.Pipeline.total_int);
-      ("total_float", Int o.Rc_harness.Pipeline.total_float);
-      ("model", Str (Fmt.str "%a" Rc_core.Model.pp o.Rc_harness.Pipeline.model));
-      ("combine", Bool o.Rc_harness.Pipeline.combine);
-      ("issue", Int o.Rc_harness.Pipeline.issue);
-      ("mem_channels", Int o.Rc_harness.Pipeline.mem_channels);
-      ("load_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.load);
-      ("connect_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.connect);
-      ("extra_stage", Bool o.Rc_harness.Pipeline.extra_stage);
-    ]
-
-(** One configuration's full record: config, machine counters (slot
-    attribution included), static code size, per-pass compile metrics. *)
-let config_result_json ?name ?speedup (c : Rc_harness.Pipeline.compiled)
-    (r : Rc_machine.Machine.result) =
-  let open Rc_obs.Json in
-  Obj
-    ((match name with Some n -> [ ("name", Str n) ] | None -> [])
-    @ [
-        ("config", config_json c.Rc_harness.Pipeline.opts);
-        ("machine", Rc_harness.Experiments.result_json r);
-        ( "code_size",
-          Rc_harness.Experiments.breakdown_json c.Rc_harness.Pipeline.breakdown
-        );
-        ("spills", Int c.Rc_harness.Pipeline.spills);
-        ( "passes",
-          List
-            (List.map Rc_harness.Experiments.pass_json
-               c.Rc_harness.Pipeline.passes) );
-      ]
-    @ match speedup with Some s -> [ ("speedup", Float s) ] | None -> [])
+(* The machine-readable documents live in Rc_serve.Payload, shared
+   with the HTTP service so both front ends emit identical bytes. *)
+let config_result_json = Rc_serve.Payload.config_result_json
 
 let run_cmd =
   let run bench issue core_int core_float rc load connect mem_channels
@@ -260,13 +232,7 @@ let run_cmd =
     if json then
       Fmt.pr "%s@."
         (Rc_obs.Json.to_string
-           (Rc_obs.Json.Obj
-              [
-                ("bench", Rc_obs.Json.Str bench);
-                ("scale", Rc_obs.Json.Int scale);
-                ("engine", Rc_obs.Json.Str engine_used);
-                ("result", config_result_json c r);
-              ]))
+           (Rc_serve.Payload.run_response ~bench ~scale ~engine_used c r))
     else begin
       Fmt.pr "== %s ==@." bench;
       print_result c r;
@@ -292,51 +258,15 @@ let figures_ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let figures_jobs =
-  let doc = "Worker domains for the sweep (default 1: sequential)." in
-  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  let doc = "Worker domains for the sweep (default 1: sequential); positive." in
+  Arg.(
+    value & opt (pos_int ~what:"--jobs") 1 & info [ "jobs" ] ~docv:"N" ~doc)
 
 let list_ids_flag =
   let doc = "List the known experiment ids and exit." in
   Arg.(value & flag & info [ "list-ids" ] ~doc)
 
-let all_figure_ids =
-  [
-    "table1"; "fig7"; "fig8-int"; "fig8-fp"; "fig9-int"; "fig9-fp"; "fig10";
-    "fig11"; "fig12"; "fig13"; "ablation-models"; "ablation-combine";
-    "ablation-unroll";
-  ]
-
-let table_json (t : Rc_harness.Experiments.table) =
-  let open Rc_obs.Json in
-  Obj
-    [
-      ("id", Str t.Rc_harness.Experiments.id);
-      ("title", Str t.Rc_harness.Experiments.title);
-      ( "columns",
-        List (List.map (fun c -> Str c) t.Rc_harness.Experiments.columns) );
-      ( "rows",
-        List
-          (List.map
-             (fun (name, vs) ->
-               Obj
-                 [
-                   ("name", Str name);
-                   ("values", List (List.map (fun v -> Float v) vs));
-                 ])
-             t.Rc_harness.Experiments.rows) );
-      ("note", Str t.Rc_harness.Experiments.note);
-    ]
-
-let engine_stats_json (es : Rc_harness.Experiments.engine_stats) =
-  let open Rc_obs.Json in
-  Obj
-    [
-      ("hits", Int es.Rc_harness.Experiments.hits);
-      ("misses", Int es.Rc_harness.Experiments.misses);
-      ("recorded", Int es.Rc_harness.Experiments.recorded);
-      ("unsafe", Int es.Rc_harness.Experiments.unsafe);
-      ("bytes", Int es.Rc_harness.Experiments.bytes);
-    ]
+let all_figure_ids = Rc_serve.Payload.all_figure_ids
 
 let figures_cmd =
   let run ids scale jobs engine json list_ids =
@@ -371,19 +301,11 @@ let figures_cmd =
               if json then
                 Fmt.pr "%s@."
                   (Rc_obs.Json.to_string
-                     (Rc_obs.Json.Obj
-                        [
-                          ("scale", Rc_obs.Json.Int scale);
-                          ( "jobs",
-                            Rc_obs.Json.Int (Rc_harness.Experiments.jobs ctx)
-                          );
-                          ( "engine",
-                            Rc_obs.Json.Str
-                              (Rc_harness.Experiments.engine_name engine) );
-                          ("trace_cache", engine_stats_json es);
-                          ( "tables",
-                            Rc_obs.Json.List (List.map table_json tables) );
-                        ]))
+                     (Rc_serve.Payload.figures_response ~scale
+                        ~jobs:(Rc_harness.Experiments.jobs ctx)
+                        ~engine_name:
+                          (Rc_harness.Experiments.engine_name engine)
+                        ~stats:es tables))
               else begin
                 List.iter
                   (Rc_harness.Experiments.print_table Fmt.stdout)
@@ -413,6 +335,128 @@ let figures_cmd =
     Term.(
       const run $ figures_ids $ scale $ figures_jobs $ engine_arg $ json_flag
       $ list_ids_flag)
+
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let host =
+    let doc = "Listen address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port =
+    let doc = "Listen port; 0 picks an ephemeral port." in
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 && n <= 65535 -> Ok n
+      | Some _ | None -> Error (`Msg ("--port must be 0..65535, got " ^ s))
+    in
+    Arg.(
+      value & opt (Arg.conv (parse, Fmt.int)) 8080
+      & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let max_inflight =
+    let doc =
+      "Accepted-but-unfinished request bound; beyond it the accept loop \
+       sheds load with 503 + Retry-After."
+    in
+    Arg.(
+      value
+      & opt (pos_int ~what:"--max-inflight") 64
+      & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_body =
+    let doc = "Request body limit in bytes (413 beyond it)." in
+    Arg.(
+      value
+      & opt (pos_int ~what:"--max-body") (1 lsl 20)
+      & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let deadline =
+    let doc =
+      "Per-request deadline in seconds: slow reads answer 408, responses \
+       whose work finished after the deadline are abandoned."
+    in
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> Ok f
+      | Some _ | None ->
+          Error (`Msg ("--deadline must be a positive number, got " ^ s))
+    in
+    Arg.(
+      value & opt (Arg.conv (parse, Fmt.float)) 30.0
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let serve_engine =
+    (* Unlike the one-shot CLI the server defaults to replay: the first
+       request for an image records its trace, the second is re-timed
+       from the cache. *)
+    let doc =
+      "Timing engine for the shared context (default $(b,replay): the \
+       second request for any compiled image is re-timed by trace replay)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("execute", Rc_harness.Experiments.Execute);
+               ("replay", Rc_harness.Experiments.Replay);
+               ("auto", Rc_harness.Experiments.Auto);
+             ])
+          Rc_harness.Experiments.Replay
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run host port jobs scale engine max_inflight max_body deadline =
+    let ctx = Rc_harness.Experiments.create ~scale ~jobs ~engine () in
+    let srv =
+      Rc_serve.Server.create
+        ~config:
+          {
+            Rc_serve.Server.default_config with
+            Rc_serve.Server.host;
+            port;
+            max_inflight;
+            max_body;
+            deadline_s = deadline;
+          }
+        ctx
+    in
+    (* A client vanishing mid-response must be an abandoned write, not
+       a fatal SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    List.iter
+      (fun s ->
+        Sys.set_signal s
+          (Sys.Signal_handle (fun _ -> Rc_serve.Server.stop srv)))
+      [ Sys.sigterm; Sys.sigint ];
+    (* Narration on stderr: stdout stays free for machine-readable use
+       (and the smoke driver parses this line for the bound port). *)
+    Fmt.epr "rcc serve: listening on http://%s:%d (jobs %d, scale %d, engine \
+             %s, deadline %gs)@."
+      host
+      (Rc_serve.Server.port srv)
+      (Rc_harness.Experiments.jobs ctx)
+      scale
+      (Rc_harness.Experiments.engine_name engine)
+      deadline;
+    Rc_serve.Server.run srv;
+    Fmt.epr "rcc serve: drained %d request(s), shutting down@."
+      (Rc_serve.Server.served srv);
+    Rc_harness.Experiments.shutdown ctx;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent HTTP simulation service: POST /run and POST /figures \
+          answer exactly what rcc run --json and rcc figures --json print, \
+          from one long-lived context whose memo tables and trace cache \
+          stay warm across requests; GET /healthz and GET /metrics for \
+          operations.  Sheds load with 503 beyond --max-inflight and \
+          drains gracefully on SIGTERM/SIGINT")
+    Term.(
+      const run $ host $ port $ jobs $ scale $ serve_engine $ max_inflight
+      $ max_body $ deadline)
 
 let compare_cmd =
   let run bench issue core_int core_float load scale jobs json =
@@ -729,8 +773,8 @@ let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
   Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
     [
-      list_cmd; run_cmd; compare_cmd; figures_cmd; trace_cmd; dump_cmd;
-      check_cmd; fuzz_cmd;
+      list_cmd; run_cmd; compare_cmd; figures_cmd; serve_cmd; trace_cmd;
+      dump_cmd; check_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,256 @@
+(* servesmoke — end-to-end exercise of `rcc serve` for the serve-smoke
+   alias:
+
+     servesmoke <rcc.exe>
+
+   Boots a server on an ephemeral port, then asserts the contract
+   DESIGN.md section 15 promises:
+
+   1. /healthz answers 200 {"status":"ok"}.
+   2. The first POST /run body is byte-identical to `rcc run --json`
+      for the same configuration, once every pass wall-clock (the one
+      nondeterministic field) is normalised to 0 in both documents.
+   3. A second identical POST /run is byte-identical to
+      `rcc run --json --engine replay` — i.e. the warm trace cache
+      re-timed it instead of executing — and /metrics reports a
+      trace-cache hit.
+   4. SIGTERM while a request is in flight drains gracefully: the
+      response still arrives complete and the server exits 0. *)
+
+let fail fmt =
+  Format.kasprintf (fun m -> prerr_endline ("servesmoke: " ^ m); exit 1) fmt
+
+(* --- tiny HTTP/1.1 client (Connection: close per request) ------------- *)
+
+let find_body raw =
+  let rec scan i =
+    if i + 3 >= String.length raw then None
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some (String.sub raw (i + 4) (String.length raw - i - 4))
+    else scan (i + 1)
+  in
+  scan 0
+
+let http_request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  Unix.connect fd addr;
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
+      path (String.length body) body
+  in
+  let rec send off =
+    if off < String.length req then
+      send (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  send 0;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec recv () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        recv ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+  in
+  recv ();
+  Unix.close fd;
+  let raw = Buffer.contents buf in
+  match String.index_opt raw ' ' with
+  | None -> fail "%s %s: no status line in %S" meth path raw
+  | Some sp -> (
+      let status = int_of_string (String.sub raw (sp + 1) 3) in
+      match find_body raw with
+      | Some b -> (status, b)
+      | None -> fail "%s %s: no header/body separator" meth path)
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Pass wall-clock is the one nondeterministic field in the /run
+   document: zero it everywhere before comparing bytes. *)
+let rec zero_wall (j : Rc_obs.Json.t) : Rc_obs.Json.t =
+  match j with
+  | Obj fields ->
+      Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "wall_s" then (k, Rc_obs.Json.Float 0.)
+             else (k, zero_wall v))
+           fields)
+  | List l -> List (List.map zero_wall l)
+  | (Null | Bool _ | Int _ | Float _ | Str _) as leaf -> leaf
+
+let normalize what text =
+  match Rc_obs.Json.of_string text with
+  | Ok j -> Rc_obs.Json.to_string (zero_wall j)
+  | Error m -> fail "%s: not valid JSON (%s): %S" what m text
+
+let cli_run rcc args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (rcc :: args)) ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = read_all ic in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> out
+  | _ -> fail "`%s` failed" cmd
+
+let int_member name j =
+  match Rc_obs.Json.member name j with
+  | Some (Rc_obs.Json.Int n) -> n
+  | _ -> fail "/metrics: no integer %S" name
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  ignore (Unix.alarm 120);
+  let rcc =
+    match Sys.argv with
+    (* Dune hands us a bare relative name; create_process must not go
+       hunting down PATH for it. *)
+    | [| _; rcc |] when Filename.is_implicit rcc ->
+        Filename.concat Filename.current_dir_name rcc
+    | [| _; rcc |] -> rcc
+    | _ ->
+        prerr_endline "usage: servesmoke <rcc.exe>";
+        exit 2
+  in
+  (* Boot the server with stderr piped so we can learn the ephemeral
+     port from the announce line. *)
+  let err_r, err_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process rcc
+      [| rcc; "serve"; "--port"; "0"; "--jobs"; "2" |]
+      Unix.stdin Unix.stdout err_w
+  in
+  Unix.close err_w;
+  let err_ic = Unix.in_channel_of_descr err_r in
+  let port =
+    let rec find () =
+      let line =
+        try input_line err_ic
+        with End_of_file -> fail "server exited before announcing a port"
+      in
+      match
+        Scanf.sscanf_opt line "rcc serve: listening on http://%[^:]:%d"
+          (fun _host p -> p)
+      with
+      | Some p -> p
+      | None -> find ()
+    in
+    find ()
+  in
+  Printf.printf "servesmoke: server pid %d on port %d\n%!" pid port;
+
+  (* 1. Liveness. *)
+  let status, body = http_request ~port ~meth:"GET" ~path:"/healthz" () in
+  if status <> 200 then fail "/healthz: status %d" status;
+  if String.trim body <> {|{"status":"ok"}|} then
+    fail "/healthz: unexpected body %S" body;
+
+  (* 2. Cold /run vs the CLI. *)
+  let run_body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
+  let status, cold =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "first /run: status %d body %S" status cold;
+  let cli_cold =
+    cli_run rcc [ "run"; "cmp"; "--rc"; "--core-int"; "8"; "--json" ]
+  in
+  if normalize "/run" cold <> normalize "rcc run --json" cli_cold then
+    fail "first /run differs from `rcc run --json` after wall_s normalisation";
+  print_endline "servesmoke: cold /run matches rcc run --json";
+
+  (* 3. Warm /run: the trace cache must re-time it. *)
+  let status, warm =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "second /run: status %d" status;
+  let cli_warm =
+    cli_run rcc
+      [
+        "run"; "cmp"; "--rc"; "--core-int"; "8"; "--json"; "--engine"; "replay";
+      ]
+  in
+  if
+    normalize "/run" warm <> normalize "rcc run --engine replay --json" cli_warm
+  then fail "second /run differs from `rcc run --engine replay --json`";
+  (match
+     Rc_obs.Json.member "engine"
+       (Result.get_ok (Rc_obs.Json.of_string warm))
+   with
+  | Some (Rc_obs.Json.Str "replay") -> ()
+  | other ->
+      fail "second /run engine is %s, wanted \"replay\""
+        (match other with
+        | Some j -> Rc_obs.Json.to_string j
+        | None -> "absent"));
+  let status, metrics = http_request ~port ~meth:"GET" ~path:"/metrics" () in
+  if status <> 200 then fail "/metrics: status %d" status;
+  let mj =
+    match Rc_obs.Json.of_string metrics with
+    | Ok j -> j
+    | Error m -> fail "/metrics: bad JSON: %s" m
+  in
+  let cache =
+    match Rc_obs.Json.member "experiments" mj with
+    | Some e -> (
+        match Rc_obs.Json.member "trace_cache" e with
+        | Some c -> c
+        | None -> fail "/metrics: no experiments.trace_cache")
+    | None -> fail "/metrics: no experiments object"
+  in
+  let hits = int_member "hits" cache in
+  if hits < 1 then fail "/metrics: trace_cache.hits = %d, wanted >= 1" hits;
+  Printf.printf "servesmoke: warm /run replayed (trace_cache.hits = %d)\n%!"
+    hits;
+
+  (* 4. Graceful drain: SIGTERM while a request is in flight must not
+     cut the response short.  A fresh configuration, so the work is
+     real execution, not a cache hit. *)
+  let drain_body = {|{"bench":"eqn","rc":true,"issue":8}|} in
+  let expected = cli_run rcc [ "run"; "eqn"; "--rc"; "--issue"; "8"; "--json" ] in
+  let result = ref None in
+  let d =
+    Domain.spawn (fun () ->
+        result :=
+          Some (http_request ~port ~meth:"POST" ~path:"/run" ~body:drain_body ()))
+  in
+  (* Give the request time to be accepted and admitted, then stop. *)
+  Unix.sleepf 0.15;
+  Unix.kill pid Sys.sigterm;
+  Domain.join d;
+  (match !result with
+  | Some (200, body)
+    when normalize "/run during drain" body = normalize "expected" expected ->
+      print_endline "servesmoke: in-flight request completed across SIGTERM"
+  | Some (st, body) -> fail "drain /run: status %d body %S" st body
+  | None -> fail "drain /run: no response");
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "server exited %d after SIGTERM" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "server killed by signal %d" n);
+  (* The drain narration should have made it out before exit. *)
+  let rest = read_all err_ic in
+  close_in_noerr err_ic;
+  if not (contains ~needle:"rcc serve: drained" rest) then
+    fail "no drain narration on stderr: %S" rest;
+  print_endline "servesmoke: server drained and exited 0"

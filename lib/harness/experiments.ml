@@ -104,6 +104,8 @@ let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) () =
 
 let jobs ctx = Rc_par.Pool.jobs ctx.pool
 let engine ctx = ctx.engine
+let scale ctx = ctx.scale
+let pool ctx = ctx.pool
 
 let engine_stats ctx =
   Mutex.protect ctx.traces_mu (fun () ->
@@ -158,7 +160,9 @@ let semantic_key (o : Pipeline.options) =
 
 (** Time one compiled cell under the context's engine: replay a cached
     trace when the image was seen before, otherwise execute (recording
-    per the engine's policy). *)
+    per the engine's policy).  Also reports which engine produced the
+    result — ["execute"] or ["replay"] — for callers (the server's
+    [/run] endpoint) that surface it. *)
 let simulate_engine ctx (c : Pipeline.compiled) =
   let bump_miss () =
     Mutex.protect ctx.traces_mu (fun () -> ctx.s_misses <- ctx.s_misses + 1)
@@ -166,7 +170,7 @@ let simulate_engine ctx (c : Pipeline.compiled) =
   match ctx.engine with
   | Execute ->
       bump_miss ();
-      Pipeline.simulate c
+      (Pipeline.simulate c, "execute")
   | Replay | Auto ->
       if
         not
@@ -175,7 +179,7 @@ let simulate_engine ctx (c : Pipeline.compiled) =
       then begin
         Mutex.protect ctx.traces_mu (fun () ->
             ctx.s_unsafe <- ctx.s_unsafe + 1);
-        Pipeline.simulate c
+        (Pipeline.simulate c, "execute")
       end
       else begin
         let key =
@@ -201,8 +205,8 @@ let simulate_engine ctx (c : Pipeline.compiled) =
                   end)
         in
         match action with
-        | `Replay tr -> Pipeline.simulate_replayed c tr
-        | `Execute -> Pipeline.simulate c
+        | `Replay tr -> (Pipeline.simulate_replayed c tr, "replay")
+        | `Execute -> (Pipeline.simulate c, "execute")
         | `Record ->
             let r, tr = Pipeline.simulate_recorded c in
             (match tr with
@@ -215,16 +219,28 @@ let simulate_engine ctx (c : Pipeline.compiled) =
                         Hashtbl.replace ctx.traces key (Recorded tr);
                         ctx.s_recorded <- ctx.s_recorded + 1;
                         ctx.s_bytes <- ctx.s_bytes + Rc_machine.Dtrace.bytes tr));
-            r
+            (r, "execute")
       end
+
+(** The compile side of {!run_cell}: prepare/allocate through the
+    context's memo tables (warm across calls), then the cheap
+    timing-dependent back half on a fresh template copy. *)
+let compile_cell ctx (b : Wutil.bench) (opts : Pipeline.options) =
+  Pipeline.compile_allocated opts (allocated ctx b opts)
+
+(** The simulate side of {!run_cell}, unmemoised: every call goes to
+    the engine, so a repeated configuration is re-timed through the
+    trace cache (and reports a cache hit) instead of being served from
+    the cell memo.  This is the server's [/run] path. *)
+let simulate_cell ctx (c : Pipeline.compiled) = simulate_engine ctx c
 
 (** Compile and simulate one benchmark under one configuration
     (memoised), returning the full telemetry cell. *)
 let run_cell ctx (b : Wutil.bench) (opts : Pipeline.options) =
   let key = b.Wutil.name ^ "#" ^ opts_key opts in
   Rc_par.Memo.find_or_compute ctx.runs key (fun () ->
-      let c = Pipeline.compile_allocated opts (allocated ctx b opts) in
-      let r = simulate_engine ctx c in
+      let c = compile_cell ctx b opts in
+      let r, _engine_used = simulate_engine ctx c in
       {
         c_result = r;
         c_breakdown = c.Pipeline.breakdown;

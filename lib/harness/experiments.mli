@@ -49,6 +49,16 @@ val jobs : ctx -> int
 
 val engine : ctx -> engine
 
+(** Workload input scale the context was created with.  Every memoised
+    cell is keyed under this scale, so callers feeding external
+    requests into a shared context (the server) must reject mismatched
+    scales. *)
+val scale : ctx -> int
+
+(** The context's domain pool, so long-lived owners (the server) can
+    dispatch their own work onto the same domains. *)
+val pool : ctx -> Rc_par.Pool.t
+
 (** Snapshot of the trace-cache counters.  The cell {e results} are
     engine- and jobs-independent; only this hit/miss split varies. *)
 val engine_stats : ctx -> engine_stats
@@ -70,6 +80,19 @@ type cell = {
 (** Compile and simulate one benchmark under one configuration
     (memoised), returning the full telemetry cell. *)
 val run_cell : ctx -> Wutil.bench -> Pipeline.options -> cell
+
+(** The compile side of {!run_cell}: prepare and register-allocate
+    through the context's memo tables (warm across calls), then the
+    cheap timing-dependent back half on a fresh template copy. *)
+val compile_cell : ctx -> Wutil.bench -> Pipeline.options -> Pipeline.compiled
+
+(** The simulate side of {!run_cell}, {e unmemoised}: every call goes
+    to the context's timing engine, so a repeated configuration is
+    re-timed through the trace cache — and counts a cache {!engine_stats}
+    hit — instead of being served from the cell memo.  Reports the
+    engine that produced the result: ["execute"] or ["replay"]. *)
+val simulate_cell :
+  ctx -> Pipeline.compiled -> Rc_machine.Machine.result * string
 
 (** Compile and simulate one benchmark under one configuration
     (memoised).  Returns the machine result, the static code-size

@@ -1,0 +1,21 @@
+(* Crash-safe file replacement: temp file in the destination's
+   directory, error-reporting close, atomic rename.  See fsio.mli. *)
+
+let write_atomic path f =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    match f oc with
+    | () ->
+        (* [close_out], not [close_out_noerr]: a failed flush (ENOSPC,
+           EIO) must surface as an exception, not a truncated file. *)
+        close_out oc
+    | exception e ->
+        close_out_noerr oc;
+        raise e
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e

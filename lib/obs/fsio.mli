@@ -1,0 +1,16 @@
+(** Crash-safe file writes for the telemetry and sweep-log sinks.
+
+    A plain [open_out_bin] on the destination truncates it first: a
+    crash (or [kill -9]) mid-write leaves a torn file, and ENOSPC on a
+    [close_out_noerr] data path is silently swallowed.  [write_atomic]
+    writes to a fresh temporary file in the {e same directory} (same
+    filesystem, so the final rename is atomic), flushes and closes with
+    error reporting, and only then renames over the destination —
+    readers see either the old contents or the new, never a prefix. *)
+
+(** [write_atomic path f] runs [f] on an output channel for a
+    temporary file next to [path], then atomically renames it to
+    [path].  On any failure — including write or close errors such as
+    ENOSPC — the temporary file is removed, [path] is left untouched
+    and the exception ([Sys_error] for IO failures) is re-raised. *)
+val write_atomic : string -> (out_channel -> unit) -> unit

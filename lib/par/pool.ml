@@ -112,12 +112,46 @@ let stats t =
   rows
 
 let shutdown t =
+  (* Take the domain list while holding the lock so concurrent shutdowns
+     (e.g. a signal-path drain racing the normal exit path) each join a
+     disjoint — possibly empty — set of workers instead of both joining
+     the same domain. *)
   Mutex.lock t.lock;
   t.closing <- true;
   Condition.broadcast t.has_work;
+  let ds = t.domains in
+  t.domains <- [];
   Mutex.unlock t.lock;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  List.iter Domain.join ds
+
+let submit t task =
+  let charged () =
+    let t0 = now () in
+    (try task ()
+     with e ->
+       (* A submitted task has no caller to re-raise into; report and
+          keep the worker alive. *)
+       Printf.eprintf "Pool.submit: task raised %s\n%!" (Printexc.to_string e));
+    let dt = now () -. t0 in
+    Mutex.lock t.lock;
+    charge t `Busy dt;
+    Mutex.unlock t.lock
+  in
+  if t.jobs = 1 then charged ()
+  else begin
+    Mutex.lock t.lock;
+    if t.closing then begin
+      (* No worker will ever drain the queue again: run inline rather
+         than dropping the task. *)
+      Mutex.unlock t.lock;
+      charged ()
+    end
+    else begin
+      Queue.add charged t.queue;
+      Condition.signal t.has_work;
+      Mutex.unlock t.lock
+    end
+  end
 
 (** One fan-out's completion state, shared by its cells. *)
 type 'b batch = {

@@ -36,8 +36,18 @@ val stats : t -> domain_stats list
     safe: the waiting domain keeps draining the queue. *)
 val map_cells : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [submit t task] enqueues [task] to run on a worker domain and
+    returns immediately — the fire-and-forget complement of
+    {!map_cells}, for callers (such as a server's accept loop) that
+    must not block on the work.  With [jobs = 1] (no spawned workers)
+    or after {!shutdown} the task runs inline in the caller.  An
+    exception escaping [task] is reported on stderr and dropped — a
+    submitted task has no caller to re-raise into. *)
+val submit : t -> (unit -> unit) -> unit
+
 (** Stop the workers and join them.  The pool must not be used after
-    [shutdown]; shutting down twice is harmless. *)
+    [shutdown]; shutting down twice — even concurrently, e.g. a signal
+    handler's drain racing the normal exit path — is harmless. *)
 val shutdown : t -> unit
 
 (** [with_pool ~jobs f] runs [f] over a fresh pool and always shuts it

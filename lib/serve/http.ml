@@ -1,0 +1,216 @@
+(* Minimal HTTP/1.1 codec: see http.mli. *)
+
+type limits = { max_line : int; max_headers : int; max_body : int }
+
+let default_limits = { max_line = 8192; max_headers = 64; max_body = 1 lsl 20 }
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Malformed of string
+  | Too_large of string
+  | Header_overflow of string
+  | Timeout
+  | Closed
+
+(* --- buffered reader ----------------------------------------------------- *)
+
+type reader = {
+  feed : bytes -> int -> int -> int;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let reader_of_feed feed =
+  { feed; buf = Bytes.create 4096; pos = 0; len = 0 }
+
+let reader_of_fd fd =
+  reader_of_feed (fun buf off len ->
+      let rec go () =
+        match Unix.read fd buf off len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ())
+
+let reader_of_string s =
+  let consumed = ref 0 in
+  reader_of_feed (fun buf off len ->
+      let n = min len (String.length s - !consumed) in
+      Bytes.blit_string s !consumed buf off n;
+      consumed := !consumed + n;
+      n)
+
+exception Read_error of error
+
+(* Refills the buffer; raises [Read_error] on EOF or receive timeout. *)
+let refill rd =
+  match rd.feed rd.buf 0 (Bytes.length rd.buf) with
+  | 0 -> raise (Read_error Closed)
+  | n ->
+      rd.pos <- 0;
+      rd.len <- n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise (Read_error Timeout)
+  | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+      raise (Read_error Timeout)
+
+(* One CRLF- (or bare-LF-) terminated line, the terminator stripped.
+   [overflow] is raised as the typed error when the line exceeds
+   [max]. *)
+let read_line rd ~max ~overflow =
+  let b = Buffer.create 128 in
+  let rec go () =
+    if rd.pos >= rd.len then refill rd;
+    let c = Bytes.get rd.buf rd.pos in
+    rd.pos <- rd.pos + 1;
+    if c = '\n' then begin
+      let line = Buffer.contents b in
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    end
+    else begin
+      if Buffer.length b >= max then raise (Read_error overflow);
+      Buffer.add_char b c;
+      go ()
+    end
+  in
+  go ()
+
+let read_exact rd n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if rd.pos >= rd.len then refill rd;
+    let take = min (n - !filled) (rd.len - rd.pos) in
+    Bytes.blit rd.buf rd.pos out !filled take;
+    rd.pos <- rd.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+(* --- request parsing ------------------------------------------------------ *)
+
+let strip_query target =
+  match String.index_opt target '?' with
+  | Some i -> String.sub target 0 i
+  | None -> target
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
+      Ok (meth, strip_query target)
+  | _ -> Error (Malformed ("bad request line: " ^ line))
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error (Malformed ("bad header line: " ^ line))
+  | Some i ->
+      let name = String.lowercase_ascii (String.sub line 0 i) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      Ok (name, value)
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let read_request ?(limits = default_limits) rd =
+  try
+    let line =
+      read_line rd ~max:limits.max_line
+        ~overflow:(Header_overflow "request line too long")
+    in
+    match parse_request_line line with
+    | Error e -> Error e
+    | Ok (meth, path) ->
+        let rec headers acc n =
+          let line =
+            read_line rd ~max:limits.max_line
+              ~overflow:(Header_overflow "header line too long")
+          in
+          if line = "" then List.rev acc
+          else if n >= limits.max_headers then
+            raise (Read_error (Header_overflow "too many headers"))
+          else
+            match parse_header line with
+            | Ok h -> headers (h :: acc) (n + 1)
+            | Error e -> raise (Read_error e)
+        in
+        let headers = headers [] 0 in
+        let req = { meth; path; headers; body = "" } in
+        if meth <> "POST" then Ok req
+        else begin
+          match header req "content-length" with
+          | None -> Error (Malformed "POST requires Content-Length")
+          | Some v -> (
+              match int_of_string_opt v with
+              | None -> Error (Malformed ("bad Content-Length: " ^ v))
+              | Some n when n < 0 ->
+                  Error (Malformed ("bad Content-Length: " ^ v))
+              | Some n when n > limits.max_body ->
+                  Error
+                    (Too_large
+                       (Printf.sprintf "body of %d bytes exceeds the %d-byte limit"
+                          n limits.max_body))
+              | Some n -> Ok { req with body = read_exact rd n })
+        end
+  with Read_error e -> Error e
+
+(* --- responses ------------------------------------------------------------ *)
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | s -> "Status " ^ string_of_int s
+
+let error_body ~status ~detail =
+  Rc_obs.Json.to_string
+    (Rc_obs.Json.Obj
+       [
+         ( "error",
+           Rc_obs.Json.Obj
+             [
+               ("status", Rc_obs.Json.Int status);
+               ("reason", Rc_obs.Json.Str (reason status));
+               ("detail", Rc_obs.Json.Str detail);
+             ] );
+       ])
+  ^ "\n"
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let write_response fd ~status ?(headers = []) ~body () =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b "Content-Type: application/json\r\n";
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "Connection: close\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  (* A vanished client (EPIPE, ECONNRESET, send timeout) abandons the
+     response; it must never take the server down. *)
+  try write_all fd (Buffer.contents b) with Unix.Unix_error _ -> ()

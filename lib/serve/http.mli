@@ -1,0 +1,70 @@
+(** Minimal HTTP/1.1 codec for the simulation service.
+
+    Hand-rolled over [Unix] file descriptors — the toolchain image has
+    no HTTP library, and the service needs only: one request per
+    connection ([Connection: close]), JSON bodies, strict size limits
+    and structured errors.  Parsing is factored over a [feed] function
+    so the codec is unit-testable from strings without sockets. *)
+
+(** Hard limits enforced while parsing; exceeding one is a typed
+    {!error}, never an unbounded allocation. *)
+type limits = {
+  max_line : int;  (** request line and each header line, bytes *)
+  max_headers : int;  (** header count *)
+  max_body : int;  (** request body, bytes *)
+}
+
+(** 8 KiB lines, 64 headers, 1 MiB bodies. *)
+val default_limits : limits
+
+type request = {
+  meth : string;  (** verb, as sent: ["GET"], ["POST"], ... *)
+  path : string;  (** request target with any ["?query"] stripped *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+(** Why a request could not be read.  Maps to a response status:
+    [Malformed] 400, [Too_large] 413, [Header_overflow] 431, [Timeout]
+    408, [Closed] (peer hung up mid-request — nothing to answer). *)
+type error =
+  | Malformed of string
+  | Too_large of string
+  | Header_overflow of string
+  | Timeout
+  | Closed
+
+(** Buffered reader; [feed buf off len] returns the bytes read (0 =
+    end of stream) and may raise [Unix_error (EAGAIN | EWOULDBLOCK)]
+    for a receive timeout, surfaced as [Timeout]. *)
+type reader
+
+val reader_of_fd : Unix.file_descr -> reader
+
+(** Reader over a fixed string, for tests. *)
+val reader_of_string : string -> reader
+
+(** Read one full request (request line, headers, body).  [POST]
+    requires a valid [Content-Length]; other methods read no body. *)
+val read_request : ?limits:limits -> reader -> (request, error) result
+
+val header : request -> string -> string option
+
+(** [write_response fd ~status ~headers ~body ()] writes a complete
+    HTTP/1.1 response with [Content-Type: application/json],
+    [Content-Length] and [Connection: close] added.  Write errors
+    (client gone: EPIPE, ECONNRESET, a send timeout) are swallowed —
+    an abandoned response must never take the server down. *)
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  body:string ->
+  unit ->
+  unit
+
+val reason : int -> string
+
+(** [{"error":{"status":...,"reason":...,"detail":...}}] with a
+    trailing newline — every non-200 body is this shape. *)
+val error_body : status:int -> detail:string -> string

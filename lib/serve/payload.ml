@@ -1,0 +1,233 @@
+(* Wire payloads shared by the rcc CLI and the HTTP service: see
+   payload.mli. *)
+
+let all_figure_ids =
+  [
+    "table1"; "fig7"; "fig8-int"; "fig8-fp"; "fig9-int"; "fig9-fp"; "fig10";
+    "fig11"; "fig12"; "fig13"; "ablation-models"; "ablation-combine";
+    "ablation-unroll";
+  ]
+
+let options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
+    ~extra_stage ~model ~no_unroll =
+  Rc_harness.Pipeline.options
+    ~opt:(if no_unroll then Rc_opt.Pass.Classical else Rc_opt.Pass.Ilp 4)
+    ~rc ~core_int ~core_float ~model ~issue ?mem_channels
+    ~lat:(Rc_isa.Latency.v ~load ~connect ())
+    ~extra_stage ()
+
+(* --- response builders ---------------------------------------------------- *)
+
+let config_json (o : Rc_harness.Pipeline.options) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ( "opt",
+        Str
+          (match o.Rc_harness.Pipeline.opt with
+          | Rc_opt.Pass.Classical -> "classical"
+          | Rc_opt.Pass.Ilp f -> "ilp" ^ string_of_int f) );
+      ("rc", Bool o.Rc_harness.Pipeline.rc);
+      ("core_int", Int o.Rc_harness.Pipeline.core_int);
+      ("core_float", Int o.Rc_harness.Pipeline.core_float);
+      ("total_int", Int o.Rc_harness.Pipeline.total_int);
+      ("total_float", Int o.Rc_harness.Pipeline.total_float);
+      ("model", Str (Fmt.str "%a" Rc_core.Model.pp o.Rc_harness.Pipeline.model));
+      ("combine", Bool o.Rc_harness.Pipeline.combine);
+      ("issue", Int o.Rc_harness.Pipeline.issue);
+      ("mem_channels", Int o.Rc_harness.Pipeline.mem_channels);
+      ("load_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.load);
+      ("connect_latency", Int o.Rc_harness.Pipeline.lat.Rc_isa.Latency.connect);
+      ("extra_stage", Bool o.Rc_harness.Pipeline.extra_stage);
+    ]
+
+let config_result_json ?name ?speedup (c : Rc_harness.Pipeline.compiled)
+    (r : Rc_machine.Machine.result) =
+  let open Rc_obs.Json in
+  Obj
+    ((match name with Some n -> [ ("name", Str n) ] | None -> [])
+    @ [
+        ("config", config_json c.Rc_harness.Pipeline.opts);
+        ("machine", Rc_harness.Experiments.result_json r);
+        ( "code_size",
+          Rc_harness.Experiments.breakdown_json c.Rc_harness.Pipeline.breakdown
+        );
+        ("spills", Int c.Rc_harness.Pipeline.spills);
+        ( "passes",
+          List
+            (List.map Rc_harness.Experiments.pass_json
+               c.Rc_harness.Pipeline.passes) );
+      ]
+    @ match speedup with Some s -> [ ("speedup", Float s) ] | None -> [])
+
+let run_response ~bench ~scale ~engine_used c r =
+  Rc_obs.Json.Obj
+    [
+      ("bench", Rc_obs.Json.Str bench);
+      ("scale", Rc_obs.Json.Int scale);
+      ("engine", Rc_obs.Json.Str engine_used);
+      ("result", config_result_json c r);
+    ]
+
+let table_json (t : Rc_harness.Experiments.table) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("id", Str t.Rc_harness.Experiments.id);
+      ("title", Str t.Rc_harness.Experiments.title);
+      ( "columns",
+        List (List.map (fun c -> Str c) t.Rc_harness.Experiments.columns) );
+      ( "rows",
+        List
+          (List.map
+             (fun (name, vs) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ("values", List (List.map (fun v -> Float v) vs));
+                 ])
+             t.Rc_harness.Experiments.rows) );
+      ("note", Str t.Rc_harness.Experiments.note);
+    ]
+
+let engine_stats_json (es : Rc_harness.Experiments.engine_stats) =
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("hits", Int es.Rc_harness.Experiments.hits);
+      ("misses", Int es.Rc_harness.Experiments.misses);
+      ("recorded", Int es.Rc_harness.Experiments.recorded);
+      ("unsafe", Int es.Rc_harness.Experiments.unsafe);
+      ("bytes", Int es.Rc_harness.Experiments.bytes);
+    ]
+
+let figures_response ~scale ~jobs ~engine_name ~stats tables =
+  Rc_obs.Json.Obj
+    [
+      ("scale", Rc_obs.Json.Int scale);
+      ("jobs", Rc_obs.Json.Int jobs);
+      ("engine", Rc_obs.Json.Str engine_name);
+      ("trace_cache", engine_stats_json stats);
+      ("tables", Rc_obs.Json.List (List.map table_json tables));
+    ]
+
+(* --- request decoders ----------------------------------------------------- *)
+
+type run_request = {
+  rq_bench : Rc_workloads.Wutil.bench;
+  rq_scale : int;
+  rq_opts : Rc_harness.Pipeline.options;
+}
+
+let ( let* ) = Result.bind
+
+(* Field accessors over a decoded object: strict types, strict key
+   set.  A fuzzed or hand-written body fails with the offending field
+   named instead of silently running the wrong configuration. *)
+let check_known fields known =
+  match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
+  | Some (k, _) -> Error (Fmt.str "unknown field %S" k)
+  | None -> Ok ()
+
+let int_field fields name ~default =
+  match List.assoc_opt name fields with
+  | None -> Ok default
+  | Some (Rc_obs.Json.Int n) -> Ok n
+  | Some _ -> Error (Fmt.str "field %S must be an integer" name)
+
+let bool_field fields name ~default =
+  match List.assoc_opt name fields with
+  | None -> Ok default
+  | Some (Rc_obs.Json.Bool b) -> Ok b
+  | Some _ -> Error (Fmt.str "field %S must be a boolean" name)
+
+let positive name v =
+  if v >= 1 then Ok v else Error (Fmt.str "field %S must be positive" name)
+
+let run_request_of_json j =
+  match j with
+  | Rc_obs.Json.Obj fields ->
+      let* () =
+        check_known fields
+          [
+            "bench"; "scale"; "issue"; "core_int"; "core_float"; "rc"; "load";
+            "connect"; "mem_channels"; "extra_stage"; "model"; "no_unroll";
+          ]
+      in
+      let* bench =
+        match List.assoc_opt "bench" fields with
+        | Some (Rc_obs.Json.Str b) -> (
+            match
+              List.find_opt
+                (fun (w : Rc_workloads.Wutil.bench) ->
+                  w.Rc_workloads.Wutil.name = b)
+                (Rc_workloads.Registry.all ())
+            with
+            | Some w -> Ok w
+            | None -> Error (Fmt.str "unknown benchmark %S" b))
+        | Some _ -> Error "field \"bench\" must be a string"
+        | None -> Error "missing required field \"bench\""
+      in
+      let* scale = Result.bind (int_field fields "scale" ~default:1) (positive "scale") in
+      let* issue = Result.bind (int_field fields "issue" ~default:4) (positive "issue") in
+      let* core_int = int_field fields "core_int" ~default:16 in
+      let* core_float = int_field fields "core_float" ~default:16 in
+      let* rc = bool_field fields "rc" ~default:false in
+      let* load = int_field fields "load" ~default:2 in
+      let* connect = int_field fields "connect" ~default:0 in
+      let* mem_channels =
+        match List.assoc_opt "mem_channels" fields with
+        | None -> Ok None
+        | Some (Rc_obs.Json.Int n) -> Ok (Some n)
+        | Some _ -> Error "field \"mem_channels\" must be an integer"
+      in
+      let* extra_stage = bool_field fields "extra_stage" ~default:false in
+      let* no_unroll = bool_field fields "no_unroll" ~default:false in
+      let* model =
+        match List.assoc_opt "model" fields with
+        | None -> Ok Rc_core.Model.default
+        | Some (Rc_obs.Json.Str s) -> (
+            match Rc_core.Model.of_string s with
+            | Some m -> Ok m
+            | None -> Error (Fmt.str "unknown model %S" s))
+        | Some (Rc_obs.Json.Int n) -> (
+            match Rc_core.Model.of_string (string_of_int n) with
+            | Some m -> Ok m
+            | None -> Error (Fmt.str "unknown model %d" n))
+        | Some _ -> Error "field \"model\" must be a string or integer"
+      in
+      Ok
+        {
+          rq_bench = bench;
+          rq_scale = scale;
+          rq_opts =
+            options_of ~issue ~core_int ~core_float ~rc ~load ~connect
+              ~mem_channels ~extra_stage ~model ~no_unroll;
+        }
+  | _ -> Error "request body must be a JSON object"
+
+let figures_request_of_json j =
+  match j with
+  | Rc_obs.Json.Obj fields ->
+      let* () = check_known fields [ "ids" ] in
+      let* ids =
+        match List.assoc_opt "ids" fields with
+        | None -> Ok []
+        | Some (Rc_obs.Json.List ids) ->
+            List.fold_left
+              (fun acc id ->
+                let* acc = acc in
+                match id with
+                | Rc_obs.Json.Str s -> Ok (s :: acc)
+                | _ -> Error "field \"ids\" must be a list of strings")
+              (Ok []) ids
+            |> Result.map List.rev
+        | Some _ -> Error "field \"ids\" must be a list of strings"
+      in
+      let* () =
+        match List.find_opt (fun id -> not (List.mem id all_figure_ids)) ids with
+        | Some id -> Error (Fmt.str "unknown experiment %S" id)
+        | None -> Ok ()
+      in
+      Ok (match ids with [] -> all_figure_ids | ids -> ids)
+  | _ -> Error "request body must be a JSON object"

@@ -1,0 +1,78 @@
+(** The wire payloads shared by the [rcc] CLI and the HTTP service.
+
+    Both front ends build their machine-readable output through these
+    functions, so a [POST /run] response is byte-identical to
+    [rcc run --json] for the same configuration {e by construction}
+    (modulo pass wall-clock times, the only non-deterministic field),
+    and [POST /figures] matches [rcc figures --json]. *)
+
+(** Every experiment id [rcc figures] and [POST /figures] accept, in
+    presentation order. *)
+val all_figure_ids : string list
+
+(** Pipeline options from the CLI/run-request knobs, with the same
+    defaults in both front ends. *)
+val options_of :
+  issue:int ->
+  core_int:int ->
+  core_float:int ->
+  rc:bool ->
+  load:int ->
+  connect:int ->
+  mem_channels:int option ->
+  extra_stage:bool ->
+  model:Rc_core.Model.t ->
+  no_unroll:bool ->
+  Rc_harness.Pipeline.options
+
+(** {2 Response builders} *)
+
+val config_json : Rc_harness.Pipeline.options -> Rc_obs.Json.t
+
+(** One configuration's full record: config, machine counters (slot
+    attribution included), static code size, per-pass compile
+    metrics. *)
+val config_result_json :
+  ?name:string ->
+  ?speedup:float ->
+  Rc_harness.Pipeline.compiled ->
+  Rc_machine.Machine.result ->
+  Rc_obs.Json.t
+
+(** The [rcc run --json] / [POST /run] document. *)
+val run_response :
+  bench:string ->
+  scale:int ->
+  engine_used:string ->
+  Rc_harness.Pipeline.compiled ->
+  Rc_machine.Machine.result ->
+  Rc_obs.Json.t
+
+val table_json : Rc_harness.Experiments.table -> Rc_obs.Json.t
+val engine_stats_json : Rc_harness.Experiments.engine_stats -> Rc_obs.Json.t
+
+(** The [rcc figures --json] / [POST /figures] document. *)
+val figures_response :
+  scale:int ->
+  jobs:int ->
+  engine_name:string ->
+  stats:Rc_harness.Experiments.engine_stats ->
+  Rc_harness.Experiments.table list ->
+  Rc_obs.Json.t
+
+(** {2 Request decoders (the server's [POST] bodies)} *)
+
+type run_request = {
+  rq_bench : Rc_workloads.Wutil.bench;
+  rq_scale : int;
+  rq_opts : Rc_harness.Pipeline.options;
+}
+
+(** Strict decoding of a [/run] body: unknown fields, wrong types,
+    unknown benchmarks or models, and non-positive [scale]/[issue] are
+    errors (the CLI would have rejected them as usage errors). *)
+val run_request_of_json : Rc_obs.Json.t -> (run_request, string) result
+
+(** Strict decoding of a [/figures] body [{"ids": [...]}]; an absent
+    or empty [ids] selects every experiment. *)
+val figures_request_of_json : Rc_obs.Json.t -> (string list, string) result

@@ -1,0 +1,289 @@
+(* The persistent simulation service behind `rcc serve`: see
+   server.mli for the contract. *)
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_inflight : int;
+  max_body : int;
+  deadline_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    backlog = 16;
+    max_inflight = 64;
+    max_body = 1 lsl 20;
+    deadline_s = 30.0;
+  }
+
+type t = {
+  cfg : config;
+  ctx : Rc_harness.Experiments.ctx;
+  lfd : Unix.file_descr;
+  port : int;
+  stats : Stats.t;
+  stopping : bool Atomic.t;
+  mu : Mutex.t;
+  drained : Condition.t;
+  mutable inflight : int;
+  mutable served : int;
+}
+
+let create ?(config = default_config) ctx =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  (match
+     Unix.bind lfd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port))
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      raise e);
+  Unix.listen lfd config.backlog;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  {
+    cfg = config;
+    ctx;
+    lfd;
+    port;
+    stats = Stats.create ();
+    stopping = Atomic.make false;
+    mu = Mutex.create ();
+    drained = Condition.create ();
+    inflight = 0;
+    served = 0;
+  }
+
+let port t = t.port
+let stop t = Atomic.set t.stopping true
+let inflight t = Mutex.protect t.mu (fun () -> t.inflight)
+let served t = Mutex.protect t.mu (fun () -> t.served)
+
+(* --- routing -------------------------------------------------------------- *)
+
+let json_ok j = (200, [], Rc_obs.Json.to_string j ^ "\n")
+let err status detail = (status, [], Http.error_body ~status ~detail)
+
+let run_endpoint t body =
+  match Rc_obs.Json.of_string body with
+  | Error m -> err 400 ("malformed JSON: " ^ m)
+  | Ok j -> (
+      match Payload.run_request_of_json j with
+      | Error m -> err 400 m
+      | Ok rq ->
+          if rq.Payload.rq_scale <> Rc_harness.Experiments.scale t.ctx then
+            err 400
+              (Fmt.str
+                 "scale %d does not match the server's --scale %d (the memo \
+                  tables are keyed under one scale)"
+                 rq.Payload.rq_scale
+                 (Rc_harness.Experiments.scale t.ctx))
+          else
+            let c =
+              Rc_harness.Experiments.compile_cell t.ctx rq.Payload.rq_bench
+                rq.Payload.rq_opts
+            in
+            let r, engine_used =
+              Rc_harness.Experiments.simulate_cell t.ctx c
+            in
+            json_ok
+              (Payload.run_response
+                 ~bench:rq.Payload.rq_bench.Rc_workloads.Wutil.name
+                 ~scale:rq.Payload.rq_scale ~engine_used c r))
+
+let figures_endpoint t body =
+  match Rc_obs.Json.of_string body with
+  | Error m -> err 400 ("malformed JSON: " ^ m)
+  | Ok j -> (
+      match Payload.figures_request_of_json j with
+      | Error m -> err 400 m
+      | Ok ids ->
+          let tables =
+            List.map
+              (fun id ->
+                match Rc_harness.Experiments.by_id t.ctx id with
+                | Some tbl -> tbl
+                | None -> assert false (* ids validated by the decoder *))
+              ids
+          in
+          let stats = Rc_harness.Experiments.engine_stats t.ctx in
+          json_ok
+            (Payload.figures_response
+               ~scale:(Rc_harness.Experiments.scale t.ctx)
+               ~jobs:(Rc_harness.Experiments.jobs t.ctx)
+               ~engine_name:
+                 (Rc_harness.Experiments.engine_name
+                    (Rc_harness.Experiments.engine t.ctx))
+               ~stats tables))
+
+let metrics_endpoint t =
+  let server =
+    match Stats.to_json t.stats with
+    | Rc_obs.Json.Obj fields ->
+        Rc_obs.Json.Obj (("inflight", Rc_obs.Json.Int (inflight t)) :: fields)
+    | j -> j
+  in
+  json_ok
+    (Rc_obs.Json.Obj
+       [
+         ("server", server);
+         ("experiments", Rc_harness.Experiments.metrics_json t.ctx);
+       ])
+
+let route t (req : Http.request) =
+  try
+    match (req.Http.meth, req.Http.path) with
+    | "GET", "/healthz" ->
+        json_ok (Rc_obs.Json.Obj [ ("status", Rc_obs.Json.Str "ok") ])
+    | "GET", "/metrics" -> metrics_endpoint t
+    | "POST", "/run" -> run_endpoint t req.Http.body
+    | "POST", "/figures" -> figures_endpoint t req.Http.body
+    | meth, (("/healthz" | "/metrics" | "/run" | "/figures") as path) ->
+        err 405 (Fmt.str "%s is not supported on %s" meth path)
+    | _, path -> err 404 ("no route for " ^ path)
+  with
+  | Invalid_argument m ->
+      (* The pipeline rejects unsatisfiable configurations (registers
+         too small to allocate, malformed knob combinations) with
+         Invalid_argument: the request's fault, not the server's. *)
+      err 400 m
+  | e -> err 500 (Printexc.to_string e)
+
+(* --- per-connection handling ---------------------------------------------- *)
+
+(* Closing a socket whose receive buffer still holds unread request
+   bytes makes the kernel send RST, which can destroy a just-written
+   response before the client reads it — exactly the error and
+   load-shed paths, which answer without consuming the body.  So:
+   finish our side with FIN, drain briefly until the peer closes, then
+   close for real. *)
+let graceful_close fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+     let buf = Bytes.create 4096 in
+     while Unix.read fd buf 0 (Bytes.length buf) > 0 do
+       ()
+     done
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let handle t fd =
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    graceful_close fd;
+    Mutex.protect t.mu (fun () ->
+        t.inflight <- t.inflight - 1;
+        t.served <- t.served + 1;
+        Condition.broadcast t.drained)
+  in
+  Fun.protect ~finally (fun () ->
+      (* Receive/send timeouts bound the read and write phases by the
+         request deadline, so a stalled client cannot pin a worker. *)
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.deadline_s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.deadline_s
+       with Unix.Unix_error _ -> ());
+      let limits =
+        { Http.default_limits with Http.max_body = t.cfg.max_body }
+      in
+      match Http.read_request ~limits (Http.reader_of_fd fd) with
+      | Error Http.Closed -> ()
+      | Error e ->
+          let status, detail =
+            match e with
+            | Http.Malformed m -> (400, m)
+            | Http.Too_large m -> (413, m)
+            | Http.Header_overflow m -> (431, m)
+            | Http.Timeout ->
+                (408, "request was not received before the deadline")
+            | Http.Closed -> assert false
+          in
+          Http.write_response fd ~status
+            ~body:(Http.error_body ~status ~detail)
+            ();
+          Stats.record t.stats ~endpoint:"(bad-request)" ~status
+            ~wall_s:(Unix.gettimeofday () -. t0)
+      | Ok req ->
+          let status, headers, body = route t req in
+          let wall = Unix.gettimeofday () -. t0 in
+          if wall > t.cfg.deadline_s then begin
+            (* The deadline expired while computing: abandon the
+               response — the client was told to give up long ago —
+               but never the shared context, whose caches just got
+               warmer. *)
+            Stats.record_abandoned t.stats;
+            Stats.record t.stats ~endpoint:req.Http.path ~status ~wall_s:wall
+          end
+          else begin
+            Http.write_response fd ~status ~headers ~body ();
+            Stats.record t.stats ~endpoint:req.Http.path ~status
+              ~wall_s:(Unix.gettimeofday () -. t0)
+          end)
+
+let dispatch t fd =
+  let admitted =
+    Mutex.protect t.mu (fun () ->
+        if t.inflight >= t.cfg.max_inflight then false
+        else begin
+          t.inflight <- t.inflight + 1;
+          true
+        end)
+  in
+  if admitted then
+    Rc_par.Pool.submit (Rc_harness.Experiments.pool t.ctx) (fun () ->
+        handle t fd)
+  else begin
+    (* Bounded admission: shed with 503 + Retry-After instead of
+       queueing unboundedly.  A short send timeout so a dead client
+       cannot stall the accept loop. *)
+    Stats.record_shed t.stats;
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+     with Unix.Unix_error _ -> ());
+    Http.write_response fd ~status:503
+      ~headers:[ ("Retry-After", "1") ]
+      ~body:
+        (Http.error_body ~status:503
+           ~detail:"server is at its in-flight request limit; retry shortly")
+      ();
+    graceful_close fd
+  end
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.lfd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.lfd with
+          | fd, _ -> dispatch t fd
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (* Graceful drain: stop accepting, then let every in-flight request
+     complete before returning — the caller shuts the context down
+     only after this point. *)
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  Mutex.lock t.mu;
+  while t.inflight > 0 do
+    Condition.wait t.drained t.mu
+  done;
+  Mutex.unlock t.mu

@@ -1,0 +1,63 @@
+(** The persistent simulation service behind [rcc serve].
+
+    A hand-rolled HTTP/1.1 server (see {!Http}) over [Unix] sockets,
+    owning one long-lived {!Rc_harness.Experiments.ctx} so the
+    prepare/allocate memo tables and the trace cache stay warm across
+    requests: the second [/run] for any compiled-image fingerprint is
+    re-timed by {!Rc_machine.Trace_replay} instead of executed.
+
+    Endpoints:
+    - [POST /run]: one machine configuration + benchmark; the body is
+      byte-identical to [rcc run --json] (modulo pass wall-clock).
+    - [POST /figures]: experiment ids; same document as
+      [rcc figures --json].
+    - [GET /healthz]: liveness.
+    - [GET /metrics]: {!Rc_harness.Experiments.metrics_json} plus
+      per-endpoint request counts and latency quantiles.
+
+    Robustness: the accept loop sheds load with [503] +
+    [Retry-After] once [max_inflight] requests are pending instead of
+    queueing unboundedly; each request gets a deadline — slow reads
+    answer [408], and a response whose work finished after the
+    deadline is abandoned (the shared context never is); request
+    bodies beyond [max_body] answer [413]; malformed JSON answers
+    [400] with a structured error body.  {!stop} (wired to
+    SIGTERM/SIGINT by the CLI) stops accepting, lets every in-flight
+    request complete, then returns from {!run}. *)
+
+type config = {
+  host : string;  (** listen address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  backlog : int;  (** listen(2) backlog, default 16 *)
+  max_inflight : int;  (** accepted-but-unfinished request bound *)
+  max_body : int;  (** request body limit, bytes *)
+  deadline_s : float;  (** per-request deadline, seconds *)
+}
+
+val default_config : config
+
+type t
+
+(** Binds and listens; requests are dispatched onto the context's
+    {!Rc_par.Pool} ([jobs - 1] spawned workers; with [jobs = 1] they
+    run inline in the accept loop).  Does not take ownership of the
+    context: the caller still shuts it down after {!run} returns. *)
+val create : ?config:config -> Rc_harness.Experiments.ctx -> t
+
+(** The bound port (the actual one when [config.port] was 0). *)
+val port : t -> int
+
+(** Accept loop: runs until {!stop}, then drains — stops accepting,
+    waits for every in-flight request to finish — and returns. *)
+val run : t -> unit
+
+(** Signal {!run} to drain and return.  Async-signal-safe (sets a
+    flag) and idempotent; callable from any domain or from a
+    [Sys.Signal_handle]. *)
+val stop : t -> unit
+
+(** Requests accepted and not yet finished (queued included). *)
+val inflight : t -> int
+
+(** Requests fully handled since startup. *)
+val served : t -> int

@@ -1,0 +1,92 @@
+(* Per-endpoint request counts and latency quantiles: see stats.mli. *)
+
+(* Latency samples per endpoint: a fixed ring of the most recent
+   [window] requests — quantiles over a sliding window, O(1) memory
+   for a long-lived server. *)
+let window = 1024
+
+type ep = {
+  mutable n : int;  (** requests *)
+  mutable errors : int;  (** responses with status >= 400 *)
+  samples : float array;  (** ring buffer, seconds *)
+  mutable filled : int;
+  mutable next : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  endpoints : (string, ep) Hashtbl.t;
+  mutable s_shed : int;
+  mutable s_abandoned : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    endpoints = Hashtbl.create 8;
+    s_shed = 0;
+    s_abandoned = 0;
+  }
+
+let record t ~endpoint ~status ~wall_s =
+  Mutex.protect t.mu (fun () ->
+      let ep =
+        match Hashtbl.find_opt t.endpoints endpoint with
+        | Some ep -> ep
+        | None ->
+            let ep =
+              { n = 0; errors = 0; samples = Array.make window 0.0;
+                filled = 0; next = 0 }
+            in
+            Hashtbl.add t.endpoints endpoint ep;
+            ep
+      in
+      ep.n <- ep.n + 1;
+      if status >= 400 then ep.errors <- ep.errors + 1;
+      ep.samples.(ep.next) <- wall_s;
+      ep.next <- (ep.next + 1) mod window;
+      if ep.filled < window then ep.filled <- ep.filled + 1)
+
+let record_shed t = Mutex.protect t.mu (fun () -> t.s_shed <- t.s_shed + 1)
+
+let record_abandoned t =
+  Mutex.protect t.mu (fun () -> t.s_abandoned <- t.s_abandoned + 1)
+
+let shed t = Mutex.protect t.mu (fun () -> t.s_shed)
+
+(* Nearest-rank quantile over the window snapshot. *)
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let ep_json name ep =
+  let sorted = Array.sub ep.samples 0 ep.filled in
+  Array.sort compare sorted;
+  let ms s = Rc_obs.Json.Float (1000.0 *. s) in
+  Rc_obs.Json.Obj
+    [
+      ("endpoint", Rc_obs.Json.Str name);
+      ("requests", Rc_obs.Json.Int ep.n);
+      ("errors", Rc_obs.Json.Int ep.errors);
+      ("p50_ms", ms (quantile sorted 0.50));
+      ("p90_ms", ms (quantile sorted 0.90));
+      ("p99_ms", ms (quantile sorted 0.99));
+      ("max_ms", ms (if ep.filled = 0 then 0.0 else sorted.(ep.filled - 1)));
+    ]
+
+let to_json t =
+  Mutex.protect t.mu (fun () ->
+      let eps =
+        Hashtbl.fold (fun name ep acc -> (name, ep) :: acc) t.endpoints []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let total = List.fold_left (fun acc (_, ep) -> acc + ep.n) 0 eps in
+      Rc_obs.Json.Obj
+        [
+          ("requests", Rc_obs.Json.Int total);
+          ("shed", Rc_obs.Json.Int t.s_shed);
+          ("abandoned", Rc_obs.Json.Int t.s_abandoned);
+          ( "endpoints",
+            Rc_obs.Json.List (List.map (fun (n, ep) -> ep_json n ep) eps) );
+        ])

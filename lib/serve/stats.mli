@@ -1,0 +1,26 @@
+(** Per-endpoint request telemetry for [GET /metrics]: request and
+    error counts plus latency quantiles over a sliding window of
+    recent requests.  All operations are thread-safe — handlers on
+    different pool domains record concurrently. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~endpoint ~status ~wall_s] counts one completed request.
+    Statuses >= 400 also count as errors. *)
+val record : t -> endpoint:string -> status:int -> wall_s:float -> unit
+
+(** One connection shed by the accept loop with [503]. *)
+val record_shed : t -> unit
+
+(** One response abandoned because its deadline expired after the
+    work was done. *)
+val record_abandoned : t -> unit
+
+val shed : t -> int
+
+(** Snapshot: [{requests, shed, abandoned, endpoints: [{endpoint,
+    requests, errors, p50_ms, p90_ms, p99_ms, max_ms}]}], endpoints
+    sorted by name. *)
+val to_json : t -> Rc_obs.Json.t

@@ -263,6 +263,33 @@ let test_experiment_ids_resolve () =
     [ "table1" ];
   check_bool "unknown id" true (Rc_harness.Experiments.by_id ctx "nope" = None)
 
+(* `rcc serve` wires shutdown both to the normal exit path and to
+   signal handling, so a context must tolerate being shut down twice,
+   while idle, and from two domains racing. *)
+let test_shutdown_idempotent () =
+  let ctx = Rc_harness.Experiments.create ~scale:1 ~jobs:2 () in
+  ignore (Rc_harness.Experiments.table1 ());
+  Rc_harness.Experiments.shutdown ctx;
+  Rc_harness.Experiments.shutdown ctx;
+  check_bool "double shutdown returns" true true
+
+let test_shutdown_idle_pool () =
+  (* Never ran anything: the workers are parked on the condition
+     variable and must still be woken and joined. *)
+  let ctx = Rc_harness.Experiments.create ~scale:1 ~jobs:4 () in
+  Rc_harness.Experiments.shutdown ctx;
+  Rc_harness.Experiments.shutdown ctx;
+  check_bool "idle shutdown returns" true true
+
+let test_shutdown_concurrent () =
+  let ctx = Rc_harness.Experiments.create ~scale:1 ~jobs:4 () in
+  let d1 = Domain.spawn (fun () -> Rc_harness.Experiments.shutdown ctx) in
+  let d2 = Domain.spawn (fun () -> Rc_harness.Experiments.shutdown ctx) in
+  Rc_harness.Experiments.shutdown ctx;
+  Domain.join d1;
+  Domain.join d2;
+  check_bool "concurrent shutdown returns" true true
+
 let suite =
   [
     ("pipeline verifies output", `Quick, test_pipeline_verifies);
@@ -281,4 +308,7 @@ let suite =
     ("registry slot invariant matrix", `Slow, test_registry_slot_invariant);
     ("per-pass pipeline metrics", `Slow, test_pass_metrics);
     ("metrics json shape", `Slow, test_metrics_json_shape);
+    ("shutdown is idempotent", `Quick, test_shutdown_idempotent);
+    ("shutdown of an idle pool", `Quick, test_shutdown_idle_pool);
+    ("concurrent shutdown", `Quick, test_shutdown_concurrent);
   ]

@@ -1,0 +1,313 @@
+(* The simulation service: HTTP codec unit tests from strings, then
+   live-server tests against an ephemeral port — routing, the
+   structured error paths (400/404/405/413/503/408), the warm
+   trace-cache contract on repeated /run requests, and graceful
+   drain. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+module Http = Rc_serve.Http
+module Server = Rc_serve.Server
+module E = Rc_harness.Experiments
+
+(* --- codec ------------------------------------------------------------- *)
+
+let parse ?limits s = Http.read_request ?limits (Http.reader_of_string s)
+
+let test_http_parse () =
+  match
+    parse
+      "POST /run?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody"
+  with
+  | Error _ -> Alcotest.fail "valid request rejected"
+  | Ok req ->
+      check_str "method" "POST" req.Http.meth;
+      check_str "query stripped" "/run" req.Http.path;
+      check_str "body" "body" req.Http.body;
+      check_bool "headers lowercased" true (Http.header req "host" = Some "x")
+
+let test_http_malformed () =
+  (match parse "NOT-HTTP\r\n\r\n" with
+  | Error (Http.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage request line accepted");
+  match parse "POST /run HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Error (Http.Malformed _) -> ()
+  | _ -> Alcotest.fail "POST without Content-Length accepted"
+
+let test_http_limits () =
+  let limits = { Http.default_limits with Http.max_body = 8 } in
+  (match
+     parse ~limits
+       "POST /run HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789"
+   with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "oversized body accepted");
+  let limits = { Http.default_limits with Http.max_headers = 2 } in
+  match
+    parse ~limits "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n"
+  with
+  | Error (Http.Header_overflow _) -> ()
+  | _ -> Alcotest.fail "header flood accepted"
+
+let test_http_closed () =
+  match parse "POST /run HTTP/1.1\r\nContent-Le" with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "mid-request EOF not reported as Closed"
+
+(* --- live server harness ----------------------------------------------- *)
+
+(* One request per connection, Connection: close: read to EOF. *)
+let request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
+      path (String.length body) body
+  in
+  let rec send off =
+    if off < String.length req then
+      send (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  send 0;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec recv () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        recv ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+  in
+  recv ();
+  Unix.close fd;
+  let raw = Buffer.contents buf in
+  let status = int_of_string (String.sub raw 9 3) in
+  let body =
+    let rec scan i =
+      if i + 3 >= String.length raw then ""
+      else if
+        raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+        && raw.[i + 3] = '\n'
+      then String.sub raw (i + 4) (String.length raw - i - 4)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  (status, raw, body)
+
+(* Ephemeral port, Replay engine (the `rcc serve` default), jobs 2. *)
+let with_server ?(config = Server.default_config) ?(jobs = 2) f =
+  let ctx = E.create ~scale:1 ~jobs ~engine:E.Replay () in
+  let srv = Server.create ~config:{ config with Server.port = 0 } ctx in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d;
+      E.shutdown ctx)
+    (fun () -> f srv (Server.port srv))
+
+let json_of body =
+  match Rc_obs.Json.of_string body with
+  | Ok j -> j
+  | Error m -> Alcotest.fail ("response is not JSON: " ^ m)
+
+let error_detail body =
+  match Rc_obs.Json.member "error" (json_of body) with
+  | Some e -> (
+      match Rc_obs.Json.member "detail" e with
+      | Some (Rc_obs.Json.Str d) -> d
+      | _ -> Alcotest.fail "error body lacks a detail string")
+  | None -> Alcotest.fail ("not a structured error body: " ^ body)
+
+(* --- routing and error paths ------------------------------------------- *)
+
+let test_routing () =
+  with_server (fun _srv port ->
+      let st, _, body = request ~port ~meth:"GET" ~path:"/healthz" () in
+      check "healthz" 200 st;
+      check_str "healthz body" {|{"status":"ok"}|} (String.trim body);
+      let st, _, _ = request ~port ~meth:"GET" ~path:"/nope" () in
+      check "404 for unknown path" 404 st;
+      let st, _, _ = request ~port ~meth:"GET" ~path:"/run" () in
+      check "405 for GET /run" 405 st;
+      let st, _, body = request ~port ~meth:"POST" ~path:"/run" ~body:"{" () in
+      check "400 for malformed JSON" 400 st;
+      check_bool "malformed detail" true
+        (String.length (error_detail body) > 0);
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/run"
+          ~body:{|{"bench":"cmp","mystery":1}|} ()
+      in
+      check "400 for unknown field" 400 st;
+      ignore (error_detail body);
+      let st, _, _ =
+        request ~port ~meth:"POST" ~path:"/run" ~body:{|{"bench":"nope"}|} ()
+      in
+      check "400 for unknown bench" 400 st)
+
+let test_too_large () =
+  let config = { Server.default_config with Server.max_body = 64 } in
+  with_server ~config (fun _srv port ->
+      let body = String.make 100 ' ' in
+      let st, _, _ = request ~port ~meth:"POST" ~path:"/run" ~body () in
+      check "413 beyond max_body" 413 st)
+
+let test_shed () =
+  (* max_inflight 0: every request is shed with 503 + Retry-After. *)
+  let config = { Server.default_config with Server.max_inflight = 0 } in
+  with_server ~config (fun _srv port ->
+      let st, raw, body = request ~port ~meth:"GET" ~path:"/healthz" () in
+      check "503 when saturated" 503 st;
+      check_bool "Retry-After present" true
+        (let lower = String.lowercase_ascii raw in
+         let n = "retry-after:" in
+         let rec scan i =
+           i + String.length n <= String.length lower
+           && (String.sub lower i (String.length n) = n || scan (i + 1))
+         in
+         scan 0);
+      ignore (error_detail body))
+
+let test_deadline () =
+  (* Send only half a request: the receive timeout must answer 408
+     instead of pinning the worker forever. *)
+  let config = { Server.default_config with Server.deadline_s = 0.2 } in
+  with_server ~config (fun _srv port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      ignore (Unix.write_substring fd "POST /run HT" 0 12);
+      let buf = Bytes.create 4096 in
+      let got = Buffer.create 256 in
+      (try
+         let rec recv () =
+           match Unix.read fd buf 0 (Bytes.length buf) with
+           | 0 -> ()
+           | n ->
+               Buffer.add_subbytes got buf 0 n;
+               recv ()
+         in
+         recv ()
+       with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      let raw = Buffer.contents got in
+      check_bool "408 response" true
+        (String.length raw >= 12 && String.sub raw 9 3 = "408"))
+
+(* --- the cache-reuse contract ------------------------------------------ *)
+
+let test_warm_cache () =
+  with_server (fun _srv port ->
+      let body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
+      let st1, _, b1 = request ~port ~meth:"POST" ~path:"/run" ~body () in
+      let st2, _, b2 = request ~port ~meth:"POST" ~path:"/run" ~body () in
+      check "first /run" 200 st1;
+      check "second /run" 200 st2;
+      let engine b =
+        match Rc_obs.Json.member "engine" (json_of b) with
+        | Some (Rc_obs.Json.Str e) -> e
+        | _ -> Alcotest.fail "no engine field"
+      in
+      check_str "first executes" "execute" (engine b1);
+      check_str "second replays" "replay" (engine b2);
+      let machine b =
+        (* Only the machine counters: the surrounding result carries
+           per-pass wall-clock, the one nondeterministic field. *)
+        match Rc_obs.Json.member "result" (json_of b) with
+        | Some r -> (
+            match Rc_obs.Json.member "machine" r with
+            | Some m -> Rc_obs.Json.to_string m
+            | None -> Alcotest.fail "no machine object")
+        | None -> Alcotest.fail "no result object"
+      in
+      check_str "replay is bit-identical" (machine b1) (machine b2);
+      let st, _, mbody = request ~port ~meth:"GET" ~path:"/metrics" () in
+      check "metrics" 200 st;
+      let hits =
+        match Rc_obs.Json.member "experiments" (json_of mbody) with
+        | Some e -> (
+            match Rc_obs.Json.member "trace_cache" e with
+            | Some c -> (
+                match Rc_obs.Json.member "hits" c with
+                | Some (Rc_obs.Json.Int n) -> n
+                | _ -> Alcotest.fail "no hits counter")
+            | None -> Alcotest.fail "no trace_cache")
+        | None -> Alcotest.fail "no experiments"
+      in
+      check_bool "at least one trace-cache hit" true (hits >= 1))
+
+let test_figures_endpoint () =
+  with_server (fun _srv port ->
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/figures" ~body:{|{"ids":["table1"]}|}
+          ()
+      in
+      check "figures" 200 st;
+      (match Rc_obs.Json.member "tables" (json_of body) with
+      | Some (Rc_obs.Json.List [ _ ]) -> ()
+      | _ -> Alcotest.fail "expected one table");
+      let st, _, _ =
+        request ~port ~meth:"POST" ~path:"/figures" ~body:{|{"ids":["nope"]}|}
+          ()
+      in
+      check "400 for unknown figure id" 400 st)
+
+(* --- graceful drain ----------------------------------------------------- *)
+
+let test_graceful_drain () =
+  let ctx = E.create ~scale:1 ~jobs:2 ~engine:E.Replay () in
+  let srv = Server.create ~config:{ Server.default_config with port = 0 } ctx in
+  let port = Server.port srv in
+  let runner = Domain.spawn (fun () -> Server.run srv) in
+  let resp = ref None in
+  let client =
+    Domain.spawn (fun () ->
+        resp :=
+          Some
+            (request ~port ~meth:"POST" ~path:"/run"
+               ~body:{|{"bench":"eqn","rc":true}|} ()))
+  in
+  (* Wait until the request is actually in flight, then stop. *)
+  let rec wait_admitted n =
+    if Server.inflight srv = 0 && Server.served srv = 0 && n > 0 then begin
+      Unix.sleepf 0.005;
+      wait_admitted (n - 1)
+    end
+  in
+  wait_admitted 1000;
+  Server.stop srv;
+  Domain.join runner;
+  Domain.join client;
+  (match !resp with
+  | Some (200, _, body) ->
+      check_bool "drained response is complete JSON" true
+        (match Rc_obs.Json.of_string body with Ok _ -> true | Error _ -> false)
+  | Some (st, _, _) -> Alcotest.failf "in-flight request answered %d" st
+  | None -> Alcotest.fail "no response across stop");
+  (* The listener is gone: new connections must be refused. *)
+  (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+   match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+   | () ->
+       Unix.close fd;
+       Alcotest.fail "server still accepting after drain"
+   | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> Unix.close fd);
+  E.shutdown ctx
+
+let suite =
+  [
+    ("http: parse request", `Quick, test_http_parse);
+    ("http: malformed", `Quick, test_http_malformed);
+    ("http: limits", `Quick, test_http_limits);
+    ("http: closed mid-request", `Quick, test_http_closed);
+    ("routing and 4xx", `Slow, test_routing);
+    ("413 request too large", `Quick, test_too_large);
+    ("503 load shedding", `Quick, test_shed);
+    ("408 deadline expiry", `Quick, test_deadline);
+    ("warm trace cache on repeat /run", `Slow, test_warm_cache);
+    ("figures endpoint", `Slow, test_figures_endpoint);
+    ("graceful drain", `Slow, test_graceful_drain);
+  ]

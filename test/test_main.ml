@@ -19,5 +19,6 @@ let () =
       ("replay", T_replay.suite);
       ("workloads", T_workloads.suite);
       ("harness", T_harness.suite);
+      ("serve", T_serve.suite);
       ("properties", T_props.suite);
     ]
