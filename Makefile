@@ -15,8 +15,10 @@ test:
 bench:
 	dune exec bench/main.exe -- all
 
-# Quick end-to-end check of the parallel experiment engine:
-# two domains, one macro figure, one static table.
+# Quick end-to-end check of the parallel experiment engine — two
+# domains, one macro figure, one static table — plus the perf gate:
+# replay must beat execute on median totals over three saved fig12
+# sweeps per engine (--assert-replay-dominates).
 bench-smoke:
 	dune build @bench-smoke
 

@@ -13,6 +13,13 @@
      main.exe --save sweep.json  append this run's wall times (per
                                experiment and total, with the trace-cache
                                counters) to a machine-readable JSON log
+     main.exe --save sweep.json --assert-replay-dominates
+                               after saving, compare the log's replay
+                               runs against its execute runs — medians
+                               over every run of each engine — and exit
+                               1 unless replay won (strictly on the
+                               total, with a small per-experiment
+                               jitter allowance)
      main.exe bechamel         Bechamel micro-timings, one Test.make per
                                experiment (times the regeneration code)
 
@@ -104,6 +111,124 @@ let save_sweep path ~scale ~jobs ~engine ~total_s ~timings ~stats =
     (List.length previous + 1)
     (if previous = [] then "" else "s")
 
+(* --- --assert-replay-dominates: the perf gate ------------------------- *)
+
+let read_json_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Rc_obs.Json.of_string text
+
+let fail_dominates fmt =
+  Format.kasprintf
+    (fun m ->
+      Fmt.epr "bench: --assert-replay-dominates: %s@." m;
+      exit 1)
+    fmt
+
+(** The replay engine's reason to exist: over every execute and replay
+    run in the sweep log (re-run each engine a few times to average
+    over machine noise — single sweeps on a small box jitter by more
+    than the replay margin), the median replay total wall time must be
+    strictly below the median execute total, and no single experiment's
+    median may be slower beyond a small jitter allowance (50 ms or 10%
+    of the execute row, whichever is larger — tiny static tables
+    bounce around the timer's noise floor).  Exits 1 with the
+    offending rows otherwise. *)
+let assert_replay_dominates path =
+  let open Rc_obs.Json in
+  let runs =
+    match read_json_file path with
+    | Ok (List runs) -> runs
+    | Ok _ -> fail_dominates "%s is not a JSON list of runs" path
+    | Error m -> fail_dominates "cannot read %s: %s" path m
+  in
+  let of_engine name =
+    List.filter
+      (fun r ->
+        match member "engine" r with Some (Str e) -> e = name | _ -> false)
+      runs
+  in
+  let exs = of_engine "execute" and rps = of_engine "replay" in
+  if exs = [] then fail_dominates "no execute run in %s to compare against" path;
+  if rps = [] then fail_dominates "no replay run in %s" path;
+  let int_field r name =
+    match member name r with
+    | Some (Int v) -> v
+    | _ -> fail_dominates "run in %s lacks integer field %S" path name
+  and float_field r name =
+    match member name r with
+    | Some (Float v) -> v
+    | Some (Int v) -> float_of_int v
+    | _ -> fail_dominates "run in %s lacks numeric field %S" path name
+  in
+  let r0 = List.hd exs in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun r ->
+          if int_field r f <> int_field r0 f then
+            fail_dominates
+              "execute and replay runs in %s differ in %s (%d vs %d) — not \
+               comparable"
+              path f (int_field r0 f) (int_field r f))
+        (exs @ rps))
+    [ "scale"; "jobs" ];
+  let median = function
+    | [] -> fail_dominates "empty sample in %s" path
+    | vs ->
+        let a = Array.of_list vs in
+        Array.sort compare a;
+        let n = Array.length a in
+        if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  in
+  let timings r =
+    match member "experiments" r with
+    | Some (List es) ->
+        List.map (fun e -> (member "id" e, float_field e "wall_s")) es
+    | _ -> fail_dominates "run in %s lacks an experiments list" path
+  in
+  let med_rows rs =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (id, s) ->
+            match Hashtbl.find_opt tbl id with
+            | Some cell -> cell := s :: !cell
+            | None ->
+                Hashtbl.add tbl id (ref [ s ]);
+                order := id :: !order)
+          (timings r))
+      rs;
+    List.rev_map (fun id -> (id, median !(Hashtbl.find tbl id))) !order
+  in
+  let ex_rows = med_rows exs in
+  List.iter
+    (fun (id, rp_s) ->
+      match List.assoc_opt id ex_rows with
+      | None -> ()
+      | Some ex_s ->
+          let slack = Float.max 0.05 (0.1 *. ex_s) in
+          if rp_s > ex_s +. slack then
+            fail_dominates
+              "%s: median replay %.3fs vs execute %.3fs (slack %.3fs)"
+              (match id with Some (Str s) -> s | _ -> "?")
+              rp_s ex_s slack)
+    (med_rows rps);
+  let med_total rs = median (List.map (fun r -> float_field r "total_wall_s") rs) in
+  let ex_total = med_total exs and rp_total = med_total rps in
+  if rp_total >= ex_total then
+    fail_dominates "total: median replay %.3fs is not below execute %.3fs"
+      rp_total ex_total;
+  Fmt.epr
+    "replay dominates execute: median total %.3fs vs %.3fs (%d+%d runs)@."
+    rp_total ex_total (List.length rps) (List.length exs)
+
 (* --- Bechamel: one Test.make per table/figure ------------------------- *)
 
 let bechamel_tests () =
@@ -186,7 +311,8 @@ let run_bechamel () =
 let usage () =
   Fmt.epr
     "usage: main.exe [--scale N] [--jobs N] [--engine execute|replay|auto] \
-     [--metrics FILE] [--save FILE] [all | bechamel | <id>...]@.";
+     [--metrics FILE] [--save FILE [--assert-replay-dominates]] [all | \
+     bechamel | <id>...]@.";
   Fmt.epr "experiments: %s@." (String.concat " " ids);
   exit 1
 
@@ -210,6 +336,7 @@ let () =
   let metrics = ref None in
   let engine = ref Rc_harness.Experiments.Auto in
   let save = ref None in
+  let assert_dom = ref false in
   (* Flags may appear before, between or after the experiment ids. *)
   let rec parse acc = function
     | "--scale" :: rest ->
@@ -257,6 +384,9 @@ let () =
         | [] ->
             Fmt.epr "--save needs an argument@.";
             usage ())
+    | "--assert-replay-dominates" :: rest ->
+        assert_dom := true;
+        parse acc rest
     | x :: _ when String.length x > 1 && x.[0] = '-' ->
         Fmt.epr "unknown option %s@." x;
         usage ()
@@ -286,15 +416,20 @@ let () =
           let timings = List.map (fun id -> (id, print_experiment ctx id)) sel in
           let total_s = Unix.gettimeofday () -. t0 in
           (match !save with
-          | None -> ()
-          | Some path -> (
-              try
-                save_sweep path ~scale:!scale ~jobs:!jobs ~engine:!engine
-                  ~total_s ~timings
-                  ~stats:(Rc_harness.Experiments.engine_stats ctx)
-              with Sys_error m ->
-                Fmt.epr "bench: cannot save sweep log: %s@." m;
-                exit 1));
+          | None ->
+              if !assert_dom then begin
+                Fmt.epr "--assert-replay-dominates requires --save FILE@.";
+                usage ()
+              end
+          | Some path ->
+              (try
+                 save_sweep path ~scale:!scale ~jobs:!jobs ~engine:!engine
+                   ~total_s ~timings
+                   ~stats:(Rc_harness.Experiments.engine_stats ctx)
+               with Sys_error m ->
+                 Fmt.epr "bench: cannot save sweep log: %s@." m;
+                 exit 1);
+              if !assert_dom then assert_replay_dominates path);
           (* Dump the telemetry while the pool is still alive so its
              per-domain stats are included. *)
           match !metrics with

@@ -3,6 +3,7 @@
 
      jsonck <chrome-trace.json> [<events.jsonl>]
      jsonck --pure <doc.json>...
+     jsonck --figures-equal <a.json> <b.json>
 
    Checks that the Chrome file is valid trace-event JSON Perfetto will
    load — a traceEvents array whose entries carry name/ph/pid, with at
@@ -15,7 +16,13 @@
    each file must be exactly one JSON object — any narration line
    leaking onto stdout before or after the document breaks the parse
    and fails the check (the json-smoke alias pipes `rcc run --json`
-   and `rcc figures --json` through this). *)
+   and `rcc figures --json` through this).
+
+   [--figures-equal] asserts two `rcc figures --json` documents carry
+   the same results: structural equality after dropping the
+   "trace_cache" member, the only field the timing-engine path (batched
+   vs per-cell, engine, jobs) is allowed to change.  The replay-smoke
+   alias runs the batched and per-cell paths through this. *)
 
 let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -92,11 +99,41 @@ let check_pure path =
   | Ok _ -> fail "%s: top level is not a JSON object" path
   | Error m -> fail "%s: stdout is not a single JSON document: %s" path m
 
+(* Drop every member named [name], recursively. *)
+let rec strip_member name j =
+  match j with
+  | Rc_obs.Json.Obj fields ->
+      Rc_obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = name then None else Some (k, strip_member name v))
+           fields)
+  | Rc_obs.Json.List l -> Rc_obs.Json.List (List.map (strip_member name) l)
+  | j -> j
+
+let check_figures_equal a b =
+  let parse path =
+    match Rc_obs.Json.of_string (read_file path) with
+    | Ok j -> strip_member "trace_cache" j
+    | Error m -> fail "%s: not valid JSON: %s" path m
+  in
+  let ja = Rc_obs.Json.to_string (parse a)
+  and jb = Rc_obs.Json.to_string (parse b) in
+  if ja <> jb then
+    fail "%s and %s differ beyond trace_cache — the timing-engine path \
+          changed the results"
+      a b;
+  Printf.printf "%s == %s (modulo trace_cache)\n" a b
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--pure" :: (_ :: _ as files) -> List.iter check_pure files
   | _ :: "--pure" :: [] ->
       prerr_endline "usage: jsonck --pure <doc.json>...";
+      exit 2
+  | [ _; "--figures-equal"; a; b ] -> check_figures_equal a b
+  | _ :: "--figures-equal" :: _ ->
+      prerr_endline "usage: jsonck --figures-equal <a.json> <b.json>";
       exit 2
   | _ :: chrome :: rest ->
       check_chrome chrome;

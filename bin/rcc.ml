@@ -266,10 +266,19 @@ let list_ids_flag =
   let doc = "List the known experiment ids and exit." in
   Arg.(value & flag & info [ "list-ids" ] ~doc)
 
+let per_cell_flag =
+  let doc =
+    "Bypass the batching prefetch: time every cell through the per-cell \
+     engine policy instead of grouping cells that share a compiled image \
+     into one recording plus one batched replay pass.  A debugging switch — \
+     tables are byte-identical either way, batching is just faster."
+  in
+  Arg.(value & flag & info [ "per-cell" ] ~doc)
+
 let all_figure_ids = Rc_serve.Payload.all_figure_ids
 
 let figures_cmd =
-  let run ids scale jobs engine json list_ids =
+  let run ids scale jobs engine per_cell json list_ids =
     if list_ids then begin
       List.iter (fun id -> Fmt.pr "%s@." id) all_figure_ids;
       0
@@ -284,7 +293,8 @@ let figures_cmd =
           2
       | [] ->
           let ctx =
-            Rc_harness.Experiments.create ~scale ~jobs ~engine ()
+            Rc_harness.Experiments.create ~scale ~jobs ~engine
+              ~batch:(not per_cell) ()
           in
           Fun.protect
             ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
@@ -322,6 +332,19 @@ let figures_cmd =
                   es.Rc_harness.Experiments.unsafe
                   es.Rc_harness.Experiments.bytes
               end;
+              (* A single-shot sweep records more than it replays on
+                 mostly-distinct images; a long-lived context (rcc
+                 serve) amortises those recordings across requests. *)
+              if
+                es.Rc_harness.Experiments.recorded
+                > es.Rc_harness.Experiments.hits
+              then
+                Fmt.epr
+                  "note: cold trace cache (%d traces recorded for %d \
+                   replays); a warm `rcc serve` context amortises the \
+                   recordings@."
+                  es.Rc_harness.Experiments.recorded
+                  es.Rc_harness.Experiments.hits;
               0)
     end
   in
@@ -333,8 +356,8 @@ let figures_cmd =
           other grid point by trace replay; tables are byte-identical for \
           every engine and jobs count")
     Term.(
-      const run $ figures_ids $ scale $ figures_jobs $ engine_arg $ json_flag
-      $ list_ids_flag)
+      const run $ figures_ids $ scale $ figures_jobs $ engine_arg
+      $ per_cell_flag $ json_flag $ list_ids_flag)
 
 (* --- serve ------------------------------------------------------------------ *)
 

@@ -18,12 +18,16 @@ open Rc_workloads
 type ctx
 
 (** How cells are timed.  [Execute] always runs the execution-driven
-    simulator.  [Replay] records a dynamic trace on the first sight of
-    each compiled image fingerprint and re-times every later sighting
-    by trace replay ({!Rc_machine.Trace_replay}).  [Auto] (the default)
-    records only on an image's {e second} sighting, so images simulated
-    once never hold a trace.  All three produce byte-identical tables:
-    replay reproduces {!Rc_machine.Machine.result} exactly. *)
+    simulator.  [Replay] and [Auto] time repeated sightings of a
+    compiled image fingerprint by trace replay
+    ({!Rc_machine.Trace_replay}); they differ in the {e per-cell} path
+    (the server's [/run]): [Replay] records on an image's first
+    sighting, [Auto] (the default) only on its second, so images
+    simulated once never hold a trace.  Under the batching prefetch
+    (see {!create}) both engines know every group's size up front and
+    record exactly when a trace will be reused.  All three engines
+    produce byte-identical tables: replay reproduces
+    {!Rc_machine.Machine.result} exactly. *)
 type engine = Execute | Replay | Auto
 
 val engine_name : engine -> string
@@ -42,7 +46,16 @@ type engine_stats = {
   bytes : int;
 }
 
-val create : ?scale:int -> ?jobs:int -> ?engine:engine -> unit -> ctx
+(** [batch] (default [true]) enables the batching prefetch: before a
+    table's thunk fan-out, its declared cells are compiled, the
+    replay-safe ones grouped by trace key (image fingerprint + semantic
+    knobs), and each group timed by one recording plus one
+    {!Rc_machine.Trace_replay.replay_batch} pass — groups of one
+    execute directly, recording nothing.  [batch:false] forces the
+    per-cell engine policy for every cell (the [--per-cell] debugging
+    switch).  Tables are byte-identical either way. *)
+val create :
+  ?scale:int -> ?jobs:int -> ?engine:engine -> ?batch:bool -> unit -> ctx
 
 (** Number of computing domains of the context's pool. *)
 val jobs : ctx -> int
@@ -127,6 +140,12 @@ val breakdown_json : Rc_isa.Mcode.size_breakdown -> Rc_obs.Json.t
 
 (** Stand-in core size for "unlimited registers". *)
 val unlimited : int
+
+(** The options slice that determines the dynamic instruction stream
+    beyond the image bytes (reset model, register file shapes) —
+    [fingerprint ^ "#" ^ semantic_key] is the trace-cache key; every
+    other knob is free to vary between recording and replay. *)
+val semantic_key : Pipeline.options -> string
 
 (** Cycles of the paper's base configuration for this benchmark. *)
 val base_cycles : ctx -> Wutil.bench -> float

@@ -1,16 +1,23 @@
 (** Compact dynamic-trace records for the trace-replay timing engine:
-    one packed [int] per dynamic instruction (pc, resolved physical
-    sources/destination, map-enable bit, branch outcome) plus the
-    output stream recorded once.  See DESIGN.md §14. *)
+    per dynamic instruction the pc, resolved physical registers,
+    map-enable bit and branch outcome, compressed into a no-scan
+    byte-packed token stream (run-length tokens for straight-line code,
+    flag byte + zigzag varints otherwise) plus the output stream stored
+    once.  Entries decode back to the packed-[int] form through a
+    {!cursor}.  See DESIGN.md §14 for the encoding. *)
 
 type t = {
   n : int;  (** dynamic instructions recorded *)
-  packed : int array;  (** length [n], one packed entry each *)
-  output : int64 list;  (** the emitted stream, in emission order *)
-  checksum : int64;  (** {!Machine.checksum_of_output} of [output] *)
+  data : Bytes.t;  (** the RUN/LITERAL token stream *)
+  out : Bytes.t;  (** emitted output stream, 8 LE bytes per value *)
+  checksum : int64;  (** {!Machine.checksum_of_output} of the output *)
 }
 
-(** {2 Packed-entry accessors} *)
+(** {2 Packed-entry form}
+
+    The in-flight representation: one OCaml [int] holding pc, resolved
+    sp0/sp1/dp, map-enable and branch outcome.  The recorder appends
+    these; the cursor yields them back. *)
 
 val pack :
   pc:int -> sp0:int -> sp1:int -> dp:int -> map_on:bool -> taken:bool -> int
@@ -30,18 +37,49 @@ val max_pc : int
 
 val max_reg : int
 
-(** {2 Recording} *)
+(** Every value a recording of this shape can produce fits the packed
+    layout — checked once up front so the per-instruction recording
+    path carries no range checks. *)
+val fits : code_len:int -> ireg_total:int -> freg_total:int -> bool
+
+(** {2 Architectural-register tables}
+
+    The seed of the compression model's per-pc register prediction:
+    the architectural operand fields of the instruction at each pc
+    ([-1] where absent), from the same {!Rc_isa.Dins} predecode the
+    replayer runs on.  Resolved registers are stored as deltas against
+    the last sighting of the same pc (architectural on first
+    sighting), so both {!finish} and the {!cursor} need the table of
+    the trace's image. *)
+
+type arch
+
+val arch_of_dins : Rc_isa.Dins.t array -> arch
+
+(** Test hook: an arch table from raw per-pc operand arrays ([-1] =
+    absent).
+    @raise Invalid_argument on length mismatch. *)
+val arch_of_arrays : s0:int array -> s1:int array -> d:int array -> arch
+
+(** {2 Recording}
+
+    The builder is a streaming encoder: entries compress as they are
+    recorded (the plain common case is a few compares and a counter
+    bump, allocation-free), so no entry array ever exists and the heap
+    cost of an attached recorder is the compressed stream itself.
+    [arch] must be the recorded image's table; [hint] is the expected
+    entry count. *)
 
 type builder
 
-val builder : ?hint:int -> unit -> builder
+val builder : ?hint:int -> arch -> builder
 
 (** Mark the recording unreplayable (trap, rfe, interrupt injection);
     {!finish} will return [None]. *)
 val invalidate : builder -> unit
 
-(** Append one issued instruction; a value that does not fit the packed
-    layout invalidates the builder instead of raising. *)
+(** Append one issued instruction.  No range checks: the caller
+    established {!fits} before attaching the recorder. *)
 val add :
   builder ->
   pc:int ->
@@ -52,12 +90,40 @@ val add :
   taken:bool ->
   unit
 
+(** {!add} of a packed entry. *)
+val add_packed : builder -> int -> unit
+
+(** Seal the recording, or [None] when it hit an unreplayable event.
+    [output]/[checksum] come from the recording run's result. *)
 val finish : builder -> output:int64 list -> checksum:int64 -> t option
 
-(** Approximate heap footprint in bytes, for cache accounting. *)
+(** The recorded output stream, decoded (fresh list per call). *)
+val output : t -> int64 list
+
+(** Exact resident heap size of the trace in bytes, O(1). *)
 val bytes : t -> int
 
+(** {2 Decoding} *)
+
+(** A streaming decoder over the token stream: {!next} yields entries
+    in packed-[int] form without materialising an array.  The [arch]
+    must be the trace image's table (any latency — architectural
+    operands do not depend on it). *)
+type cursor
+
+val cursor : arch -> t -> cursor
+
+(** The next entry.
+    @raise Invalid_argument past entry [n - 1] or on a corrupt
+    stream. *)
+val next : cursor -> int
+
+(** Every entry decoded to packed form — test and tooling hook; the
+    replay engine streams through {!cursor} instead. *)
+val entries : arch -> t -> int array
+
 (** A copy with entry [i] replaced — test hook for planting a
-    divergence the equivalence check must catch.
+    divergence the equivalence check must catch.  [entry] must decode
+    against the same [arch] (its pc in range).
     @raise Invalid_argument when [i] is out of range. *)
-val sabotage : t -> int -> int -> t
+val sabotage : arch -> t -> int -> int -> t

@@ -521,10 +521,14 @@ let run_cycle_raw t =
        | Some b ->
            (* [t.pc] is still the issued instruction's address here (it
               advances below, and the Trap arm — which redirected it
-              already — invalidated the recording). *)
+              already — invalidated the recording).  No range checks:
+              whoever attached the recorder established [Dtrace.fits]
+              for this code length and these register files. *)
            Dtrace.add b ~pc:t.pc ~sp0 ~sp1 ~dp ~map_on
              ~taken:
-               (match d.Dins.op with Opcode.Br _ -> t.rec_taken | _ -> false));
+               (match d.Dins.op with
+               | Opcode.Br _ -> t.rec_taken
+               | _ -> false));
        (match d.Dins.op with
        | Opcode.Trap -> () (* pc already set by enter_trap *)
        | _ -> t.pc <- !next_pc);

@@ -116,7 +116,10 @@ val inject_interrupt : t -> unit
 (** Attach (or clear) the per-cycle observer. *)
 val set_observer : t -> (cycle_sample -> unit) option -> unit
 
-(** Attach (or clear) the dynamic-trace recorder (see {!Dtrace}). *)
+(** Attach (or clear) the dynamic-trace recorder (see {!Dtrace}).  The
+    caller must have established {!Dtrace.fits} for this machine's code
+    length and register files: the recording path performs no range
+    checks. *)
 val set_recorder : t -> Dtrace.builder option -> unit
 
 (** The emitted stream so far, in emission order. *)

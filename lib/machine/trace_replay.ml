@@ -1,5 +1,5 @@
-(** The trace-replay timing engine: re-time a recorded execution under a
-    new configuration without re-executing it.
+(** The trace-replay timing engine: re-time a recorded execution under
+    new configurations without re-executing it.
 
     {!Machine.run_cycle} interleaves two concerns: functional execution
     (register values, memory, output) and timing (issue grouping,
@@ -8,17 +8,28 @@
     rate, memory channels, load/connect latency, the extra pipeline
     stage, the connect dispatch budget — cannot change the dynamic
     instruction stream, only how it packs into cycles.  So the stream is
-    recorded once ({!record}) and {!replay} re-runs only the timing
-    half: the same per-candidate check sequence as [run_cycle_raw]
+    recorded once ({!record}) and replay re-runs only the timing half:
+    the same per-candidate check sequence as [run_cycle_raw]
     (mapping-table conflict, then memory channel, then issue/connect
     budget, then operand scoreboard), the same slot attribution, the
     same mispredict and fuel accounting — against operands read from the
     trace instead of resolved through live mapping tables.
 
+    Where execution is cycle-driven (each cycle pulls instructions until
+    a blocker fires), replay here is {e entry-driven}: for each trace
+    entry, close as many cycles as its blockers demand, then issue it.
+    The two loops visit the identical sequence of (blocker, cycle)
+    events — a cycle with no issues exists exactly when the next entry
+    blocks on it — which is what lets {!replay_batch} walk the trace
+    {e once}, decoding each entry a single time, while K independent
+    per-configuration timing states consume it in lockstep.  An entire
+    figure column over one image then costs one decode pass.
+
     Replay reproduces {!Machine.result} {e exactly}: cycles, all five
     [lost_*] counters, every stall counter, the checksum, and the slot
-    invariant.  The equivalence is enforced by [test/t_replay.ml] across
-    the full figure grids and all reset models.
+    invariant.  The equivalence — batched, per-cell and executed — is
+    enforced by [test/t_replay.ml] across the full figure grids and all
+    reset models.
 
     A trace is only meaningful for the image it was recorded from, under
     a configuration whose {e semantic} knobs match the recording (reset
@@ -41,16 +52,30 @@ let fail fmt = Fmt.kstr (fun s -> raise (Machine.Simulation_error s)) fmt
 let replay_safe (cfg : Config.t) = Option.is_none cfg.Config.trap_handler
 
 (** Execute [image] under [cfg] with a recorder attached: the ordinary
-    execution-driven result, plus the trace when the run was replayable. *)
+    execution-driven result, plus the trace when the run was replayable.
+    A shape that cannot fit the packed layout skips the recorder
+    entirely — {!Dtrace.fits} is the one range check, hoisted out of
+    the per-instruction path. *)
 let record (cfg : Config.t) (image : Image.t) =
-  let m = Machine.create cfg image in
-  let b = Dtrace.builder ~hint:(4 * Array.length image.Image.code) () in
-  Machine.set_recorder m (Some b);
-  let r = Machine.run_machine m in
-  let tr =
-    Dtrace.finish b ~output:r.Machine.output ~checksum:r.Machine.checksum
-  in
-  (r, tr)
+  let code_len = Array.length image.Image.code in
+  if
+    not
+      (Dtrace.fits ~code_len ~ireg_total:cfg.Config.ifile.Reg.total
+         ~freg_total:cfg.Config.ffile.Reg.total)
+  then (Machine.run_machine (Machine.create cfg image), None)
+  else begin
+    let m = Machine.create cfg image in
+    let arch =
+      Dtrace.arch_of_dins (Dins.decode ~lat:cfg.Config.lat image.Image.code)
+    in
+    let b = Dtrace.builder ~hint:(4 * code_len) arch in
+    Machine.set_recorder m (Some b);
+    let r = Machine.run_machine m in
+    let tr =
+      Dtrace.finish b ~output:r.Machine.output ~checksum:r.Machine.checksum
+    in
+    (r, tr)
+  end
 
 (* Duplicated from [Machine] (not exported there): the 1-cycle-connect
    same-group conflict scan over architectural map entries. *)
@@ -66,195 +91,258 @@ let src_blocked pending (d : Dins.t) =
 
 type issue_blocker = Data | Map | Channel | Redirect | Fetch
 
-exception Group_end of issue_blocker option
+(** One configuration's complete timing state: the scoreboard, the
+    per-cycle resources, the stall counters — everything
+    [Machine.run_cycle_raw] keeps, minus the functional half. *)
+type state = {
+  pre : Dins.t array;  (** predecoded under {e this} config's latencies *)
+  iready : int array;
+  fready : int array;
+  st : Machine.stats;
+  mutable pending : (Reg.cls * Insn.map_kind * int) list;
+      (** map entries touched by connects issued this cycle *)
+  mutable slots : int;
+  mutable cslots : int;
+  mutable mem_free : int;
+  mutable cycle : int;  (** [st.cycles] when the open cycle began *)
+  mutable halted : bool;
+  (* per-configuration constants *)
+  issue : int;
+  budget : int;  (** per-cycle connect dispatch budget; 0 when shared *)
+  shared : bool;
+  channels : int;
+  connect_lat : int;
+  penalty : int;
+  fuel : int;
+}
 
-(** Re-run the issue/scoreboard/channel/redirect accounting of [tr]
-    under [cfg].  The caller guarantees [tr] was recorded from [image]
-    under matching semantic knobs; [cfg]'s timing knobs are free.
-    @raise Machine.Simulation_error on fuel exhaustion or a trace that
-    could not have come from a replay-safe recording. *)
-let replay (cfg : Config.t) (image : Image.t) (tr : Dtrace.t) =
-  (* Predecoded under the {e replay} configuration's latencies: a trace
-     recorded with 2-cycle loads re-times correctly under 4-cycle
-     loads. *)
-  let pre = Dins.decode ~lat:cfg.Config.lat image.Image.code in
-  let iready = Array.make cfg.Config.ifile.Reg.total 0 in
-  let fready = Array.make cfg.Config.ffile.Reg.total 0 in
-  let stats : Machine.stats =
-    {
-      cycles = 0;
-      issued = 0;
-      connects = 0;
-      extra_connects = 0;
-      mem_ops = 0;
-      branches = 0;
-      mispredicts = 0;
-      data_stalls = 0;
-      map_stalls = 0;
-      channel_stalls = 0;
-      lost_data = 0;
-      lost_map = 0;
-      lost_channel = 0;
-      lost_branch = 0;
-      lost_fetch = 0;
-    }
-  in
-  let packed = tr.Dtrace.packed in
-  let n = tr.Dtrace.n in
-  let idx = ref 0 in
-  let halted = ref false in
-  let shared_connects = cfg.Config.connect_dispatch = `Shared in
-  let connect_budget =
+let state_of (cfg : Config.t) (image : Image.t) =
+  let budget =
     match cfg.Config.connect_dispatch with `Shared -> 0 | `Extra b -> b
   in
-  let connect_lat = cfg.Config.lat.Latency.connect in
-  let issue = cfg.Config.issue in
-  let penalty = Config.mispredict_penalty cfg in
-  let[@inline] reg_ready cycle (cls : Reg.cls) p =
-    match cls with
-    | Reg.Int -> iready.(p) <= cycle
-    | Reg.Float -> fready.(p) <= cycle
-  in
-  (* One cycle: the timing half of [Machine.run_cycle_raw], with the
-     candidate instruction and its resolved operands read from the
-     trace.  Check order (Map, then Channel, then budget/slots, then
-     Data), slot charging and stall counting mirror execution
-     line-for-line — drift here is what [test/t_replay.ml] exists to
-     catch. *)
-  let run_cycle () =
-    let cycle = stats.cycles in
-    let slots = ref issue in
-    let connect_slots = ref connect_budget in
-    let mem_free = ref cfg.Config.mem_channels in
-    let pending_maps : (Reg.cls * Insn.map_kind * int) list ref = ref [] in
-    let end_group = ref false in
-    let end_cause = ref None in
-    let blocked = ref None in
-    (try
-       while (!slots > 0 || !connect_slots > 0) && not !halted do
-         if !idx >= n then fail "replay: trace exhausted before halt";
-         let e = packed.(!idx) in
-         let d = pre.(Dtrace.pc e) in
-         let map_on = Dtrace.map_on e in
-         (* --- can it issue this cycle? --- *)
-         if
-           connect_lat > 0 && map_on
-           && (match !pending_maps with [] -> false | p -> src_blocked p d)
-         then raise (Group_end (Some Map));
-         if d.Dins.is_mem && !mem_free <= 0 then
-           raise (Group_end (Some Channel));
-         (if d.Dins.is_connect && not shared_connects then begin
-            if !connect_slots <= 0 then raise (Group_end (Some Map))
-          end
-          else if !slots <= 0 then raise (Group_end None));
-         let sp0 = Dtrace.sp0 e
-         and sp1 = Dtrace.sp1 e
-         and dp = Dtrace.dp e in
-         let ok =
-           (d.Dins.nsrcs < 1 || reg_ready cycle d.Dins.s0c sp0)
-           && (d.Dins.nsrcs < 2 || reg_ready cycle d.Dins.s1c sp1)
-           && (d.Dins.d < 0 || reg_ready cycle d.Dins.dc dp)
-         in
-         if not ok then raise (Group_end (Some Data));
-         (* --- issue --- *)
-         if d.Dins.is_connect && not shared_connects then begin
-           decr connect_slots;
-           stats.extra_connects <- stats.extra_connects + 1
-         end
-         else decr slots;
-         stats.issued <- stats.issued + 1;
-         if d.Dins.is_mem then begin
-           decr mem_free;
-           stats.mem_ops <- stats.mem_ops + 1
-         end;
-         let done_at = cycle + d.Dins.lat in
-         end_group := false;
-         (match d.Dins.op with
-         | Opcode.Alu _ | Opcode.Alui _ | Opcode.Li | Opcode.Move
-         | Opcode.Ftoi | Opcode.Fcmp _ | Opcode.Ld _ | Opcode.Mfmap _ ->
-             (* [Machine.set_i] skips the hardwired zero *)
-             if dp <> Reg.zero then iready.(dp) <- done_at
-         | Opcode.Fli | Opcode.Fmove | Opcode.Fpu _ | Opcode.Itof
-         | Opcode.Fld ->
-             fready.(dp) <- done_at
-         | Opcode.St _ | Opcode.Fst -> ()
-         | Opcode.Br _ ->
-             stats.branches <- stats.branches + 1;
-             if Dtrace.taken e <> d.Dins.hint then begin
-               stats.mispredicts <- stats.mispredicts + 1;
-               stats.cycles <- stats.cycles + penalty;
-               stats.lost_branch <- stats.lost_branch + (penalty * issue);
-               end_group := true;
-               end_cause := Some Redirect
-             end
-         | Opcode.Jmp -> stats.branches <- stats.branches + 1
-         | Opcode.Jsr ->
-             stats.branches <- stats.branches + 1;
-             (* execution writes RA's readiness at its {e home} physical
-                location (the map was just reset), not at the recorded
-                [dp] *)
-             if Reg.ra <> Reg.zero then iready.(Reg.ra) <- done_at
-         | Opcode.Rts -> stats.branches <- stats.branches + 1
-         | Opcode.Connect ->
-             stats.connects <- stats.connects + 1;
-             if map_on && connect_lat > 0 then
-               Array.iter
-                 (fun (c : Insn.connect) ->
-                   pending_maps :=
-                     (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: !pending_maps)
-                 d.Dins.connects
-         | Opcode.Emit | Opcode.Femit | Opcode.Mapen | Opcode.Mtmap _
-         | Opcode.Nop ->
-             ()
-         | Opcode.Halt ->
-             halted := true;
-             end_group := true;
-             end_cause := Some Fetch
-         | Opcode.Trap | Opcode.Rfe ->
-             fail "replay: unreplayable %s in trace at index %d"
-               (Opcode.to_string d.Dins.op)
-               !idx);
-         incr idx;
-         if !end_group then raise (Group_end !end_cause)
-       done
-     with Group_end reason ->
-       blocked := reason;
-       (match reason with
-       | Some Data -> stats.data_stalls <- stats.data_stalls + 1
-       | Some Map -> stats.map_stalls <- stats.map_stalls + 1
-       | Some Channel -> stats.channel_stalls <- stats.channel_stalls + 1
-       | Some Redirect | Some Fetch | None -> ()));
-    let lost = !slots in
-    if lost > 0 then begin
-      match !blocked with
-      | Some Data -> stats.lost_data <- stats.lost_data + lost
-      | Some Map -> stats.lost_map <- stats.lost_map + lost
-      | Some Channel -> stats.lost_channel <- stats.lost_channel + lost
-      | Some Redirect -> stats.lost_branch <- stats.lost_branch + lost
-      | Some Fetch | None -> stats.lost_fetch <- stats.lost_fetch + lost
-    end;
-    stats.cycles <- stats.cycles + 1
-  in
-  while (not !halted) && stats.cycles < cfg.Config.fuel do
-    run_cycle ()
-  done;
-  if not !halted then fail "out of fuel after %d cycles" stats.cycles;
   {
-    Machine.cycles = stats.cycles;
-    issued = stats.issued;
-    connects = stats.connects;
-    extra_connects = stats.extra_connects;
-    mem_ops = stats.mem_ops;
-    branches = stats.branches;
-    mispredicts = stats.mispredicts;
-    data_stalls = stats.data_stalls;
-    map_stalls = stats.map_stalls;
-    channel_stalls = stats.channel_stalls;
-    lost_data = stats.lost_data;
-    lost_map = stats.lost_map;
-    lost_channel = stats.lost_channel;
-    lost_branch = stats.lost_branch;
-    lost_fetch = stats.lost_fetch;
-    output = tr.Dtrace.output;
-    checksum = tr.Dtrace.checksum;
+    pre = Dins.decode ~lat:cfg.Config.lat image.Image.code;
+    iready = Array.make cfg.Config.ifile.Reg.total 0;
+    fready = Array.make cfg.Config.ffile.Reg.total 0;
+    st =
+      {
+        Machine.cycles = 0;
+        issued = 0;
+        connects = 0;
+        extra_connects = 0;
+        mem_ops = 0;
+        branches = 0;
+        mispredicts = 0;
+        data_stalls = 0;
+        map_stalls = 0;
+        channel_stalls = 0;
+        lost_data = 0;
+        lost_map = 0;
+        lost_channel = 0;
+        lost_branch = 0;
+        lost_fetch = 0;
+      };
+    pending = [];
+    slots = cfg.Config.issue;
+    cslots = budget;
+    mem_free = cfg.Config.mem_channels;
+    cycle = 0;
+    halted = false;
+    issue = cfg.Config.issue;
+    budget;
+    shared = cfg.Config.connect_dispatch = `Shared;
+    channels = cfg.Config.mem_channels;
+    connect_lat = cfg.Config.lat.Latency.connect;
+    penalty = Config.mispredict_penalty cfg;
+    fuel = cfg.Config.fuel;
   }
+
+(* Close the open cycle for [reason] — the stall counting, slot
+   charging and per-cycle resource reset of [run_cycle_raw]'s epilogue,
+   plus [run_machine]'s fuel check (a new cycle only opens while fuel
+   remains and the machine runs). *)
+let end_cycle s (reason : issue_blocker option) =
+  let st = s.st in
+  (match reason with
+  | Some Data -> st.Machine.data_stalls <- st.Machine.data_stalls + 1
+  | Some Map -> st.Machine.map_stalls <- st.Machine.map_stalls + 1
+  | Some Channel -> st.Machine.channel_stalls <- st.Machine.channel_stalls + 1
+  | Some Redirect | Some Fetch | None -> ());
+  let lost = s.slots in
+  if lost > 0 then begin
+    match reason with
+    | Some Data -> st.Machine.lost_data <- st.Machine.lost_data + lost
+    | Some Map -> st.Machine.lost_map <- st.Machine.lost_map + lost
+    | Some Channel -> st.Machine.lost_channel <- st.Machine.lost_channel + lost
+    | Some Redirect -> st.Machine.lost_branch <- st.Machine.lost_branch + lost
+    | Some Fetch | None -> st.Machine.lost_fetch <- st.Machine.lost_fetch + lost
+  end;
+  st.Machine.cycles <- st.Machine.cycles + 1;
+  if (not s.halted) && st.Machine.cycles >= s.fuel then
+    fail "out of fuel after %d cycles" st.Machine.cycles;
+  s.slots <- s.issue;
+  s.cslots <- s.budget;
+  s.mem_free <- s.channels;
+  s.pending <- [];
+  s.cycle <- st.Machine.cycles
+
+let[@inline] reg_ready s (cls : Reg.cls) p =
+  match cls with
+  | Reg.Int -> s.iready.(p) <= s.cycle
+  | Reg.Float -> s.fready.(p) <= s.cycle
+
+(** Consume one trace entry: end cycles until its blockers clear (in
+    [run_cycle_raw]'s exact check order — group exhausted, then
+    mapping-table conflict, then memory channel, then issue/connect
+    budget, then operand scoreboard), then issue it and apply its
+    opcode's timing effects.  A no-op once halted (execution ignores
+    anything past the halt). *)
+let step s ~idx e =
+  if not s.halted then begin
+    let d = s.pre.(Dtrace.pc e) in
+    let map_on = Dtrace.map_on e in
+    let rec attempt () =
+      if s.slots <= 0 && s.cslots <= 0 then begin
+        end_cycle s None;
+        attempt ()
+      end
+      else if
+        s.connect_lat > 0 && map_on
+        && (match s.pending with [] -> false | p -> src_blocked p d)
+      then begin
+        end_cycle s (Some Map);
+        attempt ()
+      end
+      else if d.Dins.is_mem && s.mem_free <= 0 then begin
+        end_cycle s (Some Channel);
+        attempt ()
+      end
+      else if d.Dins.is_connect && (not s.shared) && s.cslots <= 0 then begin
+        end_cycle s (Some Map);
+        attempt ()
+      end
+      else if ((not d.Dins.is_connect) || s.shared) && s.slots <= 0 then begin
+        end_cycle s None;
+        attempt ()
+      end
+      else if
+        not
+          ((d.Dins.nsrcs < 1 || reg_ready s d.Dins.s0c (Dtrace.sp0 e))
+          && (d.Dins.nsrcs < 2 || reg_ready s d.Dins.s1c (Dtrace.sp1 e))
+          && (d.Dins.d < 0 || reg_ready s d.Dins.dc (Dtrace.dp e)))
+      then begin
+        end_cycle s (Some Data);
+        attempt ()
+      end
+      else begin
+        (* --- issue --- *)
+        let st = s.st in
+        if d.Dins.is_connect && not s.shared then begin
+          s.cslots <- s.cslots - 1;
+          st.Machine.extra_connects <- st.Machine.extra_connects + 1
+        end
+        else s.slots <- s.slots - 1;
+        st.Machine.issued <- st.Machine.issued + 1;
+        if d.Dins.is_mem then begin
+          s.mem_free <- s.mem_free - 1;
+          st.Machine.mem_ops <- st.Machine.mem_ops + 1
+        end;
+        let done_at = s.cycle + d.Dins.lat in
+        match d.Dins.op with
+        | Opcode.Alu _ | Opcode.Alui _ | Opcode.Li | Opcode.Move
+        | Opcode.Ftoi | Opcode.Fcmp _ | Opcode.Ld _ | Opcode.Mfmap _ ->
+            (* [Machine.set_i] skips the hardwired zero *)
+            let dp = Dtrace.dp e in
+            if dp <> Reg.zero then s.iready.(dp) <- done_at
+        | Opcode.Fli | Opcode.Fmove | Opcode.Fpu _ | Opcode.Itof
+        | Opcode.Fld ->
+            s.fready.(Dtrace.dp e) <- done_at
+        | Opcode.St _ | Opcode.Fst -> ()
+        | Opcode.Br _ ->
+            st.Machine.branches <- st.Machine.branches + 1;
+            if Dtrace.taken e <> d.Dins.hint then begin
+              st.Machine.mispredicts <- st.Machine.mispredicts + 1;
+              st.Machine.cycles <- st.Machine.cycles + s.penalty;
+              st.Machine.lost_branch <-
+                st.Machine.lost_branch + (s.penalty * s.issue);
+              end_cycle s (Some Redirect)
+            end
+        | Opcode.Jmp -> st.Machine.branches <- st.Machine.branches + 1
+        | Opcode.Jsr ->
+            st.Machine.branches <- st.Machine.branches + 1;
+            (* execution writes RA's readiness at its {e home} physical
+               location (the map was just reset), not at the recorded
+               [dp] *)
+            if Reg.ra <> Reg.zero then s.iready.(Reg.ra) <- done_at
+        | Opcode.Rts -> st.Machine.branches <- st.Machine.branches + 1
+        | Opcode.Connect ->
+            st.Machine.connects <- st.Machine.connects + 1;
+            if map_on && s.connect_lat > 0 then
+              Array.iter
+                (fun (c : Insn.connect) ->
+                  s.pending <-
+                    (c.Insn.ccls, c.Insn.cmap, c.Insn.ri) :: s.pending)
+                d.Dins.connects
+        | Opcode.Emit | Opcode.Femit | Opcode.Mapen | Opcode.Mtmap _
+        | Opcode.Nop ->
+            ()
+        | Opcode.Halt ->
+            s.halted <- true;
+            end_cycle s (Some Fetch)
+        | Opcode.Trap | Opcode.Rfe ->
+            fail "replay: unreplayable %s in trace at index %d"
+              (Opcode.to_string d.Dins.op) idx
+      end
+    in
+    attempt ()
+  end
+
+let result_of s ~output ~checksum =
+  if not s.halted then fail "replay: trace exhausted before halt";
+  let st = s.st in
+  {
+    Machine.cycles = st.Machine.cycles;
+    issued = st.Machine.issued;
+    connects = st.Machine.connects;
+    extra_connects = st.Machine.extra_connects;
+    mem_ops = st.Machine.mem_ops;
+    branches = st.Machine.branches;
+    mispredicts = st.Machine.mispredicts;
+    data_stalls = st.Machine.data_stalls;
+    map_stalls = st.Machine.map_stalls;
+    channel_stalls = st.Machine.channel_stalls;
+    lost_data = st.Machine.lost_data;
+    lost_map = st.Machine.lost_map;
+    lost_channel = st.Machine.lost_channel;
+    lost_branch = st.Machine.lost_branch;
+    lost_fetch = st.Machine.lost_fetch;
+    output;
+    checksum;
+  }
+
+(** Re-time one trace under K configurations in a single pass: the
+    token stream is decoded entry by entry exactly once, and every
+    state advances on each entry before the next is decoded.  The
+    caller guarantees [tr] was recorded from [image] under semantic
+    knobs matching {e all} of [cfgs]; their timing knobs are free.
+    @raise Machine.Simulation_error on fuel exhaustion or a trace that
+    could not have come from a replay-safe recording. *)
+let replay_batch (cfgs : Config.t array) (image : Image.t) (tr : Dtrace.t) =
+  if Array.length cfgs = 0 then
+    invalid_arg "Trace_replay.replay_batch: no configurations";
+  let states = Array.map (fun cfg -> state_of cfg image) cfgs in
+  (* Architectural operands do not depend on latency, so any state's
+     predecode serves the cursor. *)
+  let cur = Dtrace.cursor (Dtrace.arch_of_dins states.(0).pre) tr in
+  let k = Array.length states in
+  for idx = 0 to tr.Dtrace.n - 1 do
+    let e = Dtrace.next cur in
+    for j = 0 to k - 1 do
+      step states.(j) ~idx e
+    done
+  done;
+  let output = Dtrace.output tr in
+  Array.map (fun s -> result_of s ~output ~checksum:tr.Dtrace.checksum) states
+
+let replay (cfg : Config.t) (image : Image.t) (tr : Dtrace.t) =
+  (replay_batch [| cfg |] image tr).(0)

@@ -1,7 +1,9 @@
 (** The trace-replay timing engine: record the dynamic instruction
     stream once, then re-time it under any configuration whose semantic
-    knobs match — reproducing {!Machine.result} exactly.  See DESIGN.md
-    §14 for the trace format and safety conditions. *)
+    knobs match — reproducing {!Machine.result} exactly.  Replay is
+    entry-driven, so {!replay_batch} decodes the compact trace once
+    while K independent timing states consume it in lockstep.  See
+    DESIGN.md §14 for the trace format and safety conditions. *)
 
 open Rc_isa
 
@@ -13,7 +15,8 @@ val replay_safe : Config.t -> bool
 
 (** Execute the image with a recorder attached: the ordinary
     execution-driven result plus the finished trace, or [None] when the
-    run hit an unreplayable event or overflowed the packed layout. *)
+    run hit an unreplayable event or the shape cannot fit the packed
+    layout ({!Dtrace.fits}, checked once up front). *)
 val record : Config.t -> Image.t -> Machine.result * Dtrace.t option
 
 (** Re-time [trace] under a configuration.  The caller guarantees the
@@ -23,3 +26,13 @@ val record : Config.t -> Image.t -> Machine.result * Dtrace.t option
     @raise Machine.Simulation_error on fuel exhaustion or a foreign
     trace. *)
 val replay : Config.t -> Image.t -> Dtrace.t -> Machine.result
+
+(** [replay_batch cfgs image trace] re-times [trace] under every
+    configuration of [cfgs] in one pass over the trace: each entry is
+    decoded exactly once and advances all K timing states before the
+    next is decoded.  Equivalent to [Array.map (fun c -> replay c image
+    trace) cfgs] — bit-identical results, enforced by [test/t_replay.ml]
+    — at roughly the decode cost of a single replay.
+    @raise Invalid_argument on an empty configuration array.
+    @raise Machine.Simulation_error as {!replay}. *)
+val replay_batch : Config.t array -> Image.t -> Dtrace.t -> Machine.result array

@@ -15,6 +15,7 @@ let () =
       ("sched", T_sched.suite);
       ("codegen", T_codegen.suite);
       ("machine", T_machine.suite);
+      ("dtrace", T_dtrace.suite);
       ("check", T_check.suite);
       ("replay", T_replay.suite);
       ("workloads", T_workloads.suite);
