@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke \
-	json-smoke serve-smoke serve clean
+	json-smoke serve-smoke load-smoke serve clean
 
 all: build
 
@@ -44,9 +44,17 @@ json-smoke:
 
 # End-to-end check of `rcc serve`: /run byte-identical to
 # `rcc run --json`, warm trace-cache replay on the second identical
-# request, graceful SIGTERM drain (see DESIGN.md section 15).
+# request, graceful SIGTERM drain, and a /metrics scrape that
+# validates as Prometheus text exposition (see DESIGN.md sections
+# 15 and 16).
 serve-smoke:
 	dune build @serve-smoke
+
+# Load smoke: loadgen against a spawned ephemeral server at a gentle
+# rate, --strict — zero 5xx and client/server latency-quantile
+# agreement (see DESIGN.md section 16).
+load-smoke:
+	dune build @load-smoke
 
 # Run the simulation service locally.
 serve:

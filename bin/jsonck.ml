@@ -4,6 +4,7 @@
      jsonck <chrome-trace.json> [<events.jsonl>]
      jsonck --pure <doc.json>...
      jsonck --figures-equal <a.json> <b.json>
+     jsonck --prom <metrics.prom>...
 
    Checks that the Chrome file is valid trace-event JSON Perfetto will
    load — a traceEvents array whose entries carry name/ph/pid, with at
@@ -22,7 +23,19 @@
    the same results: structural equality after dropping the
    "trace_cache" member, the only field the timing-engine path (batched
    vs per-cell, engine, jobs) is allowed to change.  The replay-smoke
-   alias runs the batched and per-cell paths through this. *)
+   alias runs the batched and per-cell paths through this.
+
+   [--prom] validates Prometheus text exposition format 0.0.4, as
+   scraped from `GET /metrics` (the serve-smoke alias saves a scrape
+   and runs it through this).  Beyond the line grammar — metric and
+   label name character sets, quoted label values with backslash,
+   quote and newline escapes, numeric sample values including
+   +Inf/-Inf/NaN — it checks
+   the semantic contract: every sample's family is TYPE-declared
+   before first use and at most once, counter samples are
+   non-negative, and each histogram series has ascending [le] bounds
+   with non-decreasing cumulative counts, a +Inf bucket agreeing with
+   [_count], and a [_sum] sample. *)
 
 let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -125,8 +138,253 @@ let check_figures_equal a b =
       a b;
   Printf.printf "%s == %s (modulo trace_cache)\n" a b
 
+(* --- Prometheus text exposition (version 0.0.4) ------------------------ *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_metric_char c = is_name_start c || c = ':' || (c >= '0' && c <= '9')
+let is_label_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let metric_name_ok s =
+  String.length s > 0
+  && (is_name_start s.[0] || s.[0] = ':')
+  && String.for_all is_metric_char s
+
+let label_name_ok s =
+  String.length s > 0 && is_name_start s.[0] && String.for_all is_label_char s
+
+let prom_value_ok s =
+  match s with
+  | "+Inf" | "-Inf" | "Inf" | "NaN" -> true
+  | _ -> Option.is_some (float_of_string_opt s)
+
+let prom_value s =
+  match s with
+  | "+Inf" | "Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> float_of_string s
+
+type sample = { sm_name : string; sm_labels : (string * string) list; sm_value : float }
+
+(* Parse one sample line: name{label="value",...} value [timestamp]. *)
+let parse_sample path ln line =
+  let fail fmt = fail ("%s:%d: " ^^ fmt) path ln in
+  let len = String.length line in
+  let i = ref 0 in
+  while !i < len && is_metric_char line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (metric_name_ok name) then fail "bad metric name in %S" line;
+  let labels = ref [] in
+  (if !i < len && line.[!i] = '{' then begin
+     incr i;
+     let parsing = ref true in
+     while !parsing do
+       if !i >= len then fail "unterminated label set";
+       if line.[!i] = '}' then (incr i; parsing := false)
+       else begin
+         let s = !i in
+         while !i < len && is_label_char line.[!i] do incr i done;
+         let lname = String.sub line s (!i - s) in
+         if not (label_name_ok lname) then fail "bad label name in %S" line;
+         if !i + 1 >= len || line.[!i] <> '=' || line.[!i + 1] <> '"' then
+           fail "label %s: expected =\"...\"" lname;
+         i := !i + 2;
+         let buf = Buffer.create 16 in
+         let in_str = ref true in
+         while !in_str do
+           if !i >= len then fail "unterminated label value for %s" lname;
+           (match line.[!i] with
+           | '"' -> in_str := false
+           | '\\' ->
+               if !i + 1 >= len then fail "dangling backslash in label value";
+               (match line.[!i + 1] with
+               | '\\' -> Buffer.add_char buf '\\'
+               | '"' -> Buffer.add_char buf '"'
+               | 'n' -> Buffer.add_char buf '\n'
+               | c -> fail "bad escape \\%c in label value" c);
+               incr i
+           | c -> Buffer.add_char buf c);
+           incr i
+         done;
+         labels := (lname, Buffer.contents buf) :: !labels;
+         if !i < len && line.[!i] = ',' then incr i
+         else if !i >= len || line.[!i] <> '}' then
+           fail "expected , or } after label %s" lname
+       end
+     done
+   end);
+  if !i >= len || line.[!i] <> ' ' then fail "no space before value in %S" line;
+  let rest = String.trim (String.sub line !i (len - !i)) in
+  let value, _ts =
+    match String.index_opt rest ' ' with
+    | None -> (rest, None)
+    | Some sp ->
+        let ts = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+        (match int_of_string_opt (String.trim ts) with
+        | Some _ -> ()
+        | None -> fail "bad timestamp %S" ts);
+        (String.sub rest 0 sp, Some ts)
+  in
+  if not (prom_value_ok value) then fail "bad sample value %S" value;
+  { sm_name = name; sm_labels = List.rev !labels; sm_value = prom_value value }
+
+(* Histogram series key: the label set minus [le], canonically ordered. *)
+let series_key labels =
+  List.filter (fun (k, _) -> k <> "le") labels
+  |> List.sort compare
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v)
+  |> String.concat ","
+
+let strip_suffix name =
+  List.find_map
+    (fun sfx ->
+      let n = String.length name and s = String.length sfx in
+      if n > s && String.sub name (n - s) s = sfx then
+        Some (String.sub name 0 (n - s), sfx)
+      else None)
+    [ "_bucket"; "_sum"; "_count" ]
+
+let check_prom path =
+  let text = read_file path in
+  if text = "" then fail "%s: empty exposition" path;
+  if text.[String.length text - 1] <> '\n' then
+    fail "%s: missing final newline" path;
+  let types = Hashtbl.create 16 in
+  (* histogram base -> series key -> (le, cumulative) list / sum / count *)
+  let buckets = Hashtbl.create 16 in
+  let sums = Hashtbl.create 16 in
+  let counts = Hashtbl.create 16 in
+  let nsamples = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if String.trim line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: name :: [ ty ] ->
+            if not (metric_name_ok name) then
+              fail "%s:%d: bad metric name %S in TYPE" path ln name;
+            if Hashtbl.mem types name then
+              fail "%s:%d: duplicate TYPE for %s" path ln name;
+            if not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+            then fail "%s:%d: unknown type %S for %s" path ln ty name;
+            Hashtbl.replace types name ty
+        | "#" :: "TYPE" :: _ -> fail "%s:%d: malformed TYPE line %S" path ln line
+        | "#" :: "HELP" :: name :: _ ->
+            if not (metric_name_ok name) then
+              fail "%s:%d: bad metric name %S in HELP" path ln name
+        | _ -> () (* other comments are legal and ignored *)
+      end
+      else begin
+        incr nsamples;
+        let s = parse_sample path ln line in
+        let family, suffix =
+          match strip_suffix s.sm_name with
+          | Some (base, sfx) when Hashtbl.mem types base -> (base, Some sfx)
+          | _ -> (s.sm_name, None)
+        in
+        let ty =
+          match Hashtbl.find_opt types family with
+          | Some ty -> ty
+          | None -> fail "%s:%d: sample %s precedes its TYPE" path ln s.sm_name
+        in
+        (match (ty, suffix) with
+        | ("histogram" | "summary"), None ->
+            fail "%s:%d: bare sample %s for %s family" path ln s.sm_name ty
+        | ("counter" | "gauge" | "untyped"), Some _ ->
+            (* strip_suffix only fires when the stripped base is TYPE'd,
+               so this means e.g. a foo_count sample for a counter foo *)
+            fail "%s:%d: suffixed sample %s for %s family" path ln s.sm_name ty
+        | _ -> ());
+        if ty = "counter" && not (s.sm_value >= 0.0) then
+          fail "%s:%d: counter %s is negative (%g)" path ln s.sm_name s.sm_value;
+        if ty = "histogram" then begin
+          let key = series_key s.sm_labels in
+          let record tbl v =
+            let per = Option.value (Hashtbl.find_opt tbl family)
+                        ~default:(Hashtbl.create 4) in
+            Hashtbl.replace per key v;
+            Hashtbl.replace tbl family per
+          in
+          match suffix with
+          | Some "_bucket" ->
+              let le =
+                match List.assoc_opt "le" s.sm_labels with
+                | Some le -> le
+                | None -> fail "%s:%d: %s_bucket without le label" path ln family
+              in
+              if not (prom_value_ok le) then
+                fail "%s:%d: bad le bound %S" path ln le;
+              let per = Option.value (Hashtbl.find_opt buckets family)
+                          ~default:(Hashtbl.create 4) in
+              let prior = Option.value (Hashtbl.find_opt per key) ~default:[] in
+              Hashtbl.replace per key ((prom_value le, s.sm_value) :: prior);
+              Hashtbl.replace buckets family per
+          | Some "_sum" -> record sums s.sm_value
+          | Some "_count" -> record counts s.sm_value
+          | _ -> assert false
+        end
+      end)
+    lines;
+  (* Histogram invariants, per series. *)
+  Hashtbl.iter
+    (fun family ty ->
+      if ty = "histogram" then begin
+        let per =
+          match Hashtbl.find_opt buckets family with
+          | Some per -> per
+          | None -> fail "%s: histogram %s has no _bucket samples" path family
+        in
+        Hashtbl.iter
+          (fun key rev_bkts ->
+            let where =
+              if key = "" then family else Printf.sprintf "%s{%s}" family key
+            in
+            let bkts = List.rev rev_bkts in
+            let rec ascending = function
+              | (le1, c1) :: ((le2, c2) :: _ as tl) ->
+                  if not (le1 < le2) then
+                    fail "%s: %s: le bounds not ascending (%g then %g)" path
+                      where le1 le2;
+                  if c1 > c2 then
+                    fail "%s: %s: cumulative counts decrease at le=%g" path
+                      where le2;
+                  ascending tl
+              | _ -> ()
+            in
+            ascending bkts;
+            let inf_count =
+              match List.rev bkts with
+              | (le, c) :: _ when le = Float.infinity -> c
+              | _ -> fail "%s: %s: no le=\"+Inf\" bucket" path where
+            in
+            (match
+               Option.bind (Hashtbl.find_opt counts family) (fun per ->
+                   Hashtbl.find_opt per key)
+             with
+            | Some c when c = inf_count -> ()
+            | Some c ->
+                fail "%s: %s: +Inf bucket %g disagrees with _count %g" path
+                  where inf_count c
+            | None -> fail "%s: %s: no _count sample" path where);
+            if
+              Option.bind (Hashtbl.find_opt sums family) (fun per ->
+                  Hashtbl.find_opt per key)
+              = None
+            then fail "%s: %s: no _sum sample" path where)
+          per
+      end)
+    types;
+  Printf.printf "%s: ok (%d samples, %d families)\n" path !nsamples
+    (Hashtbl.length types)
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--prom" :: (_ :: _ as files) -> List.iter check_prom files
+  | _ :: "--prom" :: [] ->
+      prerr_endline "usage: jsonck --prom <metrics.prom>...";
+      exit 2
   | _ :: "--pure" :: (_ :: _ as files) -> List.iter check_pure files
   | _ :: "--pure" :: [] ->
       prerr_endline "usage: jsonck --pure <doc.json>...";
@@ -141,5 +399,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: jsonck <chrome-trace.json> [<events.jsonl>...] | jsonck --pure \
-         <doc.json>...";
+         <doc.json>... | jsonck --prom <metrics.prom>...";
       exit 2

@@ -429,7 +429,37 @@ let serve_cmd =
           Rc_harness.Experiments.Replay
       & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run host port jobs scale engine max_inflight max_body deadline =
+  let trace_file =
+    let doc =
+      "Write the retained per-request span traces (what $(b,GET /trace) \
+       answers) as Chrome trace-event JSON to $(docv) after draining."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms =
+    let doc =
+      "Dump the span breakdown (admission queue, parse, compile, \
+       simulate, render, write) of every request slower than $(docv) \
+       milliseconds to stderr."
+    in
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 -> Ok f
+      | Some _ | None ->
+          Error (`Msg ("--slow-ms must be a non-negative number, got " ^ s))
+    in
+    Arg.(
+      value
+      & opt (some (Arg.conv (parse, Fmt.float))) None
+      & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let quiet =
+    let doc = "Suppress the per-request access-log lines on stderr." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run host port jobs scale engine max_inflight max_body deadline
+      trace_file slow_ms quiet =
     let ctx = Rc_harness.Experiments.create ~scale ~jobs ~engine () in
     let srv =
       Rc_serve.Server.create
@@ -441,6 +471,8 @@ let serve_cmd =
             max_inflight;
             max_body;
             deadline_s = deadline;
+            access_log = not quiet;
+            slow_ms;
           }
         ctx
     in
@@ -465,6 +497,13 @@ let serve_cmd =
     Rc_serve.Server.run srv;
     Fmt.epr "rcc serve: drained %d request(s), shutting down@."
       (Rc_serve.Server.served srv);
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        Rc_obs.Fsio.write_atomic path (fun oc ->
+            output_string oc (Rc_serve.Server.trace_chrome srv);
+            output_char oc '\n');
+        Fmt.epr "rcc serve: wrote request-span trace to %s@." path);
     Rc_harness.Experiments.shutdown ctx;
     0
   in
@@ -474,12 +513,14 @@ let serve_cmd =
          "Persistent HTTP simulation service: POST /run and POST /figures \
           answer exactly what rcc run --json and rcc figures --json print, \
           from one long-lived context whose memo tables and trace cache \
-          stay warm across requests; GET /healthz and GET /metrics for \
-          operations.  Sheds load with 503 beyond --max-inflight and \
-          drains gracefully on SIGTERM/SIGINT")
+          stay warm across requests; GET /healthz, GET /version, \
+          Prometheus text at GET /metrics (JSON at GET /metrics.json) and \
+          per-request span traces at GET /trace for operations.  Sheds \
+          load with 503 beyond --max-inflight and drains gracefully on \
+          SIGTERM/SIGINT")
     Term.(
       const run $ host $ port $ jobs $ scale $ serve_engine $ max_inflight
-      $ max_body $ deadline)
+      $ max_body $ deadline $ trace_file $ slow_ms $ quiet)
 
 let compare_cmd =
   let run bench issue core_int core_float load scale jobs json =
@@ -794,7 +835,7 @@ let dump_cmd =
 
 let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
-  Cmd.group (Cmd.info "rcc" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "rcc" ~version:Rc_serve.Server.version ~doc)
     [
       list_cmd; run_cmd; compare_cmd; figures_cmd; serve_cmd; trace_cmd;
       dump_cmd; check_cmd; fuzz_cmd;

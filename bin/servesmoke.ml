@@ -3,19 +3,26 @@
 
      servesmoke <rcc.exe>
 
-   Boots a server on an ephemeral port, then asserts the contract
-   DESIGN.md section 15 promises:
+   Boots a server on an ephemeral port (with --slow-ms 1 so every /run
+   dumps its span breakdown), then asserts the contract DESIGN.md
+   sections 15 and 16 promise:
 
-   1. /healthz answers 200 {"status":"ok"}.
+   1. /healthz answers 200 with status "ok", an uptime and the
+      in-flight count.
    2. The first POST /run body is byte-identical to `rcc run --json`
       for the same configuration, once every pass wall-clock (the one
       nondeterministic field) is normalised to 0 in both documents.
    3. A second identical POST /run is byte-identical to
       `rcc run --json --engine replay` — i.e. the warm trace cache
-      re-timed it instead of executing — and /metrics reports a
+      re-timed it instead of executing — and /metrics.json reports a
       trace-cache hit.
-   4. SIGTERM while a request is in flight drains gracefully: the
-      response still arrives complete and the server exits 0. *)
+   4. GET /metrics is saved to metrics.prom for `jsonck --prom` (the
+      serve-smoke alias chains it after this binary).
+   5. SIGTERM while a request is in flight drains gracefully: the
+      response still arrives complete and the server exits 0, and the
+      stderr it accumulated carries the access-log lines and a
+      slow-request breakdown attributing wall time to compile,
+      simulate and render spans. *)
 
 let fail fmt =
   Format.kasprintf (fun m -> prerr_endline ("servesmoke: " ^ m); exit 1) fmt
@@ -138,7 +145,7 @@ let () =
   let err_r, err_w = Unix.pipe ~cloexec:false () in
   let pid =
     Unix.create_process rcc
-      [| rcc; "serve"; "--port"; "0"; "--jobs"; "2" |]
+      [| rcc; "serve"; "--port"; "0"; "--jobs"; "2"; "--slow-ms"; "1" |]
       Unix.stdin Unix.stdout err_w
   in
   Unix.close err_w;
@@ -163,8 +170,18 @@ let () =
   (* 1. Liveness. *)
   let status, body = http_request ~port ~meth:"GET" ~path:"/healthz" () in
   if status <> 200 then fail "/healthz: status %d" status;
-  if String.trim body <> {|{"status":"ok"}|} then
-    fail "/healthz: unexpected body %S" body;
+  (match Rc_obs.Json.of_string body with
+  | Error m -> fail "/healthz: bad JSON (%s): %S" m body
+  | Ok j -> (
+      (match Rc_obs.Json.member "status" j with
+      | Some (Rc_obs.Json.Str "ok") -> ()
+      | _ -> fail "/healthz: status is not \"ok\" in %S" body);
+      (match Rc_obs.Json.member "uptime_s" j with
+      | Some (Rc_obs.Json.Float _ | Rc_obs.Json.Int _) -> ()
+      | _ -> fail "/healthz: no numeric uptime_s in %S" body);
+      match Rc_obs.Json.member "inflight" j with
+      | Some (Rc_obs.Json.Int _) -> ()
+      | _ -> fail "/healthz: no integer inflight in %S" body));
 
   (* 2. Cold /run vs the CLI. *)
   let run_body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
@@ -203,27 +220,40 @@ let () =
         (match other with
         | Some j -> Rc_obs.Json.to_string j
         | None -> "absent"));
-  let status, metrics = http_request ~port ~meth:"GET" ~path:"/metrics" () in
-  if status <> 200 then fail "/metrics: status %d" status;
+  let status, metrics = http_request ~port ~meth:"GET" ~path:"/metrics.json" () in
+  if status <> 200 then fail "/metrics.json: status %d" status;
   let mj =
     match Rc_obs.Json.of_string metrics with
     | Ok j -> j
-    | Error m -> fail "/metrics: bad JSON: %s" m
+    | Error m -> fail "/metrics.json: bad JSON: %s" m
   in
   let cache =
     match Rc_obs.Json.member "experiments" mj with
     | Some e -> (
         match Rc_obs.Json.member "trace_cache" e with
         | Some c -> c
-        | None -> fail "/metrics: no experiments.trace_cache")
-    | None -> fail "/metrics: no experiments object"
+        | None -> fail "/metrics.json: no experiments.trace_cache")
+    | None -> fail "/metrics.json: no experiments object"
   in
   let hits = int_member "hits" cache in
-  if hits < 1 then fail "/metrics: trace_cache.hits = %d, wanted >= 1" hits;
+  if hits < 1 then fail "/metrics.json: trace_cache.hits = %d, wanted >= 1" hits;
   Printf.printf "servesmoke: warm /run replayed (trace_cache.hits = %d)\n%!"
     hits;
 
-  (* 4. Graceful drain: SIGTERM while a request is in flight must not
+  (* 4. Prometheus scrape, saved for `jsonck --prom` downstream. *)
+  let status, prom = http_request ~port ~meth:"GET" ~path:"/metrics" () in
+  if status <> 200 then fail "/metrics: status %d" status;
+  if not (contains ~needle:"# TYPE rcc_requests_total counter" prom) then
+    fail "/metrics: no rcc_requests_total TYPE line in scrape";
+  if not (contains ~needle:"# TYPE rcc_request_duration_seconds histogram" prom)
+  then fail "/metrics: no duration histogram TYPE line in scrape";
+  let oc = open_out_bin "metrics.prom" in
+  output_string oc prom;
+  close_out oc;
+  Printf.printf "servesmoke: /metrics scrape saved to metrics.prom (%d bytes)\n%!"
+    (String.length prom);
+
+  (* 5. Graceful drain: SIGTERM while a request is in flight must not
      cut the response short.  A fresh configuration, so the work is
      real execution, not a cache hit. *)
   let drain_body = {|{"bench":"eqn","rc":true,"issue":8}|} in
@@ -248,9 +278,20 @@ let () =
   | _, Unix.WEXITED 0 -> ()
   | _, Unix.WEXITED n -> fail "server exited %d after SIGTERM" n
   | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "server killed by signal %d" n);
-  (* The drain narration should have made it out before exit. *)
+  (* The drain narration should have made it out before exit, along
+     with the access log and (because of --slow-ms 1) per-span
+     breakdowns attributing the /run wall time. *)
   let rest = read_all err_ic in
   close_in_noerr err_ic;
   if not (contains ~needle:"rcc serve: drained" rest) then
     fail "no drain narration on stderr: %S" rest;
+  if not (contains ~needle:"access id=" rest) then
+    fail "no access-log lines on stderr: %S" rest;
+  List.iter
+    (fun needle ->
+      if not (contains ~needle rest) then
+        fail "slow-request breakdown lacks %S on stderr: %S" needle rest)
+    [ "slow request id="; "breakdown:"; "compile="; "render=";
+      "simulate(execute)="; "simulate(replay)=" ];
+  print_endline "servesmoke: access log and slow-span breakdowns present";
   print_endline "servesmoke: server drained and exited 0"

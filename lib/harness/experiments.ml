@@ -124,6 +124,26 @@ let engine_stats ctx =
         bytes = ctx.s_bytes;
       })
 
+(* Bridge the trace-cache counters into a metrics registry (the serve
+   Prometheus exposition).  Hits/misses/unsafe/recorded are monotone
+   totals accumulated here, so they export as counters; resident bytes
+   is a level, a gauge. *)
+let export_metrics ctx reg =
+  let s = engine_stats ctx in
+  let c name help v =
+    Rc_obs.Metrics.set_counter reg ~help name (float_of_int v)
+  in
+  c "rcc_trace_cache_hits_total" "Cells timed by replaying a cached trace"
+    s.hits;
+  c "rcc_trace_cache_misses_total" "Replay-eligible cells that executed"
+    s.misses;
+  c "rcc_trace_cache_recorded_total" "Traces recorded into the cache"
+    s.recorded;
+  c "rcc_trace_cache_unsafe_total" "Cells not replay-safe, forced execution"
+    s.unsafe;
+  Rc_obs.Metrics.set reg ~help:"Resident compacted trace bytes"
+    "rcc_trace_cache_bytes" (float_of_int s.bytes)
+
 let shutdown ctx = Rc_par.Pool.shutdown ctx.pool
 
 let level_key = function

@@ -76,6 +76,12 @@ val pool : ctx -> Rc_par.Pool.t
     engine- and jobs-independent; only this hit/miss split varies. *)
 val engine_stats : ctx -> engine_stats
 
+(** Export the trace-cache counters into a metrics registry
+    ([rcc_trace_cache_*]): hits/misses/recorded/unsafe as bridged
+    counters, resident bytes as a gauge.  The server calls this before
+    rendering [GET /metrics]. *)
+val export_metrics : ctx -> Rc_obs.Metrics.t -> unit
+
 (** Join the context's worker domains.  The context must not be used
     afterwards. *)
 val shutdown : ctx -> unit

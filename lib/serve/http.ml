@@ -202,7 +202,14 @@ let write_response fd ~status ?(headers = []) ~body () =
   let b = Buffer.create (String.length body + 256) in
   Buffer.add_string b
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
-  Buffer.add_string b "Content-Type: application/json\r\n";
+  (* Responses are JSON unless a route says otherwise (the Prometheus
+     exposition is text/plain). *)
+  if
+    not
+      (List.exists
+         (fun (k, _) -> String.lowercase_ascii k = "content-type")
+         headers)
+  then Buffer.add_string b "Content-Type: application/json\r\n";
   Buffer.add_string b
     (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
   Buffer.add_string b "Connection: close\r\n";

@@ -1,0 +1,135 @@
+(* Request-scoped span tracing: see reqtrace.mli. *)
+
+type span = {
+  s_name : string;
+  s_args : (string * Rc_obs.Json.t) list;
+  s_start : float;
+  s_dur : float;
+}
+
+type req = {
+  r_id : string;
+  r_meth : string;
+  r_path : string;
+  r_status : int;
+  r_start : float;
+  r_wall : float;
+  r_spans : span list;
+}
+
+(* --- per-request recording ------------------------------------------------ *)
+
+type recording = {
+  t0 : float;
+  mutable rc_id : string;
+  mutable rc_meth : string;
+  mutable rc_path : string;
+  mutable rev : span list;
+}
+
+let start ~t0 = { t0; rc_id = "-"; rc_meth = "-"; rc_path = "-"; rev = [] }
+
+let identify r ~id ~meth ~path =
+  r.rc_id <- id;
+  r.rc_meth <- meth;
+  r.rc_path <- path
+
+let id r = r.rc_id
+
+let add r ?(args = []) ~name ~start_s ~dur_s () =
+  r.rev <- { s_name = name; s_args = args; s_start = start_s; s_dur = dur_s }
+           :: r.rev
+
+let time r ?args name f =
+  let t = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      add r ?args ~name ~start_s:t ~dur_s:(Unix.gettimeofday () -. t) ())
+    f
+
+let finish r ~status =
+  {
+    r_id = r.rc_id;
+    r_meth = r.rc_meth;
+    r_path = r.rc_path;
+    r_status = status;
+    r_start = r.t0;
+    r_wall = Unix.gettimeofday () -. r.t0;
+    r_spans =
+      List.sort (fun a b -> Float.compare a.s_start b.s_start) (List.rev r.rev);
+  }
+
+(* --- bounded sink --------------------------------------------------------- *)
+
+type sink = {
+  mu : Mutex.t;
+  capacity : int;
+  epoch : float;  (** trace timestamps are relative to sink creation *)
+  q : req Queue.t;
+}
+
+let sink ?(capacity = 512) () =
+  {
+    mu = Mutex.create ();
+    capacity;
+    epoch = Unix.gettimeofday ();
+    q = Queue.create ();
+  }
+
+let push s r =
+  Mutex.protect s.mu (fun () ->
+      Queue.push r s.q;
+      while Queue.length s.q > s.capacity do
+        ignore (Queue.pop s.q)
+      done)
+
+let snapshot s =
+  Mutex.protect s.mu (fun () -> List.of_seq (Queue.to_seq s.q))
+
+let to_trace epoch reqs =
+  let tr = Rc_obs.Trace.create () in
+  let us t = (t -. epoch) *. 1e6 in
+  List.iter
+    (fun r ->
+      Rc_obs.Trace.span tr ~track:r.r_path
+        ~name:(r.r_meth ^ " " ^ r.r_path)
+        ~ts_us:(us r.r_start) ~dur_us:(r.r_wall *. 1e6)
+        ~args:
+          [
+            ("id", Rc_obs.Json.Str r.r_id);
+            ("status", Rc_obs.Json.Int r.r_status);
+          ]
+        ();
+      List.iter
+        (fun sp ->
+          Rc_obs.Trace.span tr ~track:r.r_path ~name:sp.s_name
+            ~ts_us:(us sp.s_start) ~dur_us:(sp.s_dur *. 1e6)
+            ~args:(("id", Rc_obs.Json.Str r.r_id) :: sp.s_args)
+            ())
+        r.r_spans)
+    reqs;
+  tr
+
+let chrome s = Rc_obs.Trace.chrome_string (to_trace s.epoch (snapshot s))
+
+(* --- text renderings ------------------------------------------------------ *)
+
+let access_line r =
+  Printf.sprintf "access id=%s %S %d %.3fms" r.r_id
+    (r.r_meth ^ " " ^ r.r_path)
+    r.r_status (1000.0 *. r.r_wall)
+
+let span_label sp =
+  match List.assoc_opt "engine" sp.s_args with
+  | Some (Rc_obs.Json.Str e) -> Printf.sprintf "%s(%s)" sp.s_name e
+  | _ -> sp.s_name
+
+let breakdown_line r =
+  Printf.sprintf "slow request id=%s %S %d wall=%.3fms breakdown: %s" r.r_id
+    (r.r_meth ^ " " ^ r.r_path)
+    r.r_status (1000.0 *. r.r_wall)
+    (String.concat " "
+       (List.map
+          (fun sp ->
+            Printf.sprintf "%s=%.3fms" (span_label sp) (1000.0 *. sp.s_dur))
+          r.r_spans))

@@ -1,0 +1,87 @@
+(** Request-scoped span tracing for the simulation service.
+
+    Every request the server handles gets a {!recording}: phase spans
+    ([queue], [read], [parse], [compile], [simulate], [render],
+    [write]) are timed onto it as the handler runs, and {!finish}
+    freezes it into a {!req} that is pushed into the server's bounded
+    {!sink} (oldest requests dropped beyond capacity, so a long-lived
+    server holds a sliding window of recent request traces).
+
+    A {!sink} snapshot exports through the existing {!Rc_obs.Trace}
+    machinery: each request becomes a parent span (named
+    ["METH /path"], carrying the request id and status as args) plus
+    its phase spans on the endpoint's track, rendered as Chrome
+    trace-event JSON for [GET /trace] and the [--trace FILE] sink.
+
+    Recordings are single-threaded (one per in-flight request, touched
+    only by its handler); the sink is mutex-protected and safe from
+    any domain. *)
+
+type span = {
+  s_name : string;
+  s_args : (string * Rc_obs.Json.t) list;
+  s_start : float;  (** absolute, [Unix.gettimeofday] seconds *)
+  s_dur : float;  (** seconds *)
+}
+
+type req = {
+  r_id : string;
+  r_meth : string;
+  r_path : string;
+  r_status : int;
+  r_start : float;  (** accept time, absolute seconds *)
+  r_wall : float;  (** accept to completion, seconds *)
+  r_spans : span list;  (** in start order *)
+}
+
+(** {2 Per-request recording} *)
+
+type recording
+
+(** [start ~t0] opens a recording whose request span begins at [t0]
+    (the accept timestamp).  Id, method and path are placeholders
+    until {!identify} — the request line has not been read yet. *)
+val start : t0:float -> recording
+
+val identify : recording -> id:string -> meth:string -> path:string -> unit
+val id : recording -> string
+
+(** [time r name f] runs [f] and records its wall time as a span
+    (recorded even when [f] raises). *)
+val time : recording -> ?args:(string * Rc_obs.Json.t) list -> string ->
+  (unit -> 'a) -> 'a
+
+(** Record a span from explicit timestamps (for phases not shaped like
+    a closure, e.g. the admission-queue wait). *)
+val add : recording -> ?args:(string * Rc_obs.Json.t) list -> name:string ->
+  start_s:float -> dur_s:float -> unit -> unit
+
+(** Freeze: the request span runs from [t0] to now. *)
+val finish : recording -> status:int -> req
+
+(** {2 Bounded sink} *)
+
+type sink
+
+(** [sink ()] holds the [capacity] (default 512) most recent
+    requests. *)
+val sink : ?capacity:int -> unit -> sink
+
+val push : sink -> req -> unit
+
+(** Completed requests, oldest first. *)
+val snapshot : sink -> req list
+
+(** Chrome trace-event JSON of the current snapshot; timestamps are
+    microseconds since the sink was created. *)
+val chrome : sink -> string
+
+(** {2 Text renderings} *)
+
+(** One access-log line: [access id=ID "METH /path" STATUS 12.345ms]. *)
+val access_line : req -> string
+
+(** One-line span breakdown for slow-request dumps:
+    [slow request id=ID "METH /path" STATUS wall=12.3ms breakdown:
+    queue=0.0ms ... compile=8.2ms simulate(replay)=3.1ms ...]. *)
+val breakdown_line : req -> string

@@ -1,6 +1,8 @@
 (* The persistent simulation service behind `rcc serve`: see
    server.mli for the contract. *)
 
+let version = "1.0.0"
+
 type config = {
   host : string;
   port : int;
@@ -8,6 +10,9 @@ type config = {
   max_inflight : int;
   max_body : int;
   deadline_s : float;
+  access_log : bool;
+  slow_ms : float option;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -18,6 +23,9 @@ let default_config =
     max_inflight = 64;
     max_body = 1 lsl 20;
     deadline_s = 30.0;
+    access_log = false;
+    slow_ms = None;
+    trace_capacity = 512;
   }
 
 type t = {
@@ -26,6 +34,9 @@ type t = {
   lfd : Unix.file_descr;
   port : int;
   stats : Stats.t;
+  reqs : Reqtrace.sink;
+  started : float;
+  next_id : int Atomic.t;
   stopping : bool Atomic.t;
   mu : Mutex.t;
   drained : Condition.t;
@@ -56,6 +67,9 @@ let create ?(config = default_config) ctx =
     lfd;
     port;
     stats = Stats.create ();
+    reqs = Reqtrace.sink ~capacity:config.trace_capacity ();
+    started = Unix.gettimeofday ();
+    next_id = Atomic.make 1;
     stopping = Atomic.make false;
     mu = Mutex.create ();
     drained = Condition.create ();
@@ -67,55 +81,79 @@ let port t = t.port
 let stop t = Atomic.set t.stopping true
 let inflight t = Mutex.protect t.mu (fun () -> t.inflight)
 let served t = Mutex.protect t.mu (fun () -> t.served)
+let trace_chrome t = Reqtrace.chrome t.reqs
+let uptime_s t = Unix.gettimeofday () -. t.started
+
+(* A fresh server-assigned request id; clients may override with an
+   X-Request-Id header of their own. *)
+let fresh_id t = Printf.sprintf "r%06d" (Atomic.fetch_and_add t.next_id 1)
 
 (* --- routing -------------------------------------------------------------- *)
 
 let json_ok j = (200, [], Rc_obs.Json.to_string j ^ "\n")
 let err status detail = (status, [], Http.error_body ~status ~detail)
 
-let run_endpoint t body =
-  match Rc_obs.Json.of_string body with
-  | Error m -> err 400 ("malformed JSON: " ^ m)
-  | Ok j -> (
-      match Payload.run_request_of_json j with
-      | Error m -> err 400 m
-      | Ok rq ->
-          if rq.Payload.rq_scale <> Rc_harness.Experiments.scale t.ctx then
-            err 400
-              (Fmt.str
-                 "scale %d does not match the server's --scale %d (the memo \
-                  tables are keyed under one scale)"
-                 rq.Payload.rq_scale
-                 (Rc_harness.Experiments.scale t.ctx))
-          else
-            let c =
+let run_endpoint t rc body =
+  let parsed =
+    Reqtrace.time rc "parse" (fun () ->
+        match Rc_obs.Json.of_string body with
+        | Error m -> Error ("malformed JSON: " ^ m)
+        | Ok j -> Payload.run_request_of_json j)
+  in
+  match parsed with
+  | Error m -> err 400 m
+  | Ok rq ->
+      if rq.Payload.rq_scale <> Rc_harness.Experiments.scale t.ctx then
+        err 400
+          (Fmt.str
+             "scale %d does not match the server's --scale %d (the memo \
+              tables are keyed under one scale)"
+             rq.Payload.rq_scale
+             (Rc_harness.Experiments.scale t.ctx))
+      else begin
+        let c =
+          Reqtrace.time rc "compile" (fun () ->
               Rc_harness.Experiments.compile_cell t.ctx rq.Payload.rq_bench
-                rq.Payload.rq_opts
-            in
-            let r, engine_used =
-              Rc_harness.Experiments.simulate_cell t.ctx c
-            in
+                rq.Payload.rq_opts)
+        in
+        (* The engine that timed the cell is only known afterwards, so
+           the span is recorded from explicit timestamps, tagged with
+           execute/replay for the slow-request breakdown. *)
+        let ts = Unix.gettimeofday () in
+        let r, engine_used = Rc_harness.Experiments.simulate_cell t.ctx c in
+        Reqtrace.add rc
+          ~args:[ ("engine", Rc_obs.Json.Str engine_used) ]
+          ~name:"simulate" ~start_s:ts
+          ~dur_s:(Unix.gettimeofday () -. ts)
+          ();
+        Reqtrace.time rc "render" (fun () ->
             json_ok
               (Payload.run_response
                  ~bench:rq.Payload.rq_bench.Rc_workloads.Wutil.name
                  ~scale:rq.Payload.rq_scale ~engine_used c r))
+      end
 
-let figures_endpoint t body =
-  match Rc_obs.Json.of_string body with
-  | Error m -> err 400 ("malformed JSON: " ^ m)
-  | Ok j -> (
-      match Payload.figures_request_of_json j with
-      | Error m -> err 400 m
-      | Ok ids ->
-          let tables =
+let figures_endpoint t rc body =
+  let parsed =
+    Reqtrace.time rc "parse" (fun () ->
+        match Rc_obs.Json.of_string body with
+        | Error m -> Error ("malformed JSON: " ^ m)
+        | Ok j -> Payload.figures_request_of_json j)
+  in
+  match parsed with
+  | Error m -> err 400 m
+  | Ok ids ->
+      let tables =
+        Reqtrace.time rc "tables" (fun () ->
             List.map
               (fun id ->
                 match Rc_harness.Experiments.by_id t.ctx id with
                 | Some tbl -> tbl
                 | None -> assert false (* ids validated by the decoder *))
-              ids
-          in
-          let stats = Rc_harness.Experiments.engine_stats t.ctx in
+              ids)
+      in
+      let stats = Rc_harness.Experiments.engine_stats t.ctx in
+      Reqtrace.time rc "render" (fun () ->
           json_ok
             (Payload.figures_response
                ~scale:(Rc_harness.Experiments.scale t.ctx)
@@ -125,7 +163,7 @@ let figures_endpoint t body =
                     (Rc_harness.Experiments.engine t.ctx))
                ~stats tables))
 
-let metrics_endpoint t =
+let metrics_json_endpoint t =
   let server =
     match Stats.to_json t.stats with
     | Rc_obs.Json.Obj fields ->
@@ -139,15 +177,52 @@ let metrics_endpoint t =
          ("experiments", Rc_harness.Experiments.metrics_json t.ctx);
        ])
 
-let route t (req : Http.request) =
+let prom_endpoint t =
+  let reg = Stats.registry t.stats in
+  Rc_obs.Metrics.set reg ~help:"Requests accepted and not yet finished"
+    "rcc_inflight"
+    (float_of_int (inflight t));
+  Rc_obs.Metrics.set reg ~help:"Seconds since the server started"
+    "rcc_uptime_seconds" (uptime_s t);
+  Rc_harness.Experiments.export_metrics t.ctx reg;
+  ( 200,
+    [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ],
+    Rc_obs.Metrics.render reg )
+
+let healthz_endpoint t =
+  json_ok
+    (Rc_obs.Json.Obj
+       [
+         ("status", Rc_obs.Json.Str "ok");
+         ("uptime_s", Rc_obs.Json.Float (uptime_s t));
+         ("inflight", Rc_obs.Json.Int (inflight t));
+       ])
+
+let version_endpoint t =
+  json_ok
+    (Rc_obs.Json.Obj
+       [
+         ("version", Rc_obs.Json.Str version);
+         ("ocaml", Rc_obs.Json.Str Sys.ocaml_version);
+         ("os", Rc_obs.Json.Str Sys.os_type);
+         ("word_size", Rc_obs.Json.Int Sys.word_size);
+         ("started_unix_s", Rc_obs.Json.Float t.started);
+         ("uptime_s", Rc_obs.Json.Float (uptime_s t));
+       ])
+
+let route t rc (req : Http.request) =
   try
     match (req.Http.meth, req.Http.path) with
-    | "GET", "/healthz" ->
-        json_ok (Rc_obs.Json.Obj [ ("status", Rc_obs.Json.Str "ok") ])
-    | "GET", "/metrics" -> metrics_endpoint t
-    | "POST", "/run" -> run_endpoint t req.Http.body
-    | "POST", "/figures" -> figures_endpoint t req.Http.body
-    | meth, (("/healthz" | "/metrics" | "/run" | "/figures") as path) ->
+    | "GET", "/healthz" -> healthz_endpoint t
+    | "GET", "/version" -> version_endpoint t
+    | "GET", "/metrics" -> prom_endpoint t
+    | "GET", "/metrics.json" -> metrics_json_endpoint t
+    | "GET", "/trace" -> (200, [], trace_chrome t ^ "\n")
+    | "POST", "/run" -> run_endpoint t rc req.Http.body
+    | "POST", "/figures" -> figures_endpoint t rc req.Http.body
+    | ( meth,
+        (( "/healthz" | "/version" | "/metrics" | "/metrics.json" | "/trace"
+         | "/run" | "/figures" ) as path) ) ->
         err 405 (Fmt.str "%s is not supported on %s" meth path)
     | _, path -> err 404 ("no route for " ^ path)
   with
@@ -177,8 +252,27 @@ let graceful_close fd =
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let handle t fd =
-  let t0 = Unix.gettimeofday () in
+(* Push the finished request into the trace sink, the access log, the
+   slow-request dump and the stats, in that order. *)
+let complete t rc ~endpoint ~status =
+  let req = Reqtrace.finish rc ~status in
+  Reqtrace.push t.reqs req;
+  if t.cfg.access_log then
+    Fmt.epr "rcc serve: %s@." (Reqtrace.access_line req);
+  (match t.cfg.slow_ms with
+  | Some ms when 1000.0 *. req.Reqtrace.r_wall > ms ->
+      Fmt.epr "rcc serve: %s@." (Reqtrace.breakdown_line req)
+  | _ -> ());
+  Stats.record t.stats ~endpoint ~status ~wall_s:req.Reqtrace.r_wall
+
+(* [t_acc] is the accept timestamp: the request's wall clock (stats,
+   spans, deadline) runs from arrival, so admission-queue wait is
+   visible instead of silently excluded. *)
+let handle t ~t_acc fd =
+  let rc = Reqtrace.start ~t0:t_acc in
+  Reqtrace.add rc ~name:"queue" ~start_s:t_acc
+    ~dur_s:(Unix.gettimeofday () -. t_acc)
+    ();
   let finally () =
     graceful_close fd;
     Mutex.protect t.mu (fun () ->
@@ -196,7 +290,10 @@ let handle t fd =
       let limits =
         { Http.default_limits with Http.max_body = t.cfg.max_body }
       in
-      match Http.read_request ~limits (Http.reader_of_fd fd) with
+      match
+        Reqtrace.time rc "read" (fun () ->
+            Http.read_request ~limits (Http.reader_of_fd fd))
+      with
       | Error Http.Closed -> ()
       | Error e ->
           let status, detail =
@@ -208,29 +305,40 @@ let handle t fd =
                 (408, "request was not received before the deadline")
             | Http.Closed -> assert false
           in
-          Http.write_response fd ~status
-            ~body:(Http.error_body ~status ~detail)
-            ();
-          Stats.record t.stats ~endpoint:"(bad-request)" ~status
-            ~wall_s:(Unix.gettimeofday () -. t0)
+          Reqtrace.identify rc ~id:(fresh_id t) ~meth:"-"
+            ~path:"(bad-request)";
+          Reqtrace.time rc "write" (fun () ->
+              Http.write_response fd ~status
+                ~headers:[ ("X-Request-Id", Reqtrace.id rc) ]
+                ~body:(Http.error_body ~status ~detail)
+                ());
+          complete t rc ~endpoint:"(bad-request)" ~status
       | Ok req ->
-          let status, headers, body = route t req in
-          let wall = Unix.gettimeofday () -. t0 in
+          let rid =
+            match Http.header req "x-request-id" with
+            | Some v when v <> "" && String.length v <= 128 -> v
+            | _ -> fresh_id t
+          in
+          Reqtrace.identify rc ~id:rid ~meth:req.Http.meth ~path:req.Http.path;
+          let status, headers, body = route t rc req in
+          let headers = ("X-Request-Id", rid) :: headers in
+          let wall = Unix.gettimeofday () -. t_acc in
           if wall > t.cfg.deadline_s then begin
             (* The deadline expired while computing: abandon the
                response — the client was told to give up long ago —
                but never the shared context, whose caches just got
                warmer. *)
             Stats.record_abandoned t.stats;
-            Stats.record t.stats ~endpoint:req.Http.path ~status ~wall_s:wall
+            complete t rc ~endpoint:req.Http.path ~status
           end
           else begin
-            Http.write_response fd ~status ~headers ~body ();
-            Stats.record t.stats ~endpoint:req.Http.path ~status
-              ~wall_s:(Unix.gettimeofday () -. t0)
+            Reqtrace.time rc "write" (fun () ->
+                Http.write_response fd ~status ~headers ~body ());
+            complete t rc ~endpoint:req.Http.path ~status
           end)
 
 let dispatch t fd =
+  let t_acc = Unix.gettimeofday () in
   let admitted =
     Mutex.protect t.mu (fun () ->
         if t.inflight >= t.cfg.max_inflight then false
@@ -241,7 +349,7 @@ let dispatch t fd =
   in
   if admitted then
     Rc_par.Pool.submit (Rc_harness.Experiments.pool t.ctx) (fun () ->
-        handle t fd)
+        handle t ~t_acc fd)
   else begin
     (* Bounded admission: shed with 503 + Retry-After instead of
        queueing unboundedly.  A short send timeout so a dead client

@@ -11,19 +11,41 @@
       byte-identical to [rcc run --json] (modulo pass wall-clock).
     - [POST /figures]: experiment ids; same document as
       [rcc figures --json].
-    - [GET /healthz]: liveness.
-    - [GET /metrics]: {!Rc_harness.Experiments.metrics_json} plus
-      per-endpoint request counts and latency quantiles.
+    - [GET /healthz]: liveness, uptime seconds, in-flight count.
+    - [GET /version]: service version and build environment.
+    - [GET /metrics]: Prometheus text exposition (version 0.0.4) of
+      the {!Stats} registry — request counters by endpoint and status,
+      request-duration histograms with cumulative [le] buckets, shed/
+      abandoned totals, inflight and uptime gauges, and the harness
+      trace-cache counters ({!Rc_harness.Experiments.export_metrics}).
+    - [GET /metrics.json]: the pre-Prometheus JSON document, unchanged
+      ({!Rc_harness.Experiments.metrics_json} plus per-endpoint
+      request counts and latency quantiles).
+    - [GET /trace]: Chrome trace-event JSON of the most recent
+      [trace_capacity] requests' span breakdowns (admission queue,
+      read, parse, compile, simulate — tagged execute/replay — render,
+      write), loadable in Perfetto.
+
+    Observability: every request carries an id — a client-supplied
+    [X-Request-Id] (up to 128 bytes) or a server-assigned [rNNNNNN] —
+    echoed back as an [X-Request-Id] response header, attached to
+    every span, to the access-log line ([config.access_log]) and to
+    the slow-request span dump emitted on stderr for requests slower
+    than [config.slow_ms] milliseconds.
 
     Robustness: the accept loop sheds load with [503] +
     [Retry-After] once [max_inflight] requests are pending instead of
-    queueing unboundedly; each request gets a deadline — slow reads
-    answer [408], and a response whose work finished after the
-    deadline is abandoned (the shared context never is); request
-    bodies beyond [max_body] answer [413]; malformed JSON answers
-    [400] with a structured error body.  {!stop} (wired to
+    queueing unboundedly; each request gets a deadline measured from
+    accept — slow reads answer [408], and a response whose work
+    finished after the deadline is abandoned (the shared context never
+    is); request bodies beyond [max_body] answer [413]; malformed JSON
+    answers [400] with a structured error body.  {!stop} (wired to
     SIGTERM/SIGINT by the CLI) stops accepting, lets every in-flight
     request complete, then returns from {!run}. *)
+
+(** The service version reported by [GET /version] (kept in sync with
+    the [rcc] CLI). *)
+val version : string
 
 type config = {
   host : string;  (** listen address, default ["127.0.0.1"] *)
@@ -31,7 +53,11 @@ type config = {
   backlog : int;  (** listen(2) backlog, default 16 *)
   max_inflight : int;  (** accepted-but-unfinished request bound *)
   max_body : int;  (** request body limit, bytes *)
-  deadline_s : float;  (** per-request deadline, seconds *)
+  deadline_s : float;  (** per-request deadline from accept, seconds *)
+  access_log : bool;  (** one stderr line per request (default off) *)
+  slow_ms : float option;
+      (** dump the span breakdown of requests slower than this *)
+  trace_capacity : int;  (** requests retained for [GET /trace] *)
 }
 
 val default_config : config
@@ -61,3 +87,11 @@ val inflight : t -> int
 
 (** Requests fully handled since startup. *)
 val served : t -> int
+
+(** Seconds since {!create}. *)
+val uptime_s : t -> float
+
+(** Chrome trace-event JSON of the retained request spans — what
+    [GET /trace] answers; the CLI writes it to [--trace FILE] after
+    draining. *)
+val trace_chrome : t -> string

@@ -1,20 +1,16 @@
-(* Per-endpoint request counts and latency quantiles: see stats.mli. *)
+(* Per-endpoint request counts and latency histograms: see stats.mli. *)
 
-(* Latency samples per endpoint: a fixed ring of the most recent
-   [window] requests — quantiles over a sliding window, O(1) memory
-   for a long-lived server. *)
-let window = 1024
+module M = Rc_obs.Metrics
 
 type ep = {
   mutable n : int;  (** requests *)
   mutable errors : int;  (** responses with status >= 400 *)
-  samples : float array;  (** ring buffer, seconds *)
-  mutable filled : int;
-  mutable next : int;
+  hist : M.Hist.t;  (** full-lifetime latency distribution, seconds *)
 }
 
 type t = {
   mu : Mutex.t;
+  reg : M.t;
   endpoints : (string, ep) Hashtbl.t;
   mutable s_shed : int;
   mutable s_abandoned : int;
@@ -23,70 +19,82 @@ type t = {
 let create () =
   {
     mu = Mutex.create ();
+    reg = M.create ();
     endpoints = Hashtbl.create 8;
     s_shed = 0;
     s_abandoned = 0;
   }
 
-let record t ~endpoint ~status ~wall_s =
-  Mutex.protect t.mu (fun () ->
-      let ep =
-        match Hashtbl.find_opt t.endpoints endpoint with
-        | Some ep -> ep
-        | None ->
-            let ep =
-              { n = 0; errors = 0; samples = Array.make window 0.0;
-                filled = 0; next = 0 }
-            in
-            Hashtbl.add t.endpoints endpoint ep;
-            ep
-      in
-      ep.n <- ep.n + 1;
-      if status >= 400 then ep.errors <- ep.errors + 1;
-      ep.samples.(ep.next) <- wall_s;
-      ep.next <- (ep.next + 1) mod window;
-      if ep.filled < window then ep.filled <- ep.filled + 1)
+let registry t = t.reg
 
-let record_shed t = Mutex.protect t.mu (fun () -> t.s_shed <- t.s_shed + 1)
+let endpoint_of t endpoint =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.endpoints endpoint with
+      | Some ep -> ep
+      | None ->
+          let ep =
+            {
+              n = 0;
+              errors = 0;
+              hist =
+                M.histogram t.reg
+                  ~labels:[ ("endpoint", endpoint) ]
+                  ~help:"Request wall time from accept to response, seconds"
+                  "rcc_request_duration_seconds";
+            }
+          in
+          Hashtbl.add t.endpoints endpoint ep;
+          ep)
+
+let record t ~endpoint ~status ~wall_s =
+  let ep = endpoint_of t endpoint in
+  Mutex.protect t.mu (fun () ->
+      ep.n <- ep.n + 1;
+      if status >= 400 then ep.errors <- ep.errors + 1);
+  M.inc t.reg
+    ~labels:[ ("endpoint", endpoint); ("status", string_of_int status) ]
+    ~help:"Requests answered, by endpoint and status" "rcc_requests_total" 1.0;
+  M.Hist.observe ep.hist wall_s
+
+let record_shed t =
+  Mutex.protect t.mu (fun () -> t.s_shed <- t.s_shed + 1);
+  M.inc t.reg ~help:"Connections shed with 503 at the in-flight limit"
+    "rcc_shed_total" 1.0
 
 let record_abandoned t =
-  Mutex.protect t.mu (fun () -> t.s_abandoned <- t.s_abandoned + 1)
+  Mutex.protect t.mu (fun () -> t.s_abandoned <- t.s_abandoned + 1);
+  M.inc t.reg ~help:"Responses abandoned after their deadline expired"
+    "rcc_abandoned_total" 1.0
 
 let shed t = Mutex.protect t.mu (fun () -> t.s_shed)
 
-(* Nearest-rank quantile over the window snapshot. *)
-let quantile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
-
 let ep_json name ep =
-  let sorted = Array.sub ep.samples 0 ep.filled in
-  Array.sort compare sorted;
   let ms s = Rc_obs.Json.Float (1000.0 *. s) in
   Rc_obs.Json.Obj
     [
       ("endpoint", Rc_obs.Json.Str name);
       ("requests", Rc_obs.Json.Int ep.n);
       ("errors", Rc_obs.Json.Int ep.errors);
-      ("p50_ms", ms (quantile sorted 0.50));
-      ("p90_ms", ms (quantile sorted 0.90));
-      ("p99_ms", ms (quantile sorted 0.99));
-      ("max_ms", ms (if ep.filled = 0 then 0.0 else sorted.(ep.filled - 1)));
+      ("p50_ms", ms (M.Hist.quantile ep.hist 0.50));
+      ("p90_ms", ms (M.Hist.quantile ep.hist 0.90));
+      ("p99_ms", ms (M.Hist.quantile ep.hist 0.99));
+      ("max_ms", ms (M.Hist.max_value ep.hist));
     ]
 
 let to_json t =
-  Mutex.protect t.mu (fun () ->
-      let eps =
-        Hashtbl.fold (fun name ep acc -> (name, ep) :: acc) t.endpoints []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
-      let total = List.fold_left (fun acc (_, ep) -> acc + ep.n) 0 eps in
-      Rc_obs.Json.Obj
-        [
-          ("requests", Rc_obs.Json.Int total);
-          ("shed", Rc_obs.Json.Int t.s_shed);
-          ("abandoned", Rc_obs.Json.Int t.s_abandoned);
-          ( "endpoints",
-            Rc_obs.Json.List (List.map (fun (n, ep) -> ep_json n ep) eps) );
-        ])
+  let eps, shed, abandoned =
+    Mutex.protect t.mu (fun () ->
+        ( Hashtbl.fold (fun name ep acc -> (name, ep) :: acc) t.endpoints []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b),
+          t.s_shed,
+          t.s_abandoned ))
+  in
+  let total = List.fold_left (fun acc (_, ep) -> acc + ep.n) 0 eps in
+  Rc_obs.Json.Obj
+    [
+      ("requests", Rc_obs.Json.Int total);
+      ("shed", Rc_obs.Json.Int shed);
+      ("abandoned", Rc_obs.Json.Int abandoned);
+      ( "endpoints",
+        Rc_obs.Json.List (List.map (fun (n, ep) -> ep_json n ep) eps) );
+    ]

@@ -1,7 +1,20 @@
-(** Per-endpoint request telemetry for [GET /metrics]: request and
-    error counts plus latency quantiles over a sliding window of
-    recent requests.  All operations are thread-safe — handlers on
-    different pool domains record concurrently. *)
+(** Per-endpoint request telemetry for the service's metrics
+    endpoints.  All operations are thread-safe — handlers on different
+    pool domains record concurrently.
+
+    Latencies are kept in {!Rc_obs.Metrics.Hist} log-linear histograms
+    covering {e every} request since startup (the previous fixed
+    1024-sample ring under-weighted rare slow requests on long runs);
+    quantiles carry the histogram's bounded relative error while
+    counts, sum and max stay exact.  The same histograms and counters
+    back both snapshots:
+
+    - {!to_json}: the [/metrics.json] document (shape unchanged from
+      the ring-buffer era);
+    - {!registry}: the {!Rc_obs.Metrics.t} the server renders as
+      Prometheus text at [GET /metrics] ([rcc_requests_total],
+      [rcc_request_duration_seconds], [rcc_shed_total],
+      [rcc_abandoned_total], plus whatever gauges the server sets). *)
 
 type t
 
@@ -19,6 +32,11 @@ val record_shed : t -> unit
 val record_abandoned : t -> unit
 
 val shed : t -> int
+
+(** The metrics registry everything above records into; the server
+    adds its own gauges ([rcc_inflight], [rcc_uptime_seconds]) and the
+    harness trace-cache counters before rendering. *)
+val registry : t -> Rc_obs.Metrics.t
 
 (** Snapshot: [{requests, shed, abandoned, endpoints: [{endpoint,
     requests, errors, p50_ms, p90_ms, p99_ms, max_ms}]}], endpoints

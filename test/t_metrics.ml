@@ -1,0 +1,170 @@
+(* The metrics registry (lib/obs/metrics.ml): histogram quantile
+   accuracy against a sorted-array oracle on uniform, bimodal and
+   heavy-tailed samples, exactness of count/sum/min/max, concurrent
+   recording from four domains, and the registry surface — kind
+   conflicts, name validation, label escaping in the Prometheus
+   rendering. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+module M = Rc_obs.Metrics
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- quantiles vs a sorted-array oracle -------------------------------- *)
+
+(* The histogram's contract: nearest-rank quantiles with relative error
+   at most rel_error (1/64).  We allow twice that, since the oracle
+   value itself sits anywhere inside its bucket. *)
+let tolerance = 2.0 *. M.Hist.rel_error
+
+let check_against_oracle name samples =
+  let h = M.Hist.create () in
+  Array.iter (M.Hist.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length samples in
+  check (name ^ ": count") n (M.Hist.count h);
+  let exact_sum = Array.fold_left ( +. ) 0.0 samples in
+  check_bool (name ^ ": sum") true
+    (Float.abs (M.Hist.sum h -. exact_sum) <= 1e-9 *. Float.abs exact_sum);
+  Alcotest.(check (float 0.0)) (name ^ ": min") sorted.(0) (M.Hist.quantile h 0.0);
+  Alcotest.(check (float 0.0))
+    (name ^ ": max") sorted.(n - 1) (M.Hist.quantile h 1.0);
+  List.iter
+    (fun p ->
+      let rank = max 1 (min n (int_of_float (Float.ceil (p *. float_of_int n)))) in
+      let oracle = sorted.(rank - 1) in
+      let got = M.Hist.quantile h p in
+      let err = Float.abs (got -. oracle) in
+      if err > (tolerance *. Float.abs oracle) +. 1e-12 then
+        Alcotest.failf "%s: q%.3f = %.9g, oracle %.9g (rel err %.4f > %.4f)"
+          name p got oracle
+          (err /. Float.abs oracle)
+          tolerance)
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_quantiles_uniform () =
+  let st = Random.State.make [| 42 |] in
+  check_against_oracle "uniform"
+    (Array.init 10_000 (fun _ -> Random.State.float st 1.0))
+
+let test_quantiles_bimodal () =
+  (* Two tight modes three decades apart: sub-millisecond cache hits
+     and tens-of-milliseconds executions, the serve latency shape. *)
+  let st = Random.State.make [| 43 |] in
+  check_against_oracle "bimodal"
+    (Array.init 10_000 (fun _ ->
+         if Random.State.bool st then 0.0008 +. Random.State.float st 0.0004
+         else 0.02 +. Random.State.float st 0.01))
+
+let test_quantiles_heavy_tail () =
+  (* Pareto-ish: u^-2 over (0,1] spans many octaves with a long tail. *)
+  let st = Random.State.make [| 44 |] in
+  check_against_oracle "heavy-tail"
+    (Array.init 10_000 (fun _ ->
+         let u = 1.0 -. Random.State.float st 0.999 in
+         0.001 /. (u *. u)))
+
+let test_extremes () =
+  let h = M.Hist.create () in
+  check "empty count" 0 (M.Hist.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (M.Hist.quantile h 0.5);
+  (* Underflow and overflow land in the exact-extreme buckets. *)
+  M.Hist.observe h 1e-30;
+  M.Hist.observe h 1e30;
+  check "extreme count" 2 (M.Hist.count h);
+  Alcotest.(check (float 0.0)) "underflow min" 1e-30 (M.Hist.quantile h 0.0);
+  Alcotest.(check (float 0.0)) "overflow max" 1e30 (M.Hist.quantile h 1.0)
+
+(* --- concurrent recording ---------------------------------------------- *)
+
+let test_concurrent_observe () =
+  let h = M.Hist.create () in
+  let per_domain = 10_000 in
+  let worker () =
+    for i = 1 to per_domain do
+      M.Hist.observe h (float_of_int ((i mod 1000) + 1))
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  check "count survives contention" (4 * per_domain) (M.Hist.count h);
+  (* Integers sum exactly in doubles at this magnitude. *)
+  let one_domain =
+    let s = ref 0.0 in
+    for i = 1 to per_domain do
+      s := !s +. float_of_int ((i mod 1000) + 1)
+    done;
+    !s
+  in
+  Alcotest.(check (float 0.0)) "sum exact" (4.0 *. one_domain) (M.Hist.sum h);
+  Alcotest.(check (float 0.0)) "min" 1.0 (M.Hist.min_value h);
+  Alcotest.(check (float 0.0)) "max" 1000.0 (M.Hist.max_value h)
+
+(* --- the registry surface ---------------------------------------------- *)
+
+let test_registry_kinds () =
+  let r = M.create () in
+  M.inc r "total" 2.0;
+  M.inc r "total" 3.0;
+  Alcotest.(check (option (float 0.0))) "counter" (Some 5.0) (M.value r "total");
+  (match M.inc r "total" (-1.0) with
+  | () -> Alcotest.fail "negative counter delta accepted"
+  | exception Invalid_argument _ -> ());
+  (match M.set r "total" 1.0 with
+  | () -> Alcotest.fail "kind conflict accepted"
+  | exception Invalid_argument _ -> ());
+  (match M.inc r "bad name!" 1.0 with
+  | () -> Alcotest.fail "bad metric name accepted"
+  | exception Invalid_argument _ -> ());
+  (match M.inc r ~labels:[ ("le", "x"); ("b:ad", "y") ] "ok" 1.0 with
+  | () -> Alcotest.fail "bad label name accepted"
+  | exception Invalid_argument _ -> ());
+  M.set r "gauge" 2.5;
+  M.set r "gauge" 1.5;
+  Alcotest.(check (option (float 0.0))) "gauge" (Some 1.5) (M.value r "gauge");
+  (* Label order is irrelevant: both writes hit one series. *)
+  M.inc r ~labels:[ ("a", "1"); ("b", "2") ] "lab" 1.0;
+  M.inc r ~labels:[ ("b", "2"); ("a", "1") ] "lab" 1.0;
+  Alcotest.(check (option (float 0.0)))
+    "labels normalised" (Some 2.0)
+    (M.value r ~labels:[ ("a", "1"); ("b", "2") ] "lab")
+
+let test_render () =
+  let r = M.create () in
+  M.inc r ~help:"requests" ~labels:[ ("path", "/run") ] "req_total" 1.0;
+  M.set r "up" 1.0;
+  M.observe r ~labels:[ ("ep", "x") ] "lat_seconds" 0.5;
+  (* A label value exercising every escape. *)
+  M.inc r ~labels:[ ("v", "a\\b\"c\nd") ] "esc_total" 1.0;
+  let out = M.render r in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle out))
+    [
+      "# HELP req_total requests";
+      "# TYPE req_total counter";
+      {|req_total{path="/run"} 1|};
+      "# TYPE up gauge";
+      "# TYPE lat_seconds histogram";
+      {|lat_seconds_bucket{ep="x",le="+Inf"} 1|};
+      {|lat_seconds_sum{ep="x"} 0.5|};
+      {|lat_seconds_count{ep="x"} 1|};
+      {|esc_total{v="a\\b\"c\nd"} 1|};
+    ];
+  check_bool "ends with newline" true
+    (out <> "" && out.[String.length out - 1] = '\n')
+
+let suite =
+  [
+    ("hist: uniform vs oracle", `Quick, test_quantiles_uniform);
+    ("hist: bimodal vs oracle", `Quick, test_quantiles_bimodal);
+    ("hist: heavy tail vs oracle", `Quick, test_quantiles_heavy_tail);
+    ("hist: empty and extremes", `Quick, test_extremes);
+    ("hist: 4-domain concurrent observe", `Quick, test_concurrent_observe);
+    ("registry: kinds, names, labels", `Quick, test_registry_kinds);
+    ("registry: prometheus rendering", `Quick, test_render);
+  ]

@@ -1,8 +1,10 @@
 (* The simulation service: HTTP codec unit tests from strings, then
    live-server tests against an ephemeral port — routing, the
    structured error paths (400/404/405/413/503/408), the warm
-   trace-cache contract on repeated /run requests, and graceful
-   drain. *)
+   trace-cache contract on repeated /run requests, graceful drain, and
+   the observability surface: /version, Prometheus /metrics,
+   X-Request-Id propagation, and the /trace span invariants for a
+   cold and a warm request. *)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -59,13 +61,17 @@ let test_http_closed () =
 (* --- live server harness ----------------------------------------------- *)
 
 (* One request per connection, Connection: close: read to EOF. *)
-let request ~port ~meth ~path ?(body = "") () =
+let request ~port ~meth ~path ?(headers = []) ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   let req =
     Printf.sprintf
-      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
-      path (String.length body) body
+      "%s %s HTTP/1.1\r\nHost: localhost\r\n%sContent-Length: %d\r\n\r\n%s" meth
+      path extra (String.length body) body
   in
   let rec send off =
     if off < String.length req then
@@ -130,7 +136,15 @@ let test_routing () =
   with_server (fun _srv port ->
       let st, _, body = request ~port ~meth:"GET" ~path:"/healthz" () in
       check "healthz" 200 st;
-      check_str "healthz body" {|{"status":"ok"}|} (String.trim body);
+      (match Rc_obs.Json.member "status" (json_of body) with
+      | Some (Rc_obs.Json.Str "ok") -> ()
+      | _ -> Alcotest.fail "healthz status is not ok");
+      (match Rc_obs.Json.member "inflight" (json_of body) with
+      | Some (Rc_obs.Json.Int n) -> check_bool "inflight >= 0" true (n >= 0)
+      | _ -> Alcotest.fail "healthz lacks inflight");
+      (match Rc_obs.Json.member "uptime_s" (json_of body) with
+      | Some (Rc_obs.Json.Float u) -> check_bool "uptime >= 0" true (u >= 0.0)
+      | _ -> Alcotest.fail "healthz lacks uptime_s");
       let st, _, _ = request ~port ~meth:"GET" ~path:"/nope" () in
       check "404 for unknown path" 404 st;
       let st, _, _ = request ~port ~meth:"GET" ~path:"/run" () in
@@ -225,8 +239,8 @@ let test_warm_cache () =
         | None -> Alcotest.fail "no result object"
       in
       check_str "replay is bit-identical" (machine b1) (machine b2);
-      let st, _, mbody = request ~port ~meth:"GET" ~path:"/metrics" () in
-      check "metrics" 200 st;
+      let st, _, mbody = request ~port ~meth:"GET" ~path:"/metrics.json" () in
+      check "metrics.json" 200 st;
       let hits =
         match Rc_obs.Json.member "experiments" (json_of mbody) with
         | Some e -> (
@@ -255,6 +269,159 @@ let test_figures_endpoint () =
           ()
       in
       check "400 for unknown figure id" 400 st)
+
+(* --- observability ------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_version () =
+  with_server (fun _srv port ->
+      let st, _, body = request ~port ~meth:"GET" ~path:"/version" () in
+      check "version" 200 st;
+      (match Rc_obs.Json.member "version" (json_of body) with
+      | Some (Rc_obs.Json.Str v) -> check_str "version string" Server.version v
+      | _ -> Alcotest.fail "no version string");
+      match Rc_obs.Json.member "ocaml" (json_of body) with
+      | Some (Rc_obs.Json.Str v) -> check_str "ocaml" Sys.ocaml_version v
+      | _ -> Alcotest.fail "no ocaml version")
+
+let test_prometheus () =
+  with_server (fun _srv port ->
+      let body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
+      let st, _, _ = request ~port ~meth:"POST" ~path:"/run" ~body () in
+      check "/run" 200 st;
+      let st, raw, prom = request ~port ~meth:"GET" ~path:"/metrics" () in
+      check "metrics" 200 st;
+      check_bool "prom content type" true
+        (contains
+           ~needle:"text/plain; version=0.0.4"
+           (String.lowercase_ascii raw));
+      List.iter
+        (fun needle -> check_bool needle true (contains ~needle prom))
+        [
+          "# TYPE rcc_requests_total counter";
+          {|rcc_requests_total{endpoint="/run",status="200"} 1|};
+          "# TYPE rcc_request_duration_seconds histogram";
+          {|rcc_request_duration_seconds_bucket{endpoint="/run",le="+Inf"} 1|};
+          {|rcc_request_duration_seconds_count{endpoint="/run"} 1|};
+          "# TYPE rcc_inflight gauge";
+          "# TYPE rcc_trace_cache_hits_total counter";
+          "# TYPE rcc_uptime_seconds gauge";
+        ];
+      check_bool "ends with newline" true
+        (prom <> "" && prom.[String.length prom - 1] = '\n'))
+
+let test_request_id () =
+  with_server (fun _srv port ->
+      (* Client-supplied ids are echoed... *)
+      let _, raw, _ =
+        request ~port ~meth:"GET" ~path:"/healthz"
+          ~headers:[ ("X-Request-Id", "my-req-17") ]
+          ()
+      in
+      check_bool "client id echoed" true
+        (contains ~needle:"X-Request-Id: my-req-17" raw);
+      (* ...and absent ones are assigned. *)
+      let _, raw, _ = request ~port ~meth:"GET" ~path:"/healthz" () in
+      check_bool "server id assigned" true (contains ~needle:"X-Request-Id: r" raw))
+
+(* One cold and one warm /run, tagged with known request ids, then pull
+   /trace and check the span invariants: every lifecycle phase present,
+   phases contained within the request span and sorted by start, and
+   the simulate span attributed to the right engine. *)
+let test_trace_spans () =
+  with_server (fun _srv port ->
+      let body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
+      let run id =
+        let st, _, _ =
+          request ~port ~meth:"POST" ~path:"/run"
+            ~headers:[ ("X-Request-Id", id) ]
+            ~body ()
+        in
+        check ("run " ^ id) 200 st
+      in
+      run "trace-cold";
+      run "trace-warm";
+      let st, _, trace = request ~port ~meth:"GET" ~path:"/trace" () in
+      check "trace" 200 st;
+      let events =
+        match Rc_obs.Json.member "traceEvents" (json_of trace) with
+        | Some (Rc_obs.Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      let str name ev =
+        match Rc_obs.Json.member name ev with
+        | Some (Rc_obs.Json.Str s) -> Some s
+        | _ -> None
+      in
+      let num name ev =
+        match Rc_obs.Json.member name ev with
+        | Some (Rc_obs.Json.Float f) -> f
+        | Some (Rc_obs.Json.Int n) -> float_of_int n
+        | _ -> Alcotest.failf "event lacks numeric %s" name
+      in
+      (* Complete spans belonging to request [id], in file order (the
+         server sorts phases by start before export). *)
+      let spans_of id =
+        List.filter
+          (fun ev ->
+            str "ph" ev = Some "X"
+            && (match Rc_obs.Json.member "args" ev with
+               | Some args -> str "id" args = Some id
+               | None -> false))
+          events
+      in
+      let check_request id expected_engine =
+        let spans = spans_of id in
+        let parent, phases =
+          List.partition (fun ev -> str "name" ev = Some "POST /run") spans
+        in
+        let parent =
+          match parent with
+          | [ p ] -> p
+          | l -> Alcotest.failf "%s: %d request spans" id (List.length l)
+        in
+        let phase_names = List.filter_map (str "name") phases in
+        List.iter
+          (fun ph ->
+            check_bool
+              (Printf.sprintf "%s has %s span" id ph)
+              true
+              (List.mem ph phase_names))
+          [ "queue"; "read"; "parse"; "compile"; "simulate"; "render"; "write" ];
+        (* Containment within the request span, with a little slack for
+           microsecond rounding in the export. *)
+        let p0 = num "ts" parent and p1 = num "ts" parent +. num "dur" parent in
+        List.iter
+          (fun ev ->
+            let t0 = num "ts" ev and t1 = num "ts" ev +. num "dur" ev in
+            check_bool
+              (Printf.sprintf "%s: %s within request span" id
+                 (Option.value (str "name" ev) ~default:"?"))
+              true
+              (t0 >= p0 -. 50.0 && t1 <= p1 +. 50.0))
+          phases;
+        (* Phases are exported in start order. *)
+        let starts = List.map (num "ts") phases in
+        check_bool (id ^ ": phases sorted by start") true
+          (List.sort compare starts = starts);
+        (* The simulate span carries the engine that actually ran. *)
+        match
+          List.find_opt (fun ev -> str "name" ev = Some "simulate") phases
+        with
+        | Some ev -> (
+            match Rc_obs.Json.member "args" ev with
+            | Some args ->
+                check_str (id ^ ": simulate engine") expected_engine
+                  (Option.value (str "engine" args) ~default:"?")
+            | None -> Alcotest.fail "simulate span lacks args")
+        | None -> Alcotest.fail "no simulate span"
+      in
+      check_request "trace-cold" "execute";
+      check_request "trace-warm" "replay")
 
 (* --- graceful drain ----------------------------------------------------- *)
 
@@ -309,5 +476,9 @@ let suite =
     ("408 deadline expiry", `Quick, test_deadline);
     ("warm trace cache on repeat /run", `Slow, test_warm_cache);
     ("figures endpoint", `Slow, test_figures_endpoint);
+    ("version endpoint", `Quick, test_version);
+    ("prometheus exposition", `Slow, test_prometheus);
+    ("request-id propagation", `Quick, test_request_id);
+    ("trace span invariants", `Slow, test_trace_spans);
     ("graceful drain", `Slow, test_graceful_drain);
   ]

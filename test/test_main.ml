@@ -5,6 +5,7 @@ let () =
     [
       ("par", T_par.suite);
       ("obs", T_obs.suite);
+      ("metrics", T_metrics.suite);
       ("isa", T_isa.suite);
       ("core", T_core.suite);
       ("ir", T_ir.suite);
