@@ -1,7 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke \
-	json-smoke serve-smoke load-smoke serve clean
+	json-smoke serve-smoke load-smoke load-smoke-workers store-smoke \
+	serve clean
 
 all: build
 
@@ -55,6 +56,19 @@ serve-smoke:
 # agreement (see DESIGN.md section 16).
 load-smoke:
 	dune build @load-smoke
+
+# Prefork variant: loadgen against `rcc serve --workers 2` sharing a
+# trace store; --strict minus the quantile cross-check, which is
+# per-process under prefork (see DESIGN.md section 17).
+load-smoke-workers:
+	dune build @load-smoke-workers
+
+# Store smoke: two sequential server processes on one --store DIR; the
+# second must replay its first /run from disk and report store hits on
+# /metrics (the cold-process warm-store contract, DESIGN.md
+# section 17).
+store-smoke:
+	dune build @store-smoke
 
 # Run the simulation service locally.
 serve:

@@ -133,20 +133,65 @@ let engine_arg =
         Rc_harness.Experiments.Auto
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let store_dir_arg =
+  let doc =
+    "On-disk trace store directory (created if missing): recorded traces \
+     persist there and later processes — another $(b,rcc run), a figures \
+     sweep, a restarted server — re-time by replay instead of executing."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let store_max_bytes_arg =
+  let doc =
+    "Byte cap for $(b,--store): beyond it the least-recently-used records \
+     are evicted (default: unbounded)."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int ~what:"--store-max-bytes")) None
+    & info [ "store-max-bytes" ] ~docv:"BYTES" ~doc)
+
+let open_store store_dir store_max_bytes =
+  Option.map
+    (fun dir ->
+      Rc_serve.Store.open_store ~dir
+        ?max_bytes:store_max_bytes ())
+    store_dir
+
+let trace_key (c : Rc_harness.Pipeline.compiled) =
+  Rc_isa.Image.fingerprint c.Rc_harness.Pipeline.image
+  ^ "#"
+  ^ Rc_harness.Experiments.semantic_key c.Rc_harness.Pipeline.opts
+
 (** Single-shot engine dispatch for $(b,run): with no cache to hit,
     [auto] executes; [replay] demonstrates the engine end to end by
-    recording and re-timing the same configuration.  Returns the result
-    and the engine that actually produced it. *)
-let simulate_single engine (c : Rc_harness.Pipeline.compiled) =
-  match engine with
-  | Rc_harness.Experiments.Execute | Rc_harness.Experiments.Auto ->
+    recording and re-timing the same configuration.  With a [store],
+    every non-[execute] engine probes it first (a hit replays without
+    executing at all) and publishes what it records.  Returns the
+    result and the engine that actually produced it. *)
+let simulate_single ?store engine (c : Rc_harness.Pipeline.compiled) =
+  let safe () =
+    Rc_machine.Trace_replay.replay_safe
+      (Rc_harness.Pipeline.machine_config c.Rc_harness.Pipeline.opts)
+  in
+  match (engine, store) with
+  | Rc_harness.Experiments.Execute, _ ->
       (Rc_harness.Pipeline.simulate c, "execute")
-  | Rc_harness.Experiments.Replay -> (
-      if
-        not
-          (Rc_machine.Trace_replay.replay_safe
-             (Rc_harness.Pipeline.machine_config c.Rc_harness.Pipeline.opts))
-      then (Rc_harness.Pipeline.simulate c, "execute")
+  | (Rc_harness.Experiments.Auto | Rc_harness.Experiments.Replay), Some st
+    when safe () -> (
+      let key = trace_key c in
+      match Rc_serve.Store.probe st key with
+      | Some tr -> (Rc_harness.Pipeline.simulate_replayed c tr, "replay")
+      | None -> (
+          match Rc_harness.Pipeline.simulate_recorded c with
+          | r, None -> (r, "execute")
+          | r, Some tr ->
+              Rc_serve.Store.publish st key tr;
+              (r, "execute")))
+  | Rc_harness.Experiments.Auto, _ ->
+      (Rc_harness.Pipeline.simulate c, "execute")
+  | Rc_harness.Experiments.Replay, _ -> (
+      if not (safe ()) then (Rc_harness.Pipeline.simulate c, "execute")
       else
         match Rc_harness.Pipeline.simulate_recorded c with
         | r, None -> (r, "execute")
@@ -222,13 +267,23 @@ let config_result_json = Rc_serve.Payload.config_result_json
 
 let run_cmd =
   let run bench issue core_int core_float rc load connect mem_channels
-      extra_stage model scale no_unroll engine json =
+      extra_stage model scale no_unroll engine store_dir store_max_bytes json
+      =
     let opts =
       options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
         ~extra_stage ~model ~no_unroll
     in
     let c = compile_one bench opts scale in
-    let r, engine_used = simulate_single engine c in
+    let store = open_store store_dir store_max_bytes in
+    let r, engine_used = simulate_single ?store engine c in
+    (match store with
+    | None -> ()
+    | Some st ->
+        let s = Rc_serve.Store.stats st in
+        (* stderr, so --json stdout stays a single document *)
+        Fmt.epr "rcc run: store %s: %d hit, %d miss, %d published@."
+          (Rc_serve.Store.dir st) s.Rc_serve.Store.hits
+          s.Rc_serve.Store.misses s.Rc_serve.Store.published);
     if json then
       Fmt.pr "%s@."
         (Rc_obs.Json.to_string
@@ -246,7 +301,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
       $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
-      $ engine_arg $ json_flag)
+      $ engine_arg $ store_dir_arg $ store_max_bytes_arg $ json_flag)
 
 (* --- figures ---------------------------------------------------------------- *)
 
@@ -278,7 +333,8 @@ let per_cell_flag =
 let all_figure_ids = Rc_serve.Payload.all_figure_ids
 
 let figures_cmd =
-  let run ids scale jobs engine per_cell json list_ids =
+  let run ids scale jobs engine per_cell store_dir store_max_bytes json
+      list_ids =
     if list_ids then begin
       List.iter (fun id -> Fmt.pr "%s@." id) all_figure_ids;
       0
@@ -296,6 +352,13 @@ let figures_cmd =
             Rc_harness.Experiments.create ~scale ~jobs ~engine
               ~batch:(not per_cell) ()
           in
+          let store = open_store store_dir store_max_bytes in
+          (match store with
+          | None -> ()
+          | Some st ->
+              Rc_harness.Experiments.set_store ctx
+                ~probe:(Rc_serve.Store.probe st)
+                ~publish:(Rc_serve.Store.publish st));
           Fun.protect
             ~finally:(fun () -> Rc_harness.Experiments.shutdown ctx)
             (fun () ->
@@ -345,6 +408,17 @@ let figures_cmd =
                    recordings@."
                   es.Rc_harness.Experiments.recorded
                   es.Rc_harness.Experiments.hits;
+              (match store with
+              | None -> ()
+              | Some st ->
+                  let s = Rc_serve.Store.stats st in
+                  Fmt.epr
+                    "store %s: %d hit, %d miss, %d published, %d evicted \
+                     (%d bytes in %d files)@."
+                    (Rc_serve.Store.dir st) s.Rc_serve.Store.hits
+                    s.Rc_serve.Store.misses s.Rc_serve.Store.published
+                    s.Rc_serve.Store.evicted s.Rc_serve.Store.bytes
+                    s.Rc_serve.Store.files);
               0)
     end
   in
@@ -357,7 +431,8 @@ let figures_cmd =
           every engine and jobs count")
     Term.(
       const run $ figures_ids $ scale $ figures_jobs $ engine_arg
-      $ per_cell_flag $ json_flag $ list_ids_flag)
+      $ per_cell_flag $ store_dir_arg $ store_max_bytes_arg $ json_flag
+      $ list_ids_flag)
 
 (* --- serve ------------------------------------------------------------------ *)
 
@@ -458,9 +533,29 @@ let serve_cmd =
     let doc = "Suppress the per-request access-log lines on stderr." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
-  let run host port jobs scale engine max_inflight max_body deadline
-      trace_file slow_ms quiet =
+  let workers_arg =
+    let doc =
+      "Prefork worker processes accepting on one shared listener (the \
+       kernel load-balances connections).  Each worker owns its own \
+       context — memo tables, trace cache, domain pool — sharing only \
+       the $(b,--store) directory; the parent respawns dead workers and \
+       fans SIGTERM out for a graceful drain.  Default 1: single \
+       process, no fork."
+    in
+    Arg.(
+      value
+      & opt (pos_int ~what:"--workers") 1
+      & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  (* One worker process: context, server, signal wiring, drain.
+     [announce] is false for prefork workers — the parent already
+     printed the listening line (the smoke drivers parse exactly
+     one). *)
+  let serve_one ~announce ?listener ?pending ~host ~port ~jobs ~scale
+      ~engine ~max_inflight ~max_body ~deadline ~trace_file ~slow_ms ~quiet
+      ~store_dir ~store_max_bytes () =
     let ctx = Rc_harness.Experiments.create ~scale ~jobs ~engine () in
+    let store = open_store store_dir store_max_bytes in
     let srv =
       Rc_serve.Server.create
         ~config:
@@ -474,7 +569,7 @@ let serve_cmd =
             access_log = not quiet;
             slow_ms;
           }
-        ctx
+        ?listener ?store ctx
     in
     (* A client vanishing mid-response must be an abandoned write, not
        a fatal SIGPIPE. *)
@@ -484,18 +579,27 @@ let serve_cmd =
         Sys.set_signal s
           (Sys.Signal_handle (fun _ -> Rc_serve.Server.stop srv)))
       [ Sys.sigterm; Sys.sigint ];
-    (* Narration on stderr: stdout stays free for machine-readable use
-       (and the smoke driver parses this line for the bound port). *)
-    Fmt.epr "rcc serve: listening on http://%s:%d (jobs %d, scale %d, engine \
-             %s, deadline %gs)@."
-      host
-      (Rc_serve.Server.port srv)
-      (Rc_harness.Experiments.jobs ctx)
-      scale
-      (Rc_harness.Experiments.engine_name engine)
-      deadline;
+    (* A stop signal that raced worker startup was parked in [pending]
+       by the shim handler; honour it now that the server exists. *)
+    (match pending with
+    | Some p when !p -> Rc_serve.Server.stop srv
+    | _ -> ());
+    if announce then
+      (* Narration on stderr: stdout stays free for machine-readable
+         use (and the smoke driver parses this line for the bound
+         port). *)
+      Fmt.epr
+        "rcc serve: listening on http://%s:%d (jobs %d, scale %d, engine \
+         %s, deadline %gs)@."
+        host
+        (Rc_serve.Server.port srv)
+        (Rc_harness.Experiments.jobs ctx)
+        scale
+        (Rc_harness.Experiments.engine_name engine)
+        deadline;
     Rc_serve.Server.run srv;
-    Fmt.epr "rcc serve: drained %d request(s), shutting down@."
+    Fmt.epr "rcc serve%s: drained %d request(s), shutting down@."
+      (if announce then "" else Fmt.str "[%d]" (Unix.getpid ()))
       (Rc_serve.Server.served srv);
     (match trace_file with
     | None -> ()
@@ -506,6 +610,123 @@ let serve_cmd =
         Fmt.epr "rcc serve: wrote request-span trace to %s@." path);
     Rc_harness.Experiments.shutdown ctx;
     0
+  in
+  let run host port jobs scale engine max_inflight max_body deadline
+      trace_file slow_ms quiet workers store_dir store_max_bytes =
+    if workers = 1 then
+      serve_one ~announce:true ~host ~port ~jobs ~scale ~engine
+        ~max_inflight ~max_body ~deadline ~trace_file ~slow_ms ~quiet
+        ~store_dir ~store_max_bytes ()
+    else begin
+      (* Prefork: the parent opens the listener and forks [workers]
+         children that accept on the shared fd.  The parent must never
+         create an Experiments context — [Unix.fork] is unsafe once
+         domains exist, and the pool spawns domains — so every child
+         builds its own context {e after} the fork, sharing only the
+         on-disk store. *)
+      let config =
+        { Rc_serve.Server.default_config with Rc_serve.Server.host; port }
+      in
+      let listener, bound_port = Rc_serve.Server.create_listener config in
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Fmt.epr
+        "rcc serve: listening on http://%s:%d (workers %d, jobs %d, scale \
+         %d, engine %s, deadline %gs)@."
+        host bound_port workers jobs scale
+        (Rc_harness.Experiments.engine_name engine)
+        deadline;
+      let worker () =
+        (* The inherited SIGTERM disposition belongs to the parent
+           (it fans out to the worker table).  Park arriving signals
+           in a flag until this worker's server exists, then hand
+           them to its stop. *)
+        let pending = ref false in
+        List.iter
+          (fun s ->
+            Sys.set_signal s (Sys.Signal_handle (fun _ -> pending := true)))
+          [ Sys.sigterm; Sys.sigint ];
+        let trace_file =
+          Option.map (fun p -> Fmt.str "%s.%d" p (Unix.getpid ())) trace_file
+        in
+        let code =
+          serve_one ~announce:false ~listener:(listener, bound_port) ~host
+            ~port ~jobs ~scale ~engine ~max_inflight ~max_body ~deadline
+            ~trace_file ~slow_ms ~quiet ~store_dir ~store_max_bytes
+            ~pending ()
+        in
+        exit code
+      in
+      let pids = Array.make workers 0 in
+      let stopping = ref false in
+      let spawn slot =
+        match Unix.fork () with
+        | 0 -> ( try worker () with e ->
+            Fmt.epr "rcc serve: worker failed: %s@." (Printexc.to_string e);
+            exit 1)
+        | pid -> pids.(slot) <- pid
+      in
+      for slot = 0 to workers - 1 do
+        spawn slot
+      done;
+      let fan_out signal =
+        Array.iter
+          (fun pid ->
+            if pid > 0 then
+              try Unix.kill pid signal with Unix.Unix_error _ -> ())
+          pids
+      in
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle
+               (fun _ ->
+                 stopping := true;
+                 fan_out Sys.sigterm)))
+        [ Sys.sigterm; Sys.sigint ];
+      (* Reap children; respawn casualties until told to stop.  A
+         short pause before each respawn keeps a crash-looping worker
+         from spinning the parent. *)
+      let slot_of pid =
+        let found = ref (-1) in
+        Array.iteri (fun i p -> if p = pid then found := i) pids;
+        !found
+      in
+      let alive () = Array.exists (fun p -> p > 0) pids in
+      let rec reap () =
+        if alive () then begin
+          (match Unix.wait () with
+          | pid, status -> (
+              match slot_of pid with
+              | -1 -> () (* not ours *)
+              | slot ->
+                  pids.(slot) <- 0;
+                  if not !stopping then begin
+                    (match status with
+                    | Unix.WEXITED 0 -> ()
+                    | Unix.WEXITED c ->
+                        Fmt.epr
+                          "rcc serve: worker %d exited %d, respawning@." pid
+                          c
+                    | Unix.WSIGNALED sg | Unix.WSTOPPED sg ->
+                        Fmt.epr
+                          "rcc serve: worker %d killed by signal %d, \
+                           respawning@."
+                          pid sg);
+                    (try Unix.sleepf 0.2
+                     with Unix.Unix_error _ | Sys.Break -> ());
+                    if not !stopping then spawn slot
+                  end)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              Array.fill pids 0 workers 0);
+          reap ()
+        end
+      in
+      reap ();
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      Fmt.epr "rcc serve: all %d worker(s) exited, shutting down@." workers;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -520,7 +741,8 @@ let serve_cmd =
           SIGTERM/SIGINT")
     Term.(
       const run $ host $ port $ jobs $ scale $ serve_engine $ max_inflight
-      $ max_body $ deadline $ trace_file $ slow_ms $ quiet)
+      $ max_body $ deadline $ trace_file $ slow_ms $ quiet $ workers_arg
+      $ store_dir_arg $ store_max_bytes_arg)
 
 let compare_cmd =
   let run bench issue core_int core_float load scale jobs json =

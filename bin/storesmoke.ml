@@ -1,0 +1,243 @@
+(* storesmoke — end-to-end exercise of the on-disk trace store for the
+   store-smoke alias:
+
+     storesmoke <rcc.exe>
+
+   Boots `rcc serve --store DIR` twice, sequentially, against the same
+   store directory and asserts the cross-process contract DESIGN.md
+   section 17 promises:
+
+   1. Server #1, cold store: the first POST /run executes and
+      publishes its trace (store.published >= 1 on /metrics.json); the
+      second identical POST /run replays from the warm in-memory
+      cache.
+   2. Server #1 drains cleanly on SIGTERM and exits 0.
+   3. Server #2 — a brand-new process, empty in-memory cache, same
+      --store DIR — answers its FIRST POST /run with engine "replay":
+      the trace came from disk.  /metrics.json reports store.hits >= 1
+      and the /metrics scrape carries rcc_store_hits_total >= 1.
+   4. The replayed document is byte-identical to server #1's warm
+      response once wall_s is normalised: the store round-trip
+      preserved the trace exactly. *)
+
+let fail fmt =
+  Format.kasprintf (fun m -> prerr_endline ("storesmoke: " ^ m); exit 1) fmt
+
+(* --- tiny HTTP/1.1 client (Connection: close per request) ------------- *)
+
+let find_body raw =
+  let rec scan i =
+    if i + 3 >= String.length raw then None
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some (String.sub raw (i + 4) (String.length raw - i - 4))
+    else scan (i + 1)
+  in
+  scan 0
+
+let http_request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  Unix.connect fd addr;
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
+      path (String.length body) body
+  in
+  let rec send off =
+    if off < String.length req then
+      send (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  send 0;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec recv () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        recv ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+  in
+  recv ();
+  Unix.close fd;
+  let raw = Buffer.contents buf in
+  match String.index_opt raw ' ' with
+  | None -> fail "%s %s: no status line in %S" meth path raw
+  | Some sp -> (
+      let status = int_of_string (String.sub raw (sp + 1) 3) in
+      match find_body raw with
+      | Some b -> (status, b)
+      | None -> fail "%s %s: no header/body separator" meth path)
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let rec zero_wall (j : Rc_obs.Json.t) : Rc_obs.Json.t =
+  match j with
+  | Obj fields ->
+      Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "wall_s" then (k, Rc_obs.Json.Float 0.)
+             else (k, zero_wall v))
+           fields)
+  | List l -> List (List.map zero_wall l)
+  | (Null | Bool _ | Int _ | Float _ | Str _) as leaf -> leaf
+
+let normalize what text =
+  match Rc_obs.Json.of_string text with
+  | Ok j -> Rc_obs.Json.to_string (zero_wall j)
+  | Error m -> fail "%s: not valid JSON (%s): %S" what m text
+
+let engine_of what text =
+  match
+    Rc_obs.Json.member "engine" (Result.get_ok (Rc_obs.Json.of_string text))
+  with
+  | Some (Rc_obs.Json.Str e) -> e
+  | _ -> fail "%s: no engine field in %S" what text
+
+let int_member what name j =
+  match Rc_obs.Json.member name j with
+  | Some (Rc_obs.Json.Int n) -> n
+  | _ -> fail "%s: no integer %S" what name
+
+let store_stats ~port =
+  let status, body = http_request ~port ~meth:"GET" ~path:"/metrics.json" () in
+  if status <> 200 then fail "/metrics.json: status %d" status;
+  let j =
+    match Rc_obs.Json.of_string body with
+    | Ok j -> j
+    | Error m -> fail "/metrics.json: bad JSON: %s" m
+  in
+  match Rc_obs.Json.member "store" j with
+  | Some s -> s
+  | None -> fail "/metrics.json: no store object (is --store wired in?)"
+
+(* --- server lifecycle -------------------------------------------------- *)
+
+let boot rcc args =
+  let err_r, err_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process rcc
+      (Array.of_list (rcc :: "serve" :: "--port" :: "0" :: args))
+      Unix.stdin Unix.stdout err_w
+  in
+  Unix.close err_w;
+  let err_ic = Unix.in_channel_of_descr err_r in
+  let port =
+    let rec find () =
+      let line =
+        try input_line err_ic
+        with End_of_file -> fail "server exited before announcing a port"
+      in
+      match
+        Scanf.sscanf_opt line "rcc serve: listening on http://%[^:]:%d"
+          (fun _host p -> p)
+      with
+      | Some p -> p
+      | None -> find ()
+    in
+    find ()
+  in
+  (pid, port, err_ic)
+
+let shutdown ~what pid err_ic =
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "%s exited %d after SIGTERM" what n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      fail "%s killed by signal %d" what n);
+  let rest = read_all err_ic in
+  close_in_noerr err_ic;
+  if not (contains ~needle:"drained" rest) then
+    fail "%s: no drain narration on stderr: %S" what rest
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  ignore (Unix.alarm 120);
+  let rcc =
+    match Sys.argv with
+    | [| _; rcc |] when Filename.is_implicit rcc ->
+        Filename.concat Filename.current_dir_name rcc
+    | [| _; rcc |] -> rcc
+    | _ ->
+        prerr_endline "usage: storesmoke <rcc.exe>";
+        exit 2
+  in
+  let store_dir = "store.d" in
+  let args = [ "--jobs"; "2"; "--quiet"; "--store"; store_dir ] in
+  let run_body = {|{"bench":"cmp","rc":true,"core_int":8}|} in
+
+  (* 1. Server #1: cold store — execute, publish, then replay from the
+     in-memory cache. *)
+  let pid, port, err_ic = boot rcc args in
+  Printf.printf "storesmoke: server #1 pid %d on port %d (store %s)\n%!" pid
+    port store_dir;
+  let status, cold =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "server #1 first /run: status %d" status;
+  if engine_of "server #1 first /run" cold <> "execute" then
+    fail "server #1 first /run did not execute (store was not cold?)";
+  let status, warm =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "server #1 second /run: status %d" status;
+  if engine_of "server #1 second /run" warm <> "replay" then
+    fail "server #1 second /run did not replay";
+  let s = store_stats ~port in
+  let published = int_member "server #1 store" "published" s in
+  if published < 1 then
+    fail "server #1 store.published = %d, wanted >= 1" published;
+  Printf.printf
+    "storesmoke: server #1 executed, published %d trace(s), replayed warm\n%!"
+    published;
+  shutdown ~what:"server #1" pid err_ic;
+
+  (* 2. Server #2: brand-new process, same store — the very first /run
+     must replay from disk. *)
+  let pid, port, err_ic = boot rcc args in
+  Printf.printf "storesmoke: server #2 pid %d on port %d (same store)\n%!" pid
+    port;
+  let status, disk =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "server #2 first /run: status %d" status;
+  if engine_of "server #2 first /run" disk <> "replay" then
+    fail "server #2 first /run executed: the store did not survive the process";
+  if normalize "server #2 /run" disk <> normalize "server #1 warm /run" warm
+  then
+    fail "server #2 replayed document differs from server #1's after wall_s \
+          normalisation";
+  let s = store_stats ~port in
+  let hits = int_member "server #2 store" "hits" s in
+  if hits < 1 then fail "server #2 store.hits = %d, wanted >= 1" hits;
+  let status, prom = http_request ~port ~meth:"GET" ~path:"/metrics" () in
+  if status <> 200 then fail "server #2 /metrics: status %d" status;
+  if not (contains ~needle:"# TYPE rcc_store_hits_total counter" prom) then
+    fail "server #2 /metrics: no rcc_store_hits_total TYPE line";
+  if contains ~needle:"rcc_store_hits_total 0" prom then
+    fail "server #2 /metrics: rcc_store_hits_total still 0";
+  Printf.printf
+    "storesmoke: server #2 replayed from disk on first request (store.hits = \
+     %d)\n%!"
+    hits;
+  shutdown ~what:"server #2" pid err_ic;
+  print_endline "storesmoke: cold-process warm-store round-trip ok"

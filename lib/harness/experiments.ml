@@ -60,6 +60,17 @@ type engine_stats = {
 
 type trace_slot = Seen_once | Recorded of Rc_machine.Dtrace.t
 
+(** Optional second cache level behind the in-memory trace table: an
+    on-disk store (lib/serve/store.ml, or anything else) exposed as two
+    closures so the harness stays ignorant of file formats.  [probe] is
+    consulted on an in-memory miss {e before} deciding to execute or
+    record; [publish] is offered every freshly recorded trace.  Both
+    run {e outside} [traces_mu] — they do disk IO. *)
+type store_hooks = {
+  probe : string -> Rc_machine.Dtrace.t option;
+  publish : string -> Rc_machine.Dtrace.t -> unit;
+}
+
 type ctx = {
   scale : int;
   engine : engine;
@@ -83,6 +94,7 @@ type ctx = {
      depend on the race (only the hit/miss split does). *)
   traces : (string, trace_slot) Hashtbl.t;
   traces_mu : Mutex.t;
+  mutable store : store_hooks option;
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_recorded : int;
@@ -102,6 +114,7 @@ let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) ?(batch = true) () =
     base_cycles = Rc_par.Memo.create 16;
     traces = Hashtbl.create 256;
     traces_mu = Mutex.create ();
+    store = None;
     s_hits = 0;
     s_misses = 0;
     s_recorded = 0;
@@ -145,6 +158,30 @@ let export_metrics ctx reg =
     "rcc_trace_cache_bytes" (float_of_int s.bytes)
 
 let shutdown ctx = Rc_par.Pool.shutdown ctx.pool
+let set_store ctx ~probe ~publish = ctx.store <- Some { probe; publish }
+
+(* Probe the attached store for [key] — called on an in-memory miss,
+   outside [traces_mu] (it reads a file).  A hit is installed in the
+   memory table (unless a racing worker already recorded the key) so
+   later sightings hit memory, and counts toward resident bytes like
+   any other cached trace. *)
+let store_probe ctx key =
+  match ctx.store with
+  | None -> None
+  | Some s -> (
+      match s.probe key with
+      | None -> None
+      | Some tr ->
+          Mutex.protect ctx.traces_mu (fun () ->
+              match Hashtbl.find_opt ctx.traces key with
+              | Some (Recorded _) -> ()
+              | _ ->
+                  Hashtbl.replace ctx.traces key (Recorded tr);
+                  ctx.s_bytes <- ctx.s_bytes + Rc_machine.Dtrace.bytes tr);
+          Some tr)
+
+let store_publish ctx key tr =
+  match ctx.store with None -> () | Some s -> s.publish key tr
 
 let level_key = function
   | Rc_opt.Pass.Classical -> "classical"
@@ -214,22 +251,34 @@ let simulate_engine ctx (c : Pipeline.compiled) =
           ^ "#"
           ^ semantic_key c.Pipeline.opts
         in
-        let action =
+        let mem =
           Mutex.protect ctx.traces_mu (fun () ->
               match Hashtbl.find_opt ctx.traces key with
               | Some (Recorded tr) ->
                   ctx.s_hits <- ctx.s_hits + 1;
+                  `Hit tr
+              | Some Seen_once -> `Seen
+              | None -> `Cold)
+        in
+        let action =
+          match mem with
+          | `Hit tr -> `Replay tr
+          | (`Seen | `Cold) as m -> (
+              (* in-memory miss: a sibling process may have recorded
+                 this key already — probe the store before paying for
+                 an execution *)
+              match store_probe ctx key with
+              | Some tr ->
+                  Mutex.protect ctx.traces_mu (fun () ->
+                      ctx.s_hits <- ctx.s_hits + 1);
                   `Replay tr
-              | Some Seen_once ->
-                  ctx.s_misses <- ctx.s_misses + 1;
-                  `Record
               | None ->
-                  ctx.s_misses <- ctx.s_misses + 1;
-                  if ctx.engine = Replay then `Record
-                  else begin
-                    Hashtbl.replace ctx.traces key Seen_once;
-                    `Execute
-                  end)
+                  Mutex.protect ctx.traces_mu (fun () ->
+                      ctx.s_misses <- ctx.s_misses + 1;
+                      if m = `Cold && ctx.engine <> Replay then
+                        Hashtbl.replace ctx.traces key Seen_once);
+                  if m = `Seen || ctx.engine = Replay then `Record
+                  else `Execute)
         in
         match action with
         | `Replay tr -> (Pipeline.simulate_replayed c tr, "replay")
@@ -245,7 +294,8 @@ let simulate_engine ctx (c : Pipeline.compiled) =
                     | _ ->
                         Hashtbl.replace ctx.traces key (Recorded tr);
                         ctx.s_recorded <- ctx.s_recorded + 1;
-                        ctx.s_bytes <- ctx.s_bytes + Rc_machine.Dtrace.bytes tr));
+                        ctx.s_bytes <- ctx.s_bytes + Rc_machine.Dtrace.bytes tr);
+                store_publish ctx key tr);
             (r, "execute")
       end
 
@@ -371,17 +421,26 @@ let run_prefetch_task ctx = function
       let cached =
         Mutex.protect ctx.traces_mu (fun () -> Hashtbl.find_opt ctx.traces key)
       in
+      let replay_all tr =
+        Mutex.protect ctx.traces_mu (fun () ->
+            ctx.s_hits <- ctx.s_hits + List.length cells);
+        let rs =
+          Pipeline.simulate_replay_batch (List.map compiled_of cells) tr
+        in
+        List.iter2 (fun (b, opts, c) r -> memo_cell ctx b opts c r) cells rs
+      in
       match cached with
       | Some (Recorded tr) ->
           (* warm cache (an earlier figure recorded this key): the
              whole group re-times in one pass *)
-          Mutex.protect ctx.traces_mu (fun () ->
-              ctx.s_hits <- ctx.s_hits + List.length cells);
-          let rs =
-            Pipeline.simulate_replay_batch (List.map compiled_of cells) tr
-          in
-          List.iter2 (fun (b, opts, c) r -> memo_cell ctx b opts c r) cells rs
+          replay_all tr
       | (None | Some Seen_once) as cached -> (
+          match store_probe ctx key with
+          | Some tr ->
+              (* a sibling process recorded this key: replay the whole
+                 group from the store's copy *)
+              replay_all tr
+          | None -> (
           match cells with
           | [ (b, opts, c) ] when cached = None ->
               (* a trace nothing else in this table can replay: record
@@ -422,6 +481,7 @@ let run_prefetch_task ctx = function
                           ctx.s_recorded <- ctx.s_recorded + 1;
                           ctx.s_bytes <-
                             ctx.s_bytes + Rc_machine.Dtrace.bytes tr);
+                  store_publish ctx key tr;
                   if rest <> [] then begin
                     Mutex.protect ctx.traces_mu (fun () ->
                         ctx.s_hits <- ctx.s_hits + List.length rest);
@@ -433,7 +493,7 @@ let run_prefetch_task ctx = function
                     List.iter2
                       (fun (b, opts, c) r -> memo_cell ctx b opts c r)
                       rest rs
-                  end)))
+                  end))))
 
 (** Simulate a table's declared dependencies ahead of its thunk
     fan-out: compile every distinct not-yet-simulated cell (plus each

@@ -82,6 +82,20 @@ val engine_stats : ctx -> engine_stats
     rendering [GET /metrics]. *)
 val export_metrics : ctx -> Rc_obs.Metrics.t -> unit
 
+(** Attach an on-disk trace store (lib/serve/store.ml, or any other
+    second cache level) as two closures, keeping the harness ignorant
+    of file formats.  [probe key] is consulted on every in-memory
+    trace-cache miss {e before} deciding to execute or record — a hit
+    replays (and counts as a cache hit, installing the trace in
+    memory); [publish key trace] is offered every freshly recorded
+    trace.  Both are called outside the cache mutex and may do disk
+    IO; they must be safe to call from any pool domain. *)
+val set_store :
+  ctx ->
+  probe:(string -> Rc_machine.Dtrace.t option) ->
+  publish:(string -> Rc_machine.Dtrace.t -> unit) ->
+  unit
+
 (** Join the context's worker domains.  The context must not be used
     afterwards. *)
 val shutdown : ctx -> unit

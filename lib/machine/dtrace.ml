@@ -287,6 +287,45 @@ let output t =
 let bytes_block len = 8 * (1 + ((len + 8) / 8))
 let bytes t = bytes_block (Bytes.length t.data) + bytes_block (Bytes.length t.out) + 40 + 24
 
+(* --- serialization ------------------------------------------------------- *)
+
+(* On-disk record layout (the store wraps this in its own header):
+     [n : LE64] [checksum : LE64] [data_len : LE64] [out_len : LE64]
+     [data bytes] [out bytes]
+   Self-contained: the arch table is not part of a trace — it is a
+   property of the image, reconstructed from the replayer's own
+   predecode at decode time. *)
+
+let to_string t =
+  let dlen = Bytes.length t.data and olen = Bytes.length t.out in
+  let b = Bytes.create (32 + dlen + olen) in
+  Bytes.set_int64_le b 0 (Int64.of_int t.n);
+  Bytes.set_int64_le b 8 t.checksum;
+  Bytes.set_int64_le b 16 (Int64.of_int dlen);
+  Bytes.set_int64_le b 24 (Int64.of_int olen);
+  Bytes.blit t.data 0 b 32 dlen;
+  Bytes.blit t.out 0 b (32 + dlen) olen;
+  Bytes.unsafe_to_string b
+
+let of_string s =
+  let len = String.length s in
+  if len < 32 then None
+  else
+    let field i = Int64.to_int (String.get_int64_le s (8 * i)) in
+    let n = field 0 and dlen = field 2 and olen = field 3 in
+    if
+      n < 0 || dlen < 0 || olen < 0 || olen mod 8 <> 0
+      || len <> 32 + dlen + olen
+    then None
+    else
+      Some
+        {
+          n;
+          checksum = String.get_int64_le s 8;
+          data = Bytes.of_string (String.sub s 32 dlen);
+          out = Bytes.of_string (String.sub s (32 + dlen) olen);
+        }
+
 (* --- decoding ------------------------------------------------------------ *)
 
 type cursor = {

@@ -103,6 +103,21 @@ val output : t -> int64 list
 (** Exact resident heap size of the trace in bytes, O(1). *)
 val bytes : t -> int
 
+(** {2 Serialization}
+
+    A fixed little-endian framing of the four record fields —
+    self-contained, because the arch table belongs to the {e image},
+    not the trace: the on-disk store saves only these bytes, and the
+    replayer reconstructs the table from its own predecode. *)
+
+val to_string : t -> string
+
+(** Decode a {!to_string} image; [None] on any framing violation
+    (short buffer, negative or inconsistent lengths, ragged output
+    stream).  Token-stream corruption {e within} a well-framed blob
+    surfaces later, as the cursor's [Invalid_argument]. *)
+val of_string : string -> t option
+
 (** {2 Decoding} *)
 
 (** A streaming decoder over the token stream: {!next} yields entries

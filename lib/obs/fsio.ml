@@ -1,12 +1,33 @@
 (* Crash-safe file replacement: temp file in the destination's
-   directory, error-reporting close, atomic rename.  See fsio.mli. *)
+   directory, error-reporting close, fsync, atomic rename.  See
+   fsio.mli. *)
+
+(* [Filename.temp_file] creates the temp 0o600 for its own
+   mktemp-style safety, but we are about to rename it over the
+   destination: without a chmod, atomically replacing a
+   world-readable file silently tightens it to owner-only.  Apply
+   the conventional creation mode instead, masked by the process
+   umask like open(2) would. *)
+let default_mode =
+  lazy
+    (let u = Unix.umask 0 in
+     ignore (Unix.umask u : int);
+     0o644 land lnot u)
 
 let write_atomic path f =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
   match
     let oc = open_out_bin tmp in
-    match f oc with
+    match
+      f oc;
+      Unix.fchmod (Unix.descr_of_out_channel oc) (Lazy.force default_mode);
+      (* Flush then fsync before the rename publishes the name: a
+         crash after rename must not be able to expose an empty or
+         partial file whose data never reached the disk. *)
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc)
+    with
     | () ->
         (* [close_out], not [close_out_noerr]: a failed flush (ENOSPC,
            EIO) must surface as an exception, not a truncated file. *)

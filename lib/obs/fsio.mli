@@ -4,13 +4,20 @@
     crash (or [kill -9]) mid-write leaves a torn file, and ENOSPC on a
     [close_out_noerr] data path is silently swallowed.  [write_atomic]
     writes to a fresh temporary file in the {e same directory} (same
-    filesystem, so the final rename is atomic), flushes and closes with
-    error reporting, and only then renames over the destination —
-    readers see either the old contents or the new, never a prefix. *)
+    filesystem, so the final rename is atomic), flushes, fsyncs and
+    closes with error reporting, and only then renames over the
+    destination — readers see either the old contents or the new,
+    never a prefix, even across a crash between rename and the next
+    sync (the data hit the disk before the name did). *)
 
 (** [write_atomic path f] runs [f] on an output channel for a
     temporary file next to [path], then atomically renames it to
-    [path].  On any failure — including write or close errors such as
-    ENOSPC — the temporary file is removed, [path] is left untouched
-    and the exception ([Sys_error] for IO failures) is re-raised. *)
+    [path].  The published file carries mode [0o644] masked by the
+    process umask (like [open(2)] creation), {e not} the temp file's
+    private [0o600] — replacing a world-readable file must not
+    silently tighten it.  On any failure — including write, fsync or
+    close errors such as ENOSPC — the temporary file is removed,
+    [path] is left untouched and the exception ([Sys_error] for
+    channel IO failures, [Unix.Unix_error] from fsync) is
+    re-raised. *)
 val write_atomic : string -> (out_channel -> unit) -> unit

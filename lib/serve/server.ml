@@ -31,6 +31,7 @@ let default_config =
 type t = {
   cfg : config;
   ctx : Rc_harness.Experiments.ctx;
+  store : Store.t option;
   lfd : Unix.file_descr;
   port : int;
   stats : Stats.t;
@@ -42,10 +43,18 @@ type t = {
   drained : Condition.t;
   mutable inflight : int;
   mutable served : int;
+  mutable closed_early : int;
 }
 
-let create ?(config = default_config) ctx =
+(* Split out of [create] so the prefork parent can open the listener
+   once, before any worker (or any domain) exists, and hand the
+   inherited fd to each worker's [create ~listener].  Close-on-exec:
+   the listener must not leak into exec'd subprocesses — fork-only
+   children (the prefork workers) still inherit it, since the flag
+   acts at exec, not fork. *)
+let create_listener config =
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec lfd;
   Unix.setsockopt lfd Unix.SO_REUSEADDR true;
   (match
      Unix.bind lfd
@@ -61,9 +70,23 @@ let create ?(config = default_config) ctx =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
   in
+  (lfd, port)
+
+let create ?(config = default_config) ?listener ?store ctx =
+  let lfd, port =
+    match listener with
+    | Some (fd, port) -> (fd, port)
+    | None -> create_listener config
+  in
+  (match store with
+  | None -> ()
+  | Some s ->
+      Rc_harness.Experiments.set_store ctx ~probe:(Store.probe s)
+        ~publish:(Store.publish s));
   {
     cfg = config;
     ctx;
+    store;
     lfd;
     port;
     stats = Stats.create ();
@@ -75,12 +98,14 @@ let create ?(config = default_config) ctx =
     drained = Condition.create ();
     inflight = 0;
     served = 0;
+    closed_early = 0;
   }
 
 let port t = t.port
 let stop t = Atomic.set t.stopping true
 let inflight t = Mutex.protect t.mu (fun () -> t.inflight)
 let served t = Mutex.protect t.mu (fun () -> t.served)
+let closed_early t = Mutex.protect t.mu (fun () -> t.closed_early)
 let trace_chrome t = Reqtrace.chrome t.reqs
 let uptime_s t = Unix.gettimeofday () -. t.started
 
@@ -167,15 +192,24 @@ let metrics_json_endpoint t =
   let server =
     match Stats.to_json t.stats with
     | Rc_obs.Json.Obj fields ->
-        Rc_obs.Json.Obj (("inflight", Rc_obs.Json.Int (inflight t)) :: fields)
+        Rc_obs.Json.Obj
+          (("inflight", Rc_obs.Json.Int (inflight t))
+          :: ("closed_early", Rc_obs.Json.Int (closed_early t))
+          :: fields)
     | j -> j
+  in
+  let store_fields =
+    match t.store with
+    | None -> []
+    | Some s -> [ ("store", Store.stats_json s) ]
   in
   json_ok
     (Rc_obs.Json.Obj
-       [
-         ("server", server);
-         ("experiments", Rc_harness.Experiments.metrics_json t.ctx);
-       ])
+       ([
+          ("server", server);
+          ("experiments", Rc_harness.Experiments.metrics_json t.ctx);
+        ]
+       @ store_fields))
 
 let prom_endpoint t =
   let reg = Stats.registry t.stats in
@@ -184,7 +218,12 @@ let prom_endpoint t =
     (float_of_int (inflight t));
   Rc_obs.Metrics.set reg ~help:"Seconds since the server started"
     "rcc_uptime_seconds" (uptime_s t);
+  Rc_obs.Metrics.set_counter reg
+    ~help:"Connections closed before sending any request"
+    "rcc_closed_early_total"
+    (float_of_int (closed_early t));
   Rc_harness.Experiments.export_metrics t.ctx reg;
+  (match t.store with None -> () | Some s -> Store.export_metrics s reg);
   ( 200,
     [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ],
     Rc_obs.Metrics.render reg )
@@ -240,15 +279,30 @@ let route t rc (req : Http.request) =
    response before the client reads it — exactly the error and
    load-shed paths, which answer without consuming the body.  So:
    finish our side with FIN, drain briefly until the peer closes, then
-   close for real. *)
+   close for real.  The drain is bounded three ways — per-read
+   timeout, total byte budget, wall-clock deadline — so a client that
+   keeps streaming bytes forfeits its RST protection instead of
+   pinning a worker. *)
+let drain_budget_bytes = 256 * 1024
+let drain_deadline_s = 2.0
+
 let graceful_close fd =
   (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
      let buf = Bytes.create 4096 in
-     while Unix.read fd buf 0 (Bytes.length buf) > 0 do
-       ()
-     done
+     let deadline = Unix.gettimeofday () +. drain_deadline_s in
+     let budget = ref drain_budget_bytes in
+     let rec drain () =
+       if !budget > 0 && Unix.gettimeofday () < deadline then begin
+         let n = Unix.read fd buf 0 (Bytes.length buf) in
+         if n > 0 then begin
+           budget := !budget - n;
+           drain ()
+         end
+       end
+     in
+     drain ()
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -273,11 +327,16 @@ let handle t ~t_acc fd =
   Reqtrace.add rc ~name:"queue" ~start_s:t_acc
     ~dur_s:(Unix.gettimeofday () -. t_acc)
     ();
+  (* A connection that closes before sending any request (a health
+     prober, a cancelled client) is not a served request: counting it
+     would skew the loadgen client-vs-server cross-check. *)
+  let early = ref false in
   let finally () =
     graceful_close fd;
     Mutex.protect t.mu (fun () ->
         t.inflight <- t.inflight - 1;
-        t.served <- t.served + 1;
+        if !early then t.closed_early <- t.closed_early + 1
+        else t.served <- t.served + 1;
         Condition.broadcast t.drained)
   in
   Fun.protect ~finally (fun () ->
@@ -294,7 +353,7 @@ let handle t ~t_acc fd =
         Reqtrace.time rc "read" (fun () ->
             Http.read_request ~limits (Http.reader_of_fd fd))
       with
-      | Error Http.Closed -> ()
+      | Error Http.Closed -> early := true
       | Error e ->
           let status, detail =
             match e with
@@ -372,7 +431,9 @@ let run t =
       (match Unix.select [ t.lfd ] [] [] 0.05 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
-          match Unix.accept t.lfd with
+          (* ~cloexec: accepted sockets must not leak into exec'd
+             children of the pool domains either *)
+          match Unix.accept ~cloexec:true t.lfd with
           | fd, _ -> dispatch t fd
           | exception
               Unix.Unix_error

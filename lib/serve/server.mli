@@ -64,11 +64,34 @@ val default_config : config
 
 type t
 
+(** Open, bind and listen the server socket described by a config:
+    the building block of the prefork mode, where the {e parent}
+    opens the listener once — before any worker process or domain
+    exists — and every worker [create]s around the inherited fd,
+    accepting on it concurrently (the kernel load-balances accepts).
+    The fd is close-on-exec (fork-only children still inherit it —
+    the flag acts at exec); the returned port is the bound one (the
+    actual port when [config.port] was 0).
+    @raise Unix.Unix_error when binding fails. *)
+val create_listener : config -> Unix.file_descr * int
+
 (** Binds and listens; requests are dispatched onto the context's
     {!Rc_par.Pool} ([jobs - 1] spawned workers; with [jobs = 1] they
     run inline in the accept loop).  Does not take ownership of the
-    context: the caller still shuts it down after {!run} returns. *)
-val create : ?config:config -> Rc_harness.Experiments.ctx -> t
+    context: the caller still shuts it down after {!run} returns.
+
+    [listener] adopts an already-open socket from {!create_listener}
+    instead of binding (the prefork worker path; [config.host]/[port]
+    are then ignored).  [store] attaches an on-disk trace store: it is
+    wired into the context's trace-cache misses
+    ({!Rc_harness.Experiments.set_store}) and its gauges joined into
+    [GET /metrics] / [/metrics.json]. *)
+val create :
+  ?config:config ->
+  ?listener:Unix.file_descr * int ->
+  ?store:Store.t ->
+  Rc_harness.Experiments.ctx ->
+  t
 
 (** The bound port (the actual one when [config.port] was 0). *)
 val port : t -> int
@@ -85,8 +108,14 @@ val stop : t -> unit
 (** Requests accepted and not yet finished (queued included). *)
 val inflight : t -> int
 
-(** Requests fully handled since startup. *)
+(** Requests fully handled since startup.  Connections that closed
+    before sending any request are excluded (see {!closed_early}). *)
 val served : t -> int
+
+(** Connections that closed before sending any request — health
+    probes, cancelled clients.  Counted separately from {!served} so
+    the loadgen client-vs-server cross-check is not skewed. *)
+val closed_early : t -> int
 
 (** Seconds since {!create}. *)
 val uptime_s : t -> float

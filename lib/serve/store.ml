@@ -1,0 +1,253 @@
+(* On-disk trace store — the trace cache's second level, shared across
+   processes.  See store.mli and DESIGN.md §17 for the contract. *)
+
+let magic = "RCTS"
+let version = '\001'
+let suffix = ".rct"
+
+type t = {
+  dir : string;
+  max_bytes : int;  (* 0 = unbounded *)
+  mu : Mutex.t;  (* counters and the scan/evict critical section *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable published : int;
+  mutable evicted : int;
+  mutable bytes : int;
+  mutable files : int;
+}
+
+(* --- keys on disk -------------------------------------------------------- *)
+
+(* One file per key, name derived from the key alone so sibling
+   processes converge on the same file without coordination.  Keys
+   contain '/', '#' and model pretty-prints, so percent-encode
+   everything outside [A-Za-z0-9._-]; the "t_" prefix keeps names out
+   of dotfile territory (write_atomic's temps start with '.') and away
+   from anything else a future store version might put in the dir. *)
+let filename_of_key key =
+  let b = Buffer.create (String.length key + 8) in
+  Buffer.add_string b "t_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' ->
+          Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    key;
+  Buffer.add_string b suffix;
+  Buffer.contents b
+
+let is_record name =
+  String.length name > String.length suffix
+  && name.[0] <> '.'
+  && Filename.check_suffix name suffix
+
+(* --- record framing ------------------------------------------------------ *)
+
+(*   [magic "RCTS"] [version byte] [key length : LE32] [key bytes]
+     [Dtrace.to_string blob, to end of file]
+   The embedded key makes a record self-describing: probe compares it
+   against the requested key, so an encoding bug or a renamed file can
+   only produce a miss, never a foreign trace. *)
+
+let header_len key = 4 + 1 + 4 + String.length key
+
+let encode key tr =
+  let blob = Rc_machine.Dtrace.to_string tr in
+  let klen = String.length key in
+  let b = Bytes.create (header_len key + String.length blob) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 version;
+  Bytes.set_int32_le b 5 (Int32.of_int klen);
+  Bytes.blit_string key 0 b 9 klen;
+  Bytes.blit_string blob 0 b (9 + klen) (String.length blob);
+  Bytes.unsafe_to_string b
+
+let decode ~key s =
+  let len = String.length s in
+  if len < 9 || String.sub s 0 4 <> magic || s.[4] <> version then None
+  else
+    let klen = Int32.to_int (String.get_int32_le s 5) in
+    if klen <> String.length key || len < 9 + klen then None
+    else if String.sub s 9 klen <> key then None
+    else Rc_machine.Dtrace.of_string (String.sub s (9 + klen) (len - 9 - klen))
+
+(* --- directory scan and eviction ----------------------------------------- *)
+
+let scan dir =
+  let entries =
+    match Sys.readdir dir with
+    | names -> Array.to_list names
+    | exception Sys_error _ -> []
+  in
+  List.filter_map
+    (fun name ->
+      if not (is_record name) then None
+      else
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+            Some (name, st_size, st_mtime)
+        | _ -> None
+        | exception Unix.Unix_error _ -> None (* lost a race; gone *))
+    entries
+
+(* LRU order: oldest mtime first, name as the deterministic
+   tie-break.  The newest record always survives eviction — a store
+   whose cap is smaller than one trace still functions as a cache of
+   one instead of thrashing itself empty. *)
+let evict_locked t =
+  let records = scan t.dir in
+  let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 records in
+  let by_age =
+    List.sort
+      (fun (n1, _, m1) (n2, _, m2) ->
+        match compare (m1 : float) m2 with
+        | 0 -> String.compare n1 n2
+        | c -> c)
+      records
+  in
+  let rec drop total = function
+    | _ when t.max_bytes = 0 || total <= t.max_bytes -> (total, [])
+    | [] -> (total, [])
+    | [ newest ] -> (total, [ newest ])
+    | (name, sz, _) :: rest ->
+        (match Unix.unlink (Filename.concat t.dir name) with
+        | () -> t.evicted <- t.evicted + 1
+        | exception Unix.Unix_error _ -> () (* a sibling evicted it *));
+        drop (total - sz) rest
+  in
+  let total, _ = drop total by_age in
+  t.bytes <- total;
+  t.files <-
+    (if t.max_bytes = 0 then List.length records
+     else List.length (scan t.dir))
+
+let open_store ~dir ?(max_bytes = 0) () =
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      match Unix.mkdir d 0o755 with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mkdirs dir;
+  let t =
+    {
+      dir;
+      max_bytes;
+      mu = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      published = 0;
+      evicted = 0;
+      bytes = 0;
+      files = 0;
+    }
+  in
+  Mutex.protect t.mu (fun () -> evict_locked t);
+  t
+
+let dir t = t.dir
+
+(* --- probe / publish ----------------------------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | ic -> (
+      match
+        let len = in_channel_length ic in
+        really_input_string ic len
+      with
+      | s ->
+          close_in_noerr ic;
+          Some s
+      | exception (Sys_error _ | End_of_file) ->
+          close_in_noerr ic;
+          None)
+  | exception Sys_error _ -> None
+
+let probe t key =
+  let path = Filename.concat t.dir (filename_of_key key) in
+  let result =
+    match read_file path with None -> None | Some s -> decode ~key s
+  in
+  (match result with
+  | Some _ -> (
+      (* the LRU touch: a hit file becomes the newest *)
+      try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.protect t.mu (fun () ->
+      match result with
+      | Some _ -> t.hits <- t.hits + 1
+      | None -> t.misses <- t.misses + 1);
+  result
+
+let publish t key tr =
+  let path = Filename.concat t.dir (filename_of_key key) in
+  let content = encode key tr in
+  match
+    Rc_obs.Fsio.write_atomic path (fun oc -> output_string oc content)
+  with
+  | () ->
+      Mutex.protect t.mu (fun () ->
+          t.published <- t.published + 1;
+          evict_locked t)
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      (* the store is a cache: a full or read-only disk must not fail
+         the simulation that produced the trace *)
+      ()
+
+(* --- observability ------------------------------------------------------- *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  published : int;
+  evicted : int;
+  bytes : int;
+  files : int;
+}
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        published = t.published;
+        evicted = t.evicted;
+        bytes = t.bytes;
+        files = t.files;
+      })
+
+let export_metrics t reg =
+  let s = stats t in
+  let c name help v =
+    Rc_obs.Metrics.set_counter reg ~help name (float_of_int v)
+  in
+  c "rcc_store_hits_total" "Trace-store probes answered from disk" s.hits;
+  c "rcc_store_misses_total" "Trace-store probes that found nothing usable"
+    s.misses;
+  c "rcc_store_published_total" "Traces published to the store" s.published;
+  c "rcc_store_evicted_total" "Store records evicted under the byte cap"
+    s.evicted;
+  Rc_obs.Metrics.set reg ~help:"Store directory occupancy in bytes"
+    "rcc_store_bytes" (float_of_int s.bytes);
+  Rc_obs.Metrics.set reg ~help:"Store records on disk" "rcc_store_files"
+    (float_of_int s.files)
+
+let stats_json t =
+  let s = stats t in
+  let open Rc_obs.Json in
+  Obj
+    [
+      ("dir", Str t.dir);
+      ("hits", Int s.hits);
+      ("misses", Int s.misses);
+      ("published", Int s.published);
+      ("evicted", Int s.evicted);
+      ("bytes", Int s.bytes);
+      ("files", Int s.files);
+    ]

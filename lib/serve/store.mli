@@ -1,0 +1,63 @@
+(** On-disk trace store: the trace cache's second level, shared across
+    processes.
+
+    One file per trace key ([Image.fingerprint ^ "#" ^
+    Experiments.semantic_key]), written atomically via
+    {!Rc_obs.Fsio.write_atomic} so concurrent readers and writers —
+    prefork siblings, or a later cold process — see whole records or
+    nothing.  The file body is [magic, version, key, Dtrace blob]
+    ({!Rc_machine.Dtrace.to_string}); {!probe} verifies magic, version
+    and the embedded key before trusting a record, so a renamed or
+    truncated file degrades to a miss, never a wrong replay.
+
+    Eviction is LRU by file mtime under a byte cap: {!probe} bumps the
+    hit file's mtime, {!publish} re-scans the directory and unlinks
+    oldest-first while the total exceeds the cap (the newest file
+    always survives, so a single over-cap trace still functions as a
+    cache of one).  Cross-process coordination is exactly the
+    filesystem: no locks — a racing evictor losing an unlink, or a
+    probe losing its file mid-read, is a miss.
+
+    Counters ([hits]/[misses]/[published]/[evicted]) are per-process;
+    [bytes]/[files] are the directory occupancy as of the last scan.
+    See DESIGN.md §17. *)
+
+type t
+
+(** [open_store ~dir ~max_bytes ()] creates [dir] if needed (parents
+    included) and scans it for the occupancy gauges.  [max_bytes = 0]
+    (the default) means unbounded.
+    @raise Unix.Unix_error when [dir] cannot be created. *)
+val open_store : dir:string -> ?max_bytes:int -> unit -> t
+
+val dir : t -> string
+
+(** Look a trace up by key: a verified on-disk record decodes, has its
+    mtime bumped (the LRU touch) and counts a hit; anything else —
+    missing file, bad magic or version, foreign key, torn blob —
+    counts a miss. *)
+val probe : t -> string -> Rc_machine.Dtrace.t option
+
+(** Write the record for [key] (atomic replace), then enforce the byte
+    cap.  IO errors (ENOSPC, permissions) are swallowed after counting
+    — the store is a cache; the simulation result already exists. *)
+val publish : t -> string -> Rc_machine.Dtrace.t -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  published : int;
+  evicted : int;
+  bytes : int;  (** directory occupancy at the last scan *)
+  files : int;
+}
+
+val stats : t -> stats
+
+(** Export the counters and occupancy gauges as [rcc_store_*] into a
+    metrics registry (the serve [/metrics] exposition). *)
+val export_metrics : t -> Rc_obs.Metrics.t -> unit
+
+(** The store's stats as a stable-keyed JSON object (the serve
+    [/metrics.json] document). *)
+val stats_json : t -> Rc_obs.Json.t

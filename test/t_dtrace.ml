@@ -208,11 +208,78 @@ let test_compression () =
         (4 * Dtrace.bytes tr <= old_bytes))
     (Registry.all ())
 
+(* --- wire serialization ---------------------------------------------------- *)
+
+(* to_string/of_string carry a trace between processes (the on-disk
+   store): the round-trip must preserve entries, output and checksum
+   exactly, and of_string must reject every framing violation rather
+   than hand back a trace that replays garbage. *)
+let test_serialize_roundtrip () =
+  let code_len = 40 in
+  let s0 = Array.init code_len (fun i -> i mod 5) in
+  let s1 = Array.init code_len (fun i -> if i mod 4 = 0 then -1 else i mod 9) in
+  let d = Array.init code_len (fun i -> (i + 2) mod 11) in
+  let arch = Dtrace.arch_of_arrays ~s0 ~s1 ~d in
+  List.iter
+    (fun (name, n, output) ->
+      let es =
+        List.init n (fun i ->
+            Dtrace.pack ~pc:(i mod code_len) ~sp0:(-1) ~sp1:(-1)
+              ~dp:(if i mod 3 = 0 then 4 else -1)
+              ~map_on:(i mod 7 < 3) ~taken:(i mod code_len = code_len - 1))
+      in
+      let t = build arch es ~output ~checksum:0x5eedL in
+      match Dtrace.of_string (Dtrace.to_string t) with
+      | None -> Alcotest.failf "%s: of_string rejected its own encoding" name
+      | Some t' ->
+          Alcotest.(check int) (name ^ ": n") t.Dtrace.n t'.Dtrace.n;
+          Alcotest.(check int64)
+            (name ^ ": checksum") t.Dtrace.checksum t'.Dtrace.checksum;
+          check_bool (name ^ ": token bytes") true
+            (Bytes.equal t.Dtrace.data t'.Dtrace.data);
+          Alcotest.(check (list int64))
+            (name ^ ": output") (Dtrace.output t) (Dtrace.output t');
+          Alcotest.(check (array int))
+            (name ^ ": entries")
+            (Dtrace.entries arch t) (Dtrace.entries arch t'))
+    [ ("empty", 0, []); ("small", 7, [ 3L; -1L ]); ("larger", 350, [ 0L ]) ]
+
+let test_serialize_rejects () =
+  let s0 = [| 0; 1 |] and s1 = [| -1; -1 |] and d = [| 1; 0 |] in
+  let arch = Dtrace.arch_of_arrays ~s0 ~s1 ~d in
+  let es =
+    [
+      Dtrace.pack ~pc:0 ~sp0:0 ~sp1:(-1) ~dp:1 ~map_on:false ~taken:false;
+      Dtrace.pack ~pc:1 ~sp0:1 ~sp1:(-1) ~dp:0 ~map_on:true ~taken:true;
+    ]
+  in
+  let good = Dtrace.to_string (build arch es ~output:[ 9L ] ~checksum:1L) in
+  let reject name s =
+    match Dtrace.of_string s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "of_string accepted %s" name
+  in
+  reject "the empty string" "";
+  reject "a short header" (String.sub good 0 16);
+  reject "a truncated body" (String.sub good 0 (String.length good - 1));
+  reject "a padded body" (good ^ "\x00");
+  (* Corrupt the data-length field so the declared frame disagrees with
+     the actual length. *)
+  let b = Bytes.of_string good in
+  Bytes.set_int64_le b 16 (Int64.add (Bytes.get_int64_le b 16) 1L);
+  reject "an inconsistent data length" (Bytes.unsafe_to_string b);
+  (* A negative entry count. *)
+  let b = Bytes.of_string good in
+  Bytes.set_int64_le b 0 (-1L);
+  reject "a negative n" (Bytes.unsafe_to_string b)
+
 let suite =
   [
     ("run-length boundaries round-trip", `Quick, test_runs);
     ("max pc/reg corners round-trip", `Slow, test_extremes);
     ("codec fuzz + sabotage locality", `Quick, test_fuzz);
     ("bytes is exact", `Quick, test_bytes_exact);
+    ("wire serialization round-trips", `Quick, test_serialize_roundtrip);
+    ("wire deserialization rejects bad framing", `Quick, test_serialize_rejects);
     ("≥4x smaller than packed ints on every kernel", `Slow, test_compression);
   ]

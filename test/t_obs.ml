@@ -174,6 +174,78 @@ let test_summary () =
          else None)
        (T.summary t))
 
+(* --- Fsio ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "t_obs_fsio" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mode_of path = (Unix.stat path).Unix.st_perm
+
+let expected_mode () =
+  let u = Unix.umask 0 in
+  ignore (Unix.umask u : int);
+  0o644 land lnot u
+
+(* The published file must carry the conventional 0o644-masked-by-umask
+   mode, not temp_file's private 0o600 — replacing a world-readable
+   file must not silently tighten it. *)
+let test_write_atomic_mode () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      Rc_obs.Fsio.write_atomic path (fun oc -> output_string oc "fresh");
+      check "fresh content" "fresh" (read_file path);
+      check_int "fresh mode" (expected_mode ()) (mode_of path);
+      (* Replace a file that is already world-readable. *)
+      Unix.chmod path 0o644;
+      Rc_obs.Fsio.write_atomic path (fun oc -> output_string oc "replaced");
+      check "replaced content" "replaced" (read_file path);
+      check_int "replaced mode" (expected_mode ()) (mode_of path))
+
+(* A writer that raises must leave the destination untouched and no
+   temp file behind. *)
+let test_write_atomic_crash () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      Rc_obs.Fsio.write_atomic path (fun oc -> output_string oc "original");
+      (match
+         Rc_obs.Fsio.write_atomic path (fun oc ->
+             output_string oc "torn";
+             failwith "boom")
+       with
+      | () -> Alcotest.fail "crashing writer did not raise"
+      | exception Failure _ -> ());
+      check "destination untouched" "original" (read_file path);
+      Array.iter
+        (fun n ->
+          check_bool (Printf.sprintf "no temp left behind (%s)" n) false
+            (n <> "out.json"))
+        (Sys.readdir dir))
+
+let test_write_atomic_new_dir_entry_only () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "solo.bin" in
+      Rc_obs.Fsio.write_atomic path (fun oc -> output_string oc "x");
+      Alcotest.(check (array string))
+        "exactly the destination" [| "solo.bin" |]
+        (let names = Sys.readdir dir in
+         Array.sort compare names;
+         names))
+
 let suite =
   [
     ("json rendering", `Quick, test_json_render);
@@ -186,5 +258,10 @@ let suite =
     ("chrome export parses", `Quick, test_chrome_parses);
     ("jsonl shape", `Quick, test_jsonl_shape);
     ("counter summary", `Quick, test_summary);
+    ("write_atomic publishes 0o644 & ~umask", `Quick, test_write_atomic_mode);
+    ("write_atomic crash leaves no debris", `Quick, test_write_atomic_crash);
+    ( "write_atomic leaves only the destination",
+      `Quick,
+      test_write_atomic_new_dir_entry_only );
     QCheck_alcotest.to_alcotest prop_string_roundtrip;
   ]

@@ -464,6 +464,173 @@ let test_graceful_drain () =
    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> Unix.close fd);
   E.shutdown ctx
 
+(* --- connection accounting ---------------------------------------------- *)
+
+(* A connection that closes before sending any request — a port probe,
+   a cancelled client — must land in closed_early, not served. *)
+let test_closed_early () =
+  with_server (fun srv port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.close fd;
+      let rec wait n =
+        if Server.closed_early srv = 0 && n > 0 then begin
+          Unix.sleepf 0.005;
+          wait (n - 1)
+        end
+      in
+      wait 1000;
+      check "closed_early counts the silent connection" 1
+        (Server.closed_early srv);
+      check "served excludes it" 0 (Server.served srv);
+      let st, _, _ = request ~port ~meth:"GET" ~path:"/healthz" () in
+      check "healthz still fine" 200 st;
+      check "real request counts as served" 1 (Server.served srv);
+      check "closed_early unchanged" 1 (Server.closed_early srv))
+
+(* --- bounded drain ------------------------------------------------------- *)
+
+(* After answering 413 the server drains the unread body so the client
+   sees the response instead of a reset — but a client that streams
+   forever must hit the drain's byte budget / deadline, not pin the
+   connection.  The old unbounded drain would keep reading for as long
+   as this client keeps writing. *)
+let test_bounded_drain () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let config = { Server.default_config with Server.max_body = 64 } in
+  with_server ~config (fun _srv port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let headers =
+        "POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 100000000\r\n\r\n"
+      in
+      ignore (Unix.write_substring fd headers 0 (String.length headers));
+      (* Stream body bytes until the server gives up on us.  With the
+         bounded drain that is at most budget + deadline away; time out
+         the test well clear of it. *)
+      let chunk = String.make 65536 'x' in
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. 20.0 in
+      let closed = ref false in
+      (try
+         while (not !closed) && Unix.gettimeofday () < deadline do
+           ignore (Unix.write_substring fd chunk 0 (String.length chunk))
+         done
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+         closed := true);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Unix.close fd;
+      check_bool "server closed the streaming connection" true !closed;
+      (* budget (256 KiB) drains instantly on loopback; the wall-clock
+         cap is 2s — anything near the 20s timeout means the bound is
+         gone. *)
+      check_bool
+        (Printf.sprintf "drain bounded (closed after %.1fs)" elapsed)
+        true (elapsed < 10.0))
+
+(* --- the on-disk trace store -------------------------------------------- *)
+
+module Store = Rc_serve.Store
+module D = Rc_machine.Dtrace
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "t_serve_store" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* A small deterministic trace, distinguishable by [seed]. *)
+let trace_fixture seed =
+  let code_len = 16 in
+  let s0 = Array.init code_len (fun i -> (i + seed) mod 7) in
+  let s1 = Array.init code_len (fun i -> if i mod 3 = 0 then -1 else i mod 5) in
+  let d = Array.init code_len (fun i -> (i + 1) mod code_len) in
+  let b = D.builder (D.arch_of_arrays ~s0 ~s1 ~d) in
+  for i = 0 to 63 do
+    D.add_packed b
+      (D.pack ~pc:(i mod code_len) ~sp0:(-1) ~sp1:(-1) ~dp:(-1) ~map_on:false
+         ~taken:false)
+  done;
+  match
+    D.finish b ~output:[ Int64.of_int seed ]
+      ~checksum:(Int64.of_int ((seed * 7919) + 13))
+  with
+  | Some t -> t
+  | None -> Alcotest.fail "trace fixture failed to build"
+
+let same_trace a b = D.to_string a = D.to_string b
+
+let test_store_roundtrip () =
+  with_temp_dir (fun dir ->
+      let st = Store.open_store ~dir () in
+      let key = "fingerprint#cmp/rc=true scale=1" in
+      check_bool "probe on empty store misses" true (Store.probe st key = None);
+      let tr = trace_fixture 1 in
+      Store.publish st key tr;
+      (match Store.probe st key with
+      | Some tr' -> check_bool "published trace decodes equal" true
+            (same_trace tr tr')
+      | None -> Alcotest.fail "probe missed a just-published trace");
+      (* A different key must never see it. *)
+      check_bool "foreign key misses" true (Store.probe st (key ^ "x") = None);
+      let s = Store.stats st in
+      check "one hit" 1 s.Store.hits;
+      check "two misses" 2 s.Store.misses;
+      check "one published" 1 s.Store.published;
+      check "one file" 1 s.Store.files;
+      check_bool "bytes tracked" true (s.Store.bytes > 0);
+      (* A second handle on the same directory — the cold-process
+         case — hits without any publish of its own. *)
+      let st2 = Store.open_store ~dir () in
+      check_bool "cold handle sees the occupancy" true
+        ((Store.stats st2).Store.bytes > 0);
+      match Store.probe st2 key with
+      | Some tr' ->
+          check_bool "cold-process probe replays the same trace" true
+            (same_trace tr tr')
+      | None -> Alcotest.fail "cold-process probe missed")
+
+let test_store_eviction () =
+  with_temp_dir (fun dir ->
+      (* Learn the record size, then cap the store at two records. *)
+      let probe_size =
+        let st = Store.open_store ~dir () in
+        Store.publish st "size-probe" (trace_fixture 0);
+        let bytes = (Store.stats st).Store.bytes in
+        Sys.remove
+          (Filename.concat dir (Sys.readdir dir).(0));
+        bytes
+      in
+      check_bool "fixture produces a nonempty record" true (probe_size > 0);
+      let st = Store.open_store ~dir ~max_bytes:(2 * probe_size) () in
+      let tra = trace_fixture 1 and trb = trace_fixture 2 and trc = trace_fixture 3 in
+      Store.publish st "a" tra;
+      Unix.sleepf 0.02;
+      Store.publish st "b" trb;
+      Unix.sleepf 0.02;
+      (* Touch "a": the LRU victim must now be "b". *)
+      check_bool "touch a" true (Store.probe st "a" <> None);
+      Unix.sleepf 0.02;
+      Store.publish st "c" trc;
+      let s = Store.stats st in
+      check "one eviction under the cap" 1 s.Store.evicted;
+      check "two files survive" 2 s.Store.files;
+      check_bool "b was the LRU victim" true (Store.probe st "b" = None);
+      check_bool "a survived (recently used)" true (Store.probe st "a" <> None);
+      check_bool "c survived (newest)" true (Store.probe st "c" <> None);
+      (* A cap smaller than a single record still keeps the newest. *)
+      let st2 = Store.open_store ~dir ~max_bytes:1 () in
+      let s2 = Store.stats st2 in
+      check "tiny cap keeps exactly the newest" 1 s2.Store.files;
+      check_bool "the survivor decodes" true
+        (Store.probe st2 "a" <> None || Store.probe st2 "c" <> None))
+
 let suite =
   [
     ("http: parse request", `Quick, test_http_parse);
@@ -481,4 +648,8 @@ let suite =
     ("request-id propagation", `Quick, test_request_id);
     ("trace span invariants", `Slow, test_trace_spans);
     ("graceful drain", `Slow, test_graceful_drain);
+    ("closed_early excludes silent connections", `Quick, test_closed_early);
+    ("413 drain is bounded", `Slow, test_bounded_drain);
+    ("store: publish/probe round-trip", `Quick, test_store_roundtrip);
+    ("store: LRU eviction under a byte cap", `Quick, test_store_eviction);
   ]
