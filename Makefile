@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke \
 	json-smoke serve-smoke load-smoke load-smoke-workers store-smoke \
-	serve clean
+	memo-smoke serve clean
 
 all: build
 
@@ -69,6 +69,12 @@ load-smoke-workers:
 # section 17).
 store-smoke:
 	dune build @store-smoke
+
+# Superblock timing-memo smoke: warm store-backed replay of fig7 +
+# ablation-unroll must hit the memo at >= 80% and produce tables
+# byte-identical to --no-timing-memo (DESIGN.md section 18).
+memo-smoke:
+	dune build @memo-smoke
 
 # Run the simulation service locally.
 serve:

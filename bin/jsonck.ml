@@ -19,6 +19,12 @@
    and fails the check (the json-smoke alias pipes `rcc run --json`
    and `rcc figures --json` through this).
 
+   [--memo-warm] asserts a `rcc figures --json` document's trace_cache
+   shows a warm superblock timing memo: seg_hits must be at least 80%
+   of all memoisable-segment visits (hits + misses + fallbacks), and
+   non-zero.  The memo-smoke alias runs the warm (second) store-backed
+   replay pass through this.
+
    [--figures-equal] asserts two `rcc figures --json` documents carry
    the same results: structural equality after dropping the
    "trace_cache" member, the only field the timing-engine path (batched
@@ -137,6 +143,34 @@ let check_figures_equal a b =
           changed the results"
       a b;
   Printf.printf "%s == %s (modulo trace_cache)\n" a b
+
+let check_memo_warm path =
+  let j =
+    match Rc_obs.Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error m -> fail "%s: not valid JSON: %s" path m
+  in
+  let tc =
+    match Rc_obs.Json.member "trace_cache" j with
+    | Some tc -> tc
+    | None -> fail "%s: no trace_cache member" path
+  in
+  let int_field name =
+    match Rc_obs.Json.member name tc with
+    | Some (Rc_obs.Json.Int v) -> v
+    | _ -> fail "%s: trace_cache lacks integer field %S" path name
+  in
+  let hits = int_field "seg_hits"
+  and misses = int_field "seg_misses"
+  and fallbacks = int_field "seg_fallbacks" in
+  let visits = hits + misses + fallbacks in
+  if hits = 0 then fail "%s: warm pass has no timing-memo hits" path;
+  let rate = float_of_int hits /. float_of_int visits in
+  if rate < 0.80 then
+    fail "%s: warm timing-memo hit rate %.1f%% < 80%% (%d/%d)" path
+      (100.0 *. rate) hits visits;
+  Printf.printf "%s: warm memo hit rate %.1f%% (%d/%d)\n" path (100.0 *. rate)
+    hits visits
 
 (* --- Prometheus text exposition (version 0.0.4) ------------------------ *)
 
@@ -388,6 +422,10 @@ let () =
   | _ :: "--pure" :: (_ :: _ as files) -> List.iter check_pure files
   | _ :: "--pure" :: [] ->
       prerr_endline "usage: jsonck --pure <doc.json>...";
+      exit 2
+  | _ :: "--memo-warm" :: (_ :: _ as files) -> List.iter check_memo_warm files
+  | _ :: "--memo-warm" :: [] ->
+      prerr_endline "usage: jsonck --memo-warm <figures.json>...";
       exit 2
   | [ _; "--figures-equal"; a; b ] -> check_figures_equal a b
   | _ :: "--figures-equal" :: _ ->

@@ -151,6 +151,12 @@ let store_max_bytes_arg =
     & opt (some (pos_int ~what:"--store-max-bytes")) None
     & info [ "store-max-bytes" ] ~docv:"BYTES" ~doc)
 
+let no_timing_memo_arg =
+  let doc =
+    "Disable the superblock timing memo inside trace replay (DESIGN.md      Â§18).  An escape hatch for debugging and A/B timing: results are      byte-identical either way, the memo is just faster on loop-heavy      sweeps."
+  in
+  Arg.(value & flag & info [ "no-timing-memo" ] ~doc)
+
 let open_store store_dir store_max_bytes =
   Option.map
     (fun dir ->
@@ -332,9 +338,13 @@ let per_cell_flag =
 
 let all_figure_ids = Rc_serve.Payload.all_figure_ids
 
+(* The cold-cache stderr note prints at most once per process, however
+   many times a figures term is evaluated. *)
+let cold_note_printed = ref false
+
 let figures_cmd =
-  let run ids scale jobs engine per_cell store_dir store_max_bytes json
-      list_ids =
+  let run ids scale jobs engine per_cell store_dir store_max_bytes
+      no_timing_memo json list_ids =
     if list_ids then begin
       List.iter (fun id -> Fmt.pr "%s@." id) all_figure_ids;
       0
@@ -350,7 +360,7 @@ let figures_cmd =
       | [] ->
           let ctx =
             Rc_harness.Experiments.create ~scale ~jobs ~engine
-              ~batch:(not per_cell) ()
+              ~batch:(not per_cell) ~timing_memo:(not no_timing_memo) ()
           in
           let store = open_store store_dir store_max_bytes in
           (match store with
@@ -386,28 +396,48 @@ let figures_cmd =
                 (* Stderr, so stdout stays byte-comparable across
                    engines and jobs counts. *)
                 Fmt.epr
-                  "engine %s: %d replayed, %d executed (%d traces recorded, \
-                   %d not replay-safe, %d trace bytes)@."
+                  "engine %s: %d replayed (%d from store), %d executed (%d \
+                   traces recorded, %d not replay-safe, %d trace bytes)@."
                   (Rc_harness.Experiments.engine_name engine)
                   es.Rc_harness.Experiments.hits
+                  es.Rc_harness.Experiments.store_hits
                   es.Rc_harness.Experiments.misses
                   es.Rc_harness.Experiments.recorded
                   es.Rc_harness.Experiments.unsafe
-                  es.Rc_harness.Experiments.bytes
+                  es.Rc_harness.Experiments.bytes;
+                if
+                  es.Rc_harness.Experiments.seg_hits > 0
+                  || es.Rc_harness.Experiments.seg_misses > 0
+                  || es.Rc_harness.Experiments.seg_fallbacks > 0
+                then
+                  Fmt.epr
+                    "timing memo: %d superblock hits, %d misses, %d \
+                     fallbacks (%d memo bytes)@."
+                    es.Rc_harness.Experiments.seg_hits
+                    es.Rc_harness.Experiments.seg_misses
+                    es.Rc_harness.Experiments.seg_fallbacks
+                    es.Rc_harness.Experiments.memo_bytes
               end;
               (* A single-shot sweep records more than it replays on
                  mostly-distinct images; a long-lived context (rcc
-                 serve) amortises those recordings across requests. *)
+                 serve) amortises those recordings across requests.
+                 Store hits fold into the decision: a disk hit warmed
+                 the cache mid-run, so the cache was not cold even when
+                 this process still recorded more than it replayed. *)
               if
                 es.Rc_harness.Experiments.recorded
                 > es.Rc_harness.Experiments.hits
-              then
+                   + es.Rc_harness.Experiments.store_hits
+                && not !cold_note_printed
+              then begin
+                cold_note_printed := true;
                 Fmt.epr
                   "note: cold trace cache (%d traces recorded for %d \
-                   replays); a warm `rcc serve` context amortises the \
-                   recordings@."
+                   replays); a warm `rcc serve` context or `--store` \
+                   amortises the recordings@."
                   es.Rc_harness.Experiments.recorded
-                  es.Rc_harness.Experiments.hits;
+                  es.Rc_harness.Experiments.hits
+              end;
               (match store with
               | None -> ()
               | Some st ->
@@ -431,8 +461,8 @@ let figures_cmd =
           every engine and jobs count")
     Term.(
       const run $ figures_ids $ scale $ figures_jobs $ engine_arg
-      $ per_cell_flag $ store_dir_arg $ store_max_bytes_arg $ json_flag
-      $ list_ids_flag)
+      $ per_cell_flag $ store_dir_arg $ store_max_bytes_arg
+      $ no_timing_memo_arg $ json_flag $ list_ids_flag)
 
 (* --- serve ------------------------------------------------------------------ *)
 

@@ -56,6 +56,13 @@ type engine_stats = {
   recorded : int;
   unsafe : int;
   bytes : int;
+  store_hits : int;  (** subset of [hits] whose trace came from the store *)
+  (* superblock timing memo (Trace_replay.memo_stats, DESIGN.md §18),
+     summed over every replay this context ran *)
+  seg_hits : int;
+  seg_misses : int;
+  seg_fallbacks : int;
+  memo_bytes : int;  (** cumulative approximate memo-table footprint *)
 }
 
 type trace_slot = Seen_once | Recorded of Rc_machine.Dtrace.t
@@ -95,18 +102,28 @@ type ctx = {
   traces : (string, trace_slot) Hashtbl.t;
   traces_mu : Mutex.t;
   mutable store : store_hooks option;
+  timing_memo : bool;
+      (** superblock timing memo inside every replay (default true);
+          the [--no-timing-memo] escape hatch clears it *)
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_recorded : int;
   mutable s_unsafe : int;
   mutable s_bytes : int;
+  mutable s_store_hits : int;
+  mutable s_seg_hits : int;
+  mutable s_seg_misses : int;
+  mutable s_seg_fallbacks : int;
+  mutable s_memo_bytes : int;
 }
 
-let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) ?(batch = true) () =
+let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) ?(batch = true)
+    ?(timing_memo = true) () =
   {
     scale;
     engine;
     batch;
+    timing_memo;
     pool = Rc_par.Pool.create ~jobs;
     prepared = Rc_par.Memo.create 32;
     allocs = Rc_par.Memo.create 128;
@@ -120,6 +137,11 @@ let create ?(scale = 1) ?(jobs = 1) ?(engine = Auto) ?(batch = true) () =
     s_recorded = 0;
     s_unsafe = 0;
     s_bytes = 0;
+    s_store_hits = 0;
+    s_seg_hits = 0;
+    s_seg_misses = 0;
+    s_seg_fallbacks = 0;
+    s_memo_bytes = 0;
   }
 
 let jobs ctx = Rc_par.Pool.jobs ctx.pool
@@ -135,6 +157,11 @@ let engine_stats ctx =
         recorded = ctx.s_recorded;
         unsafe = ctx.s_unsafe;
         bytes = ctx.s_bytes;
+        store_hits = ctx.s_store_hits;
+        seg_hits = ctx.s_seg_hits;
+        seg_misses = ctx.s_seg_misses;
+        seg_fallbacks = ctx.s_seg_fallbacks;
+        memo_bytes = ctx.s_memo_bytes;
       })
 
 (* Bridge the trace-cache counters into a metrics registry (the serve
@@ -154,6 +181,18 @@ let export_metrics ctx reg =
     s.recorded;
   c "rcc_trace_cache_unsafe_total" "Cells not replay-safe, forced execution"
     s.unsafe;
+  c "rcc_trace_cache_store_hits_total"
+    "Trace-cache hits whose trace came from the on-disk store" s.store_hits;
+  c "rcc_timing_memo_hits_total"
+    "Superblock visits served by the replay timing memo" s.seg_hits;
+  c "rcc_timing_memo_misses_total"
+    "Superblock visits replayed per-entry and recorded into the memo"
+    s.seg_misses;
+  c "rcc_timing_memo_fallbacks_total"
+    "Superblock visits ineligible for the memo (halt, fuel, overflow)"
+    s.seg_fallbacks;
+  c "rcc_timing_memo_bytes_total" "Cumulative approximate memo-table bytes"
+    s.memo_bytes;
   Rc_obs.Metrics.set reg ~help:"Resident compacted trace bytes"
     "rcc_trace_cache_bytes" (float_of_int s.bytes)
 
@@ -173,6 +212,7 @@ let store_probe ctx key =
       | None -> None
       | Some tr ->
           Mutex.protect ctx.traces_mu (fun () ->
+              ctx.s_store_hits <- ctx.s_store_hits + 1;
               match Hashtbl.find_opt ctx.traces key with
               | Some (Recorded _) -> ()
               | _ ->
@@ -221,6 +261,29 @@ let semantic_key (o : Pipeline.options) =
   Fmt.str "%a/%b/%d.%d.%d.%d" Rc_core.Model.pp o.Pipeline.model o.Pipeline.rc
     o.Pipeline.core_int o.Pipeline.core_float o.Pipeline.total_int
     o.Pipeline.total_float
+
+(* Fold one replay call's memo counters into the context. *)
+let fold_memo ctx (m : Rc_machine.Trace_replay.memo_stats) =
+  Mutex.protect ctx.traces_mu (fun () ->
+      ctx.s_seg_hits <- ctx.s_seg_hits + m.Rc_machine.Trace_replay.m_hits;
+      ctx.s_seg_misses <- ctx.s_seg_misses + m.Rc_machine.Trace_replay.m_misses;
+      ctx.s_seg_fallbacks <-
+        ctx.s_seg_fallbacks + m.Rc_machine.Trace_replay.m_fallbacks;
+      ctx.s_memo_bytes <- ctx.s_memo_bytes + m.Rc_machine.Trace_replay.m_bytes)
+
+(* Every replay the harness runs goes through these two wrappers, so
+   the timing-memo switch and counters apply uniformly. *)
+let replay_cell ctx c tr =
+  let ms = Rc_machine.Trace_replay.memo_stats () in
+  let r = Pipeline.simulate_replayed ~memo:ctx.timing_memo ~stats:ms c tr in
+  fold_memo ctx ms;
+  r
+
+let replay_batch_cells ctx cs tr =
+  let ms = Rc_machine.Trace_replay.memo_stats () in
+  let rs = Pipeline.simulate_replay_batch ~memo:ctx.timing_memo ~stats:ms cs tr in
+  fold_memo ctx ms;
+  rs
 
 (** Time one compiled cell under the context's engine: replay a cached
     trace when the image was seen before, otherwise execute (recording
@@ -281,7 +344,7 @@ let simulate_engine ctx (c : Pipeline.compiled) =
                   else `Execute)
         in
         match action with
-        | `Replay tr -> (Pipeline.simulate_replayed c tr, "replay")
+        | `Replay tr -> (replay_cell ctx c tr, "replay")
         | `Execute -> (Pipeline.simulate c, "execute")
         | `Record ->
             let r, tr = Pipeline.simulate_recorded c in
@@ -424,9 +487,7 @@ let run_prefetch_task ctx = function
       let replay_all tr =
         Mutex.protect ctx.traces_mu (fun () ->
             ctx.s_hits <- ctx.s_hits + List.length cells);
-        let rs =
-          Pipeline.simulate_replay_batch (List.map compiled_of cells) tr
-        in
+        let rs = replay_batch_cells ctx (List.map compiled_of cells) tr in
         List.iter2 (fun (b, opts, c) r -> memo_cell ctx b opts c r) cells rs
       in
       match cached with
@@ -442,12 +503,16 @@ let run_prefetch_task ctx = function
               replay_all tr
           | None -> (
           match cells with
-          | [ (b, opts, c) ] when cached = None ->
+          | [ (b, opts, c) ] when cached = None && ctx.store = None ->
               (* a trace nothing else in this table can replay: record
                  nothing — recording costs time and residency, and a
                  singleton can only lose against plain execution.  Note
                  the sighting so a later table re-seeing the key
-                 records (the Auto policy). *)
+                 records (the Auto policy).  With a store attached the
+                 trade flips — recording costs a few percent once and
+                 every later process replays the cell from disk — so
+                 singletons then take the record-and-publish branch
+                 below. *)
               Mutex.protect ctx.traces_mu (fun () ->
                   ctx.s_misses <- ctx.s_misses + 1;
                   if not (Hashtbl.mem ctx.traces key) then
@@ -486,9 +551,7 @@ let run_prefetch_task ctx = function
                     Mutex.protect ctx.traces_mu (fun () ->
                         ctx.s_hits <- ctx.s_hits + List.length rest);
                     let rs =
-                      Pipeline.simulate_replay_batch
-                        (List.map compiled_of rest)
-                        tr
+                      replay_batch_cells ctx (List.map compiled_of rest) tr
                     in
                     List.iter2
                       (fun (b, opts, c) r -> memo_cell ctx b opts c r)
@@ -1153,6 +1216,11 @@ let metrics_json ctx =
             ("recorded", Int es.recorded);
             ("unsafe", Int es.unsafe);
             ("bytes", Int es.bytes);
+            ("store_hits", Int es.store_hits);
+            ("seg_hits", Int es.seg_hits);
+            ("seg_misses", Int es.seg_misses);
+            ("seg_fallbacks", Int es.seg_fallbacks);
+            ("memo_bytes", Int es.memo_bytes);
           ] );
       ("cells", List (List.map cell_json (cells ctx)));
       ("pool", List pool);

@@ -44,6 +44,13 @@ type engine_stats = {
   recorded : int;
   unsafe : int;
   bytes : int;
+  store_hits : int;
+      (** subset of [hits] whose trace came from the on-disk store *)
+  seg_hits : int;
+      (** superblock timing-memo probes served (DESIGN.md §18) *)
+  seg_misses : int;  (** superblock visits replayed per-entry and memoised *)
+  seg_fallbacks : int;  (** superblock visits ineligible for the memo *)
+  memo_bytes : int;  (** cumulative approximate memo-table footprint *)
 }
 
 (** [batch] (default [true]) enables the batching prefetch: before a
@@ -53,9 +60,18 @@ type engine_stats = {
     {!Rc_machine.Trace_replay.replay_batch} pass — groups of one
     execute directly, recording nothing.  [batch:false] forces the
     per-cell engine policy for every cell (the [--per-cell] debugging
-    switch).  Tables are byte-identical either way. *)
+    switch).  [timing_memo] (default [true]) enables the superblock
+    timing memo inside every replay ({!Rc_machine.Trace_replay});
+    [timing_memo:false] is the [--no-timing-memo] escape hatch.
+    Tables are byte-identical either way. *)
 val create :
-  ?scale:int -> ?jobs:int -> ?engine:engine -> ?batch:bool -> unit -> ctx
+  ?scale:int ->
+  ?jobs:int ->
+  ?engine:engine ->
+  ?batch:bool ->
+  ?timing_memo:bool ->
+  unit ->
+  ctx
 
 (** Number of computing domains of the context's pool. *)
 val jobs : ctx -> int
@@ -86,10 +102,13 @@ val export_metrics : ctx -> Rc_obs.Metrics.t -> unit
     second cache level) as two closures, keeping the harness ignorant
     of file formats.  [probe key] is consulted on every in-memory
     trace-cache miss {e before} deciding to execute or record — a hit
-    replays (and counts as a cache hit, installing the trace in
-    memory); [publish key trace] is offered every freshly recorded
-    trace.  Both are called outside the cache mutex and may do disk
-    IO; they must be safe to call from any pool domain. *)
+    replays (and counts as a cache hit — and a [store_hits] — installing
+    the trace in memory); [publish key trace] is offered every freshly
+    recorded trace.  With a store attached, batched prefetch groups of
+    one also record and publish (instead of executing trace-less), so a
+    warmed store lets later processes replay every replay-safe cell.
+    Both are called outside the cache mutex and may do disk IO; they
+    must be safe to call from any pool domain. *)
 val set_store :
   ctx ->
   probe:(string -> Rc_machine.Dtrace.t option) ->

@@ -311,8 +311,11 @@ let simulate_recorded ?(verify = true) (c : compiled) =
     instead of executing; byte-identical to {!simulate} when the trace
     was recorded from an image with the same fingerprint under matching
     semantics. *)
-let simulate_replayed ?(verify = true) (c : compiled) trace =
-  let r = Rc_machine.Trace_replay.replay (machine_config c.opts) c.image trace in
+let simulate_replayed ?(verify = true) ?memo ?stats (c : compiled) trace =
+  let r =
+    Rc_machine.Trace_replay.replay ?memo ?stats (machine_config c.opts)
+      c.image trace
+  in
   if verify then check_output "Pipeline.simulate_replayed" r c;
   r
 
@@ -320,7 +323,8 @@ let simulate_replayed ?(verify = true) (c : compiled) trace =
     pass over the trace ({!Rc_machine.Trace_replay.replay_batch}).  All
     compilations must share the image fingerprint and semantic knobs
     the trace was recorded under; their timing knobs are free. *)
-let simulate_replay_batch ?(verify = true) (cs : compiled list) trace =
+let simulate_replay_batch ?(verify = true) ?memo ?stats (cs : compiled list)
+    trace =
   match cs with
   | [] -> []
   | c0 :: _ ->
@@ -328,7 +332,7 @@ let simulate_replay_batch ?(verify = true) (cs : compiled list) trace =
         Array.of_list (List.map (fun c -> machine_config c.opts) cs)
       in
       let rs =
-        Rc_machine.Trace_replay.replay_batch cfgs c0.image trace
+        Rc_machine.Trace_replay.replay_batch ?memo ?stats cfgs c0.image trace
       in
       List.mapi
         (fun i c ->

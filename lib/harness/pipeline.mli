@@ -179,7 +179,12 @@ val simulate_recorded :
     semantics (see DESIGN.md §14).
     @raise Invalid_argument on a verification mismatch. *)
 val simulate_replayed :
-  ?verify:bool -> compiled -> Rc_machine.Dtrace.t -> Rc_machine.Machine.result
+  ?verify:bool ->
+  ?memo:bool ->
+  ?stats:Rc_machine.Trace_replay.memo_stats ->
+  compiled ->
+  Rc_machine.Dtrace.t ->
+  Rc_machine.Machine.result
 
 (** Re-time one trace under a whole batch of compilations in a single
     pass over the trace ({!Rc_machine.Trace_replay.replay_batch}),
@@ -189,6 +194,8 @@ val simulate_replayed :
     @raise Invalid_argument on a verification mismatch. *)
 val simulate_replay_batch :
   ?verify:bool ->
+  ?memo:bool ->
+  ?stats:Rc_machine.Trace_replay.memo_stats ->
   compiled list ->
   Rc_machine.Dtrace.t ->
   Rc_machine.Machine.result list

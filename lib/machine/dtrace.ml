@@ -381,6 +381,37 @@ let[@inline] plain cur =
   pack ~pc:epc ~sp0:cur.c_l0.(epc) ~sp1:cur.c_l1.(epc) ~dp:cur.c_ld.(epc)
     ~map_on:cur.c_prev_map ~taken:false
 
+(* Decode the body of a LITERAL token whose flag byte [tok] was already
+   consumed: read the optional pc delta and register deltas, update the
+   prediction tables and return the packed entry. *)
+let decode_literal cur tok =
+  let epc =
+    if tok land 4 <> 0 then cur.c_prev_pc + 1 + unzigzag (read_varint cur)
+    else cur.c_prev_pc + 1
+  in
+  if epc < 0 || epc >= Array.length cur.c_l0 then corrupt ();
+  let esp0 =
+    cur.c_l0.(epc) + (if tok land 8 <> 0 then unzigzag (read_varint cur) else 0)
+  and esp1 =
+    cur.c_l1.(epc)
+    + (if tok land 16 <> 0 then unzigzag (read_varint cur) else 0)
+  and edp =
+    cur.c_ld.(epc)
+    + (if tok land 32 <> 0 then unzigzag (read_varint cur) else 0)
+  in
+  if
+    esp0 < -1 || esp0 > max_reg || esp1 < -1 || esp1 > max_reg || edp < -1
+    || edp > max_reg
+  then corrupt ();
+  cur.c_l0.(epc) <- esp0;
+  cur.c_l1.(epc) <- esp1;
+  cur.c_ld.(epc) <- edp;
+  cur.c_prev_pc <- epc;
+  cur.c_prev_map <- tok land 2 <> 0;
+  pack ~pc:epc ~sp0:esp0 ~sp1:esp1 ~dp:edp
+    ~map_on:(tok land 2 <> 0)
+    ~taken:(tok land 1 <> 0)
+
 (** The next entry, in the packed-[int] form of the accessors above.
     @raise Invalid_argument past entry [n - 1] or on a corrupt
     stream. *)
@@ -397,40 +428,133 @@ let next cur =
       cur.c_run <- (tok land 0x7f) - 1;
       plain cur
     end
-    else begin
-      let epc =
-        if tok land 4 <> 0 then
-          cur.c_prev_pc + 1 + unzigzag (read_varint cur)
-        else cur.c_prev_pc + 1
-      in
-      if epc < 0 || epc >= Array.length cur.c_l0 then corrupt ();
-      let esp0 =
-        cur.c_l0.(epc)
-        + (if tok land 8 <> 0 then unzigzag (read_varint cur) else 0)
-      and esp1 =
-        cur.c_l1.(epc)
-        + (if tok land 16 <> 0 then unzigzag (read_varint cur) else 0)
-      and edp =
-        cur.c_ld.(epc)
-        + (if tok land 32 <> 0 then unzigzag (read_varint cur) else 0)
-      in
-      if
-        esp0 < -1 || esp0 > max_reg || esp1 < -1 || esp1 > max_reg
-        || edp < -1 || edp > max_reg
-      then corrupt ();
-      cur.c_l0.(epc) <- esp0;
-      cur.c_l1.(epc) <- esp1;
-      cur.c_ld.(epc) <- edp;
-      cur.c_prev_pc <- epc;
-      cur.c_prev_map <- tok land 2 <> 0;
-      pack ~pc:epc ~sp0:esp0 ~sp1:esp1 ~dp:edp
-        ~map_on:(tok land 2 <> 0)
-        ~taken:(tok land 1 <> 0)
-    end
+    else decode_literal cur tok
   end
 
-(** Every entry, decoded to packed form — test and tooling hook; the
-    replay engine streams through {!cursor} instead. *)
+(* --- superblock (block-level) decoding ----------------------------------- *)
+
+(* The RUN tokens already delimit the stream's straight-line
+   superblocks: a maximal sequence of RUN tokens is one dynamic visit
+   to a straight-line segment whose entries are all {e plain} — pc
+   consecutive, not taken, map bit constant, registers equal to the
+   prediction tables.  Because plain entries never touch the tables,
+   such a visit is fully determined by (start pc, length, map bit,
+   prediction-table version), where the version counts the literal
+   tokens that carried register deltas — the only table mutations.
+   Interning that identity gives every repeated visit to a hot loop
+   body the {e same} small [seg_id] and the same cached entry array:
+   the second and later visits decode nothing at all, and the replay
+   engine can key timing memos by [seg_id].  See DESIGN.md §18. *)
+
+type seg = {
+  seg_id : int;  (** dense intern index, first sighting order *)
+  seg_start : int;  (** pc of the first entry *)
+  seg_len : int;  (** dynamic entries in the visit (>= 1) *)
+  seg_map : bool;  (** the map-enable bit of every entry *)
+  seg_entries : int array;  (** the packed entries, decoded once *)
+}
+
+type block = Lit of int | Run of seg
+
+type bcursor = {
+  b_cur : cursor;
+  mutable b_version : int;
+      (** bumped whenever a literal token rewrites a prediction entry
+          (flag bits 3/4/5) — part of every segment identity *)
+  b_ids : (int * int * int, seg) Hashtbl.t;
+  mutable b_nsegs : int;
+}
+
+let bcursor arch t =
+  {
+    b_cur = cursor arch t;
+    b_version = 0;
+    b_ids = Hashtbl.create 64;
+    b_nsegs = 0;
+  }
+
+let bsegs bc = bc.b_nsegs
+let bidx bc = bc.b_cur.c_idx
+
+(* A whole superblock visit: [len0] plain entries already owed, plus
+   every directly following RUN token, as one [Run] block. *)
+let run_block bc len0 =
+  let cur = bc.b_cur in
+  let len = ref len0 in
+  let data_len = Bytes.length cur.c_data in
+  let continue = ref true in
+  while
+    !continue && cur.c_pos < data_len
+    && Char.code (Bytes.unsafe_get cur.c_data cur.c_pos) land 0x80 <> 0
+  do
+    let k = Char.code (Bytes.unsafe_get cur.c_data cur.c_pos) land 0x7f in
+    if k = 0 then corrupt ();
+    (* never consume entries past [n]: a trailing over-long RUN token
+       is ignored by {!next} too *)
+    if cur.c_idx + !len + k > cur.c_n then continue := false
+    else begin
+      cur.c_pos <- cur.c_pos + 1;
+      len := !len + k
+    end
+  done;
+  let len = min !len (cur.c_n - cur.c_idx) in
+  if len <= 0 then corrupt ();
+  let start = cur.c_prev_pc + 1 in
+  if start < 0 || start + len - 1 >= Array.length cur.c_l0 then corrupt ();
+  let key = (start, len, (bc.b_version lsl 1) lor Bool.to_int cur.c_prev_map) in
+  let seg =
+    match Hashtbl.find_opt bc.b_ids key with
+    | Some s -> s
+    | None ->
+        let map = cur.c_prev_map in
+        let entries =
+          (* plain entries never rewrite the tables, so one read per
+             pc suffices for the whole segment *)
+          Array.init len (fun i ->
+              let pc = start + i in
+              pack ~pc ~sp0:cur.c_l0.(pc) ~sp1:cur.c_l1.(pc)
+                ~dp:cur.c_ld.(pc) ~map_on:map ~taken:false)
+        in
+        let s =
+          {
+            seg_id = bc.b_nsegs;
+            seg_start = start;
+            seg_len = len;
+            seg_map = map;
+            seg_entries = entries;
+          }
+        in
+        bc.b_nsegs <- bc.b_nsegs + 1;
+        Hashtbl.replace bc.b_ids key s;
+        s
+  in
+  cur.c_prev_pc <- start + len - 1;
+  cur.c_idx <- cur.c_idx + len;
+  Run seg
+
+(** The next block: one literal entry, or one whole superblock visit
+    (a maximal sequence of RUN tokens, coalesced).  Consumes
+    [seg_len] entries at once in the [Run] case; interleaving with
+    {!next} on the same underlying trace is not supported.
+    @raise Invalid_argument past entry [n - 1] or on a corrupt
+    stream. *)
+let next_block bc =
+  let cur = bc.b_cur in
+  if cur.c_idx >= cur.c_n then invalid_arg "Dtrace.next_block: trace exhausted";
+  if cur.c_run > 0 then begin
+    let owed = cur.c_run in
+    cur.c_run <- 0;
+    run_block bc owed
+  end
+  else begin
+    let tok = read_byte cur in
+    if tok land 0x80 <> 0 then run_block bc (tok land 0x7f)
+    else begin
+      if tok land 0x38 <> 0 then bc.b_version <- bc.b_version + 1;
+      cur.c_idx <- cur.c_idx + 1;
+      Lit (decode_literal cur tok)
+    end
+  end
 let entries arch t =
   let cur = cursor arch t in
   let es = Array.make t.n 0 in

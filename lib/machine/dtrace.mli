@@ -133,6 +133,47 @@ val cursor : arch -> t -> cursor
     stream. *)
 val next : cursor -> int
 
+(** {2 Superblock decoding}
+
+    The RUN tokens delimit the stream's straight-line superblocks: a
+    maximal sequence of RUN tokens is one dynamic visit to a segment
+    whose entries are all plain.  Such a visit is fully determined by
+    (start pc, length, map bit, prediction-table version) — plain
+    entries never touch the tables — so the block cursor interns that
+    identity: every repeated visit to a hot loop body yields the same
+    dense [seg_id] and the same cached entry array, decoded exactly
+    once.  The replay engine keys its timing memo by [seg_id]
+    (DESIGN.md §18). *)
+
+type seg = {
+  seg_id : int;  (** dense intern index, first-sighting order *)
+  seg_start : int;  (** pc of the first entry *)
+  seg_len : int;  (** dynamic entries in the visit (>= 1) *)
+  seg_map : bool;  (** the map-enable bit of every entry *)
+  seg_entries : int array;  (** the packed entries, decoded once *)
+}
+
+type block =
+  | Lit of int  (** one literal entry, packed *)
+  | Run of seg  (** one whole superblock visit *)
+
+type bcursor
+
+val bcursor : arch -> t -> bcursor
+
+(** Interned segment identities so far; [seg_id] values are dense
+    below this. *)
+val bsegs : bcursor -> int
+
+(** Entries consumed so far — the index of the next entry. *)
+val bidx : bcursor -> int
+
+(** The next block; consumes [seg_len] entries at once in the [Run]
+    case.
+    @raise Invalid_argument past entry [n - 1] or on a corrupt
+    stream. *)
+val next_block : bcursor -> block
+
 (** Every entry decoded to packed form — test and tooling hook; the
     replay engine streams through {!cursor} instead. *)
 val entries : arch -> t -> int array

@@ -91,6 +91,52 @@ let src_blocked pending (d : Dins.t) =
 
 type issue_blocker = Data | Map | Channel | Redirect | Fetch
 
+(* --- the superblock timing memo (DESIGN.md §18) ------------------------- *)
+
+(** Cumulative counters for the superblock timing memo, aggregated over
+    every state of every {!replay_batch} call the record is passed to.
+    Each memoisable-segment visit lands in exactly one of [m_hits]
+    (served by a memo probe), [m_misses] (replayed per-entry and
+    recorded into the memo) or [m_fallbacks] (replayed per-entry
+    because the visit was ineligible: a halting segment, a fuel
+    boundary, or a signature/value that overflows the packed forms).
+    [m_bytes] approximates the memo tables' peak heap footprint. *)
+type memo_stats = {
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_fallbacks : int;
+  mutable m_bytes : int;
+}
+
+let memo_stats () = { m_hits = 0; m_misses = 0; m_fallbacks = 0; m_bytes = 0 }
+
+(* The memoised effect of one (segment, in-signature) pair on one
+   configuration's timing state.  Every field is relative to the cycle
+   the visit began on — timing dynamics are translation-invariant in
+   the cycle except for the fuel check, which the hit path re-tests. *)
+type memo_val = {
+  v_dcycles : int;
+  v_dstats : int array;  (** the 14 non-cycle {!Machine.stats} deltas *)
+  v_slots : int;
+  v_cslots : int;
+  v_mem_free : int;
+  v_pending : (Reg.cls * Insn.map_kind * int) list;
+      (** map entries prepended after the last cycle close inside the
+          segment: the whole out-pending when [v_dcycles > 0], a prefix
+          to re-prepend onto the caller's pending otherwise *)
+  v_writes : int array;
+      (** scoreboard writes still in flight at segment exit, packed
+          [(residue lsl 13) lor (preg lsl 1) lor class]; residues are
+          relative to the exit cycle and positive (an expired write is
+          indistinguishable from no write) *)
+}
+
+(* Packed-form bounds for signatures and memo values; anything outside
+   falls back to the per-entry loop. *)
+let max_residue = 255
+let max_inflight = 64
+let max_pending = 64
+
 (** One configuration's complete timing state: the scoreboard, the
     per-cycle resources, the stall counters — everything
     [Machine.run_cycle_raw] keeps, minus the functional half. *)
@@ -114,9 +160,23 @@ type state = {
   connect_lat : int;
   penalty : int;
   fuel : int;
+  (* superblock timing memo (DESIGN.md §18) *)
+  memo_on : bool;
+  memo : (int, (string, memo_val) Hashtbl.t) Hashtbl.t;
+      (** [seg_id -> in-signature -> effect]; lives exactly as long as
+          this state, i.e. one replay call *)
+  mutable inflight : int array;
+      (** registers written since the last signature, packed
+          [(preg lsl 1) lor class] — the candidate set for positive
+          scoreboard residues, so signatures never scan the files *)
+  mutable n_inflight : int;
+  istamp : int array;  (** per-register dedup stamps for signatures *)
+  fstamp : int array;
+  mutable stamp : int;
+  sigbuf : Buffer.t;
 }
 
-let state_of (cfg : Config.t) (image : Image.t) =
+let state_of ?(memo = true) (cfg : Config.t) (image : Image.t) =
   let budget =
     match cfg.Config.connect_dispatch with `Shared -> 0 | `Extra b -> b
   in
@@ -155,7 +215,30 @@ let state_of (cfg : Config.t) (image : Image.t) =
     connect_lat = cfg.Config.lat.Latency.connect;
     penalty = Config.mispredict_penalty cfg;
     fuel = cfg.Config.fuel;
+    memo_on = memo;
+    memo = Hashtbl.create (if memo then 64 else 1);
+    inflight = Array.make (if memo then 64 else 1) 0;
+    n_inflight = 0;
+    istamp = Array.make (if memo then cfg.Config.ifile.Reg.total else 1) 0;
+    fstamp = Array.make (if memo then cfg.Config.ffile.Reg.total else 1) 0;
+    stamp = 0;
+    sigbuf = Buffer.create 64;
   }
+
+(* Note a scoreboard write so signatures can find in-flight registers
+   without scanning the files.  Duplicates are fine (signatures dedup
+   by stamp); the list is pruned to live writes at each signature. *)
+let[@inline] note_write s cls p =
+  if s.memo_on then begin
+    if s.n_inflight = Array.length s.inflight then begin
+      let a = Array.make (2 * s.n_inflight) 0 in
+      Array.blit s.inflight 0 a 0 s.n_inflight;
+      s.inflight <- a
+    end;
+    s.inflight.(s.n_inflight) <-
+      (p lsl 1) lor (match cls with Reg.Int -> 0 | Reg.Float -> 1);
+    s.n_inflight <- s.n_inflight + 1
+  end
 
 (* Close the open cycle for [reason] — the stall counting, slot
    charging and per-cycle resource reset of [run_cycle_raw]'s epilogue,
@@ -253,10 +336,15 @@ let step s ~idx e =
         | Opcode.Ftoi | Opcode.Fcmp _ | Opcode.Ld _ | Opcode.Mfmap _ ->
             (* [Machine.set_i] skips the hardwired zero *)
             let dp = Dtrace.dp e in
-            if dp <> Reg.zero then s.iready.(dp) <- done_at
+            if dp <> Reg.zero then begin
+              s.iready.(dp) <- done_at;
+              note_write s Reg.Int dp
+            end
         | Opcode.Fli | Opcode.Fmove | Opcode.Fpu _ | Opcode.Itof
         | Opcode.Fld ->
-            s.fready.(Dtrace.dp e) <- done_at
+            let dp = Dtrace.dp e in
+            s.fready.(dp) <- done_at;
+            note_write s Reg.Float dp
         | Opcode.St _ | Opcode.Fst -> ()
         | Opcode.Br _ ->
             st.Machine.branches <- st.Machine.branches + 1;
@@ -273,7 +361,10 @@ let step s ~idx e =
             (* execution writes RA's readiness at its {e home} physical
                location (the map was just reset), not at the recorded
                [dp] *)
-            if Reg.ra <> Reg.zero then s.iready.(Reg.ra) <- done_at
+            if Reg.ra <> Reg.zero then begin
+              s.iready.(Reg.ra) <- done_at;
+              note_write s Reg.Int Reg.ra
+            end
         | Opcode.Rts -> st.Machine.branches <- st.Machine.branches + 1
         | Opcode.Connect ->
             st.Machine.connects <- st.Machine.connects + 1;
@@ -296,6 +387,272 @@ let step s ~idx e =
     in
     attempt ()
   end
+
+(* --- the memo fast path (DESIGN.md §18) ---------------------------------- *)
+
+exception Sig_overflow
+
+let[@inline] sig_byte buf v =
+  if v < 0 || v > 255 then raise Sig_overflow;
+  Buffer.add_char buf (Char.unsafe_chr v)
+
+let[@inline] sig_le16 buf v =
+  if v < 0 || v > 0xffff then raise Sig_overflow;
+  Buffer.add_char buf (Char.unsafe_chr (v land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr (v lsr 8))
+
+(** The in-signature: everything {!step}'s blocker checks and issue
+    effects can read from the timing state, relative to the open
+    cycle — issue-slot and connect-budget phase, channel occupancy,
+    this cycle's map-table touches, and the positive scoreboard
+    residues.  Two states with equal signatures behave identically on
+    any segment (translation-invariance in the cycle; the fuel check
+    is re-tested on every hit).  [None] when a component overflows the
+    packed form. *)
+let signature s =
+  let buf = s.sigbuf in
+  Buffer.clear buf;
+  try
+    sig_byte buf s.slots;
+    sig_byte buf s.cslots;
+    sig_byte buf s.mem_free;
+    (match s.pending with
+    | [] -> sig_byte buf 0
+    | p ->
+        (* membership is all [pending_mem] reads, so a sorted encoding
+           is canonical *)
+        let sorted = List.sort compare p in
+        let n = List.length sorted in
+        if n > max_pending then raise Sig_overflow;
+        sig_byte buf n;
+        List.iter
+          (fun ((cls : Reg.cls), (kind : Insn.map_kind), i) ->
+            sig_byte buf
+              ((match cls with Reg.Int -> 0 | Reg.Float -> 1)
+              lor match kind with Insn.Read -> 0 | Insn.Write -> 2);
+            sig_le16 buf i)
+          sorted);
+    (* Prune the inflight list to live, distinct writes (in place),
+       then emit the residues in canonical order. *)
+    s.stamp <- s.stamp + 1;
+    let stamp = s.stamp in
+    let live = ref 0 in
+    for i = 0 to s.n_inflight - 1 do
+      let w = s.inflight.(i) in
+      let p = w lsr 1 in
+      if w land 1 = 0 then begin
+        if s.iready.(p) > s.cycle && s.istamp.(p) <> stamp then begin
+          s.istamp.(p) <- stamp;
+          s.inflight.(!live) <- w;
+          incr live
+        end
+      end
+      else if s.fready.(p) > s.cycle && s.fstamp.(p) <> stamp then begin
+        s.fstamp.(p) <- stamp;
+        s.inflight.(!live) <- w;
+        incr live
+      end
+    done;
+    s.n_inflight <- !live;
+    if !live > max_inflight then raise Sig_overflow;
+    let sub = Array.sub s.inflight 0 !live in
+    Array.sort compare sub;
+    sig_byte buf !live;
+    Array.iter
+      (fun w ->
+        let p = w lsr 1 in
+        let ready = if w land 1 = 0 then s.iready.(p) else s.fready.(p) in
+        let residue = ready - s.cycle in
+        if residue > max_residue then raise Sig_overflow;
+        sig_le16 buf w;
+        sig_byte buf residue)
+      sub;
+    Some (Buffer.contents buf)
+  with Sig_overflow -> None
+
+(* The 14 non-cycle stats fields, in one fixed order. *)
+let snapshot_stats (st : Machine.stats) =
+  [|
+    st.Machine.issued;
+    st.Machine.connects;
+    st.Machine.extra_connects;
+    st.Machine.mem_ops;
+    st.Machine.branches;
+    st.Machine.mispredicts;
+    st.Machine.data_stalls;
+    st.Machine.map_stalls;
+    st.Machine.channel_stalls;
+    st.Machine.lost_data;
+    st.Machine.lost_map;
+    st.Machine.lost_channel;
+    st.Machine.lost_branch;
+    st.Machine.lost_fetch;
+  |]
+
+let apply_dstats (st : Machine.stats) (d : int array) =
+  st.Machine.issued <- st.Machine.issued + d.(0);
+  st.Machine.connects <- st.Machine.connects + d.(1);
+  st.Machine.extra_connects <- st.Machine.extra_connects + d.(2);
+  st.Machine.mem_ops <- st.Machine.mem_ops + d.(3);
+  st.Machine.branches <- st.Machine.branches + d.(4);
+  st.Machine.mispredicts <- st.Machine.mispredicts + d.(5);
+  st.Machine.data_stalls <- st.Machine.data_stalls + d.(6);
+  st.Machine.map_stalls <- st.Machine.map_stalls + d.(7);
+  st.Machine.channel_stalls <- st.Machine.channel_stalls + d.(8);
+  st.Machine.lost_data <- st.Machine.lost_data + d.(9);
+  st.Machine.lost_map <- st.Machine.lost_map + d.(10);
+  st.Machine.lost_channel <- st.Machine.lost_channel + d.(11);
+  st.Machine.lost_branch <- st.Machine.lost_branch + d.(12);
+  st.Machine.lost_fetch <- st.Machine.lost_fetch + d.(13)
+
+let run_seg_slow s ~idx (seg : Dtrace.seg) =
+  let es = seg.Dtrace.seg_entries in
+  for i = 0 to Array.length es - 1 do
+    step s ~idx:(idx + i) es.(i)
+  done
+
+let[@inline] push_inflight s w =
+  if s.n_inflight = Array.length s.inflight then begin
+    let a = Array.make (2 * s.n_inflight) 0 in
+    Array.blit s.inflight 0 a 0 s.n_inflight;
+    s.inflight <- a
+  end;
+  s.inflight.(s.n_inflight) <- w;
+  s.n_inflight <- s.n_inflight + 1
+
+let apply_memo s v =
+  let st = s.st in
+  st.Machine.cycles <- st.Machine.cycles + v.v_dcycles;
+  apply_dstats st v.v_dstats;
+  s.slots <- v.v_slots;
+  s.cslots <- v.v_cslots;
+  s.mem_free <- v.v_mem_free;
+  s.pending <-
+    (if v.v_dcycles > 0 then v.v_pending else v.v_pending @ s.pending);
+  s.cycle <- st.Machine.cycles;
+  for i = 0 to Array.length v.v_writes - 1 do
+    let w = v.v_writes.(i) in
+    let residue = w lsr 13 in
+    let p = (w lsr 1) land 0xfff in
+    if w land 1 = 0 then s.iready.(p) <- s.cycle + residue
+    else s.fready.(p) <- s.cycle + residue;
+    push_inflight s (w land 0x1fff)
+  done
+
+let rec firstn n = function
+  | [] -> []
+  | x :: r -> if n <= 0 then [] else x :: firstn (n - 1) r
+
+let[@inline] bump_hit = function
+  | None -> ()
+  | Some m -> m.m_hits <- m.m_hits + 1
+
+let[@inline] bump_fallback = function
+  | None -> ()
+  | Some m -> m.m_fallbacks <- m.m_fallbacks + 1
+
+(* Replay the visit per-entry while measuring its effect, then store
+   the effect under [key].  An effect that does not fit the packed
+   forms is simply not stored (the visit already ran exactly). *)
+let record_seg s tbl key ~idx stats (seg : Dtrace.seg) =
+  let st = s.st in
+  let c0 = st.Machine.cycles in
+  let snap = snapshot_stats st in
+  let pend0 = List.length s.pending in
+  let mark = s.n_inflight in
+  run_seg_slow s ~idx seg;
+  let dcycles = st.Machine.cycles - c0 in
+  try
+    (* scoreboard writes still in flight at exit, deduped to the final
+       (= current) readiness per register *)
+    s.stamp <- s.stamp + 1;
+    let stamp = s.stamp in
+    let nw = ref 0 in
+    for i = mark to s.n_inflight - 1 do
+      let w = s.inflight.(i) in
+      let p = w lsr 1 in
+      if p > 0xfff then raise Sig_overflow;
+      let stamps = if w land 1 = 0 then s.istamp else s.fstamp in
+      if stamps.(p) <> stamp then begin
+        stamps.(p) <- stamp;
+        let ready = if w land 1 = 0 then s.iready.(p) else s.fready.(p) in
+        if ready > s.cycle then begin
+          if ready - s.cycle > max_residue then raise Sig_overflow;
+          s.inflight.(mark + !nw) <- w;
+          (* compact the marked span; dead entries drop *)
+          incr nw
+        end
+      end
+    done;
+    let writes =
+      Array.init !nw (fun i ->
+          let w = s.inflight.(mark + i) in
+          let p = w lsr 1 in
+          let ready = if w land 1 = 0 then s.iready.(p) else s.fready.(p) in
+          ((ready - s.cycle) lsl 13) lor w)
+    in
+    s.n_inflight <- mark + !nw;
+    let v =
+      {
+        v_dcycles = dcycles;
+        v_dstats =
+          (let now = snapshot_stats st in
+           Array.init 14 (fun i -> now.(i) - snap.(i)));
+        v_slots = s.slots;
+        v_cslots = s.cslots;
+        v_mem_free = s.mem_free;
+        v_pending =
+          (if dcycles > 0 then s.pending
+           else firstn (List.length s.pending - pend0) s.pending);
+        v_writes = writes;
+      }
+    in
+    Hashtbl.replace tbl key v;
+    match stats with
+    | None -> ()
+    | Some m ->
+        m.m_misses <- m.m_misses + 1;
+        m.m_bytes <-
+          m.m_bytes + String.length key + 120
+          + (8 * Array.length writes)
+          + (24 * List.length v.v_pending)
+  with Sig_overflow -> bump_fallback stats
+
+(** Advance one state over one whole superblock visit: probe the memo
+    when the segment is memoisable and the signature fits, fall back to
+    the exact per-entry loop otherwise.  [can_memo] is false for
+    segments containing Halt/Trap/Rfe (halting flips [halted] — which
+    the signature deliberately omits — and trapping raises). *)
+let seg_step s ~idx ~can_memo stats (seg : Dtrace.seg) =
+  if s.halted then () (* step is a no-op once halted *)
+  else if not (s.memo_on && can_memo) then begin
+    if s.memo_on then bump_fallback stats;
+    run_seg_slow s ~idx seg
+  end
+  else
+    match signature s with
+    | None ->
+        bump_fallback stats;
+        run_seg_slow s ~idx seg
+    | Some key -> (
+        let tbl =
+          match Hashtbl.find_opt s.memo seg.Dtrace.seg_id with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 8 in
+              Hashtbl.add s.memo seg.Dtrace.seg_id t;
+              t
+        in
+        match Hashtbl.find_opt tbl key with
+        | Some v when s.st.Machine.cycles + v.v_dcycles < s.fuel ->
+            bump_hit stats;
+            apply_memo s v
+        | Some _ ->
+            (* the memoised effect would cross the fuel limit: re-run
+               per-entry so the failure fires at the exact cycle *)
+            bump_fallback stats;
+            run_seg_slow s ~idx seg
+        | None -> record_seg s tbl key ~idx stats seg)
 
 let result_of s ~output ~checksum =
   if not s.halted then fail "replay: trace exhausted before halt";
@@ -321,28 +678,61 @@ let result_of s ~output ~checksum =
   }
 
 (** Re-time one trace under K configurations in a single pass: the
-    token stream is decoded entry by entry exactly once, and every
-    state advances on each entry before the next is decoded.  The
-    caller guarantees [tr] was recorded from [image] under semantic
-    knobs matching {e all} of [cfgs]; their timing knobs are free.
+    token stream is decoded block by block exactly once (each distinct
+    superblock's entries exactly once, via the block cursor's identity
+    cache), and every state advances on each block before the next is
+    decoded.  With [memo] on (the default), each state keeps a
+    per-segment timing memo so repeated visits to a hot loop body in
+    an already-seen timing state cost one hash probe instead of a
+    per-instruction blocker sequence — bit-identical to the memo-off
+    path by construction, enforced field-by-field in [test/t_replay.ml].
+    [stats] accumulates the memo counters.  The caller guarantees [tr]
+    was recorded from [image] under semantic knobs matching {e all} of
+    [cfgs]; their timing knobs are free.
     @raise Machine.Simulation_error on fuel exhaustion or a trace that
     could not have come from a replay-safe recording. *)
-let replay_batch (cfgs : Config.t array) (image : Image.t) (tr : Dtrace.t) =
+let replay_batch ?(memo = true) ?stats (cfgs : Config.t array)
+    (image : Image.t) (tr : Dtrace.t) =
   if Array.length cfgs = 0 then
     invalid_arg "Trace_replay.replay_batch: no configurations";
-  let states = Array.map (fun cfg -> state_of cfg image) cfgs in
+  let states = Array.map (fun cfg -> state_of ~memo cfg image) cfgs in
   (* Architectural operands do not depend on latency, so any state's
      predecode serves the cursor. *)
-  let cur = Dtrace.cursor (Dtrace.arch_of_dins states.(0).pre) tr in
+  let pre0 = states.(0).pre in
+  let bc = Dtrace.bcursor (Dtrace.arch_of_dins pre0) tr in
   let k = Array.length states in
-  for idx = 0 to tr.Dtrace.n - 1 do
-    let e = Dtrace.next cur in
-    for j = 0 to k - 1 do
-      step states.(j) ~idx e
-    done
+  (* seg_id -> whether the segment is free of Halt/Trap/Rfe, computed
+     once per distinct segment (opcodes are config-independent) *)
+  let memoable = Hashtbl.create 32 in
+  while Dtrace.bidx bc < tr.Dtrace.n do
+    match Dtrace.next_block bc with
+    | Dtrace.Lit e ->
+        let idx = Dtrace.bidx bc - 1 in
+        for j = 0 to k - 1 do
+          step states.(j) ~idx e
+        done
+    | Dtrace.Run seg ->
+        let idx = Dtrace.bidx bc - seg.Dtrace.seg_len in
+        let can_memo =
+          match Hashtbl.find_opt memoable seg.Dtrace.seg_id with
+          | Some b -> b
+          | None ->
+              let ok = ref true in
+              Array.iter
+                (fun e ->
+                  match pre0.(Dtrace.pc e).Dins.op with
+                  | Opcode.Halt | Opcode.Trap | Opcode.Rfe -> ok := false
+                  | _ -> ())
+                seg.Dtrace.seg_entries;
+              Hashtbl.replace memoable seg.Dtrace.seg_id !ok;
+              !ok
+        in
+        for j = 0 to k - 1 do
+          seg_step states.(j) ~idx ~can_memo stats seg
+        done
   done;
   let output = Dtrace.output tr in
   Array.map (fun s -> result_of s ~output ~checksum:tr.Dtrace.checksum) states
 
-let replay (cfg : Config.t) (image : Image.t) (tr : Dtrace.t) =
-  (replay_batch [| cfg |] image tr).(0)
+let replay ?memo ?stats (cfg : Config.t) (image : Image.t) (tr : Dtrace.t) =
+  (replay_batch ?memo ?stats [| cfg |] image tr).(0)

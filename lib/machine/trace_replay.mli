@@ -19,20 +19,57 @@ val replay_safe : Config.t -> bool
     layout ({!Dtrace.fits}, checked once up front). *)
 val record : Config.t -> Image.t -> Machine.result * Dtrace.t option
 
+(** Cumulative superblock-timing-memo counters (DESIGN.md §18): each
+    memoisable-segment visit lands in exactly one of [m_hits] (served
+    by a memo probe), [m_misses] (replayed per-entry and recorded into
+    the memo) or [m_fallbacks] (replayed per-entry because the visit
+    was ineligible — halting segment, fuel boundary, or signature/value
+    overflow); [m_bytes] approximates the memo tables' heap
+    footprint.  Pass one record to several replay calls to aggregate. *)
+type memo_stats = {
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_fallbacks : int;
+  mutable m_bytes : int;
+}
+
+(** A fresh all-zero counter record. *)
+val memo_stats : unit -> memo_stats
+
 (** Re-time [trace] under a configuration.  The caller guarantees the
     trace was recorded from this image under matching semantic knobs
     (reset model, register-file shapes, no traps); timing knobs — issue
     rate, channels, latencies, extra stage, connect dispatch — are free.
+    [memo] (default true) enables the superblock timing memo: repeated
+    visits to a straight-line segment in an already-seen timing state
+    are served by one hash probe instead of the per-instruction blocker
+    loop, with an exact per-entry fallback whenever a visit does not
+    fit the memo — results are bit-identical either way.  [stats]
+    accumulates the memo counters.
     @raise Machine.Simulation_error on fuel exhaustion or a foreign
     trace. *)
-val replay : Config.t -> Image.t -> Dtrace.t -> Machine.result
+val replay :
+  ?memo:bool ->
+  ?stats:memo_stats ->
+  Config.t ->
+  Image.t ->
+  Dtrace.t ->
+  Machine.result
 
 (** [replay_batch cfgs image trace] re-times [trace] under every
-    configuration of [cfgs] in one pass over the trace: each entry is
-    decoded exactly once and advances all K timing states before the
-    next is decoded.  Equivalent to [Array.map (fun c -> replay c image
-    trace) cfgs] — bit-identical results, enforced by [test/t_replay.ml]
-    — at roughly the decode cost of a single replay.
+    configuration of [cfgs] in one pass over the trace: each distinct
+    superblock is decoded exactly once and every block advances all K
+    timing states before the next is decoded.  Equivalent to
+    [Array.map (fun c -> replay c image trace) cfgs] — bit-identical
+    results, enforced by [test/t_replay.ml] — at roughly the decode
+    cost of a single replay.  [memo]/[stats] as {!replay}; each state
+    keeps its own memo (timing effects are per-configuration).
     @raise Invalid_argument on an empty configuration array.
     @raise Machine.Simulation_error as {!replay}. *)
-val replay_batch : Config.t array -> Image.t -> Dtrace.t -> Machine.result array
+val replay_batch :
+  ?memo:bool ->
+  ?stats:memo_stats ->
+  Config.t array ->
+  Image.t ->
+  Dtrace.t ->
+  Machine.result array

@@ -99,6 +99,11 @@ let engine_stats_json (es : Rc_harness.Experiments.engine_stats) =
       ("recorded", Int es.Rc_harness.Experiments.recorded);
       ("unsafe", Int es.Rc_harness.Experiments.unsafe);
       ("bytes", Int es.Rc_harness.Experiments.bytes);
+      ("store_hits", Int es.Rc_harness.Experiments.store_hits);
+      ("seg_hits", Int es.Rc_harness.Experiments.seg_hits);
+      ("seg_misses", Int es.Rc_harness.Experiments.seg_misses);
+      ("seg_fallbacks", Int es.Rc_harness.Experiments.seg_fallbacks);
+      ("memo_bytes", Int es.Rc_harness.Experiments.memo_bytes);
     ]
 
 let figures_response ~scale ~jobs ~engine_name ~stats tables =

@@ -19,6 +19,7 @@ let () =
       ("dtrace", T_dtrace.suite);
       ("check", T_check.suite);
       ("replay", T_replay.suite);
+      ("memo", T_memo.suite);
       ("workloads", T_workloads.suite);
       ("harness", T_harness.suite);
       ("serve", T_serve.suite);
