@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench bench-smoke trace-smoke fuzz-smoke replay-smoke \
 	json-smoke serve-smoke load-smoke load-smoke-workers store-smoke \
-	memo-smoke serve clean
+	memo-smoke spec-smoke serve clean
 
 all: build
 
@@ -75,6 +75,13 @@ store-smoke:
 # byte-identical to --no-timing-memo (DESIGN.md section 18).
 memo-smoke:
 	dune build @memo-smoke
+
+# Spec smoke: the user-submitted-kernel front door — POST /compile and
+# /run byte-identical to `rcc compile --json` / `rcc run --spec
+# --json`, warm replay on the second run, over-budget and malformed
+# documents shed 413/400 (DESIGN.md section 19).
+spec-smoke:
+	dune build @spec-smoke
 
 # Run the simulation service locally.
 serve:

@@ -98,16 +98,33 @@ let figures_shot =
 
 let healthz_shot = { sh_meth = "GET"; sh_path = "/healthz"; sh_body = "" }
 
+(* A small fixed kernel spec, exercising the user-submission path:
+   /compile admission plus /run with the spec inline.  Inline specs
+   carry no cross-request state, so the shots stay valid under prefork
+   servers where consecutive requests land on different workers. *)
+let spec_doc =
+  {|{"seed":0,"slots":8,"funcs":[{"arity":0,"nvars":2,"nfvars":1,"body":[["set",0,["const","1"]],["loop",1,6,[["set",0,["bin","add",["var",0],["var",1]]],["store",1,["var",0]],["load",1,1]]],["emit",["var",0]]]}]}|}
+
+let spec_shots =
+  [
+    { sh_meth = "POST"; sh_path = "/compile"; sh_body = spec_doc };
+    run_shot (Printf.sprintf {|{"spec":%s}|} spec_doc);
+    run_shot (Printf.sprintf {|{"spec":%s,"rc":true,"core_int":8}|} spec_doc);
+  ]
+
 let mix_of_name = function
   | "run" -> List.map run_shot run_bodies
   | "figures" -> [ figures_shot ]
+  | "spec" -> spec_shots
   | "mixed" ->
-      (* Eight slots: mostly /run, one /figures, one /healthz. *)
+      (* Twelve slots: mostly /run, one /figures, one /healthz, and
+         the user-submitted-kernel path. *)
       List.map run_shot run_bodies
       @ [ figures_shot ]
+      @ spec_shots
       @ List.map run_shot (List.rev run_bodies)
       @ [ healthz_shot ]
-  | m -> fail "unknown mix %S (run|figures|mixed)" m
+  | m -> fail "unknown mix %S (run|figures|spec|mixed)" m
 
 (* Each nonempty line of a mix file is one shot:
    {"method":"POST","path":"/run","body":{...}} (method defaults to
@@ -534,7 +551,8 @@ let server_store_t =
 let mix_t =
   Arg.(
     value & opt string "mixed"
-    & info [ "mix" ] ~docv:"NAME" ~doc:"Request mix: run, figures or mixed.")
+    & info [ "mix" ] ~docv:"NAME"
+        ~doc:"Request mix: run, figures, spec or mixed.")
 
 let mix_file_t =
   Arg.(

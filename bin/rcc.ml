@@ -4,6 +4,7 @@
    Subcommands:
      list                        the twelve benchmark kernels
      run <bench> [options]       compile one kernel and simulate it
+     compile <file> [options]    admit a kernel spec document (id + summary)
      compare <bench> [options]   without-RC vs with-RC vs unlimited
      figures [ids] [options]     regenerate the paper's tables and figures
      serve [options]             persistent HTTP simulation service
@@ -37,6 +38,54 @@ let pos_int ~what =
 let bench_arg =
   let doc = "Benchmark kernel name (see $(b,rcc list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+(* run accepts a registry kernel *or* a spec document; the positional
+   is optional there and checked against --spec below. *)
+let bench_opt_arg =
+  let doc =
+    "Benchmark kernel name (see $(b,rcc list)); omit when running a \
+     submitted spec with $(b,--spec)."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let spec_file_arg =
+  let doc =
+    "Kernel spec document (JSON; $(b,-) reads standard input) to compile \
+     and run instead of a registry benchmark.  The document is admitted \
+     exactly as $(b,POST /compile) would: strict decode, then the size, \
+     depth, function-count and dynamic-weight budgets."
+  in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let oracle_arg =
+  let doc =
+    "Lockstep the first $(docv) machine cycles against the sequential \
+     reference interpreter before timing; a divergence rejects the kernel \
+     and prints the differential report."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int ~what:"--oracle")) None
+    & info [ "oracle" ] ~docv:"CYCLES" ~doc)
+
+let read_spec_file path =
+  let read_all ic =
+    let b = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel b ic 4096
+       done
+     with End_of_file -> ());
+    Buffer.contents b
+  in
+  if path = "-" then Ok (read_all stdin)
+  else
+    match open_in_bin path with
+    | ic ->
+        let text = read_all ic in
+        close_in ic;
+        Ok text
+    | exception Sys_error m -> Error m
 
 let issue =
   let doc = "Issue rate (instructions per cycle): 1, 2, 4 or 8." in
@@ -271,43 +320,169 @@ let print_result (c : Rc_harness.Pipeline.compiled) (r : Rc_machine.Machine.resu
    with the HTTP service so both front ends emit identical bytes. *)
 let config_result_json = Rc_serve.Payload.config_result_json
 
+(* Admit a spec document from disk/stdin through the same pipeline the
+   service uses ({!Rc_check.Spec}), so `rcc compile`/`rcc run --spec`
+   and POST /compile agree on every rejection and every kernel id. *)
+let spec_of_file path =
+  match read_spec_file path with
+  | Error m -> Error (Fmt.str "cannot read %s: %s" path m)
+  | Ok text -> (
+      match Rc_check.Spec.of_string text with
+      | Error e -> Error (Rc_check.Spec.error_detail e)
+      | Ok s -> Ok s)
+
+(* The oracle gate shared by run and compile: [Ok None] when not asked
+   for, [Ok (Some verdict_json)] on agreement, [Error report] on
+   divergence. *)
+let oracle_of cycles (c : Rc_harness.Pipeline.compiled) =
+  match cycles with
+  | None -> Ok None
+  | Some cycles -> (
+      match Rc_check.Spec.oracle ~cycles c with
+      | Rc_check.Spec.Diverged r -> Error r
+      | v -> Ok (Some (Rc_check.Spec.verdict_json v)))
+
 let run_cmd =
-  let run bench issue core_int core_float rc load connect mem_channels
-      extra_stage model scale no_unroll engine store_dir store_max_bytes json
-      =
+  let run bench spec_file oracle issue core_int core_float rc load connect
+      mem_channels extra_stage model scale no_unroll engine store_dir
+      store_max_bytes json =
     let opts =
       options_of ~issue ~core_int ~core_float ~rc ~load ~connect ~mem_channels
         ~extra_stage ~model ~no_unroll
     in
-    let c = compile_one bench opts scale in
-    let store = open_store store_dir store_max_bytes in
-    let r, engine_used = simulate_single ?store engine c in
-    (match store with
-    | None -> ()
-    | Some st ->
-        let s = Rc_serve.Store.stats st in
-        (* stderr, so --json stdout stays a single document *)
-        Fmt.epr "rcc run: store %s: %d hit, %d miss, %d published@."
-          (Rc_serve.Store.dir st) s.Rc_serve.Store.hits
-          s.Rc_serve.Store.misses s.Rc_serve.Store.published);
-    if json then
-      Fmt.pr "%s@."
-        (Rc_obs.Json.to_string
-           (Rc_serve.Payload.run_response ~bench ~scale ~engine_used c r))
-    else begin
-      Fmt.pr "== %s ==@." bench;
-      print_result c r;
-      if engine_used = "replay" then
-        Fmt.pr "engine        replay (re-timed from the recorded trace)@."
-    end;
-    0
+    let resolved =
+      match (bench, spec_file) with
+      | Some b, None -> Ok (b, compile_one b opts scale)
+      | None, Some f ->
+          Result.map
+            (fun s ->
+              let b = Rc_check.Spec.bench_of s in
+              ( b.Rc_workloads.Wutil.name,
+                Rc_harness.Pipeline.compile opts
+                  (b.Rc_workloads.Wutil.build scale) ))
+            (spec_of_file f)
+      | Some _, Some _ -> Error "BENCH and --spec are mutually exclusive"
+      | None, None -> Error "one of BENCH or --spec is required"
+    in
+    match resolved with
+    | Error m ->
+        Fmt.epr "rcc run: %s@." m;
+        2
+    | Ok (bench, c) -> (
+        match oracle_of oracle c with
+        | Error r ->
+            Fmt.epr "rcc run: admission oracle diverged:@.%a@."
+              Rc_check.Report.pp r;
+            1
+        | Ok orc ->
+            let store = open_store store_dir store_max_bytes in
+            let r, engine_used = simulate_single ?store engine c in
+            (match store with
+            | None -> ()
+            | Some st ->
+                let s = Rc_serve.Store.stats st in
+                (* stderr, so --json stdout stays a single document *)
+                Fmt.epr "rcc run: store %s: %d hit, %d miss, %d published@."
+                  (Rc_serve.Store.dir st) s.Rc_serve.Store.hits
+                  s.Rc_serve.Store.misses s.Rc_serve.Store.published);
+            if json then
+              Fmt.pr "%s@."
+                (Rc_obs.Json.to_string
+                   (Rc_serve.Payload.run_response ?oracle:orc ~bench ~scale
+                      ~engine_used c r))
+            else begin
+              Fmt.pr "== %s ==@." bench;
+              print_result c r;
+              (match orc with
+              | Some v ->
+                  Fmt.pr "oracle        %s@." (Rc_obs.Json.to_string v)
+              | None -> ());
+              if engine_used = "replay" then
+                Fmt.pr "engine        replay (re-timed from the recorded trace)@."
+            end;
+            0)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Compile one kernel and simulate it")
+    (Cmd.info "run"
+       ~doc:
+         "Compile one kernel — a registry benchmark or a $(b,--spec) \
+          document — and simulate it")
     Term.(
-      const run $ bench_arg $ issue $ core_int $ core_float $ rc $ load_lat
-      $ connect_lat $ mem_channels $ extra_stage $ model $ scale $ no_unroll
-      $ engine_arg $ store_dir_arg $ store_max_bytes_arg $ json_flag)
+      const run $ bench_opt_arg $ spec_file_arg $ oracle_arg $ issue
+      $ core_int $ core_float $ rc $ load_lat $ connect_lat $ mem_channels
+      $ extra_stage $ model $ scale $ no_unroll $ engine_arg $ store_dir_arg
+      $ store_max_bytes_arg $ json_flag)
+
+(* --- compile ---------------------------------------------------------------- *)
+
+let compile_cmd =
+  let spec_pos =
+    let doc =
+      "Kernel spec document (JSON; $(b,-) reads standard input)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file oracle json =
+    match spec_of_file file with
+    | Error m ->
+        Fmt.epr "rcc compile: %s@." m;
+        1
+    | Ok spec -> (
+        let id = Rc_check.Spec.id_of spec in
+        let b = Rc_check.Spec.bench_of spec in
+        let c =
+          Rc_harness.Pipeline.compile
+            (Rc_serve.Payload.default_options ())
+            (b.Rc_workloads.Wutil.build 1)
+        in
+        match oracle_of oracle c with
+        | Error r ->
+            Fmt.epr "rcc compile: admission oracle diverged:@.%a@."
+              Rc_check.Report.pp r;
+            1
+        | Ok orc ->
+            if json then
+              Fmt.pr "%s@."
+                (Rc_obs.Json.to_string
+                   (Rc_serve.Payload.compile_response ?oracle:orc ~id spec c))
+            else begin
+              let bk = c.Rc_harness.Pipeline.breakdown in
+              Fmt.pr "kernel        %s@." id;
+              Fmt.pr "bench         spec:%s@." id;
+              Fmt.pr "spec          %d nodes, depth %d, %d function(s), %d slot(s)@."
+                (Rc_check.Gen.size spec) (Rc_check.Gen.depth spec)
+                (Array.length spec.Rc_check.Gen.funcs)
+                spec.Rc_check.Gen.slots;
+              Fmt.pr "fingerprint   %s@."
+                (Rc_isa.Image.fingerprint c.Rc_harness.Pipeline.image);
+              Fmt.pr
+                "code size     %d insns (%d normal, %d spill, %d save, %d \
+                 xsave, %d connect)@."
+                (bk.Rc_isa.Mcode.normal + bk.Rc_isa.Mcode.spill
+               + bk.Rc_isa.Mcode.save + bk.Rc_isa.Mcode.xsave
+               + bk.Rc_isa.Mcode.connects)
+                bk.Rc_isa.Mcode.normal bk.Rc_isa.Mcode.spill
+                bk.Rc_isa.Mcode.save bk.Rc_isa.Mcode.xsave
+                bk.Rc_isa.Mcode.connects;
+              Fmt.pr "spilled vregs %d@." c.Rc_harness.Pipeline.spills;
+              (match orc with
+              | Some v -> Fmt.pr "oracle        %s@." (Rc_obs.Json.to_string v)
+              | None -> ());
+              Fmt.pr
+                "run it:       rcc run --spec %s  (or POST /run with \
+                 {\"kernel\": %S})@."
+                (if file = "-" then "FILE" else file)
+                id
+            end;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Admit a kernel spec document (strict decode + budget \
+          validation, as POST /compile) and print its kernel id and \
+          compiled-image summary")
+    Term.(const run $ spec_pos $ oracle_arg $ json_flag)
 
 (* --- figures ---------------------------------------------------------------- *)
 
@@ -1089,8 +1264,8 @@ let main_cmd =
   let doc = "Register Connection (ISCA 1993) — compiler and simulator driver" in
   Cmd.group (Cmd.info "rcc" ~version:Rc_serve.Server.version ~doc)
     [
-      list_cmd; run_cmd; compare_cmd; figures_cmd; serve_cmd; trace_cmd;
-      dump_cmd; check_cmd; fuzz_cmd;
+      list_cmd; run_cmd; compile_cmd; compare_cmd; figures_cmd; serve_cmd;
+      trace_cmd; dump_cmd; check_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,276 @@
+(* specsmoke — end-to-end exercise of the user-submitted-kernel front
+   door for the spec-smoke alias:
+
+     specsmoke <rcc.exe>
+
+   Boots `rcc serve` on an ephemeral port and asserts the admission
+   contract DESIGN.md section 19 promises:
+
+   1. POST /compile on the reference spec answers 200 with the
+      deterministic kernel id, byte-identical to `rcc compile --json`
+      on the same document once pass wall-clock is normalised — the
+      server and the CLI agree on every field of the admission
+      summary, id and fingerprint included.
+   2. Resubmitting the same document returns the same id (the registry
+      deduplicates by content digest).
+   3. POST /run by kernel id is byte-identical to
+      `rcc run --spec FILE --json` for the same configuration, and a
+      second identical POST /run is byte-identical to the CLI under
+      `--engine replay` with its engine field reading "replay" — an
+      admitted kernel gets the same trace-cache treatment as a
+      built-in bench.
+   4. An over-budget document (slots beyond the admission limit) is
+      shed with 413 and a structured error body, and a malformed one
+      with 400 naming the JSON path; the server stays healthy after
+      both.
+
+   The reference spec is embedded below and written to spec.json for
+   the CLI side, so the comparison covers one identical document end
+   to end. *)
+
+let fail fmt =
+  Format.kasprintf (fun m -> prerr_endline ("specsmoke: " ^ m); exit 1) fmt
+
+(* The committed corpus fixture test/corpus/spec-k3dcde33718c5.json;
+   its id is pinned there by the `corpus spec fixtures admissible`
+   test, and re-pinned here against the live server. *)
+let spec_doc =
+  {|{"seed":0,"slots":8,"funcs":[{"arity":0,"nvars":2,"nfvars":1,"body":[["set",0,["const","1"]],["loop",1,6,[["set",0,["bin","add",["var",0],["var",1]]],["store",1,["var",0]],["load",1,1]]],["emit",["var",0]]]}]}|}
+
+let spec_id = "k3dcde33718c5"
+
+let oversize_doc =
+  {|{"seed":0,"slots":100000,"funcs":[{"arity":0,"nvars":1,"nfvars":1,"body":[["emit",["var",0]]]}]}|}
+
+(* --- tiny HTTP/1.1 client (Connection: close per request) ------------- *)
+
+let find_body raw =
+  let rec scan i =
+    if i + 3 >= String.length raw then None
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some (String.sub raw (i + 4) (String.length raw - i - 4))
+    else scan (i + 1)
+  in
+  scan 0
+
+let http_request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  Unix.connect fd addr;
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
+      path (String.length body) body
+  in
+  let rec send off =
+    if off < String.length req then
+      send (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  send 0;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec recv () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        recv ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+  in
+  recv ();
+  Unix.close fd;
+  let raw = Buffer.contents buf in
+  match String.index_opt raw ' ' with
+  | None -> fail "%s %s: no status line in %S" meth path raw
+  | Some sp -> (
+      let status = int_of_string (String.sub raw (sp + 1) 3) in
+      match find_body raw with
+      | Some b -> (status, b)
+      | None -> fail "%s %s: no header/body separator" meth path)
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Pass wall-clock is the one nondeterministic field in the /run and
+   /compile documents: zero it everywhere before comparing bytes. *)
+let rec zero_wall (j : Rc_obs.Json.t) : Rc_obs.Json.t =
+  match j with
+  | Obj fields ->
+      Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "wall_s" then (k, Rc_obs.Json.Float 0.)
+             else (k, zero_wall v))
+           fields)
+  | List l -> List (List.map zero_wall l)
+  | (Null | Bool _ | Int _ | Float _ | Str _) as leaf -> leaf
+
+let normalize what text =
+  match Rc_obs.Json.of_string text with
+  | Ok j -> Rc_obs.Json.to_string (zero_wall j)
+  | Error m -> fail "%s: not valid JSON (%s): %S" what m text
+
+let cli_run rcc args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (rcc :: args)) ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = read_all ic in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> out
+  | _ -> fail "`%s` failed" cmd
+
+let str_member what name j =
+  match Rc_obs.Json.member name j with
+  | Some (Rc_obs.Json.Str s) -> s
+  | _ -> fail "%s: no %S string field" what name
+
+let json_of what text =
+  match Rc_obs.Json.of_string text with
+  | Ok j -> j
+  | Error m -> fail "%s: bad JSON (%s): %S" what m text
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  ignore (Unix.alarm 120);
+  let rcc =
+    match Sys.argv with
+    (* Dune hands us a bare relative name; create_process must not go
+       hunting down PATH for it. *)
+    | [| _; rcc |] when Filename.is_implicit rcc ->
+        Filename.concat Filename.current_dir_name rcc
+    | [| _; rcc |] -> rcc
+    | _ ->
+        prerr_endline "usage: specsmoke <rcc.exe>";
+        exit 2
+  in
+  (* The CLI side reads the same document from a file. *)
+  let oc = open_out_bin "spec.json" in
+  output_string oc spec_doc;
+  close_out oc;
+  (* Boot the server with stderr piped so we can learn the ephemeral
+     port from the announce line. *)
+  let err_r, err_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process rcc
+      [| rcc; "serve"; "--port"; "0"; "--jobs"; "2" |]
+      Unix.stdin Unix.stdout err_w
+  in
+  Unix.close err_w;
+  let err_ic = Unix.in_channel_of_descr err_r in
+  let port =
+    let rec find () =
+      let line =
+        try input_line err_ic
+        with End_of_file -> fail "server exited before announcing a port"
+      in
+      match
+        Scanf.sscanf_opt line "rcc serve: listening on http://%[^:]:%d"
+          (fun _host p -> p)
+      with
+      | Some p -> p
+      | None -> find ()
+    in
+    find ()
+  in
+  Printf.printf "specsmoke: server pid %d on port %d\n%!" pid port;
+
+  (* 1. Admission: POST /compile vs `rcc compile --json`. *)
+  let status, admit =
+    http_request ~port ~meth:"POST" ~path:"/compile" ~body:spec_doc ()
+  in
+  if status <> 200 then fail "/compile: status %d body %S" status admit;
+  let id = str_member "/compile" "kernel" (json_of "/compile" admit) in
+  if id <> spec_id then fail "/compile: kernel id %S, wanted %S" id spec_id;
+  let cli_admit = cli_run rcc [ "compile"; "spec.json"; "--json" ] in
+  if normalize "/compile" admit <> normalize "rcc compile --json" cli_admit then
+    fail "/compile differs from `rcc compile --json` after wall_s normalisation";
+  print_endline "specsmoke: /compile matches rcc compile --json";
+
+  (* 2. Idempotent resubmission. *)
+  let status, again =
+    http_request ~port ~meth:"POST" ~path:"/compile" ~body:spec_doc ()
+  in
+  if status <> 200 then fail "second /compile: status %d" status;
+  let id2 = str_member "/compile" "kernel" (json_of "/compile" again) in
+  if id2 <> id then fail "resubmission changed the id: %S -> %S" id id2;
+  print_endline "specsmoke: resubmission is idempotent";
+
+  (* 3. Cold and warm /run by kernel id vs the CLI on the same file. *)
+  let run_body = Printf.sprintf {|{"kernel":%S,"rc":true,"core_int":8}|} id in
+  let status, cold =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "first /run: status %d body %S" status cold;
+  let cli_cold =
+    cli_run rcc
+      [ "run"; "--spec"; "spec.json"; "--rc"; "--core-int"; "8"; "--json" ]
+  in
+  if normalize "/run" cold <> normalize "rcc run --spec --json" cli_cold then
+    fail "first /run differs from `rcc run --spec --json`";
+  print_endline "specsmoke: cold /run matches rcc run --spec --json";
+  let status, warm =
+    http_request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+  in
+  if status <> 200 then fail "second /run: status %d" status;
+  let cli_warm =
+    cli_run rcc
+      [
+        "run"; "--spec"; "spec.json"; "--rc"; "--core-int"; "8"; "--json";
+        "--engine"; "replay";
+      ]
+  in
+  if
+    normalize "/run" warm
+    <> normalize "rcc run --spec --engine replay --json" cli_warm
+  then fail "second /run differs from `rcc run --spec --engine replay --json`";
+  (match Rc_obs.Json.member "engine" (json_of "/run" warm) with
+  | Some (Rc_obs.Json.Str "replay") -> ()
+  | other ->
+      fail "second /run engine is %s, wanted \"replay\""
+        (match other with
+        | Some j -> Rc_obs.Json.to_string j
+        | None -> "absent"));
+  print_endline "specsmoke: warm /run replayed from the trace cache";
+
+  (* 4. The shed paths: over-budget 413, malformed 400, still alive. *)
+  let status, body =
+    http_request ~port ~meth:"POST" ~path:"/compile" ~body:oversize_doc ()
+  in
+  if status <> 413 then fail "oversize /compile: status %d, wanted 413" status;
+  if not (contains ~needle:"limit" body) then
+    fail "oversize /compile: error body does not name the limit: %S" body;
+  let status, body =
+    http_request ~port ~meth:"POST" ~path:"/compile" ~body:{|{"funcs":3}|} ()
+  in
+  if status <> 400 then fail "malformed /compile: status %d, wanted 400" status;
+  if not (contains ~needle:"$.funcs" body) then
+    fail "malformed /compile: error body does not name the JSON path: %S" body;
+  let status, _ = http_request ~port ~meth:"GET" ~path:"/healthz" () in
+  if status <> 200 then fail "/healthz after rejections: status %d" status;
+  print_endline "specsmoke: over-budget shed 413, malformed shed 400";
+
+  (* Shut down cleanly. *)
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "server exited %d after SIGTERM" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "server killed by signal %d" n);
+  close_in_noerr err_ic;
+  print_endline "specsmoke: server drained and exited 0"

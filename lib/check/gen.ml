@@ -322,11 +322,6 @@ let alu_name a = Rc_isa.Opcode.string_of_alu a
 let fpu_name f = Rc_isa.Opcode.string_of_fpu f
 let cond_name c = Rc_isa.Opcode.string_of_cond c
 
-let of_name name table fallback =
-  match Array.find_opt (fun x -> snd x = name) table with
-  | Some (x, _) -> x
-  | None -> fallback
-
 let alu_table = Array.map (fun a -> (a, alu_name a)) alus
 let fpu_table = Array.map (fun f -> (f, fpu_name f)) fpus
 let cond_table = Array.map (fun c -> (c, cond_name c)) conds
@@ -389,82 +384,369 @@ let to_json (s : spec) =
                 s.funcs)) );
     ]
 
+(* Strict decoding: user-submitted documents (POST /compile,
+   rcc compile) come through here, so every rejection names the JSON
+   path of the offending node and nothing falls back silently — an
+   unknown opcode is an error, not [Add]. *)
+
+let ( let* ) = Result.bind
+let fail path fmt = Fmt.kstr (fun m -> Error (Fmt.str "%s: %s" path m)) fmt
+
+let int_at path = function
+  | J.Int n -> Ok n
+  | _ -> fail path "expected an integer"
+
+let opcode_at path kind table = function
+  | J.Str name -> (
+      match Array.find_opt (fun (_, n) -> n = name) table with
+      | Some (op, _) -> Ok op
+      | None -> fail path "unknown %s opcode %S" kind name)
+  | _ -> fail path "expected a %s opcode string" kind
+
+let decode_list path item js =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | j :: rest ->
+        let* x = item (Fmt.str "%s[%d]" path i) j in
+        go (i + 1) (x :: acc) rest
+  in
+  go 0 [] js
+
+let rec decode_expr path j =
+  match j with
+  | J.List [ J.Str "const"; J.Str n ] -> (
+      match Int64.of_string_opt n with
+      | Some v -> Ok (Const v)
+      | None -> fail path "bad int64 literal %S" n)
+  | J.List [ J.Str "const"; J.Int n ] -> Ok (Const (Int64.of_int n))
+  | J.List [ J.Str "var"; i ] ->
+      let* i = int_at (path ^ "[1]") i in
+      Ok (Var i)
+  | J.List [ J.Str "bin"; op; a; b ] ->
+      let* op = opcode_at (path ^ "[1]") "ALU" alu_table op in
+      let* a = decode_expr (path ^ "[2]") a in
+      let* b = decode_expr (path ^ "[3]") b in
+      Ok (Bin (op, a, b))
+  | J.List [ J.Str "fcmp"; c; a; b ] ->
+      let* c = opcode_at (path ^ "[1]") "condition" cond_table c in
+      let* a = decode_fexpr (path ^ "[2]") a in
+      let* b = decode_fexpr (path ^ "[3]") b in
+      Ok (Fcmp (c, a, b))
+  | J.List [ J.Str "ftoi"; a ] ->
+      let* a = decode_fexpr (path ^ "[1]") a in
+      Ok (Ftoi a)
+  | J.List (J.Str tag :: _) ->
+      fail path "malformed %S expression (wrong shape or arity)" tag
+  | _ -> fail path "expected an expression [\"tag\", ...]"
+
+and decode_fexpr path j =
+  match j with
+  | J.List [ J.Str "fconst"; J.Float x ] -> Ok (FConst x)
+  | J.List [ J.Str "fconst"; J.Int x ] -> Ok (FConst (float_of_int x))
+  | J.List [ J.Str "fvar"; i ] ->
+      let* i = int_at (path ^ "[1]") i in
+      Ok (FVar i)
+  | J.List [ J.Str "fbin"; op; a; b ] ->
+      let* op = opcode_at (path ^ "[1]") "FPU" fpu_table op in
+      let* a = decode_fexpr (path ^ "[2]") a in
+      let* b = decode_fexpr (path ^ "[3]") b in
+      Ok (FBin (op, a, b))
+  | J.List [ J.Str "itof"; a ] ->
+      let* a = decode_expr (path ^ "[1]") a in
+      Ok (Itof a)
+  | J.List (J.Str tag :: _) ->
+      fail path "malformed %S float expression (wrong shape or arity)" tag
+  | _ -> fail path "expected a float expression [\"tag\", ...]"
+
+let rec decode_stmt path j =
+  match j with
+  | J.List [ J.Str "set"; v; e ] ->
+      let* v = int_at (path ^ "[1]") v in
+      let* e = decode_expr (path ^ "[2]") e in
+      Ok (Set (v, e))
+  | J.List [ J.Str "fset"; v; e ] ->
+      let* v = int_at (path ^ "[1]") v in
+      let* e = decode_fexpr (path ^ "[2]") e in
+      Ok (FSet (v, e))
+  | J.List [ J.Str "emit"; e ] ->
+      let* e = decode_expr (path ^ "[1]") e in
+      Ok (Emit e)
+  | J.List [ J.Str "femit"; e ] ->
+      let* e = decode_fexpr (path ^ "[1]") e in
+      Ok (FEmit e)
+  | J.List [ J.Str "store"; s; e ] ->
+      let* s = int_at (path ^ "[1]") s in
+      let* e = decode_expr (path ^ "[2]") e in
+      Ok (Store (s, e))
+  | J.List [ J.Str "load"; v; s ] ->
+      let* v = int_at (path ^ "[1]") v in
+      let* s = int_at (path ^ "[2]") s in
+      Ok (Load (v, s))
+  | J.List [ J.Str "if"; c; a; b; t; e ] ->
+      let* c = opcode_at (path ^ "[1]") "condition" cond_table c in
+      let* a = decode_expr (path ^ "[2]") a in
+      let* b = decode_expr (path ^ "[3]") b in
+      let* t = decode_body (path ^ "[4]") t in
+      let* e = decode_body (path ^ "[5]") e in
+      Ok (If (c, a, b, t, e))
+  | J.List [ J.Str "loop"; v; n; body ] ->
+      let* v = int_at (path ^ "[1]") v in
+      let* n = int_at (path ^ "[2]") n in
+      let* body = decode_body (path ^ "[3]") body in
+      Ok (Loop (v, n, body))
+  | J.List [ J.Str "call"; d; c; J.List args ] ->
+      let* d = int_at (path ^ "[1]") d in
+      let* c = int_at (path ^ "[2]") c in
+      let* args = decode_list (path ^ "[3]") decode_expr args in
+      Ok (Call (d, c, args))
+  | J.List (J.Str tag :: _) ->
+      fail path "malformed %S statement (wrong shape or arity)" tag
+  | _ -> fail path "expected a statement [\"tag\", ...]"
+
+and decode_body path = function
+  | J.List ss -> decode_list path decode_stmt ss
+  | _ -> fail path "expected a statement list"
+
+let decode_func path j =
+  match j with
+  | J.Obj fields ->
+      let* () =
+        match
+          List.find_opt
+            (fun (k, _) ->
+              not (List.mem k [ "arity"; "nvars"; "nfvars"; "body" ]))
+            fields
+        with
+        | Some (k, _) -> fail path "unknown field %S" k
+        | None -> Ok ()
+      in
+      let req name =
+        match List.assoc_opt name fields with
+        | Some v -> Ok v
+        | None -> fail path "missing field %S" name
+      in
+      let int name =
+        let* v = req name in
+        int_at (path ^ "." ^ name) v
+      in
+      let* arity = int "arity" in
+      let* nvars = int "nvars" in
+      let* nfvars = int "nfvars" in
+      let* body_j = req "body" in
+      let* body = decode_body (path ^ ".body") body_j in
+      Ok { arity; nvars; nfvars; body }
+  | _ -> fail path "expected a function object"
+
+(** Strict spec decoding.  Every error names the JSON path of the
+    offending node ([$.funcs[1].body[3][2]: ...]); unknown opcode
+    names, unknown fields and wrong shapes are errors, never silent
+    fallbacks.  [seed] defaults to 0 and [slots] to 64 so hand-written
+    kernels can omit them; {!to_json} output round-trips exactly. *)
+let decode j =
+  match j with
+  | J.Obj fields ->
+      let* () =
+        match
+          List.find_opt
+            (fun (k, _) -> not (List.mem k [ "seed"; "slots"; "funcs" ]))
+            fields
+        with
+        | Some (k, _) -> fail "$" "unknown field %S" k
+        | None -> Ok ()
+      in
+      let opt_int name ~default =
+        match List.assoc_opt name fields with
+        | None -> Ok default
+        | Some v -> int_at ("$." ^ name) v
+      in
+      let* seed = opt_int "seed" ~default:0 in
+      let* slots = opt_int "slots" ~default:64 in
+      let* funcs =
+        match List.assoc_opt "funcs" fields with
+        | Some (J.List fs) -> decode_list "$.funcs" decode_func fs
+        | Some _ -> fail "$.funcs" "expected a function list"
+        | None -> fail "$" "missing field %S" "funcs"
+      in
+      Ok { seed; slots; funcs = Array.of_list funcs }
+  | _ -> fail "$" "expected a spec object"
+
 exception Bad_spec of string
 
-let jint = function J.Int n -> n | _ -> raise (Bad_spec "expected int")
-
-let rec expr_of_json = function
-  | J.List (J.Str "const" :: J.Str n :: _) -> Const (Int64.of_string n)
-  | J.List (J.Str "var" :: i :: _) -> Var (jint i)
-  | J.List [ J.Str "bin"; J.Str op; a; b ] ->
-      Bin
-        ( of_name op alu_table Rc_isa.Opcode.Add,
-          expr_of_json a,
-          expr_of_json b )
-  | J.List [ J.Str "fcmp"; J.Str c; a; b ] ->
-      Fcmp
-        ( of_name c cond_table Rc_isa.Opcode.Eq,
-          fexpr_of_json a,
-          fexpr_of_json b )
-  | J.List [ J.Str "ftoi"; a ] -> Ftoi (fexpr_of_json a)
-  | _ -> raise (Bad_spec "bad expr")
-
-and fexpr_of_json = function
-  | J.List (J.Str "fconst" :: J.Float x :: _) -> FConst x
-  | J.List (J.Str "fconst" :: J.Int x :: _) -> FConst (float_of_int x)
-  | J.List (J.Str "fvar" :: i :: _) -> FVar (jint i)
-  | J.List [ J.Str "fbin"; J.Str op; a; b ] ->
-      FBin
-        ( of_name op fpu_table Rc_isa.Opcode.Fadd,
-          fexpr_of_json a,
-          fexpr_of_json b )
-  | J.List [ J.Str "itof"; a ] -> Itof (expr_of_json a)
-  | _ -> raise (Bad_spec "bad fexpr")
-
-let rec stmt_of_json = function
-  | J.List [ J.Str "set"; v; e ] -> Set (jint v, expr_of_json e)
-  | J.List [ J.Str "fset"; v; e ] -> FSet (jint v, fexpr_of_json e)
-  | J.List [ J.Str "emit"; e ] -> Emit (expr_of_json e)
-  | J.List [ J.Str "femit"; e ] -> FEmit (fexpr_of_json e)
-  | J.List [ J.Str "store"; s; e ] -> Store (jint s, expr_of_json e)
-  | J.List [ J.Str "load"; v; s ] -> Load (jint v, jint s)
-  | J.List [ J.Str "if"; J.Str c; a; b; J.List t; J.List e ] ->
-      If
-        ( of_name c cond_table Rc_isa.Opcode.Eq,
-          expr_of_json a,
-          expr_of_json b,
-          List.map stmt_of_json t,
-          List.map stmt_of_json e )
-  | J.List [ J.Str "loop"; v; n; J.List body ] ->
-      Loop (jint v, jint n, List.map stmt_of_json body)
-  | J.List [ J.Str "call"; d; c; J.List args ] ->
-      Call (jint d, jint c, List.map expr_of_json args)
-  | _ -> raise (Bad_spec "bad stmt")
-
-(** @raise Bad_spec on a malformed document. *)
+(** @raise Bad_spec on a malformed document (legacy interface over
+    {!decode}, for the fuzzer's corpus files). *)
 let of_json j =
-  let get k = match J.member k j with Some v -> v | None -> raise (Bad_spec k) in
-  let funcs =
-    match get "funcs" with
-    | J.List fs ->
-        Array.of_list
-          (List.map
-             (fun f ->
-               let g k =
-                 match J.member k f with
-                 | Some v -> v
-                 | None -> raise (Bad_spec k)
-               in
-               {
-                 arity = jint (g "arity");
-                 nvars = jint (g "nvars");
-                 nfvars = jint (g "nfvars");
-                 body =
-                   (match g "body" with
-                   | J.List ss -> List.map stmt_of_json ss
-                   | _ -> raise (Bad_spec "body"));
-               })
-             fs)
-    | _ -> raise (Bad_spec "funcs")
+  match decode j with Ok s -> s | Error m -> raise (Bad_spec m)
+
+(* --- admission limits and validation -------------------------------------- *)
+
+(* Budget limits for user-submitted specs (POST /compile, rcc
+   compile).  [size] is the shrinker's node-count measure above;
+   [depth] counts statement nesting; the dynamic weight bounds the
+   work one simulation of the rendered program can cost, with loop
+   trip counts multiplied through and the call DAG followed. *)
+let max_size = 4096
+let max_depth = 16
+let max_funcs = 8
+let max_slots = 4096
+let max_vars = 256
+let max_call_args = 8
+let max_trip = 1024
+let max_dyn_weight = 1 lsl 22
+
+let rec stmt_depth = function
+  | Set _ | FSet _ | Emit _ | FEmit _ | Store _ | Load _ | Call _ -> 1
+  | If (_, _, _, t, e) -> 1 + max (body_depth t) (body_depth e)
+  | Loop (_, _, body) -> 1 + body_depth body
+
+and body_depth body = List.fold_left (fun d st -> max d (stmt_depth st)) 0 body
+
+(** Deepest statement nesting of any function body. *)
+let depth (s : spec) =
+  Array.fold_left (fun d f -> max d (body_depth f.body)) 0 s.funcs
+
+let sat_add a b =
+  let s = a + b in
+  if s < a then max_int else s
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+(** Saturating upper bound on the dynamic spec-node executions of one
+    run of the rendered program: loop bodies weighted by their trip
+    counts, both [If] arms counted, calls expanded through the DAG
+    (validated calls only go to higher-numbered helpers, so helper
+    weights are known before their callers'). *)
+let dyn_weight (s : spec) =
+  let n = Array.length s.funcs in
+  let fw = Array.make (max 1 n) 1 in
+  let rec stmt_w i = function
+    | Set (_, e) | Emit e | Store (_, e) -> 1 + expr_size e
+    | FSet (_, e) | FEmit e -> 1 + fexpr_size e
+    | Load _ -> 1
+    | If (_, a, b, t, e) ->
+        sat_add
+          (1 + expr_size a + expr_size b)
+          (sat_add (body_w i t) (body_w i e))
+    | Loop (_, trip, body) -> sat_add 1 (sat_mul (max 0 trip) (body_w i body))
+    | Call (_, c, args) ->
+        let argw =
+          List.fold_left (fun w a -> sat_add w (expr_size a)) 1 args
+        in
+        if c > i && c < n then sat_add argw fw.(c) else argw
+  and body_w i body =
+    List.fold_left (fun w st -> sat_add w (stmt_w i st)) 0 body
   in
-  { seed = jint (get "seed"); slots = jint (get "slots"); funcs }
+  for i = n - 1 downto 0 do
+    fw.(i) <- sat_add 1 (body_w i s.funcs.(i).body)
+  done;
+  if n = 0 then 0 else fw.(0)
+
+exception Invalid of string
+
+(** Admission check for untrusted specs.  [`Limit] errors are budget
+    overruns (the service answers 413); [`Invalid] errors are
+    structural rejections (400).  Beyond the budget limits this
+    enforces what the total renderer's modular index folding cannot:
+    indices must be non-negative (OCaml's [mod] is negative for
+    negative operands, so a negative id would crash the renderer), and
+    in-range calls must be strictly forward — the renderer collapses
+    out-of-range callees to [dst := 0], but an in-range self or
+    backward call would render real recursion with no base case and
+    hang the interpreter. *)
+let validate (s : spec) =
+  let n = Array.length s.funcs in
+  let limit fmt = Fmt.kstr (fun m -> Error (`Limit m)) fmt in
+  if n = 0 then Error (`Invalid "spec has no functions")
+  else if n > max_funcs then
+    limit "%d functions exceed the limit of %d" n max_funcs
+  else if s.slots < 1 then Error (`Invalid "slots must be >= 1")
+  else if s.slots > max_slots then
+    limit "%d global slots exceed the limit of %d" s.slots max_slots
+  else if size s > max_size then
+    limit "spec size %d exceeds the limit of %d nodes" (size s) max_size
+  else if depth s > max_depth then
+    limit "statement depth %d exceeds the limit of %d" (depth s) max_depth
+  else begin
+    let err fmt = Fmt.kstr (fun m -> raise (Invalid m)) fmt in
+    let rec check_expr i = function
+      | Const _ -> ()
+      | Var v -> if v < 0 then err "funcs[%d]: negative variable id %d" i v
+      | Bin (_, a, b) ->
+          check_expr i a;
+          check_expr i b
+      | Fcmp (_, a, b) ->
+          check_fexpr i a;
+          check_fexpr i b
+      | Ftoi a -> check_fexpr i a
+    and check_fexpr i = function
+      | FConst _ -> ()
+      | FVar v ->
+          if v < 0 then err "funcs[%d]: negative float variable id %d" i v
+      | FBin (_, a, b) ->
+          check_fexpr i a;
+          check_fexpr i b
+      | Itof a -> check_expr i a
+    in
+    let rec check_stmt i = function
+      | Set (v, e) ->
+          if v < 0 then err "funcs[%d]: negative variable id %d" i v;
+          check_expr i e
+      | Emit e -> check_expr i e
+      | FSet (v, e) ->
+          if v < 0 then err "funcs[%d]: negative float variable id %d" i v;
+          check_fexpr i e
+      | FEmit e -> check_fexpr i e
+      | Store (slot, e) ->
+          if slot < 0 then err "funcs[%d]: negative slot index %d" i slot;
+          check_expr i e
+      | Load (v, slot) ->
+          if v < 0 then err "funcs[%d]: negative variable id %d" i v;
+          if slot < 0 then err "funcs[%d]: negative slot index %d" i slot
+      | If (_, a, b, t, e) ->
+          check_expr i a;
+          check_expr i b;
+          List.iter (check_stmt i) t;
+          List.iter (check_stmt i) e
+      | Loop (v, trip, body) ->
+          if v < 0 then err "funcs[%d]: negative variable id %d" i v;
+          if trip < 0 then err "funcs[%d]: negative trip count %d" i trip;
+          if trip > max_trip then
+            err "funcs[%d]: trip count %d exceeds the limit of %d" i trip
+              max_trip;
+          List.iter (check_stmt i) body
+      | Call (d, c, args) ->
+          if d < 0 then err "funcs[%d]: negative variable id %d" i d;
+          if c > 0 && c < n && c <= i then
+            err
+              "funcs[%d]: call to helper %d is not strictly forward \
+               (recursion is rejected)"
+              i c;
+          if List.length args > max_call_args then
+            err "funcs[%d]: call with %d arguments exceeds the limit of %d" i
+              (List.length args) max_call_args;
+          List.iter (check_expr i) args
+    in
+    match
+      Array.iteri
+        (fun i f ->
+          if i = 0 && f.arity <> 0 then err "funcs[0] (main) must have arity 0";
+          if f.arity < 0 then err "funcs[%d]: negative arity" i;
+          if f.arity > max_call_args then
+            err "funcs[%d]: arity %d exceeds the limit of %d" i f.arity
+              max_call_args;
+          if f.nvars < 1 || f.nfvars < 1 then
+            err "funcs[%d]: nvars and nfvars must be >= 1" i;
+          if f.nvars > max_vars || f.nfvars > max_vars then
+            err "funcs[%d]: variable counts exceed the limit of %d" i max_vars;
+          if f.arity > f.nvars then
+            err "funcs[%d]: arity %d exceeds nvars %d" i f.arity f.nvars;
+          List.iter (check_stmt i) f.body)
+        s.funcs
+    with
+    | () ->
+        let w = dyn_weight s in
+        if w > max_dyn_weight then
+          limit "dynamic weight %d exceeds the limit of %d" w max_dyn_weight
+        else Ok ()
+    | exception Invalid m -> Error (`Invalid m)
+  end

@@ -1,0 +1,106 @@
+(** Admission pipeline for user-submitted kernel specs.
+
+    [POST /compile], [rcc compile] and [rcc run --spec] all funnel
+    their untrusted documents through {!of_string}: parse, strict
+    decode ({!Gen.decode}, every rejection naming the JSON path of the
+    offending node), then budget validation ({!Gen.validate}).  The
+    typed error split mirrors the service's status mapping — malformed
+    or structurally invalid documents are the client's 400, budget
+    overruns its 413.
+
+    An admitted spec becomes an ordinary {!Rc_workloads.Wutil.bench}
+    ({!bench_of}) named by its content digest, so the whole harness —
+    memo tables keyed by bench name, the trace cache and on-disk store
+    keyed by [Image.fingerprint] — works on ad-hoc kernels unchanged,
+    and the server and CLI agree on every key for the same document.
+
+    The optional admission oracle ({!oracle}) locksteps a configurable
+    cycle prefix of the compiled image against the sequential
+    {!Rc_interp.Iexec} reference, the same differential check the
+    fuzzer trusts arbitrary generated programs with. *)
+
+module J = Rc_obs.Json
+
+type error =
+  | Malformed of string  (** parse/decode/validation failure: 400 *)
+  | Too_large of string  (** budget-limit overrun: 413 *)
+
+let error_detail = function Malformed m | Too_large m -> m
+
+(** Decode and validate one already-parsed document. *)
+let of_json j =
+  match Gen.decode j with
+  | Error m -> Error (Malformed m)
+  | Ok s -> (
+      match Gen.validate s with
+      | Ok () -> Ok s
+      | Error (`Invalid m) -> Error (Malformed m)
+      | Error (`Limit m) -> Error (Too_large m))
+
+(** Parse, decode and validate one spec document. *)
+let of_string text =
+  match J.of_string text with
+  | Error m -> Error (Malformed ("malformed JSON: " ^ m))
+  | Ok j -> of_json j
+
+(** Canonical bytes of a spec: its {!Gen.to_json} rendering, which
+    normalises omitted defaults, so a document and its round-trip have
+    one identity. *)
+let canonical s = J.to_string (Gen.to_json s)
+
+(** Deterministic kernel id, ["k" ^ 12 hex digest chars] of the
+    canonical bytes.  Server-assigned on [/compile] but reproducible
+    offline: [rcc compile] on the same document prints the same id,
+    which is how the CLI and service land on the same memo and store
+    keys. *)
+let id_of s = "k" ^ String.sub (Digest.to_hex (Digest.string (canonical s))) 0 12
+
+(** The bench name a spec runs under: ["spec:<id>"]. *)
+let bench_name s = "spec:" ^ id_of s
+
+(** Wrap an admitted spec as a benchmark.  The build ignores the
+    workload scale — a submitted kernel is its own fixed program — so
+    its cells are identical under any context scale. *)
+let bench_of s =
+  {
+    Rc_workloads.Wutil.name = bench_name s;
+    kind = Rc_workloads.Wutil.Int_bench;
+    description =
+      Fmt.str "user-submitted kernel (%d nodes, %d function%s)" (Gen.size s)
+        (Array.length s.funcs)
+        (if Array.length s.funcs = 1 then "" else "s");
+    build = (fun _scale -> Gen.render s);
+  }
+
+(** Outcome of the admission oracle. *)
+type verdict =
+  | Agree of { cycles : int; steps : int; complete : bool }
+      (** no divergence; [complete] when the program halted within the
+          prefix, false when only the prefix was checked *)
+  | Diverged of Report.t
+
+(** Lockstep the first [cycles] machine cycles of a compiled kernel
+    against the {!Rc_interp.Iexec} reference under exactly the
+    configuration the simulation will run ({!Oracle.config_of_options}).
+    Running out of fuel without disagreement passes the prefix. *)
+let oracle ~cycles (c : Rc_harness.Pipeline.compiled) =
+  let cfg = Oracle.config_of_options c.Rc_harness.Pipeline.opts in
+  match
+    Lockstep.run ~fuel_cycles:cycles cfg c.Rc_harness.Pipeline.image
+  with
+  | Lockstep.Agree { cycles; steps } -> Agree { cycles; steps; complete = true }
+  | Lockstep.Diverged r -> Diverged r
+  | exception Failure m when m = "lockstep: machine out of fuel" ->
+      Agree { cycles; steps = 0; complete = false }
+
+let verdict_json = function
+  | Agree { cycles; steps; complete } ->
+      J.Obj
+        [
+          ("verdict", J.Str "agree");
+          ("cycles", J.Int cycles);
+          ("steps", J.Int steps);
+          ("complete", J.Bool complete);
+        ]
+  | Diverged r ->
+      J.Obj [ ("verdict", J.Str "diverged"); ("report", Report.to_json r) ]

@@ -873,6 +873,33 @@ let fig9_fp ctx =
     note = "";
   }
 
+(* --- per-kernel figures ------------------------------------------------- *)
+
+let kernel_figures ctx (b : Wutil.bench) =
+  let labels =
+    match b.Wutil.kind with
+    | Wutil.Int_bench -> int_labels
+    | Wutil.Float_bench -> fp_labels
+  in
+  [
+    {
+      id = "kernel-speedup";
+      title = Fmt.str "Speedup vs core registers: %s" b.Wutil.name;
+      columns = fig8_columns labels;
+      rows = fig8_rows ctx [ b ] labels;
+      note = "noN = without RC, rcN = with RC; unlim = unlimited registers.";
+    };
+    {
+      id = "kernel-size";
+      title = Fmt.str "Code size increase %% over ideal code: %s" b.Wutil.name;
+      columns = fig9_columns labels;
+      rows = fig9_rows ctx [ b ] labels;
+      note =
+        "noN = without RC; rcN = with RC (spill+connect+xsave); xsN = \
+         extended-register save/restore part of rcN.";
+    };
+  ]
+
 (* --- Figures 10 and 11 -------------------------------------------------- *)
 
 let fig10_11 ctx ~load ~id =

@@ -255,6 +255,16 @@ val ablation_combine : ctx -> table
 val ablation_unroll : ctx -> table
 val all_figures : ctx -> table list
 
+(** Figure-8/9-style sweeps (speedup and code-size vs core registers)
+    for a single benchmark — the entry point ad-hoc kernels (the
+    service's user-submitted specs, wrapped as {!Wutil.bench} values)
+    share with the built-in corpus.  The cells run through the same
+    memo tables, batching prefetch and trace cache — keyed by the
+    compiled image's {!Rc_isa.Image.fingerprint}, so nothing below
+    this line distinguishes a submitted image from a registry one, and
+    an attached store serves both. *)
+val kernel_figures : ctx -> Wutil.bench -> table list
+
 (** Look an experiment up by its command-line id ("fig8-int",
     "ablation-models", ...). *)
 val by_id : ctx -> string -> table option

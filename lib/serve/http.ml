@@ -15,6 +15,7 @@ type error =
   | Malformed of string
   | Too_large of string
   | Header_overflow of string
+  | Not_implemented of string
   | Timeout
   | Closed
 
@@ -145,7 +146,25 @@ let read_request ?(limits = default_limits) rd =
         in
         let headers = headers [] 0 in
         let req = { meth; path; headers; body = "" } in
-        if meth <> "POST" then Ok req
+        (* Message-length ambiguity is how request smuggling works, so
+           the codec refuses to guess.  This server never implements
+           chunked bodies: any Transfer-Encoding — whatever its value,
+           whatever the method, with or without a Content-Length — is
+           answered 501, never parsed as length-delimited.  Duplicate
+           Content-Length headers (even agreeing ones) are a hard 400:
+           [header] would silently pick the first while a proxy in
+           front may have honoured the second. *)
+        if List.mem_assoc "transfer-encoding" headers then
+          Error
+            (Not_implemented
+               "Transfer-Encoding is not supported; send a Content-Length \
+                body")
+        else if
+          List.length
+            (List.filter (fun (k, _) -> k = "content-length") headers)
+          > 1
+        then Error (Malformed "duplicate Content-Length headers")
+        else if meth <> "POST" then Ok req
         else begin
           match header req "content-length" with
           | None -> Error (Malformed "POST requires Content-Length")
@@ -174,6 +193,7 @@ let reason = function
   | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
   | 503 -> "Service Unavailable"
   | s -> "Status " ^ string_of_int s
 

@@ -25,12 +25,14 @@ type request = {
 }
 
 (** Why a request could not be read.  Maps to a response status:
-    [Malformed] 400, [Too_large] 413, [Header_overflow] 431, [Timeout]
-    408, [Closed] (peer hung up mid-request — nothing to answer). *)
+    [Malformed] 400, [Too_large] 413, [Header_overflow] 431,
+    [Not_implemented] 501, [Timeout] 408, [Closed] (peer hung up
+    mid-request — nothing to answer). *)
 type error =
   | Malformed of string
   | Too_large of string
   | Header_overflow of string
+  | Not_implemented of string
   | Timeout
   | Closed
 
@@ -45,7 +47,12 @@ val reader_of_fd : Unix.file_descr -> reader
 val reader_of_string : string -> reader
 
 (** Read one full request (request line, headers, body).  [POST]
-    requires a valid [Content-Length]; other methods read no body. *)
+    requires a valid [Content-Length]; other methods read no body.
+    Message-length ambiguity is rejected instead of guessed at (the
+    request-smuggling shapes): any [Transfer-Encoding] header — alone
+    or alongside a [Content-Length], on any method — is
+    [Not_implemented] (501), and duplicate [Content-Length] headers,
+    even agreeing ones, are [Malformed] (400). *)
 val read_request : ?limits:limits -> reader -> (request, error) result
 
 val header : request -> string -> string option

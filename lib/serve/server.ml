@@ -36,6 +36,8 @@ type t = {
   port : int;
   stats : Stats.t;
   reqs : Reqtrace.sink;
+  kmu : Mutex.t;  (* guards [kernels] *)
+  kernels : (string, Rc_check.Gen.spec) Hashtbl.t;
   started : float;
   next_id : int Atomic.t;
   stopping : bool Atomic.t;
@@ -91,6 +93,8 @@ let create ?(config = default_config) ?listener ?store ctx =
     port;
     stats = Stats.create ();
     reqs = Reqtrace.sink ~capacity:config.trace_capacity ();
+    kmu = Mutex.create ();
+    kernels = Hashtbl.create 16;
     started = Unix.gettimeofday ();
     next_id = Atomic.make 1;
     stopping = Atomic.make false;
@@ -118,15 +122,91 @@ let fresh_id t = Printf.sprintf "r%06d" (Atomic.fetch_and_add t.next_id 1)
 let json_ok j = (200, [], Rc_obs.Json.to_string j ^ "\n")
 let err status detail = (status, [], Http.error_body ~status ~detail)
 
+(* --- submitted-kernel registry -------------------------------------------- *)
+
+(* Admitted specs, keyed by their content digest ({!Rc_check.Spec.id_of}).
+   Specs are small by construction (the admission budget), so the
+   registry is bounded by count alone; at the cap, new submissions are
+   shed rather than evicting — ids are handed to clients and must stay
+   resolvable for the server's lifetime. *)
+let max_kernels = 1024
+
+(* Endpoint-local rejection with a definite status, unwound to [route]'s
+   handler: the request's fault (or the registry's capacity), never a
+   server crash. *)
+exception Reject of int * string
+
+let register_kernel t spec =
+  let id = Rc_check.Spec.id_of spec in
+  Mutex.protect t.kmu (fun () ->
+      if not (Hashtbl.mem t.kernels id) then
+        if Hashtbl.length t.kernels >= max_kernels then
+          raise
+            (Reject
+               ( 503,
+                 Fmt.str
+                   "kernel registry is full (%d kernels); re-run existing \
+                    kernels by id or restart the server"
+                   max_kernels ))
+        else Hashtbl.add t.kernels id spec);
+  id
+
+let kernel_count t = Mutex.protect t.kmu (fun () -> Hashtbl.length t.kernels)
+
+(* Resolve a request's kernel selector to the bench it runs as.  An
+   inline spec is admitted (and registered) on the spot, so the
+   response's kernel id is immediately re-runnable. *)
+let bench_of_source t (src : Payload.kernel_source) =
+  match src with
+  | Payload.K_bench b -> b
+  | Payload.K_id id -> (
+      match Mutex.protect t.kmu (fun () -> Hashtbl.find_opt t.kernels id) with
+      | Some spec -> Rc_check.Spec.bench_of spec
+      | None ->
+          raise
+            (Reject
+               ( 404,
+                 Fmt.str
+                   "unknown kernel %S; submit its spec through POST /compile \
+                    first"
+                   id )))
+  | Payload.K_spec spec ->
+      ignore (register_kernel t spec);
+      Stats.record_spec t.stats ~outcome:"admitted";
+      Rc_check.Spec.bench_of spec
+
+(* Run the lockstep admission oracle over a compiled kernel; agreement
+   returns the verdict JSON for the response, divergence rejects the
+   request with the differential report. *)
+let oracle_gate t rc ~cycles c =
+  let v = Reqtrace.time rc "oracle" (fun () -> Rc_check.Spec.oracle ~cycles c) in
+  match v with
+  | Rc_check.Spec.Agree _ ->
+      Stats.record_spec t.stats ~outcome:"oracle-agree";
+      Rc_check.Spec.verdict_json v
+  | Rc_check.Spec.Diverged r ->
+      Stats.record_spec t.stats ~outcome:"oracle-diverged";
+      raise
+        (Reject
+           (400, Fmt.str "admission oracle diverged: %a" Rc_check.Report.pp r))
+
+(* The typed spec-error split carried to the wire: [Malformed] 400,
+   [Too_large] (an admission-budget overrun) 413. *)
+let spec_err t = function
+  | Rc_check.Spec.Malformed m -> err 400 m
+  | Rc_check.Spec.Too_large m ->
+      Stats.record_spec t.stats ~outcome:"rejected-limit";
+      err 413 m
+
+let parse_body rc body decode =
+  Reqtrace.time rc "parse" (fun () ->
+      match Rc_obs.Json.of_string body with
+      | Error m -> Error (Rc_check.Spec.Malformed ("malformed JSON: " ^ m))
+      | Ok j -> decode j)
+
 let run_endpoint t rc body =
-  let parsed =
-    Reqtrace.time rc "parse" (fun () ->
-        match Rc_obs.Json.of_string body with
-        | Error m -> Error ("malformed JSON: " ^ m)
-        | Ok j -> Payload.run_request_of_json j)
-  in
-  match parsed with
-  | Error m -> err 400 m
+  match parse_body rc body Payload.run_request_of_json with
+  | Error e -> spec_err t e
   | Ok rq ->
       if rq.Payload.rq_scale <> Rc_harness.Experiments.scale t.ctx then
         err 400
@@ -136,10 +216,16 @@ let run_endpoint t rc body =
              rq.Payload.rq_scale
              (Rc_harness.Experiments.scale t.ctx))
       else begin
+        let bench = bench_of_source t rq.Payload.rq_kernel in
         let c =
           Reqtrace.time rc "compile" (fun () ->
-              Rc_harness.Experiments.compile_cell t.ctx rq.Payload.rq_bench
+              Rc_harness.Experiments.compile_cell t.ctx bench
                 rq.Payload.rq_opts)
+        in
+        let oracle =
+          Option.map
+            (fun cycles -> oracle_gate t rc ~cycles c)
+            rq.Payload.rq_oracle
         in
         (* The engine that timed the cell is only known afterwards, so
            the span is recorded from explicit timestamps, tagged with
@@ -153,40 +239,59 @@ let run_endpoint t rc body =
           ();
         Reqtrace.time rc "render" (fun () ->
             json_ok
-              (Payload.run_response
-                 ~bench:rq.Payload.rq_bench.Rc_workloads.Wutil.name
+              (Payload.run_response ?oracle ~bench:bench.Rc_workloads.Wutil.name
                  ~scale:rq.Payload.rq_scale ~engine_used c r))
       end
 
-let figures_endpoint t rc body =
-  let parsed =
-    Reqtrace.time rc "parse" (fun () ->
-        match Rc_obs.Json.of_string body with
-        | Error m -> Error ("malformed JSON: " ^ m)
-        | Ok j -> Payload.figures_request_of_json j)
-  in
-  match parsed with
-  | Error m -> err 400 m
-  | Ok ids ->
-      let tables =
-        Reqtrace.time rc "tables" (fun () ->
-            List.map
-              (fun id ->
-                match Rc_harness.Experiments.by_id t.ctx id with
-                | Some tbl -> tbl
-                | None -> assert false (* ids validated by the decoder *))
-              ids)
+let compile_endpoint t rc body =
+  match parse_body rc body Payload.compile_request_of_json with
+  | Error (Rc_check.Spec.Malformed _ as e) ->
+      Stats.record_spec t.stats ~outcome:"rejected-malformed";
+      spec_err t e
+  | Error e -> spec_err t e
+  | Ok { Payload.cq_spec = spec; cq_oracle } ->
+      let id = register_kernel t spec in
+      Stats.record_spec t.stats ~outcome:"admitted";
+      let bench = Rc_check.Spec.bench_of spec in
+      let c =
+        Reqtrace.time rc "compile" (fun () ->
+            Rc_harness.Experiments.compile_cell t.ctx bench
+              (Payload.default_options ()))
       in
-      let stats = Rc_harness.Experiments.engine_stats t.ctx in
+      let oracle =
+        Option.map (fun cycles -> oracle_gate t rc ~cycles c) cq_oracle
+      in
       Reqtrace.time rc "render" (fun () ->
-          json_ok
-            (Payload.figures_response
-               ~scale:(Rc_harness.Experiments.scale t.ctx)
-               ~jobs:(Rc_harness.Experiments.jobs t.ctx)
-               ~engine_name:
-                 (Rc_harness.Experiments.engine_name
-                    (Rc_harness.Experiments.engine t.ctx))
-               ~stats tables))
+          json_ok (Payload.compile_response ?oracle ~id spec c))
+
+let figures_response_of t rc tables_span tables =
+  let tables = Reqtrace.time rc tables_span tables in
+  let stats = Rc_harness.Experiments.engine_stats t.ctx in
+  Reqtrace.time rc "render" (fun () ->
+      json_ok
+        (Payload.figures_response
+           ~scale:(Rc_harness.Experiments.scale t.ctx)
+           ~jobs:(Rc_harness.Experiments.jobs t.ctx)
+           ~engine_name:
+             (Rc_harness.Experiments.engine_name
+                (Rc_harness.Experiments.engine t.ctx))
+           ~stats tables))
+
+let figures_endpoint t rc body =
+  match parse_body rc body Payload.figures_request_of_json with
+  | Error e -> spec_err t e
+  | Ok (Payload.Fq_ids ids) ->
+      figures_response_of t rc "tables" (fun () ->
+          List.map
+            (fun id ->
+              match Rc_harness.Experiments.by_id t.ctx id with
+              | Some tbl -> tbl
+              | None -> assert false (* ids validated by the decoder *))
+            ids)
+  | Ok (Payload.Fq_kernel src) ->
+      let bench = bench_of_source t src in
+      figures_response_of t rc "tables" (fun () ->
+          Rc_harness.Experiments.kernel_figures t.ctx bench)
 
 let metrics_json_endpoint t =
   let server =
@@ -222,6 +327,9 @@ let prom_endpoint t =
     ~help:"Connections closed before sending any request"
     "rcc_closed_early_total"
     (float_of_int (closed_early t));
+  Rc_obs.Metrics.set reg ~help:"Kernels resident in the submission registry"
+    "rcc_spec_kernels"
+    (float_of_int (kernel_count t));
   Rc_harness.Experiments.export_metrics t.ctx reg;
   (match t.store with None -> () | Some s -> Store.export_metrics s reg);
   ( 200,
@@ -259,12 +367,14 @@ let route t rc (req : Http.request) =
     | "GET", "/trace" -> (200, [], trace_chrome t ^ "\n")
     | "POST", "/run" -> run_endpoint t rc req.Http.body
     | "POST", "/figures" -> figures_endpoint t rc req.Http.body
+    | "POST", "/compile" -> compile_endpoint t rc req.Http.body
     | ( meth,
         (( "/healthz" | "/version" | "/metrics" | "/metrics.json" | "/trace"
-         | "/run" | "/figures" ) as path) ) ->
+         | "/run" | "/figures" | "/compile" ) as path) ) ->
         err 405 (Fmt.str "%s is not supported on %s" meth path)
     | _, path -> err 404 ("no route for " ^ path)
   with
+  | Reject (status, detail) -> err status detail
   | Invalid_argument m ->
       (* The pipeline rejects unsatisfiable configurations (registers
          too small to allocate, malformed knob combinations) with
@@ -360,6 +470,7 @@ let handle t ~t_acc fd =
             | Http.Malformed m -> (400, m)
             | Http.Too_large m -> (413, m)
             | Http.Header_overflow m -> (431, m)
+            | Http.Not_implemented m -> (501, m)
             | Http.Timeout ->
                 (408, "request was not received before the deadline")
             | Http.Closed -> assert false
@@ -373,9 +484,17 @@ let handle t ~t_acc fd =
                 ());
           complete t rc ~endpoint:"(bad-request)" ~status
       | Ok req ->
+          (* The id is echoed into a response header and the access
+             log; CR/LF or any other control byte in a client-supplied
+             value is header splitting / log injection, so such ids are
+             discarded, not escaped. *)
           let rid =
             match Http.header req "x-request-id" with
-            | Some v when v <> "" && String.length v <= 128 -> v
+            | Some v
+              when v <> ""
+                   && String.length v <= 128
+                   && String.for_all (fun c -> c >= ' ' && c <> '\x7f') v ->
+                v
             | _ -> fresh_id t
           in
           Reqtrace.identify rc ~id:rid ~meth:req.Http.meth ~path:req.Http.path;

@@ -61,6 +61,12 @@ let record_shed t =
   M.inc t.reg ~help:"Connections shed with 503 at the in-flight limit"
     "rcc_shed_total" 1.0
 
+let record_spec t ~outcome =
+  M.inc t.reg
+    ~labels:[ ("outcome", outcome) ]
+    ~help:"Kernel-spec submissions by admission outcome"
+    "rcc_spec_submissions_total" 1.0
+
 let record_abandoned t =
   Mutex.protect t.mu (fun () -> t.s_abandoned <- t.s_abandoned + 1);
   M.inc t.reg ~help:"Responses abandoned after their deadline expired"

@@ -31,6 +31,12 @@ val record_shed : t -> unit
     work was done. *)
 val record_abandoned : t -> unit
 
+(** One kernel-spec submission event, counted under
+    [rcc_spec_submissions_total{outcome=...}].  Outcomes the server
+    records: [admitted], [rejected-malformed], [rejected-limit],
+    [oracle-agree], [oracle-diverged]. *)
+val record_spec : t -> outcome:string -> unit
+
 val shed : t -> int
 
 (** The metrics registry everything above records into; the server

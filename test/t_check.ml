@@ -52,6 +52,165 @@ let test_spec_json_roundtrip () =
         true (spec = back))
     (List.init 20 Fun.id)
 
+(* --- the admission pipeline (Spec) ----------------------------------------- *)
+
+module Spec = Rc_check.Spec
+
+(* Everything the generator produces must sail through the public
+   admission gate — the fuzzer's corpus is exactly the input shape
+   /compile advertises — and the canonical bytes must be a fixpoint,
+   so the server-assigned kernel id is stable across resubmission. *)
+let test_spec_admission_accepts_generated () =
+  List.iter
+    (fun seed ->
+      let spec = Gen.generate seed in
+      match Spec.of_string (Spec.canonical spec) with
+      | Error e ->
+          Alcotest.failf "seed %d rejected: %s" seed (Spec.error_detail e)
+      | Ok back ->
+          Alcotest.(check bool)
+            (Fmt.str "seed %d admitted unchanged" seed)
+            true (spec = back);
+          Alcotest.(check string)
+            (Fmt.str "seed %d id stable" seed)
+            (Spec.id_of spec) (Spec.id_of back))
+    (List.init 20 Fun.id)
+
+(* One-function spec around a body, within every other budget. *)
+let spec_of_body body =
+  { Gen.seed = 0; slots = 4; funcs = [| { Gen.arity = 0; nvars = 2; nfvars = 1; body } |] }
+
+(* Nested loops of trip 1, [d] levels deep, innermost body [inner]. *)
+let rec nested d inner = if d = 0 then inner else [ Gen.Loop (0, 1, nested (d - 1) inner) ]
+
+let expect_ok what = function
+  | Ok (_ : Gen.spec) -> ()
+  | Error e -> Alcotest.failf "%s rejected: %s" what (Spec.error_detail e)
+
+let expect_malformed what = function
+  | Ok (_ : Gen.spec) -> Alcotest.failf "%s wrongly admitted" what
+  | Error (Spec.Too_large m) ->
+      Alcotest.failf "%s rejected as a limit, not malformed: %s" what m
+  | Error (Spec.Malformed _) -> ()
+
+let expect_too_large what = function
+  | Ok (_ : Gen.spec) -> Alcotest.failf "%s wrongly admitted" what
+  | Error (Spec.Malformed m) ->
+      Alcotest.failf "%s rejected as malformed, not a limit: %s" what m
+  | Error (Spec.Too_large _) -> ()
+
+(* The budget boundaries, exactly at and one past each limit: at-limit
+   specs are admitted (200), over-limit ones are Too_large (413). *)
+let test_spec_admission_limits () =
+  let admit s = Spec.of_json (Gen.to_json s) in
+  (* statement depth — the innermost Emit is itself one level *)
+  expect_ok "depth at limit"
+    (admit (spec_of_body (nested (Gen.max_depth - 1) [ Gen.Emit (Gen.Var 0) ])));
+  expect_too_large "depth over limit"
+    (admit (spec_of_body (nested Gen.max_depth [ Gen.Emit (Gen.Var 0) ])));
+  (* function count *)
+  let nfuncs n =
+    {
+      Gen.seed = 0;
+      slots = 4;
+      funcs =
+        Array.init n (fun i ->
+            {
+              Gen.arity = 0;
+              nvars = 2;
+              nfvars = 1;
+              body =
+                (if i = 0 && n > 1 then [ Gen.Call (0, 1, []) ]
+                 else [ Gen.Emit (Gen.Var 0) ]);
+            });
+    }
+  in
+  expect_ok "funcs at limit" (admit (nfuncs Gen.max_funcs));
+  expect_too_large "funcs over limit" (admit (nfuncs (Gen.max_funcs + 1)));
+  (* node-count budget: Emit(Var) is 2 nodes, plus 1 per function *)
+  let flat n = spec_of_body (List.init n (fun _ -> Gen.Emit (Gen.Var 0))) in
+  expect_ok "size at limit" (admit (flat ((Gen.max_size - 1) / 2)));
+  expect_too_large "size over limit" (admit (flat (Gen.max_size / 2 + 1)));
+  (* loop trip-count and the dynamic-weight budget *)
+  expect_ok "trip at limit"
+    (admit (spec_of_body [ Gen.Loop (0, Gen.max_trip, [ Gen.Emit (Gen.Var 0) ]) ]));
+  expect_malformed "trip over limit"
+    (admit
+       (spec_of_body [ Gen.Loop (0, Gen.max_trip + 1, [ Gen.Emit (Gen.Var 0) ]) ]));
+  let deep_loops d =
+    let rec go d =
+      if d = 0 then [ Gen.Emit (Gen.Var 0) ]
+      else [ Gen.Loop (0, Gen.max_trip, go (d - 1)) ]
+    in
+    spec_of_body (go d)
+  in
+  expect_too_large "dynamic weight over limit" (admit (deep_loops 4));
+  (* slots *)
+  expect_ok "slots at limit"
+    (admit { (spec_of_body [ Gen.Emit (Gen.Var 0) ]) with Gen.slots = Gen.max_slots });
+  expect_too_large "slots over limit"
+    (admit
+       { (spec_of_body [ Gen.Emit (Gen.Var 0) ]) with Gen.slots = Gen.max_slots + 1 })
+
+(* Structural rejections: the renderer-totality holes an untrusted
+   document could reach — negative indices (OCaml's [mod] is negative
+   there) and non-forward calls (real recursion) — plus decode errors,
+   which must name the JSON path of the offending node. *)
+let test_spec_admission_invalid () =
+  let admit s = Spec.of_json (Gen.to_json s) in
+  expect_malformed "negative variable"
+    (admit (spec_of_body [ Gen.Emit (Gen.Var (-1)) ]));
+  expect_malformed "negative slot"
+    (admit (spec_of_body [ Gen.Store (-3, Gen.Var 0) ]));
+  (* A callee outside 1..nfuncs-1 is the shrinker's dropped-helper
+     shape: the call collapses to [dst := 0] and the spec admits. *)
+  expect_ok "collapsed call to main"
+    (admit (spec_of_body [ Gen.Call (0, 0, []); Gen.Emit (Gen.Var 0) ]));
+  let backward =
+    {
+      Gen.seed = 0;
+      slots = 4;
+      funcs =
+        [|
+          { Gen.arity = 0; nvars = 2; nfvars = 1; body = [ Gen.Call (0, 1, []) ] };
+          { Gen.arity = 0; nvars = 2; nfvars = 1; body = [ Gen.Call (0, 1, []) ] };
+        |];
+    }
+  in
+  expect_malformed "backward (recursive) call" (admit backward);
+  expect_malformed "empty spec"
+    (admit { Gen.seed = 0; slots = 4; funcs = [||] });
+  (* Decode errors carry the JSON path from the document root. *)
+  let path_of text =
+    match Spec.of_string text with
+    | Ok _ -> Alcotest.failf "%S wrongly admitted" text
+    | Error e -> Spec.error_detail e
+  in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_path text needle =
+    let m = path_of text in
+    Alcotest.(check bool)
+      (Fmt.str "%s names %s (got %S)" text needle m)
+      true
+      (contains ~needle m)
+  in
+  expect_path {|[1,2]|} "$";
+  expect_path {|{"funcs":3}|} "$.funcs";
+  expect_path {|{"funcs":[{"arity":0,"nvars":1,"nfvars":1,"body":[["frob"]]}]}|}
+    "$.funcs[0].body[0]";
+  expect_path
+    {|{"funcs":[{"arity":0,"nvars":1,"nfvars":1,"body":[["set",0,["bin","adc",["var",0],["var",0]]]]}]}|}
+    "unknown ALU opcode";
+  (* Non-JSON input must come back as an error, never an exception. *)
+  match Spec.of_string "{not json" with
+  | Error (Spec.Malformed _) -> ()
+  | Error (Spec.Too_large m) -> Alcotest.failf "parse error as limit: %s" m
+  | Ok _ -> Alcotest.fail "garbage admitted"
+
 (* --- a planted miscompile is caught and attributed ------------------------- *)
 
 (* Replace the first [Connect] of the stage's machine code with a nop:
@@ -202,13 +361,18 @@ let test_arg_messages_distinct () =
 
 (* Every persisted divergence case must stay fixed: replaying its
    (shrunk) spec through the same pipeline point must be clean.  The
-   corpus directory is empty until the fuzzer finds something. *)
+   directory has no div- cases until the fuzzer finds something;
+   spec-*.json files there are admission fixtures, not divergences. *)
 let test_corpus_replay () =
   let dir = "corpus" in
   if Sys.file_exists dir && Sys.is_directory dir then
     Array.iter
       (fun name ->
-        if Filename.check_suffix name ".json" then begin
+        if
+          String.length name >= 4
+          && String.sub name 0 4 = "div-"
+          && Filename.check_suffix name ".json"
+        then begin
           let path = Filename.concat dir name in
           let ic = open_in path in
           let n = in_channel_length ic in
@@ -229,10 +393,55 @@ let test_corpus_replay () =
         end)
       (Sys.readdir dir)
 
+(* Committed spec fixtures must stay admissible with stable identity:
+   each corpus/spec-<id>.json admits, round-trips through its
+   canonical bytes, and digests to the id in its filename. *)
+let test_corpus_specs () =
+  let dir = "corpus" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    (* only under `dune exec` from the repo root; runtest stages the dir *)
+    Alcotest.skip ();
+  let fixtures =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun name ->
+           String.length name >= 5
+           && String.sub name 0 5 = "spec-"
+           && Filename.check_suffix name ".json")
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    "spec fixtures are committed" true (List.length fixtures >= 2);
+  List.iter
+    (fun name ->
+      let ic = open_in_bin (Filename.concat dir name) in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Spec.of_string text with
+      | Error e ->
+          Alcotest.failf "fixture %s rejected: %s" name (Spec.error_detail e)
+      | Ok s ->
+          let id = Spec.id_of s in
+          Alcotest.(check string)
+            (Fmt.str "%s digests to its filename" name)
+            ("spec-" ^ id ^ ".json") name;
+          (match Spec.of_string (Spec.canonical s) with
+          | Ok back ->
+              Alcotest.(check bool)
+                (Fmt.str "%s canonical fixpoint" name)
+                true (s = back)
+          | Error e ->
+              Alcotest.failf "fixture %s canonical form rejected: %s" name
+                (Spec.error_detail e)))
+    fixtures
+
 let suite =
   [
     ("generator accepted by pipeline", `Slow, test_generator_accepted);
     ("spec JSON round-trip", `Quick, test_spec_json_roundtrip);
+    ("spec admission accepts generated", `Quick, test_spec_admission_accepts_generated);
+    ("spec admission budget limits", `Quick, test_spec_admission_limits);
+    ("spec admission invalid documents", `Quick, test_spec_admission_invalid);
+    ("corpus spec fixtures admissible", `Quick, test_corpus_specs);
     ("planted miscompile caught", `Slow, test_sabotage_caught);
     ("model mismatch diverges and shrinks", `Slow, test_model_mismatch_shrinks);
     ("cli argument validation", `Quick, test_arg_validation);

@@ -58,6 +58,36 @@ let test_http_closed () =
   | Error Http.Closed -> ()
   | _ -> Alcotest.fail "mid-request EOF not reported as Closed"
 
+(* Request-smuggling vectors: this server never implements chunked
+   bodies, so any Transfer-Encoding must be refused outright (501),
+   and a request bearing two Content-Length headers is ambiguous about
+   where its body ends — reject it rather than pick one (400). *)
+let test_http_smuggling () =
+  (match
+     parse
+       "POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\
+        Content-Length: 4\r\n\r\nbody"
+   with
+  | Error (Http.Not_implemented _) -> ()
+  | _ -> Alcotest.fail "Transfer-Encoding + Content-Length accepted");
+  (match parse "POST /run HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n" with
+  | Error (Http.Not_implemented _) -> ()
+  | _ -> Alcotest.fail "bare Transfer-Encoding accepted");
+  (match
+     parse
+       "POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 10\r\n\r\n\
+        body"
+   with
+  | Error (Http.Malformed _) -> ()
+  | _ -> Alcotest.fail "conflicting Content-Lengths accepted");
+  (* ...even when the copies agree: still ambiguous per RFC 9110. *)
+  match
+    parse
+      "POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody"
+  with
+  | Error (Http.Malformed _) -> ()
+  | _ -> Alcotest.fail "duplicate Content-Lengths accepted"
+
 (* --- live server harness ----------------------------------------------- *)
 
 (* One request per connection, Connection: close: read to EOF. *)
@@ -326,7 +356,155 @@ let test_request_id () =
         (contains ~needle:"X-Request-Id: my-req-17" raw);
       (* ...and absent ones are assigned. *)
       let _, raw, _ = request ~port ~meth:"GET" ~path:"/healthz" () in
-      check_bool "server id assigned" true (contains ~needle:"X-Request-Id: r" raw))
+      check_bool "server id assigned" true (contains ~needle:"X-Request-Id: r" raw);
+      (* A client id with control bytes must never be echoed: a bare CR
+         survives header parsing, and reflecting it would hand the
+         client a header-splitting / log-injection primitive.  The
+         server drops it and assigns its own id instead. *)
+      let hostile = "evil\rX-Injected: 1" in
+      let _, raw, _ =
+        request ~port ~meth:"GET" ~path:"/healthz"
+          ~headers:[ ("X-Request-Id", hostile) ]
+          ()
+      in
+      check_bool "hostile id not reflected" false (contains ~needle:hostile raw);
+      check_bool "hostile id not echoed in part" false
+        (contains ~needle:"X-Injected" raw);
+      check_bool "replacement id assigned" true
+        (contains ~needle:"X-Request-Id: r" raw);
+      (* Oversized ids are dropped too. *)
+      let _, raw, _ =
+        request ~port ~meth:"GET" ~path:"/healthz"
+          ~headers:[ ("X-Request-Id", String.make 300 'a') ]
+          ()
+      in
+      check_bool "oversized id not reflected" false
+        (contains ~needle:(String.make 129 'a') raw))
+
+(* --- user-submitted kernels -------------------------------------------- *)
+
+(* The same document the committed corpus fixture carries; its id is
+   pinned there by the `corpus spec fixtures admissible` check test. *)
+let spec_doc =
+  {|{"seed":0,"slots":8,"funcs":[{"arity":0,"nvars":2,"nfvars":1,"body":[["set",0,["const","1"]],["loop",1,6,[["set",0,["bin","add",["var",0],["var",1]]],["store",1,["var",0]],["load",1,1]]],["emit",["var",0]]]}]}|}
+
+let str_member name j =
+  match Rc_obs.Json.member name j with
+  | Some (Rc_obs.Json.Str s) -> s
+  | _ -> Alcotest.failf "no %S string field" name
+
+(* The front door end to end: POST /compile admits the spec and hands
+   back a kernel id; /run accepts that id, and the second run comes
+   from the trace cache; /figures sweeps the kernel; the admission
+   counters show up on /metrics. *)
+let test_spec_compile_run () =
+  with_server (fun _srv port ->
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/compile" ~body:spec_doc ()
+      in
+      check "compile" 200 st;
+      let j = json_of body in
+      let id = str_member "kernel" j in
+      check_str "deterministic kernel id" "k3dcde33718c5" id;
+      check_str "bench name" ("spec:" ^ id) (str_member "bench" j);
+      (* Resubmission is idempotent: same document, same id. *)
+      let st, _, body2 =
+        request ~port ~meth:"POST" ~path:"/compile" ~body:spec_doc ()
+      in
+      check "recompile" 200 st;
+      check_str "id stable across resubmission" id
+        (str_member "kernel" (json_of body2));
+      (* Run it by id, twice: execute then replay. *)
+      let run_body = Printf.sprintf {|{"kernel":%S}|} id in
+      let st1, _, b1 =
+        request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+      in
+      let st2, _, b2 =
+        request ~port ~meth:"POST" ~path:"/run" ~body:run_body ()
+      in
+      check "first run by id" 200 st1;
+      check "second run by id" 200 st2;
+      check_str "first executes" "execute" (str_member "engine" (json_of b1));
+      check_str "second replays" "replay" (str_member "engine" (json_of b2));
+      (* Inline specs work without a prior /compile... *)
+      let st, _, b3 =
+        request ~port ~meth:"POST" ~path:"/run"
+          ~body:(Printf.sprintf {|{"spec":%s}|} spec_doc)
+          ()
+      in
+      check "inline spec run" 200 st;
+      check_str "inline spec hits the same cache" "replay"
+        (str_member "engine" (json_of b3));
+      (* ...and the kernel sweeps like a built-in bench. *)
+      let st, _, fig =
+        request ~port ~meth:"POST" ~path:"/figures" ~body:run_body ()
+      in
+      check "figures for kernel" 200 st;
+      (match Rc_obs.Json.member "tables" (json_of fig) with
+      | Some (Rc_obs.Json.List (_ :: _ :: _)) -> ()
+      | _ -> Alcotest.fail "expected kernel-speedup and kernel-size tables");
+      (* Admission shows up in the metrics. *)
+      let st, _, prom = request ~port ~meth:"GET" ~path:"/metrics" () in
+      check "metrics" 200 st;
+      check_bool "admitted counter" true
+        (contains ~needle:{|rcc_spec_submissions_total{outcome="admitted"}|}
+           prom);
+      check_bool "kernel gauge" true (contains ~needle:"rcc_spec_kernels" prom))
+
+(* The oracle gate: an agreeing kernel reports its verdict inline. *)
+let test_spec_oracle () =
+  with_server (fun _srv port ->
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/run"
+          ~body:(Printf.sprintf {|{"spec":%s,"oracle":256}|} spec_doc)
+          ()
+      in
+      check "oracle-gated run" 200 st;
+      match Rc_obs.Json.member "oracle" (json_of body) with
+      | Some v -> (
+          match Rc_obs.Json.member "verdict" v with
+          | Some (Rc_obs.Json.Str "agree") -> ()
+          | _ -> Alcotest.fail "oracle verdict is not agreement")
+      | None -> Alcotest.fail "no oracle verdict in response")
+
+(* The rejection ladder: unknown id 404, malformed 400 (with the JSON
+   path), over-budget 413, smuggling vector 501 — all structured
+   errors, never a dropped connection. *)
+let test_spec_rejections () =
+  with_server (fun _srv port ->
+      let st, _, _ =
+        request ~port ~meth:"POST" ~path:"/run"
+          ~body:{|{"kernel":"k000000000000"}|} ()
+      in
+      check "unknown kernel" 404 st;
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/compile" ~body:{|{"funcs":3}|} ()
+      in
+      check "malformed spec" 400 st;
+      check_bool "error names the JSON path" true
+        (contains ~needle:"$.funcs" (error_detail body));
+      let st, _, _ =
+        request ~port ~meth:"POST" ~path:"/compile" ~body:"{not json" ()
+      in
+      check "unparsable body" 400 st;
+      let st, _, body =
+        request ~port ~meth:"POST" ~path:"/compile"
+          ~body:
+            {|{"seed":0,"slots":100000,"funcs":[{"arity":0,"nvars":1,"nfvars":1,"body":[["emit",["var",0]]]}]}|}
+          ()
+      in
+      check "over-budget spec" 413 st;
+      check_bool "limit named" true
+        (contains ~needle:"limit" (error_detail body));
+      let st, _, _ =
+        request ~port ~meth:"POST" ~path:"/run"
+          ~headers:[ ("Transfer-Encoding", "chunked") ]
+          ~body:spec_doc ()
+      in
+      check "Transfer-Encoding refused" 501 st;
+      (* The server is still healthy after the whole ladder. *)
+      let st, _, _ = request ~port ~meth:"GET" ~path:"/healthz" () in
+      check "still serving" 200 st)
 
 (* One cold and one warm /run, tagged with known request ids, then pull
    /trace and check the span invariants: every lifecycle phase present,
@@ -485,6 +663,15 @@ let test_closed_early () =
       check "served excludes it" 0 (Server.served srv);
       let st, _, _ = request ~port ~meth:"GET" ~path:"/healthz" () in
       check "healthz still fine" 200 st;
+      (* served increments after the graceful-close drain, a beat after
+         the client has the response — wait, don't race it. *)
+      let rec wait_served n =
+        if Server.served srv = 0 && n > 0 then begin
+          Unix.sleepf 0.005;
+          wait_served (n - 1)
+        end
+      in
+      wait_served 1000;
       check "real request counts as served" 1 (Server.served srv);
       check "closed_early unchanged" 1 (Server.closed_early srv))
 
@@ -637,6 +824,7 @@ let suite =
     ("http: malformed", `Quick, test_http_malformed);
     ("http: limits", `Quick, test_http_limits);
     ("http: closed mid-request", `Quick, test_http_closed);
+    ("http: smuggling vectors", `Quick, test_http_smuggling);
     ("routing and 4xx", `Slow, test_routing);
     ("413 request too large", `Quick, test_too_large);
     ("503 load shedding", `Quick, test_shed);
@@ -646,6 +834,9 @@ let suite =
     ("version endpoint", `Quick, test_version);
     ("prometheus exposition", `Slow, test_prometheus);
     ("request-id propagation", `Quick, test_request_id);
+    ("spec kernels: compile, run, figures", `Slow, test_spec_compile_run);
+    ("spec kernels: admission oracle", `Slow, test_spec_oracle);
+    ("spec kernels: rejection ladder", `Quick, test_spec_rejections);
     ("trace span invariants", `Slow, test_trace_spans);
     ("graceful drain", `Slow, test_graceful_drain);
     ("closed_early excludes silent connections", `Quick, test_closed_early);
